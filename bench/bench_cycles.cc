@@ -1,0 +1,94 @@
+// E8 (Section 4, cycle example): the application-recovery operation mix
+// (a) Y=f(X,Y); (b) X=g(Y); (c) Y=h(Y) creates rW cycles that collapse
+// into multi-object flush sets; identity writes break them apart with
+// bounded extra logging, while flush transactions pay quiesces and log
+// every value.
+//
+// Reported: cycle collapses, identity writes injected and their logged
+// bytes, flush transactions and their logged bytes, as the frequency of
+// the cycle-closing operation (c) is swept.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/recovery_engine.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+void BM_CycleBreaking(benchmark::State& state) {
+  const auto policy = static_cast<FlushPolicy>(state.range(0));
+  const int c_percent = static_cast<int>(state.range(1));
+  constexpr int kPairs = 16;
+  constexpr int kRounds = 30;
+  constexpr size_t kObjBytes = 512;
+
+  uint64_t cycles = 0, identity = 0, identity_bytes = 0;
+  uint64_t ftxns = 0, ftxn_bytes = 0, quiesce = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimulatedDisk disk;
+    EngineOptions opts;
+    opts.graph_kind = GraphKind::kRefined;
+    opts.flush_policy = policy;
+    opts.purge_threshold_ops = 20;
+    RecoveryEngine engine(opts, &disk);
+    Random rng(31);
+    for (int p = 0; p < kPairs; ++p) {
+      (void)engine.Execute(
+          MakeCreate(10 + 2 * p, Slice(rng.Bytes(kObjBytes))));
+      (void)engine.Execute(
+          MakeCreate(11 + 2 * p, Slice(rng.Bytes(kObjBytes))));
+    }
+    (void)engine.FlushAll();
+    state.ResumeTiming();
+
+    for (int round = 0; round < kRounds; ++round) {
+      for (int p = 0; p < kPairs; ++p) {
+        ObjectId x = 10 + 2 * p, y = 11 + 2 * p;
+        (void)engine.Execute(MakeAppRead(y, x));  // (a)
+        (void)engine.Execute(
+            MakeAppWrite(y, x, kObjBytes, round));  // (b)
+        if (static_cast<int>(rng.Uniform(100)) < c_percent) {
+          (void)engine.Execute(MakeAppExecute(y, round));  // (c)
+        }
+      }
+    }
+    (void)engine.FlushAll();
+
+    state.PauseTiming();
+    cycles = engine.cache().graph().stats().cycle_collapses;
+    identity = engine.cache().stats().identity_writes;
+    identity_bytes = engine.cache().stats().identity_bytes_logged;
+    ftxns = engine.cache().stats().flush_txns;
+    ftxn_bytes = engine.cache().stats().flush_txn_bytes_logged;
+    quiesce = disk.stats().quiesce_events;
+    state.ResumeTiming();
+  }
+  state.counters["cycle_collapses"] = static_cast<double>(cycles);
+  state.counters["identity_writes"] = static_cast<double>(identity);
+  state.counters["identity_bytes"] = static_cast<double>(identity_bytes);
+  state.counters["flush_txns"] = static_cast<double>(ftxns);
+  state.counters["ftxn_bytes"] = static_cast<double>(ftxn_bytes);
+  state.counters["quiesce"] = static_cast<double>(quiesce);
+  state.SetLabel(policy == FlushPolicy::kIdentityWrites
+                     ? "identity-writes"
+                     : (policy == FlushPolicy::kFlushTransaction
+                            ? "flush-transaction"
+                            : "native-atomic"));
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_CycleBreaking)
+    ->ArgsProduct(
+        {{static_cast<long>(loglog::FlushPolicy::kNativeAtomic),
+          static_cast<long>(loglog::FlushPolicy::kIdentityWrites),
+          static_cast<long>(loglog::FlushPolicy::kFlushTransaction)},
+         {0, 25, 75}})
+    ->ArgNames({"policy", "cPct"});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E12 (Section 5, ablation): the value of logging installations.
+//
+// "We capture these opportunities to advance object rSI's by logging the
+// installation of each node." Install records are lazily logged (never
+// forced); losing them costs only extra redo. This ablation turns them
+// off entirely: the analysis pass then sees stale rSIs and the redo scan
+// lengthens. Reported: install records written, analysis scan start,
+// operations redone and recovery time, with install logging on and off.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/crash_harness.h"
+#include "sim/workload.h"
+
+namespace loglog {
+namespace {
+
+void BM_InstallLogging(benchmark::State& state) {
+  const bool log_installs = state.range(0) != 0;
+  constexpr int kOps = 1200;
+
+  RecoveryStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions opts;
+    opts.log_installs = log_installs;
+    opts.redo_test = RedoTestKind::kRsiGeneralized;
+    opts.purge_threshold_ops = 24;
+    opts.checkpoint_interval_ops = 300;
+    CrashHarness harness(opts, 31337);
+    MixedWorkloadOptions wopts;
+    wopts.seed = 31337;
+    MixedWorkload workload(wopts);
+    for (const OperationDesc& op : workload.SetupOps()) {
+      (void)harness.Execute(op);
+    }
+    for (int i = 0; i < kOps; ++i) {
+      Status st = harness.Execute(workload.Next());
+      if (!st.ok() && !st.IsNotFound()) {
+        state.SkipWithError(st.ToString().c_str());
+      }
+    }
+    (void)harness.engine().log().ForceAll();
+    harness.Crash();
+    stats = RecoveryStats();
+    state.ResumeTiming();
+
+    Status st = harness.Recover(&stats);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.PauseTiming();
+    st = harness.VerifyAgainstReference();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    state.ResumeTiming();
+  }
+  state.counters["records_scanned"] =
+      static_cast<double>(stats.records_scanned);
+  state.counters["ops_redone"] = static_cast<double>(stats.ops_redone);
+  state.counters["skip_installed"] =
+      static_cast<double>(stats.ops_skipped_installed);
+  state.counters["redo_start"] = static_cast<double>(stats.redo_start);
+  state.SetLabel(log_installs ? "install-records-on"
+                              : "install-records-off");
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_InstallLogging)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"on"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E5 (Section 5): the REDO test gradient — repeat-all vs the classic vSI
+// test vs the generalized rSI test — on a crash image of the mixed
+// application/file workload with transient temporaries.
+//
+// The paper's claim: rSI-based REDO avoids re-executing operations whose
+// results are unexposed, most importantly everything touching deleted
+// transient objects and expensive application/file logical operations.
+// Reported: operations redone / skipped / voided, expensive (logical)
+// re-executions, and recovery wall time, per REDO test.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/crash_harness.h"
+#include "sim/workload.h"
+
+namespace loglog {
+namespace {
+
+void BM_RedoTest(benchmark::State& state) {
+  const auto kind = static_cast<RedoTestKind>(state.range(0));
+  constexpr int kOps = 1200;
+
+  RecoveryStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions opts;
+    opts.redo_test = kind;
+    opts.purge_threshold_ops = 32;
+    opts.checkpoint_interval_ops = 200;
+    CrashHarness harness(opts, 4242);
+    MixedWorkloadOptions wopts;
+    wopts.seed = 4242;
+    wopts.w_temp_create = 4;
+    wopts.w_temp_delete = 4;
+    MixedWorkload workload(wopts);
+    for (const OperationDesc& op : workload.SetupOps()) {
+      (void)harness.Execute(op);
+    }
+    for (int i = 0; i < kOps; ++i) {
+      Status st = harness.Execute(workload.Next());
+      if (!st.ok() && !st.IsNotFound()) {
+        state.SkipWithError(st.ToString().c_str());
+      }
+    }
+    (void)harness.engine().log().ForceAll();
+    harness.Crash();
+    stats = RecoveryStats();
+    state.ResumeTiming();
+
+    // Timed region: recovery itself.
+    Status st = harness.Recover(&stats);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.PauseTiming();
+    st = harness.VerifyAgainstReference();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    state.ResumeTiming();
+  }
+  state.counters["ops_considered"] = static_cast<double>(stats.ops_considered);
+  state.counters["ops_redone"] = static_cast<double>(stats.ops_redone);
+  state.counters["skip_installed"] =
+      static_cast<double>(stats.ops_skipped_installed);
+  state.counters["skip_unexposed"] =
+      static_cast<double>(stats.ops_skipped_unexposed);
+  state.counters["voided"] = static_cast<double>(stats.ops_voided);
+  state.counters["expensive_redos"] =
+      static_cast<double>(stats.expensive_redos);
+  state.counters["redo_value_bytes"] =
+      static_cast<double>(stats.redo_value_bytes);
+  switch (kind) {
+    case RedoTestKind::kAlways:
+      state.SetLabel("REDO=always");
+      break;
+    case RedoTestKind::kVsi:
+      state.SetLabel("REDO=vSI");
+      break;
+    case RedoTestKind::kRsiGeneralized:
+      state.SetLabel("REDO=rSI-generalized");
+      break;
+    case RedoTestKind::kRsiFixpoint:
+      state.SetLabel("REDO=rSI-fixpoint");
+      break;
+  }
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_RedoTest)
+    ->Arg(static_cast<long>(loglog::RedoTestKind::kAlways))
+    ->Arg(static_cast<long>(loglog::RedoTestKind::kVsi))
+    ->Arg(static_cast<long>(loglog::RedoTestKind::kRsiGeneralized))
+    ->Arg(static_cast<long>(loglog::RedoTestKind::kRsiFixpoint))
+    ->ArgNames({"redo"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

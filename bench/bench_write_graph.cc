@@ -1,0 +1,123 @@
+// E2 (Figure 5): rW permits separate, ordered flushes where W forces a
+// multi-object atomic flush.
+//
+// Pattern "fig5" (Figure 5's example): A updates X and Y together
+// (one operation writing {X,Y}), then B blind-writes X from Y
+// (W_L(Y,X)). In W, A and B coalesce (shared writeset) into one node
+// that must flush {X,Y} atomically. In rW, B's blind write peels X out
+// of A's vars: Y flushes alone (installing A, X unexposed), then X.
+//
+// Pattern "fig1abc" (Section 4's cycle example): (a) Y=f(X,Y);
+// (b) X=g(Y); (c) Y=h(Y). Here even rW collapses a cycle into a
+// {X,Y} node — the case that motivates CM identity writes (see
+// bench_cycles / E8).
+//
+// Reported: multi-object atomic flushes, single flushes, max flush set,
+// and objects installed without being flushed, for W vs rW under the
+// native-atomic policy (so the graphs themselves are compared).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/recovery_engine.h"
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+constexpr FuncId kPairUpdate = kFuncFirstCustom + 310;
+
+void RegisterPairUpdate() {
+  // A: (X, Y) <- f(X, Y): exposed update of both objects.
+  FunctionRegistry::Global().Register(
+      kPairUpdate,
+      [](const OperationDesc&, const std::vector<ObjectValue>& reads,
+         std::vector<ObjectValue>* writes) {
+        ObjectValue x = reads[0], y = reads[1];
+        for (size_t i = 0; i < x.size(); ++i) {
+          x[i] = static_cast<uint8_t>(x[i] + (y.empty() ? 1 : y[i % y.size()]));
+        }
+        for (size_t i = 0; i < y.size(); ++i) {
+          y[i] = static_cast<uint8_t>(y[i] ^ (x.empty() ? 1 : x[i % x.size()]));
+        }
+        (*writes)[0] = std::move(x);
+        (*writes)[1] = std::move(y);
+        return Status::OK();
+      });
+}
+
+void BM_WriteGraphFlushSets(benchmark::State& state) {
+  const bool refined = state.range(0) != 0;
+  const bool fig5 = state.range(1) != 0;
+  constexpr int kPairs = 32;
+  constexpr int kRounds = 8;
+  RegisterPairUpdate();
+
+  EngineOptions opts;
+  opts.graph_kind = refined ? GraphKind::kRefined : GraphKind::kW;
+  opts.flush_policy = FlushPolicy::kNativeAtomic;
+  opts.purge_threshold_ops = 48;
+
+  uint64_t multi = 0, singles = 0, max_set = 0, unflushed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimulatedDisk disk;
+    RecoveryEngine engine(opts, &disk);
+    Random rng(7);
+    for (int p = 0; p < kPairs; ++p) {
+      ObjectId x = 10 + 2 * p, y = 11 + 2 * p;
+      (void)engine.Execute(MakeCreate(x, Slice(rng.Bytes(64))));
+      (void)engine.Execute(MakeCreate(y, Slice(rng.Bytes(64))));
+    }
+    (void)engine.FlushAll();
+    state.ResumeTiming();
+
+    for (int round = 0; round < kRounds; ++round) {
+      for (int p = 0; p < kPairs; ++p) {
+        ObjectId x = 10 + 2 * p, y = 11 + 2 * p;
+        if (fig5) {
+          OperationDesc a;
+          a.op_class = OpClass::kLogical;
+          a.func = kPairUpdate;
+          a.reads = {x, y};
+          a.writes = {x, y};
+          (void)engine.Execute(a);                              // A
+          (void)engine.Execute(MakeAppWrite(y, x, 64, round));  // B (blind X)
+        } else {
+          (void)engine.Execute(MakeAppRead(y, x));              // (a)
+          (void)engine.Execute(MakeAppWrite(y, x, 64, round));  // (b)
+          (void)engine.Execute(MakeAppExecute(y, round));       // (c)
+        }
+      }
+    }
+    (void)engine.FlushAll();
+
+    const CacheStats& cs = engine.cache().stats();
+    const Histogram& sets = cs.flush_set_sizes;
+    max_set = std::max(max_set, sets.max());
+    uint64_t m = 0;
+    for (uint64_t s = 2; s <= sets.max(); ++s) m += sets.CountOf(s);
+    multi += m;
+    singles += sets.CountOf(0) + sets.CountOf(1);
+    unflushed += cs.installed_without_flush;
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["atomic_multi_flushes"] = static_cast<double>(multi) / iters;
+  state.counters["single_flushes"] = static_cast<double>(singles) / iters;
+  state.counters["max_flush_set"] = static_cast<double>(max_set);
+  state.counters["installed_without_flush"] =
+      static_cast<double>(unflushed) / iters;
+  state.SetLabel(std::string(refined ? "rW" : "W") +
+                 (fig5 ? "/fig5" : "/fig1abc-cycle"));
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_WriteGraphFlushSets)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"rW", "fig5"});
+
+BENCHMARK_MAIN();

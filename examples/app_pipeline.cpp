@@ -1,0 +1,82 @@
+// Application recovery (Section 1, "Application Recovery"):
+// a data-processing application whose state, inputs and outputs are all
+// recoverable objects. Reads (R), execution steps (Ex) and logical
+// writes (W_L) are logged without any values; after a crash the
+// application resumes exactly where its logged history ended.
+//
+// Run: ./build/examples/example_app_pipeline
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "domains/app/recoverable_app.h"
+#include "engine/recovery_engine.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+using namespace loglog;
+
+namespace {
+constexpr ObjectId kInputFile = 10;
+constexpr ObjectId kAppState = 20;
+constexpr ObjectId kOutputFile = 30;
+
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  SimulatedDisk disk;
+  auto engine = std::make_unique<RecoveryEngine>(EngineOptions{}, &disk);
+
+  // A 64 KiB input file the application will consume.
+  Random rng(2024);
+  Check(engine->Execute(MakeCreate(kInputFile, Slice(rng.Bytes(64 * 1024)))),
+        "create input");
+
+  RecoverableApp app(engine.get(), kAppState, /*state_size=*/512,
+                     /*logical_writes=*/true);
+  Check(app.Init(1), "init app");
+
+  // Pipeline: read input, compute, emit a 64 KiB output — three logged
+  // operations, none of which logs a value.
+  uint64_t log_before = engine->stats().op_log_bytes;
+  for (int step = 0; step < 20; ++step) {
+    Check(app.Absorb(kInputFile), "absorb");
+    Check(app.Step(step), "step");
+    Check(app.Emit(kOutputFile, 64 * 1024, step), "emit");
+  }
+  std::printf("20 pipeline rounds (60 ops over 64 KiB objects) logged "
+              "%llu bytes total\n",
+              (unsigned long long)(engine->stats().op_log_bytes -
+                                   log_before));
+
+  ObjectValue state_before, output_before;
+  Check(app.State(&state_before), "read state");
+  Check(engine->Read(kOutputFile, &output_before), "read output");
+
+  // Crash mid-flight: nothing was explicitly flushed.
+  (void)engine->log().ForceAll();
+  engine.reset();
+  std::printf("-- crash --\n");
+
+  engine = std::make_unique<RecoveryEngine>(EngineOptions{}, &disk);
+  RecoveryStats stats;
+  Check(engine->Recover(&stats), "recover");
+  std::printf("recovery: %s\n", stats.ToString().c_str());
+
+  RecoverableApp revived(engine.get(), kAppState, 512);
+  ObjectValue state_after, output_after;
+  Check(revived.State(&state_after), "read state");
+  Check(engine->Read(kOutputFile, &output_after), "read output");
+  std::printf("application state %s, output %s\n",
+              state_after == state_before ? "identical" : "DIFFERS",
+              output_after == output_before ? "identical" : "DIFFERS");
+  return state_after == state_before && output_after == output_before ? 0
+                                                                       : 1;
+}

@@ -1,0 +1,88 @@
+// File-system recovery (Section 1, "File System Recovery"): a small
+// recoverable file system where copy and sort are logical operations —
+// file contents never reach the log — and deleted temporaries cost the
+// recovery process nothing.
+//
+// Run: ./build/examples/example_durable_files
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "domains/fs/file_system.h"
+#include "engine/recovery_engine.h"
+#include "storage/simulated_disk.h"
+
+using namespace loglog;
+
+namespace {
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  SimulatedDisk disk;
+  EngineOptions opts;
+  opts.checkpoint_interval_ops = 64;
+  auto engine = std::make_unique<RecoveryEngine>(opts, &disk);
+
+  {
+    FileSystem fs(engine.get());
+    Check(fs.Mount(), "mount");
+
+    // 32 KiB of 16-byte records.
+    Random rng(7);
+    Check(fs.Create("data.bin", Slice(rng.Bytes(32 * 1024))), "create");
+
+    uint64_t before = engine->stats().op_log_bytes;
+    Check(fs.Copy("backup.bin", "data.bin"), "copy");
+    Check(fs.SortFile("sorted.bin", "data.bin", 16), "sort");
+    std::printf("copy+sort of a 32 KiB file logged only %llu bytes\n",
+                (unsigned long long)(engine->stats().op_log_bytes - before));
+
+    // A scratch file that lives and dies between checkpoints: its
+    // operations never need redo (Section 5's transient-object point).
+    Check(fs.Create("scratch.tmp", Slice(rng.Bytes(8 * 1024))), "tmp");
+    Check(fs.Append("scratch.tmp", "work work work"), "tmp append");
+    Check(fs.Remove("scratch.tmp"), "tmp remove");
+
+    for (const std::string& name : fs.List()) {
+      ObjectValue data;
+      Check(fs.ReadFile(name, &data), "read");
+      std::printf("  %-12s %6zu bytes\n", name.c_str(), data.size());
+    }
+  }
+
+  (void)engine->log().ForceAll();
+  engine.reset();
+  std::printf("-- crash --\n");
+
+  engine = std::make_unique<RecoveryEngine>(opts, &disk);
+  RecoveryStats stats;
+  Check(engine->Recover(&stats), "recover");
+  std::printf("recovery: %s\n", stats.ToString().c_str());
+
+  FileSystem fs(engine.get());
+  Check(fs.Mount(), "remount");
+  std::printf("after recovery:\n");
+  for (const std::string& name : fs.List()) {
+    ObjectValue data;
+    Check(fs.ReadFile(name, &data), "read");
+    std::printf("  %-12s %6zu bytes\n", name.c_str(), data.size());
+  }
+  ObjectValue sorted;
+  Check(fs.ReadFile("sorted.bin", &sorted), "read sorted");
+  for (size_t i = 16; i < sorted.size(); i += 16) {
+    if (memcmp(sorted.data() + i - 16, sorted.data() + i, 16) > 0) {
+      std::fprintf(stderr, "sorted.bin lost its order!\n");
+      return 1;
+    }
+  }
+  std::printf("sorted.bin is still sorted; scratch.tmp is gone: %s\n",
+              fs.Exists("scratch.tmp") ? "NO" : "yes");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// A recoverable work queue: an application produces messages with
+// logical writes (payloads never hit the log), a consumer drains them,
+// and consumed messages are transient objects whose history costs
+// recovery nothing.
+//
+// Run: ./build/examples/example_message_queue
+
+#include <cstdio>
+#include <memory>
+
+#include "domains/app/recoverable_app.h"
+#include "domains/queue/recoverable_queue.h"
+#include "engine/recovery_engine.h"
+#include "storage/simulated_disk.h"
+
+using namespace loglog;
+
+namespace {
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  SimulatedDisk disk;
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kRsiFixpoint;
+  opts.purge_threshold_ops = 16;
+  auto engine = std::make_unique<RecoveryEngine>(opts, &disk);
+
+  RecoverableApp producer(engine.get(), 42, 256);
+  Check(producer.Init(1), "init producer");
+  RecoverableQueue queue(engine.get());
+  Check(queue.Open(), "open queue");
+
+  uint64_t log_before = engine->stats().op_log_bytes;
+  for (int i = 0; i < 50; ++i) {
+    Check(producer.Step(i), "step");
+    Check(queue.EnqueueFromApp(producer.id(), 16 * 1024, i), "enqueue");
+  }
+  std::printf("produced 50 x 16 KiB messages, logging %llu bytes total\n",
+              (unsigned long long)(engine->stats().op_log_bytes -
+                                   log_before));
+
+  ObjectValue msg;
+  for (int i = 0; i < 30; ++i) Check(queue.Dequeue(&msg), "dequeue");
+  std::printf("consumed 30 messages; %llu still queued\n",
+              (unsigned long long)queue.size());
+
+  Check(engine->log().ForceAll(), "force");
+  engine.reset();
+  std::printf("-- crash --\n");
+
+  engine = std::make_unique<RecoveryEngine>(opts, &disk);
+  RecoveryStats stats;
+  Check(engine->Recover(&stats), "recover");
+  std::printf("recovery: %s\n", stats.ToString().c_str());
+  std::printf("(skip_unexposed counts the consumed messages' enqueue "
+              "work that was never re-executed)\n");
+
+  RecoverableQueue revived(engine.get());
+  Check(revived.Open(), "reopen queue");
+  std::printf("queue recovered with %llu pending messages\n",
+              (unsigned long long)revived.size());
+  int drained = 0;
+  while (revived.Dequeue(&msg).ok()) ++drained;
+  std::printf("drained %d messages of %zu bytes each\n", drained,
+              msg.size());
+  return drained == 20 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: a recoverable object store with logical logging.
+//
+// Creates objects, runs logical operations whose values never reach the
+// log, simulates a crash, recovers, and shows the state surviving.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "engine/recovery_engine.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+using namespace loglog;
+
+int main() {
+  // The disk survives crashes; the engine is volatile.
+  SimulatedDisk disk;
+  auto engine = std::make_unique<RecoveryEngine>(EngineOptions{}, &disk);
+
+  // Create two objects and derive a third logically: the copy's log
+  // record holds only identifiers, never the 1 KiB payload.
+  std::string payload(1024, 'x');
+  Status st = engine->Execute(MakeCreate(1, payload));
+  if (!st.ok()) return std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  st = engine->Execute(MakeCreate(2, "small"));
+  if (!st.ok()) return std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  st = engine->Execute(MakeCopy(/*y=*/3, /*x=*/1));
+  if (!st.ok()) return std::fprintf(stderr, "%s\n", st.ToString().c_str());
+
+  std::printf("executed %llu ops, logged %llu bytes total\n",
+              (unsigned long long)engine->stats().ops_executed,
+              (unsigned long long)engine->stats().op_log_bytes);
+
+  // Make the log stable (an unforced tail would die with the crash),
+  // then crash: all volatile state is gone.
+  (void)engine->log().ForceAll();
+  engine.reset();
+  std::printf("-- crash --\n");
+
+  engine = std::make_unique<RecoveryEngine>(EngineOptions{}, &disk);
+  RecoveryStats stats;
+  st = engine->Recover(&stats);
+  if (!st.ok()) return std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::printf("recovery: %s\n", stats.ToString().c_str());
+
+  ObjectValue copy;
+  st = engine->Read(3, &copy);
+  if (!st.ok()) return std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::printf("object 3 recovered, %zu bytes, first byte '%c'\n",
+              copy.size(), copy.empty() ? '?' : copy[0]);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef LOGLOG_BACKUP_MEDIA_RECOVERY_H_
+#define LOGLOG_BACKUP_MEDIA_RECOVERY_H_
+
+#include <memory>
+
+#include "backup/backup_manager.h"
+#include "common/status.h"
+#include "engine/recovery_engine.h"
+#include "recovery/recovery_driver.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+
+/// \brief Media recovery: rebuild a lost stable database from a backup
+/// image plus the log archive.
+///
+/// Loads the image into a fresh disk, installs the surviving log archive
+/// as that disk's log, and runs ordinary redo recovery with the plain
+/// vSI REDO test (per-object vSIs in the image decide what replays —
+/// installation records on the log describe the *lost* database's
+/// progress, not the image's, so the generalized rSI shortcuts must not
+/// be used). The recovered engine is returned ready for use; callers
+/// typically FlushAll() and verify.
+///
+/// If the image violated flush order (a naive fuzzy backup), replay
+/// meets inputs newer than the operation being redone and voids it —
+/// surfaced through stats->ops_voided and a mismatching final state.
+/// Images produced by BackupManager with repair_order on never void.
+Status MediaRecover(const BackupImage& image, Slice log_archive,
+                    SimulatedDisk* fresh_disk,
+                    std::unique_ptr<RecoveryEngine>* engine_out,
+                    RecoveryStats* stats);
+
+/// \brief Point-in-time restore: materialize the database exactly as of
+/// LSN `target` from the log archive alone.
+///
+/// Replays every operation record with lSI <= target onto the fresh
+/// disk's store (sequential history replay — the definition of the
+/// state, per the recovery theorem). Useful operationally ("what did the
+/// database look like before operation X?") and as a debugging oracle.
+/// The archive must reach back to the beginning of history (the
+/// verification archive does; a truncated live log does not).
+Status RestoreToLsn(Slice log_archive, Lsn target,
+                    SimulatedDisk* fresh_disk);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_BACKUP_MEDIA_RECOVERY_H_

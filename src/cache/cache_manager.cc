@@ -1,0 +1,510 @@
+#include "cache/cache_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/refined_write_graph.h"
+#include "graph/write_graph_w.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+namespace {
+
+std::unique_ptr<WriteGraph> MakeGraph(GraphKind kind) {
+  if (kind == GraphKind::kRefined) {
+    return std::make_unique<RefinedWriteGraph>();
+  }
+  return std::make_unique<WriteGraphW>();
+}
+
+}  // namespace
+
+CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
+                           GraphKind graph_kind, FlushPolicy flush_policy,
+                           bool log_installs)
+    : disk_(disk),
+      log_(log),
+      graph_(MakeGraph(graph_kind)),
+      flush_policy_(flush_policy),
+      log_installs_(log_installs) {
+  if (flush_policy_ == FlushPolicy::kIdentityWrites &&
+      graph_kind == GraphKind::kW) {
+    // Identity writes cannot break W's flush sets apart: a blind write
+    // merges into the node owning the object, since W coalesces on any
+    // writeset overlap ("once objects need to be flushed together
+    // atomically, there is no way to flush them separately", Section 6).
+    // Fall back to the native atomic flush.
+    flush_policy_ = FlushPolicy::kNativeAtomic;
+  }
+  disk_->store().set_shadow_mode(flush_policy_ == FlushPolicy::kShadow);
+}
+
+Status CacheManager::GetValue(ObjectId id, ObjectValue* out) {
+  CachedObject* obj = table_.Find(id);
+  if (obj != nullptr) {
+    if (!obj->exists) return Status::NotFound("object deleted");
+    obj->last_access = ++access_clock_;
+    *out = obj->value;
+    return Status::OK();
+  }
+  StoredObject stored;
+  LOGLOG_RETURN_IF_ERROR(disk_->store().Read(id, &stored));
+  CachedObject& entry = table_.GetOrCreate(id);
+  entry.value = stored.value;
+  entry.vsi = stored.vsi;
+  entry.rsi = kInvalidLsn;
+  entry.dirty = false;
+  entry.exists = true;
+  entry.last_access = ++access_clock_;
+  *out = entry.value;
+  return Status::OK();
+}
+
+bool CacheManager::ObjectExists(ObjectId id) {
+  const CachedObject* obj = table_.Find(id);
+  if (obj != nullptr) return obj->exists;
+  return disk_->store().Exists(id);
+}
+
+Lsn CacheManager::CurrentVsi(ObjectId id) const {
+  const CachedObject* obj = table_.Find(id);
+  if (obj != nullptr) return obj->vsi;
+  return disk_->store().StableVsi(id);
+}
+
+Lsn CacheManager::CurrentRsi(ObjectId id) const {
+  const CachedObject* obj = table_.Find(id);
+  return obj == nullptr ? kInvalidLsn : obj->rsi;
+}
+
+Status CacheManager::ApplyResults(const OperationDesc& op, Lsn lsn,
+                                  std::vector<ObjectValue> new_values) {
+  if (op.op_class != OpClass::kDelete &&
+      new_values.size() != op.writes.size()) {
+    return Status::InvalidArgument("result values do not match writeset");
+  }
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    CachedObject& obj = table_.GetOrCreate(op.writes[i]);
+    if (op.op_class == OpClass::kDelete) {
+      obj.value.clear();
+      obj.exists = false;
+    } else {
+      obj.value = std::move(new_values[i]);
+      obj.exists = true;
+    }
+    obj.vsi = lsn;
+    if (obj.rsi == kInvalidLsn) obj.rsi = lsn;
+    obj.dirty = true;
+    obj.last_access = ++access_clock_;
+    ++obj.writes_since_clean;
+    if (auto_hot_threshold_ > 0 &&
+        obj.writes_since_clean >= auto_hot_threshold_ &&
+        auto_hot_.insert(op.writes[i]).second) {
+      hot_.insert(op.writes[i]);
+    }
+  }
+  graph_->AddOperation(PendingOp::FromDesc(lsn, op));
+  return Status::OK();
+}
+
+ObjectId CacheManager::LargestVarsObject(NodeId v) const {
+  const GraphNode* node = graph_->Find(v);
+  assert(node != nullptr);
+  ObjectId best = kInvalidObjectId;
+  size_t best_size = 0;
+  for (ObjectId x : node->vars) {
+    const CachedObject* obj = table_.Find(x);
+    size_t size = obj == nullptr ? 0 : obj->value.size();
+    if (best == kInvalidObjectId || size > best_size) {
+      best = x;
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+Status CacheManager::InjectIdentityWrite(ObjectId id) {
+  CachedObject* obj = table_.Find(id);
+  if (obj == nullptr) {
+    return Status::FailedPrecondition("identity write of uncached object");
+  }
+  // A deleted-but-uninstalled object is "identity written" by re-logging
+  // the delete: the blind re-delete peels it out of the node's vars just
+  // like an identity value write would.
+  OperationDesc op = obj->exists ? MakeIdentityWrite(id, Slice(obj->value))
+                                 : MakeDelete(id);
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.op = op;
+  Lsn lsn = log_->Append(std::move(rec));
+  ++stats_.identity_writes;
+  stats_.identity_bytes_logged += obj->value.size();
+  // Update cache version and graph exactly like a normal blind write; the
+  // value is unchanged.
+  obj->vsi = lsn;
+  obj->last_access = ++access_clock_;
+  graph_->AddOperation(PendingOp::FromDesc(lsn, op));
+  return Status::OK();
+}
+
+void CacheManager::MarkHot(ObjectId id, bool hot) {
+  if (hot) {
+    hot_.insert(id);
+  } else {
+    hot_.erase(id);
+  }
+}
+
+Status CacheManager::PurgeOne(bool allow_hot_flush) {
+  if (graph_->empty()) return Status::NotFound("nothing to install");
+  ++stats_.purges;
+  // Under kIdentityWrites, peel multi-object flush sets apart first. Each
+  // round either installs a minimal node (|vars| <= 1) or injects one
+  // identity write; injections can add predecessors or collapse cycles,
+  // so the minimal node is re-chosen every round. Progress: every
+  // iteration either removes a node or strictly shrinks some vars set.
+  for (int guard = 0; guard < 1 << 20; ++guard) {
+    // Choose the minimal node with the oldest operation, preferring (when
+    // hot objects are protected) nodes whose flush set is not hot-only.
+    NodeId v = kNoNode;
+    NodeId hot_only_candidate = kNoNode;
+    Lsn best = kMaxLsn, best_hot = kMaxLsn;
+    for (NodeId id : graph_->MinimalNodes()) {
+      const GraphNode* n = graph_->Find(id);
+      bool hot_only = !allow_hot_flush && !n->vars.empty();
+      if (hot_only) {
+        for (ObjectId x : n->vars) {
+          if (!hot_.contains(x)) {
+            hot_only = false;
+            break;
+          }
+        }
+      }
+      if (hot_only) {
+        if (n->MinOpLsn() < best_hot) {
+          best_hot = n->MinOpLsn();
+          hot_only_candidate = id;
+        }
+      } else if (n->MinOpLsn() < best) {
+        best = n->MinOpLsn();
+        v = id;
+      }
+    }
+    if (v == kNoNode) {
+      // Only hot-only nodes remain. Automatic purging defers them: they
+      // stay cached and uninstalled until FlushAll, an explicit
+      // PurgeOne(true), or Checkpoint (which installs them by logging —
+      // Section 4's install-without-flush).
+      return Status::NotFound(hot_only_candidate == kNoNode
+                                  ? "nothing to install"
+                                  : "only hot flush sets remain");
+    }
+    const GraphNode* node = graph_->Find(v);
+    if (flush_policy_ != FlushPolicy::kIdentityWrites ||
+        node->vars.size() <= 1) {
+      return InstallNode(v);
+    }
+    // Keep the largest object (sparing its value from the log),
+    // preferring a non-hot keeper so hot objects stay unflushed.
+    ObjectId keep = LargestVarsObject(v);
+    if (!allow_hot_flush && hot_.contains(keep)) {
+      for (ObjectId x : node->vars) {
+        if (!hot_.contains(x)) {
+          keep = x;
+          break;
+        }
+      }
+    }
+    ObjectId peel = kInvalidObjectId;
+    for (ObjectId x : node->vars) {
+      if (x != keep) {
+        peel = x;
+        break;
+      }
+    }
+    assert(peel != kInvalidObjectId);
+    LOGLOG_RETURN_IF_ERROR(InjectIdentityWrite(peel));
+  }
+  return Status::Aborted("identity-write peeling did not converge");
+}
+
+Status CacheManager::InstallNode(NodeId v) {
+  const GraphNode* node = graph_->Find(v);
+  if (node == nullptr) return Status::NotFound("no such node");
+  if (!node->preds.empty()) {
+    return Status::FailedPrecondition("node has uninstalled predecessors");
+  }
+  // WAL: every operation being installed must be stable first.
+  LOGLOG_RETURN_IF_ERROR(log_->Force(node->MaxOpLsn()));
+  if (fail_point_ == FailPoint::kAfterWalForce) {
+    fail_point_ = FailPoint::kNone;
+    return Status::Aborted("fail point: after WAL force");
+  }
+
+  stats_.flush_set_sizes.Add(node->vars.size());
+  stats_.node_writes_sizes.Add(node->vars.size() + node->notx.size());
+
+  // Gather the current cached versions of vars(n).
+  std::vector<ObjectWrite> writes;
+  writes.reserve(node->vars.size());
+  for (ObjectId x : node->vars) {
+    const CachedObject* obj = table_.Find(x);
+    if (obj == nullptr) {
+      return Status::Corruption("vars object not cached");
+    }
+    ObjectWrite w;
+    w.id = x;
+    w.vsi = obj->vsi;
+    if (obj->exists) {
+      w.value = Slice(obj->value);
+    } else {
+      w.erase = true;
+    }
+    writes.push_back(w);
+  }
+
+  // Flush vars(n) under the configured policy.
+  switch (flush_policy_) {
+    case FlushPolicy::kNativeAtomic:
+    case FlushPolicy::kShadow:
+      disk_->store().WriteAtomic(writes);
+      break;
+    case FlushPolicy::kIdentityWrites:
+      // PurgeOne reduced |vars| to at most 1.
+      if (writes.size() > 1) {
+        return Status::FailedPrecondition(
+            "identity-write policy with multi-object flush set");
+      }
+      disk_->store().WriteAtomic(writes);
+      break;
+    case FlushPolicy::kFlushTransaction: {
+      if (writes.size() <= 1) {
+        disk_->store().WriteAtomic(writes);
+        break;
+      }
+      // Freeze the set: quiesce, log every value plus a commit record,
+      // force, then overwrite in place (each its own device write).
+      ++disk_->stats().quiesce_events;
+      ++stats_.flush_txns;
+      LogRecord begin;
+      begin.type = RecordType::kFlushTxnBegin;
+      for (const ObjectWrite& w : writes) {
+        FlushValue fv;
+        fv.id = w.id;
+        fv.vsi = w.vsi;
+        fv.erase = w.erase;
+        fv.value = w.value.ToBytes();
+        stats_.flush_txn_bytes_logged += fv.value.size();
+        ++stats_.flush_txn_values_logged;
+        begin.flush_values.push_back(std::move(fv));
+      }
+      Lsn begin_lsn = log_->Append(std::move(begin));
+      LogRecord commit;
+      commit.type = RecordType::kFlushTxnCommit;
+      commit.ref_lsn = begin_lsn;
+      Lsn commit_lsn = log_->Append(std::move(commit));
+      LOGLOG_RETURN_IF_ERROR(log_->Force(commit_lsn));
+      if (fail_point_ == FailPoint::kAfterFlushTxnCommit) {
+        fail_point_ = FailPoint::kNone;
+        return Status::Aborted("fail point: after flush-txn commit");
+      }
+      bool first = true;
+      for (const ObjectWrite& w : writes) {
+        if (w.erase) {
+          disk_->store().Erase(w.id);
+        } else {
+          disk_->store().Write(w.id, w.value, w.vsi);
+        }
+        if (first &&
+            fail_point_ == FailPoint::kAfterFirstFlushTxnWrite) {
+          fail_point_ = FailPoint::kNone;
+          return Status::Aborted("fail point: after first in-place write");
+        }
+        first = false;
+      }
+      break;
+    }
+  }
+
+  // Remove the node: its operations are installed.
+  InstallResult result;
+  LOGLOG_RETURN_IF_ERROR(graph_->RemoveNode(v, &result));
+  ++stats_.nodes_installed;
+  stats_.ops_installed += result.installed_ops.size();
+  stats_.installed_without_flush += result.unflushed_objects.size();
+
+  // Advance rSIs for all of Writes(n) = vars ∪ notx (Section 5): an
+  // object's rSI becomes the lSI of its first *uninstalled* writer.
+  LogRecord install;
+  install.type = RecordType::kInstall;
+  for (ObjectId x : result.flush_objects) {
+    CachedObject* obj = table_.Find(x);
+    assert(obj != nullptr);
+    Lsn rsi = graph_->FirstUninstalledWriter(x);
+    obj->rsi = rsi;
+    obj->dirty = (rsi != kInvalidLsn);
+    if (!obj->dirty) {
+      // Flushed clean: the hotness window restarts (auto-hot cools).
+      obj->writes_since_clean = 0;
+      if (auto_hot_.erase(x) > 0) hot_.erase(x);
+    }
+    install.installed_vars.push_back(InstallEntry{x, rsi});
+    if (!obj->exists && !obj->dirty) {
+      // Installed delete: the object leaves the object table.
+      table_.Erase(x);
+    }
+  }
+  for (ObjectId x : result.unflushed_objects) {
+    CachedObject* obj = table_.Find(x);
+    if (obj == nullptr) continue;
+    Lsn rsi = graph_->FirstUninstalledWriter(x);
+    // Unexposed objects stay dirty: the cached version was produced by a
+    // later (uninstalled) blind write and has not been flushed.
+    obj->rsi = rsi;
+    obj->dirty = true;
+    install.installed_notx.push_back(InstallEntry{x, rsi});
+  }
+  if (log_installs_) {
+    // Lazily logged: not forced. Losing it merely costs extra redos.
+    log_->Append(std::move(install));
+  }
+  return Status::OK();
+}
+
+Status CacheManager::FlushAll() {
+  while (true) {
+    Status st = PurgeOne();
+    if (st.IsNotFound()) break;
+    LOGLOG_RETURN_IF_ERROR(st);
+  }
+  // With an empty graph every remaining dirty object has no uninstalled
+  // writers; flush them individually (covers install-without-flush
+  // leftovers defensively).
+  std::vector<ObjectId> dirty;
+  table_.ForEach([&](ObjectId id, CachedObject& obj) {
+    if (obj.dirty) dirty.push_back(id);
+  });
+  for (ObjectId id : dirty) {
+    CachedObject* obj = table_.Find(id);
+    LOGLOG_RETURN_IF_ERROR(log_->Force(obj->vsi));
+    if (obj->exists) {
+      disk_->store().Write(id, Slice(obj->value), obj->vsi);
+      obj->dirty = false;
+      obj->rsi = kInvalidLsn;
+      obj->writes_since_clean = 0;
+      if (auto_hot_.erase(id) > 0) hot_.erase(id);
+    } else {
+      if (disk_->store().Exists(id)) disk_->store().Erase(id);
+      table_.Erase(id);
+    }
+  }
+  return Status::OK();
+}
+
+Status CacheManager::InstallHotNodesByLogging() {
+  if (flush_policy_ != FlushPolicy::kIdentityWrites) return Status::OK();
+  // Install every currently-minimal hot-only node without flushing: peel
+  // each of its vars to zero with identity writes (their values go to
+  // the log once), then install the empty node. Repeats until no minimal
+  // hot-only node remains; each round installs one node, so it
+  // terminates.
+  // The identity writes injected here create fresh hot-only nodes of
+  // their own; they carry this checkpoint's rSIs and must not be chased.
+  std::set<Lsn> fresh_identity_ops;
+  while (true) {
+    NodeId target = kNoNode;
+    for (NodeId id : graph_->MinimalNodes()) {
+      const GraphNode* n = graph_->Find(id);
+      if (n->vars.empty()) continue;
+      bool eligible = false;
+      for (Lsn lsn : n->ops) {
+        if (!fresh_identity_ops.contains(lsn)) {
+          eligible = true;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      bool hot_only = true;
+      for (ObjectId x : n->vars) {
+        if (!hot_.contains(x)) {
+          hot_only = false;
+          break;
+        }
+      }
+      if (hot_only) {
+        target = id;
+        break;
+      }
+    }
+    if (target == kNoNode) return Status::OK();
+    while (true) {
+      const GraphNode* n = graph_->Find(target);
+      if (n == nullptr || n->vars.empty()) break;
+      LOGLOG_RETURN_IF_ERROR(InjectIdentityWrite(*n->vars.begin()));
+      fresh_identity_ops.insert(log_->last_assigned_lsn());
+      // Peeling can merge nodes (cycles); re-check the node each round.
+      graph_->Normalize();
+    }
+    // Peeling may have added predecessors (inverse write-read edges from
+    // readers of the peeled values). Install only if still minimal; an
+    // empty-vars node left behind installs via normal purging once its
+    // predecessors go, and the next outer round skips it.
+    const GraphNode* after = graph_->Find(target);
+    if (after != nullptr && after->preds.empty()) {
+      LOGLOG_RETURN_IF_ERROR(InstallNode(target));
+    }
+  }
+}
+
+Status CacheManager::Checkpoint() {
+  // Advance hot objects' rSIs first: their operations install via
+  // logging so the checkpoint can truncate past them without a flush
+  // (Section 4: "merely install operations on them via logging, without
+  // flushing them immediately").
+  LOGLOG_RETURN_IF_ERROR(InstallHotNodesByLogging());
+  ++stats_.checkpoints;
+  LogRecord rec;
+  rec.type = RecordType::kCheckpoint;
+  rec.dot = table_.DirtySnapshot();
+  Lsn min_rsi = kMaxLsn;
+  for (const DotEntry& e : rec.dot) {
+    if (e.rsi != kInvalidLsn) min_rsi = std::min(min_rsi, e.rsi);
+  }
+  Lsn ckpt_lsn = log_->Append(std::move(rec));
+  LOGLOG_RETURN_IF_ERROR(log_->Force(ckpt_lsn));
+  // Everything before min(first rSI, the checkpoint itself) is installed
+  // in every explanation of the stable state and can be truncated.
+  log_->TruncateBefore(std::min(min_rsi, ckpt_lsn));
+  return Status::OK();
+}
+
+void CacheManager::EvictTo(size_t capacity) {
+  while (table_.size() > capacity) {
+    ObjectId victim = table_.OldestClean();
+    if (victim == kInvalidObjectId) return;  // everything dirty
+    table_.Erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+Status CacheManager::CheckInvariants() {
+  LOGLOG_RETURN_IF_ERROR(graph_->CheckInvariants());
+  Status out = Status::OK();
+  table_.ForEach([&](ObjectId id, const CachedObject& obj) {
+    if (!out.ok()) return;
+    Lsn first = graph_->FirstUninstalledWriter(id);
+    if (obj.dirty && obj.rsi == kInvalidLsn) {
+      out = Status::Corruption("dirty object without rSI");
+    }
+    if (first != kInvalidLsn && obj.rsi == kInvalidLsn) {
+      out = Status::Corruption("uninstalled writer but clean rSI");
+    }
+    if (first != kInvalidLsn && obj.rsi > first) {
+      out = Status::Corruption("rSI later than first uninstalled writer");
+    }
+  });
+  return out;
+}
+
+}  // namespace loglog

@@ -1,0 +1,173 @@
+#ifndef LOGLOG_CACHE_CACHE_MANAGER_H_
+#define LOGLOG_CACHE_CACHE_MANAGER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/object_table.h"
+#include "cache/policies.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/write_graph.h"
+#include "ops/operation.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+
+namespace loglog {
+
+/// Counters for the cache-management experiments (Sections 3-4).
+struct CacheStats {
+  uint64_t purges = 0;
+  uint64_t nodes_installed = 0;
+  uint64_t ops_installed = 0;
+  uint64_t identity_writes = 0;
+  uint64_t identity_bytes_logged = 0;
+  uint64_t flush_txns = 0;
+  uint64_t flush_txn_values_logged = 0;
+  uint64_t flush_txn_bytes_logged = 0;
+  uint64_t checkpoints = 0;
+  uint64_t evictions = 0;
+  uint64_t installed_without_flush = 0;  // objects installed via Notx(n)
+  /// |vars(n)| at flush time — the atomic flush set size distribution.
+  Histogram flush_set_sizes;
+  /// |Writes(n)| at flush time (vars + notx).
+  Histogram node_writes_sizes;
+};
+
+/// \brief The cache manager: volatile object state, the write graph, and
+/// the flush machinery of Figure 4 (PurgeCache) plus Section 4's policies.
+///
+/// The CM's duty (Section 3) is to keep the stable database explainable:
+/// it flushes objects only in write-graph order, honoring the WAL
+/// protocol, and installs operations by flushing the vars of minimal
+/// nodes. It is shared by normal execution and recovery — the redo pass
+/// applies operations through the same ApplyResults path, which is what
+/// makes recovery idempotent under repeated crashes.
+class CacheManager {
+ public:
+  CacheManager(SimulatedDisk* disk, LogManager* log, GraphKind graph_kind,
+               FlushPolicy flush_policy, bool log_installs);
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  /// Latest value of an object (cache, else stable store). NotFound if it
+  /// does not exist or has been deleted.
+  Status GetValue(ObjectId id, ObjectValue* out);
+
+  /// Whether the object currently exists (cached tombstones considered).
+  bool ObjectExists(ObjectId id);
+
+  /// vSI of the latest version (cached if present, else stable).
+  Lsn CurrentVsi(ObjectId id) const;
+  /// rSI of a cached object (kInvalidLsn if clean or uncached).
+  Lsn CurrentRsi(ObjectId id) const;
+
+  /// Applies an executed (already logged) operation's results: updates
+  /// cached values/vSIs/rSIs and adds the operation to the write graph.
+  /// `new_values` is aligned with op.writes; ignored for deletes.
+  Status ApplyResults(const OperationDesc& op, Lsn lsn,
+                      std::vector<ObjectValue> new_values);
+
+  /// PurgeCache (Figure 4): installs one minimal write-graph node —
+  /// forcing the log (WAL), flushing vars(n) under the configured
+  /// FlushPolicy, advancing rSIs of all of Writes(n), and logging the
+  /// installation. Under kIdentityWrites this may first inject W_IP
+  /// operations to break the atomic flush set apart. NotFound if there is
+  /// nothing to install.
+  ///
+  /// With allow_hot_flush false (the automatic purge path), nodes whose
+  /// entire flush set is *hot* objects are skipped: Section 4's "hot
+  /// objects will need to be retained in the cache in any event... we can
+  /// decide to merely install operations on them via logging, without
+  /// flushing them immediately". Under kIdentityWrites a hot object in a
+  /// multi-object set is peeled by an identity write like any other (its
+  /// node then waits); FlushAll (allow_hot_flush true) drains everything.
+  Status PurgeOne(bool allow_hot_flush = true);
+
+  /// Marks an object hot (see PurgeOne). Hot objects still flush on
+  /// FlushAll and on explicit PurgeOne(true).
+  void MarkHot(ObjectId id, bool hot);
+  bool IsHot(ObjectId id) const { return hot_.contains(id); }
+
+  /// Enables automatic hotness: an object becomes hot after `threshold`
+  /// writes without an intervening flush, and cools down when flushed
+  /// (0 disables; manual MarkHot always wins and never cools).
+  void set_auto_hot_threshold(uint64_t threshold) {
+    auto_hot_threshold_ = threshold;
+  }
+
+  /// Installs every node and flushes all remaining dirty objects.
+  Status FlushAll();
+
+  /// Writes a (forced) checkpoint record with the dirty object table and
+  /// truncates the stable log prefix no explanation still needs.
+  Status Checkpoint();
+
+  /// Evicts least-recently-used *clean* objects until at most `capacity`
+  /// objects remain (dirty objects are never evicted; the paper requires
+  /// an object be clean before leaving the cache).
+  void EvictTo(size_t capacity);
+
+  ObjectTable& table() { return table_; }
+  const ObjectTable& table() const { return table_; }
+  WriteGraph& graph() { return *graph_; }
+  const WriteGraph& graph() const { return *graph_; }
+  const CacheStats& stats() const { return stats_; }
+  size_t uninstalled_ops() const { return graph_->op_count(); }
+
+  /// Structural audit for tests: object-table/graph rSI agreement plus
+  /// write-graph invariants.
+  Status CheckInvariants();
+
+  /// Crash-window fail points for tests: the next matching step aborts
+  /// with Status::Aborted *after* its stable side effects, leaving the
+  /// disk exactly as a crash at that instant would.
+  enum class FailPoint {
+    kNone,
+    /// Flush transaction: after the commit record is forced but before
+    /// any in-place object writes (recovery must complete the txn).
+    kAfterFlushTxnCommit,
+    /// Flush transaction: after the first in-place write (recovery must
+    /// complete the remainder idempotently).
+    kAfterFirstFlushTxnWrite,
+    /// After the WAL force, before the flush itself (recovery redoes).
+    kAfterWalForce,
+  };
+  void set_fail_point(FailPoint fp) { fail_point_ = fp; }
+
+ private:
+  /// Flushes vars(v) and removes v from the graph; v must be minimal.
+  Status InstallNode(NodeId v);
+  /// Section 4 install-without-flush: installs every minimal hot-only
+  /// node by peeling its vars to zero with identity writes (one logged
+  /// value per hot object) and installing the empty node. Run by
+  /// Checkpoint so hot objects' rSIs advance without a single flush.
+  Status InstallHotNodesByLogging();
+  /// Logs a W_IP identity write for `id` and runs it through the graph,
+  /// peeling it out of its node's vars.
+  Status InjectIdentityWrite(ObjectId id);
+  /// Picks the vars object of `v` to keep (not identity-write): the one
+  /// with the largest cached value, maximizing saved log volume.
+  ObjectId LargestVarsObject(NodeId v) const;
+
+  SimulatedDisk* disk_;
+  LogManager* log_;
+  std::unique_ptr<WriteGraph> graph_;
+  ObjectTable table_;
+  FlushPolicy flush_policy_;
+  bool log_installs_;
+  CacheStats stats_;
+  uint64_t access_clock_ = 0;
+  std::set<ObjectId> hot_;
+  std::set<ObjectId> auto_hot_;
+  uint64_t auto_hot_threshold_ = 0;
+  FailPoint fail_point_ = FailPoint::kNone;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_CACHE_CACHE_MANAGER_H_

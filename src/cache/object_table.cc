@@ -1,0 +1,55 @@
+#include "cache/object_table.h"
+
+namespace loglog {
+
+CachedObject* ObjectTable::Find(ObjectId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const CachedObject* ObjectTable::Find(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+CachedObject& ObjectTable::GetOrCreate(ObjectId id) { return objects_[id]; }
+
+size_t ObjectTable::dirty_count() const {
+  size_t n = 0;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.dirty) ++n;
+  }
+  return n;
+}
+
+std::vector<DotEntry> ObjectTable::DirtySnapshot() const {
+  std::vector<DotEntry> out;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.dirty) out.push_back(DotEntry{id, obj.rsi, !obj.exists});
+  }
+  return out;
+}
+
+void ObjectTable::ForEach(
+    const std::function<void(ObjectId, CachedObject&)>& fn) {
+  for (auto& [id, obj] : objects_) fn(id, obj);
+}
+
+void ObjectTable::ForEach(
+    const std::function<void(ObjectId, const CachedObject&)>& fn) const {
+  for (const auto& [id, obj] : objects_) fn(id, obj);
+}
+
+ObjectId ObjectTable::OldestClean() const {
+  ObjectId best = kInvalidObjectId;
+  uint64_t best_stamp = UINT64_MAX;
+  for (const auto& [id, obj] : objects_) {
+    if (!obj.dirty && obj.last_access < best_stamp) {
+      best_stamp = obj.last_access;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace loglog

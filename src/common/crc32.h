@@ -1,0 +1,21 @@
+#ifndef LOGLOG_COMMON_CRC32_H_
+#define LOGLOG_COMMON_CRC32_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace loglog {
+
+/// CRC-32C (Castagnoli) over a byte range; software table implementation.
+/// Used to checksum log records so recovery can distinguish a torn final
+/// record from genuine corruption mid-log.
+uint32_t Crc32c(Slice data);
+
+/// Extends a running CRC with more data: Crc32c(a+b) ==
+/// Crc32cExtend(Crc32c(a), b).
+uint32_t Crc32cExtend(uint32_t crc, Slice data);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_CRC32_H_

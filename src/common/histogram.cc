@@ -1,0 +1,30 @@
+#include "common/histogram.h"
+
+#include <cstdio>
+
+namespace loglog {
+
+uint64_t Histogram::Percentile(double q) const {
+  if (n_ == 0) return 0;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n_));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (const auto& [value, count] : counts_) {
+    seen += count;
+    if (seen >= target) return value;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f max=%llu p50=%llu p99=%llu",
+                static_cast<unsigned long long>(n_), mean(),
+                static_cast<unsigned long long>(max_),
+                static_cast<unsigned long long>(Percentile(0.5)),
+                static_cast<unsigned long long>(Percentile(0.99)));
+  return buf;
+}
+
+}  // namespace loglog

@@ -1,0 +1,56 @@
+#ifndef LOGLOG_COMMON_HISTOGRAM_H_
+#define LOGLOG_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace loglog {
+
+/// \brief Exact small-domain histogram for experiment metrics.
+///
+/// The quantities we histogram (atomic flush set sizes, write graph node
+/// counts, ops redone) have small integer domains, so an exact map-based
+/// histogram is simpler and more faithful than bucketing.
+class Histogram {
+ public:
+  void Add(uint64_t value) {
+    ++counts_[value];
+    ++n_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  uint64_t count() const { return n_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return n_ == 0 ? 0.0 : static_cast<double>(sum_) / n_; }
+
+  /// Smallest value v such that at least q*count() samples are <= v.
+  uint64_t Percentile(double q) const;
+
+  /// Number of samples equal to `value`.
+  uint64_t CountOf(uint64_t value) const {
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// "n=<N> mean=<M> max=<X> p50=<..> p99=<..>" for bench output.
+  std::string ToString() const;
+
+  void Clear() {
+    counts_.clear();
+    n_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t n_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_HISTOGRAM_H_

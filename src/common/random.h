@@ -1,0 +1,64 @@
+#ifndef LOGLOG_COMMON_RANDOM_H_
+#define LOGLOG_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace loglog {
+
+/// \brief Deterministic pseudo-random generator (xorshift64*).
+///
+/// Workload generators, crash injectors and the registered operation
+/// transforms all need reproducible randomness so that a (seed, crash
+/// point) pair fully determines an experiment. std::mt19937 would work but
+/// its state is bulky; this generator is tiny and stable across platforms.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1d;
+  }
+
+  /// Uniform value in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi]; lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability num/den.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Fills `n` pseudo-random bytes.
+  std::vector<uint8_t> Bytes(size_t n) {
+    std::vector<uint8_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(Next());
+    }
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless 64-bit mix function (splitmix64 finalizer). The deterministic
+/// operation transforms (application execute/read, logical writes) are
+/// built from this so that replaying a logged operation always reproduces
+/// the original output.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111eb;
+  return x ^ (x >> 31);
+}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_RANDOM_H_

@@ -1,0 +1,64 @@
+#ifndef LOGLOG_COMMON_RESULT_H_
+#define LOGLOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace loglog {
+
+/// \brief A Status or a value of type T.
+///
+/// Minimal StatusOr in the spirit of absl::StatusOr: either holds a value
+/// (status is OK) or a non-OK Status. Accessing the value of an errored
+/// result is a programming error and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// error Status from the enclosing function.
+#define LOGLOG_ASSIGN_OR_RETURN(lhs, expr)       \
+  do {                                           \
+    auto _res = (expr);                          \
+    if (!_res.ok()) return _res.status();        \
+    lhs = std::move(_res).value();               \
+  } while (0)
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_RESULT_H_

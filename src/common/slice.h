@@ -1,0 +1,68 @@
+#ifndef LOGLOG_COMMON_SLICE_H_
+#define LOGLOG_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace loglog {
+
+/// \brief A non-owning view over a byte range.
+///
+/// Like leveldb::Slice / std::span<const uint8_t>, with conversions from
+/// std::string and std::vector<uint8_t> which are the two owning byte
+/// containers the library uses.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): views are intended to be
+  // constructed implicitly at call sites, as with string_view.
+  Slice(const std::string& s) : Slice(s.data(), s.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const std::vector<uint8_t>& v) : data_(v.data()), size_(v.size()) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Slice(const char* cstr) : Slice(cstr, ::strlen(cstr)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToBytes() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || ::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_SLICE_H_

@@ -1,0 +1,30 @@
+#ifndef LOGLOG_COMMON_TYPES_H_
+#define LOGLOG_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace loglog {
+
+/// Identifier of a recoverable object (a page, a file, an application
+/// state, ...). Objects are the unit of caching, flushing and recovery.
+using ObjectId = uint64_t;
+
+/// A state identifier (SI). The paper uses SIs as the generalization of
+/// LSNs: they need only increase monotonically per update. We use log
+/// sequence numbers as SIs throughout, as the paper does in its examples,
+/// so Lsn doubles as both the log address (lSI) and object version (vSI).
+using Lsn = uint64_t;
+
+inline constexpr Lsn kInvalidLsn = 0;
+inline constexpr Lsn kMaxLsn = std::numeric_limits<Lsn>::max();
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// Owning byte value of a recoverable object.
+using ObjectValue = std::vector<uint8_t>;
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_TYPES_H_

@@ -1,0 +1,37 @@
+#include "domains/app/recoverable_app.h"
+
+#include "common/random.h"
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+Status RecoverableApp::Init(uint64_t seed) {
+  Random rng(seed);
+  return engine_->Execute(MakeCreate(app_id_, Slice(rng.Bytes(state_size_))));
+}
+
+Status RecoverableApp::Step(uint64_t seed) {
+  return engine_->Execute(MakeAppExecute(app_id_, seed));
+}
+
+Status RecoverableApp::Absorb(ObjectId x) {
+  return engine_->Execute(MakeAppRead(app_id_, x));
+}
+
+Status RecoverableApp::Emit(ObjectId x, uint64_t size, uint64_t seed) {
+  OperationDesc logical = MakeAppWrite(app_id_, x, size, seed);
+  if (logical_writes_) {
+    return engine_->Execute(logical);
+  }
+  // [7] baseline: compute the output now and log it physically, value and
+  // all (W_P(X, v)). Same resulting state, very different logging cost.
+  ObjectValue state;
+  LOGLOG_RETURN_IF_ERROR(engine_->Read(app_id_, &state));
+  std::vector<ObjectValue> writes(1);
+  LOGLOG_RETURN_IF_ERROR(
+      FunctionRegistry::Global().Apply(logical, {state}, &writes));
+  return engine_->Execute(MakePhysicalWrite(x, Slice(writes[0])));
+}
+
+}  // namespace loglog

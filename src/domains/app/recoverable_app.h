@@ -1,0 +1,59 @@
+#ifndef LOGLOG_DOMAINS_APP_RECOVERABLE_APP_H_
+#define LOGLOG_DOMAINS_APP_RECOVERABLE_APP_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/recovery_engine.h"
+
+namespace loglog {
+
+/// \brief A recoverable application — the paper's "Application Recovery"
+/// domain (Section 1, and the comparison baseline from Lomet ICDE 1998
+/// [7]).
+///
+/// The application's state is one recoverable object. Its interactions
+/// are logged operations:
+///  - Step(seed): Ex(A), the execution between system calls;
+///  - Absorb(x):  R(A, X), a logical application read — neither X's value
+///    nor A's new state is logged;
+///  - Emit(x, size, seed): the application writes an output object. With
+///    `logical_writes` this is W_L(A, X) (no value logged — this paper's
+///    contribution); without, it is the [7] baseline W_P(X, v) where the
+///    whole output value v goes to the log.
+class RecoverableApp {
+ public:
+  RecoverableApp(RecoveryEngine* engine, ObjectId app_id, size_t state_size,
+                 bool logical_writes = true)
+      : engine_(engine),
+        app_id_(app_id),
+        state_size_(state_size),
+        logical_writes_(logical_writes) {}
+
+  /// Creates the application state object (deterministic in `seed`).
+  Status Init(uint64_t seed);
+
+  /// Ex(A): one execution step.
+  Status Step(uint64_t seed);
+
+  /// R(A, X): reads object `x` into the application state.
+  Status Absorb(ObjectId x);
+
+  /// Writes `size` output bytes to object `x` as a deterministic function
+  /// of the application state.
+  Status Emit(ObjectId x, uint64_t size, uint64_t seed);
+
+  /// Current application state.
+  Status State(ObjectValue* out) { return engine_->Read(app_id_, out); }
+
+  ObjectId id() const { return app_id_; }
+
+ private:
+  RecoveryEngine* engine_;
+  ObjectId app_id_;
+  size_t state_size_;
+  bool logical_writes_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_DOMAINS_APP_RECOVERABLE_APP_H_

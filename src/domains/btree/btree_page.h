@@ -1,0 +1,73 @@
+#ifndef LOGLOG_DOMAINS_BTREE_BTREE_PAGE_H_
+#define LOGLOG_DOMAINS_BTREE_BTREE_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace loglog {
+
+/// \brief In-memory form of a B+-tree page, (de)serialized to/from the
+/// recoverable object value.
+///
+/// Leaf pages hold (key, value) entries sorted by key. Internal pages
+/// hold a first child plus (separator key, child) entries: `child` covers
+/// keys >= its separator. The serialized size of a page is what the tree
+/// compares against the page-size limit to trigger splits.
+struct BtreePage {
+  struct LeafEntry {
+    uint64_t key = 0;
+    std::vector<uint8_t> value;
+  };
+  struct InternalEntry {
+    uint64_t key = 0;      // separator: child covers keys >= key
+    ObjectId child = kInvalidObjectId;
+  };
+
+  bool is_leaf = true;
+  std::vector<LeafEntry> leaf_entries;
+  /// Right-sibling leaf for range scans (kInvalidObjectId at the end).
+  ObjectId next_leaf = kInvalidObjectId;
+  ObjectId first_child = kInvalidObjectId;  // internal pages only
+  std::vector<InternalEntry> internal_entries;
+
+  size_t EntryCount() const {
+    return is_leaf ? leaf_entries.size() : internal_entries.size();
+  }
+
+  /// Child page that covers `key` (internal pages).
+  ObjectId ChildFor(uint64_t key) const;
+
+  /// Inserts or replaces a key in a leaf, keeping order.
+  void LeafInsert(uint64_t key, Slice value);
+  /// Looks up a key in a leaf; NotFound if absent.
+  Status LeafLookup(uint64_t key, std::vector<uint8_t>* out) const;
+  /// Removes a key from a leaf; returns whether it was present.
+  bool LeafErase(uint64_t key);
+
+  /// Inserts a separator/child pair into an internal page, keeping order.
+  void InternalInsert(uint64_t key, ObjectId child);
+
+  /// Splits off the upper half into `right`; returns the separator key
+  /// (the first key of `right`). Deterministic in the page contents —
+  /// the property that makes logical split logging replayable.
+  uint64_t SplitInto(BtreePage* right);
+
+  ObjectValue Serialize() const;
+  static Status Deserialize(Slice bytes, BtreePage* out);
+
+  std::string DebugString() const;
+};
+
+/// Serialized size of a page value (its flush/logging footprint).
+inline size_t PageBytes(const BtreePage& page) {
+  return page.Serialize().size();
+}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_DOMAINS_BTREE_BTREE_PAGE_H_

@@ -1,0 +1,278 @@
+#include "domains/dataflow/dataflow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/coding.h"
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+namespace {
+
+ObjectValue EncodeCell(int64_t v) {
+  ObjectValue out;
+  PutFixed64(&out, static_cast<uint64_t>(v));
+  return out;
+}
+
+Status DecodeCell(Slice bytes, int64_t* out) {
+  uint64_t raw;
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&bytes, &raw));
+  *out = static_cast<int64_t>(raw);
+  return Status::OK();
+}
+
+template <typename Fold>
+Status FoldCells(const std::vector<ObjectValue>& reads,
+                 std::vector<ObjectValue>* writes, Fold fold) {
+  if (reads.empty()) {
+    return Status::InvalidArgument("formula without inputs");
+  }
+  int64_t acc;
+  LOGLOG_RETURN_IF_ERROR(DecodeCell(Slice(reads[0]), &acc));
+  for (size_t i = 1; i < reads.size(); ++i) {
+    int64_t v;
+    LOGLOG_RETURN_IF_ERROR(DecodeCell(Slice(reads[i]), &v));
+    acc = fold(acc, v);
+  }
+  (*writes)[0] = EncodeCell(acc);
+  return Status::OK();
+}
+
+Status SumFn(const OperationDesc&, const std::vector<ObjectValue>& reads,
+             std::vector<ObjectValue>* writes) {
+  return FoldCells(reads, writes,
+                   [](int64_t a, int64_t b) { return a + b; });
+}
+Status MinFn(const OperationDesc&, const std::vector<ObjectValue>& reads,
+             std::vector<ObjectValue>* writes) {
+  return FoldCells(reads, writes,
+                   [](int64_t a, int64_t b) { return std::min(a, b); });
+}
+Status MaxFn(const OperationDesc&, const std::vector<ObjectValue>& reads,
+             std::vector<ObjectValue>* writes) {
+  return FoldCells(reads, writes,
+                   [](int64_t a, int64_t b) { return std::max(a, b); });
+}
+Status ProductFn(const OperationDesc&,
+                 const std::vector<ObjectValue>& reads,
+                 std::vector<ObjectValue>* writes) {
+  return FoldCells(reads, writes,
+                   [](int64_t a, int64_t b) { return a * b; });
+}
+
+FuncId FormulaFunc(CellFormula kind) {
+  switch (kind) {
+    case CellFormula::kSum:
+      return kFuncCellSum;
+    case CellFormula::kMin:
+      return kFuncCellMin;
+    case CellFormula::kMax:
+      return kFuncCellMax;
+    case CellFormula::kProduct:
+      return kFuncCellProduct;
+  }
+  return kFuncCellSum;
+}
+
+}  // namespace
+
+void RegisterDataflowTransforms() {
+  FunctionRegistry& reg = FunctionRegistry::Global();
+  reg.Register(kFuncCellSum, SumFn);
+  reg.Register(kFuncCellMin, MinFn);
+  reg.Register(kFuncCellMax, MaxFn);
+  reg.Register(kFuncCellProduct, ProductFn);
+}
+
+DataflowGraph::DataflowGraph(RecoveryEngine* engine, ObjectId id_base)
+    : engine_(engine), id_base_(id_base), shape_id_(id_base) {
+  RegisterDataflowTransforms();
+}
+
+Status DataflowGraph::Open() {
+  if (engine_->Exists(shape_id_)) return LoadShape();
+  return PersistShape();
+}
+
+Status DataflowGraph::PersistShape() {
+  ObjectValue bytes;
+  PutVarint64(&bytes, inputs_.size());
+  for (uint32_t c : inputs_) PutVarint32(&bytes, c);
+  PutVarint64(&bytes, formulas_.size());
+  for (const auto& [cell, f] : formulas_) {
+    PutVarint32(&bytes, cell);
+    bytes.push_back(static_cast<uint8_t>(f.kind));
+    PutVarint64(&bytes, f.inputs.size());
+    for (uint32_t in : f.inputs) PutVarint32(&bytes, in);
+  }
+  return engine_->Execute(MakePhysicalWrite(shape_id_, Slice(bytes)));
+}
+
+Status DataflowGraph::LoadShape() {
+  ObjectValue raw;
+  LOGLOG_RETURN_IF_ERROR(engine_->Read(shape_id_, &raw));
+  Slice bytes(raw);
+  inputs_.clear();
+  formulas_.clear();
+  readers_.clear();
+  uint64_t n;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, &n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t c;
+    LOGLOG_RETURN_IF_ERROR(GetVarint32(&bytes, &c));
+    inputs_.insert(c);
+  }
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, &n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t cell;
+    LOGLOG_RETURN_IF_ERROR(GetVarint32(&bytes, &cell));
+    if (bytes.empty()) return Status::Corruption("truncated shape");
+    Formula f;
+    f.kind = static_cast<CellFormula>(bytes[0]);
+    bytes.RemovePrefix(1);
+    uint64_t m;
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, &m));
+    for (uint64_t k = 0; k < m; ++k) {
+      uint32_t in;
+      LOGLOG_RETURN_IF_ERROR(GetVarint32(&bytes, &in));
+      f.inputs.push_back(in);
+      readers_[in].insert(cell);
+    }
+    formulas_[cell] = std::move(f);
+  }
+  return Status::OK();
+}
+
+Status DataflowGraph::DefineInput(uint32_t cell, int64_t initial) {
+  if (inputs_.contains(cell) || formulas_.contains(cell)) {
+    return Status::InvalidArgument("cell already defined");
+  }
+  LOGLOG_RETURN_IF_ERROR(engine_->Execute(
+      MakeCreate(CellObject(cell), Slice(EncodeCell(initial)))));
+  inputs_.insert(cell);
+  return PersistShape();
+}
+
+Status DataflowGraph::DefineDerived(uint32_t cell, CellFormula formula,
+                                    std::vector<uint32_t> inputs) {
+  if (inputs_.contains(cell) || formulas_.contains(cell)) {
+    return Status::InvalidArgument("cell already defined");
+  }
+  if (inputs.empty()) {
+    return Status::InvalidArgument("derived cell needs inputs");
+  }
+  for (uint32_t in : inputs) {
+    if (!inputs_.contains(in) && !formulas_.contains(in)) {
+      return Status::InvalidArgument("undefined input cell");
+    }
+  }
+  Formula f;
+  f.kind = formula;
+  f.inputs = std::move(inputs);
+  for (uint32_t in : f.inputs) readers_[in].insert(cell);
+  formulas_[cell] = std::move(f);
+  LOGLOG_RETURN_IF_ERROR(PersistShape());
+  return Recompute(cell);
+}
+
+Status DataflowGraph::Recompute(uint32_t cell) {
+  const Formula& f = formulas_.at(cell);
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = FormulaFunc(f.kind);
+  op.writes = {CellObject(cell)};
+  for (uint32_t in : f.inputs) op.reads.push_back(CellObject(in));
+  return engine_->Execute(op);
+}
+
+std::vector<uint32_t> DataflowGraph::DependentsInOrder(
+    uint32_t cell) const {
+  // Gather transitive dependents, then order them topologically by the
+  // formula graph (inputs before dependents).
+  std::set<uint32_t> affected;
+  std::vector<uint32_t> work = {cell};
+  while (!work.empty()) {
+    uint32_t c = work.back();
+    work.pop_back();
+    auto it = readers_.find(c);
+    if (it == readers_.end()) continue;
+    for (uint32_t r : it->second) {
+      if (affected.insert(r).second) work.push_back(r);
+    }
+  }
+  std::vector<uint32_t> order;
+  std::set<uint32_t> done;
+  // Kahn over the affected set (formula inputs within the set count).
+  while (order.size() < affected.size()) {
+    bool progressed = false;
+    for (uint32_t c : affected) {
+      if (done.contains(c)) continue;
+      bool ready = true;
+      for (uint32_t in : formulas_.at(c).inputs) {
+        if (affected.contains(in) && !done.contains(in)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(c);
+        done.insert(c);
+        progressed = true;
+      }
+    }
+    if (!progressed) break;  // cycle in formulas: refuse silently
+  }
+  return order;
+}
+
+Status DataflowGraph::SetInput(uint32_t cell, int64_t value) {
+  if (!inputs_.contains(cell)) {
+    return Status::InvalidArgument("not an input cell");
+  }
+  LOGLOG_RETURN_IF_ERROR(engine_->Execute(
+      MakePhysicalWrite(CellObject(cell), Slice(EncodeCell(value)))));
+  for (uint32_t dependent : DependentsInOrder(cell)) {
+    LOGLOG_RETURN_IF_ERROR(Recompute(dependent));
+  }
+  return Status::OK();
+}
+
+Status DataflowGraph::Value(uint32_t cell, int64_t* out) {
+  ObjectValue raw;
+  LOGLOG_RETURN_IF_ERROR(engine_->Read(CellObject(cell), &raw));
+  return DecodeCell(Slice(raw), out);
+}
+
+Status DataflowGraph::Audit() {
+  for (const auto& [cell, f] : formulas_) {
+    int64_t stored;
+    LOGLOG_RETURN_IF_ERROR(Value(cell, &stored));
+    // Recompute out-of-band.
+    std::vector<ObjectValue> reads;
+    for (uint32_t in : f.inputs) {
+      ObjectValue raw;
+      LOGLOG_RETURN_IF_ERROR(engine_->Read(CellObject(in), &raw));
+      reads.push_back(std::move(raw));
+    }
+    std::vector<ObjectValue> writes(1);
+    OperationDesc op;
+    op.func = FormulaFunc(f.kind);
+    op.writes = {CellObject(cell)};
+    for (uint32_t in : f.inputs) op.reads.push_back(CellObject(in));
+    LOGLOG_RETURN_IF_ERROR(
+        FunctionRegistry::Global().Apply(op, reads, &writes));
+    int64_t expect;
+    LOGLOG_RETURN_IF_ERROR(DecodeCell(Slice(writes[0]), &expect));
+    if (expect != stored) {
+      return Status::Corruption("cell " + std::to_string(cell) +
+                                " stale: stored " + std::to_string(stored) +
+                                " expected " + std::to_string(expect));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace loglog

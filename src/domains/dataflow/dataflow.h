@@ -1,0 +1,90 @@
+#ifndef LOGLOG_DOMAINS_DATAFLOW_DATAFLOW_H_
+#define LOGLOG_DOMAINS_DATAFLOW_DATAFLOW_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/recovery_engine.h"
+
+namespace loglog {
+
+// Custom transform ids registered by RegisterDataflowTransforms().
+inline constexpr FuncId kFuncCellSum = kFuncFirstCustom + 0x30;
+inline constexpr FuncId kFuncCellMin = kFuncFirstCustom + 0x31;
+inline constexpr FuncId kFuncCellMax = kFuncFirstCustom + 0x32;
+inline constexpr FuncId kFuncCellProduct = kFuncFirstCustom + 0x33;
+
+/// Registers the cell transforms (idempotent; the constructor calls it).
+void RegisterDataflowTransforms();
+
+/// Formula kinds a derived cell can compute over its inputs.
+enum class CellFormula { kSum, kMin, kMax, kProduct };
+
+/// \brief A recoverable dataflow graph (spreadsheet-style) — a "new
+/// domain" showcase for logical logging.
+///
+/// Cells hold 64-bit values. Input cells are set physically (8 bytes
+/// logged); derived cells are *formulas over other cells*, and every
+/// recomputation is a logical operation (reads = the input cells,
+/// writes = the cell) whose log record carries only identifiers — never
+/// the operands or the result. Setting one input triggers a topological
+/// recomputation cascade of its dependents, each step one logical
+/// operation; the write graph orders their installation automatically.
+///
+/// The graph's *shape* (formula definitions) is itself a recoverable
+/// object, so Open() after a crash restores both values and formulas.
+class DataflowGraph {
+ public:
+  DataflowGraph(RecoveryEngine* engine, ObjectId id_base = 400'000);
+
+  /// Creates or loads the graph-shape object.
+  Status Open();
+
+  /// Declares an input cell with an initial value.
+  Status DefineInput(uint32_t cell, int64_t initial);
+
+  /// Declares a derived cell computing `formula` over `inputs` (which
+  /// must already exist). Evaluates it immediately.
+  Status DefineDerived(uint32_t cell, CellFormula formula,
+                       std::vector<uint32_t> inputs);
+
+  /// Sets an input cell and recomputes every (transitive) dependent in
+  /// topological order — one logical operation per cell.
+  Status SetInput(uint32_t cell, int64_t value);
+
+  Status Value(uint32_t cell, int64_t* out);
+
+  /// Recomputes every derived cell from scratch (topological order) and
+  /// verifies stored values match — a consistency audit used by tests.
+  Status Audit();
+
+  size_t cell_count() const { return formulas_.size() + inputs_.size(); }
+
+ private:
+  struct Formula {
+    CellFormula kind = CellFormula::kSum;
+    std::vector<uint32_t> inputs;
+  };
+
+  ObjectId CellObject(uint32_t cell) const { return id_base_ + 1 + cell; }
+  Status PersistShape();
+  Status LoadShape();
+  /// Dependents of `cell`, transitively, topologically ordered.
+  std::vector<uint32_t> DependentsInOrder(uint32_t cell) const;
+  Status Recompute(uint32_t cell);
+
+  RecoveryEngine* engine_;
+  ObjectId id_base_;
+  ObjectId shape_id_;
+  std::set<uint32_t> inputs_;
+  std::map<uint32_t, Formula> formulas_;
+  /// Reverse edges: input cell -> cells that read it directly.
+  std::map<uint32_t, std::set<uint32_t>> readers_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_DOMAINS_DATAFLOW_DATAFLOW_H_

@@ -1,0 +1,139 @@
+#include "domains/fs/file_system.h"
+
+#include "common/coding.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+namespace {
+
+ObjectValue SerializeDirectory(const std::map<std::string, ObjectId>& dir,
+                               ObjectId next_file) {
+  ObjectValue out;
+  PutVarint64(&out, next_file);
+  PutVarint64(&out, dir.size());
+  for (const auto& [name, id] : dir) {
+    PutLengthPrefixed(&out, name);
+    PutVarint64(&out, id);
+  }
+  return out;
+}
+
+Status DeserializeDirectory(Slice bytes,
+                            std::map<std::string, ObjectId>* dir,
+                            ObjectId* next_file) {
+  dir->clear();
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, next_file));
+  uint64_t n;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, &n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Slice name;
+    uint64_t id;
+    LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&bytes, &name));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&bytes, &id));
+    (*dir)[name.ToString()] = id;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FileSystem::FileSystem(RecoveryEngine* engine, ObjectId id_base)
+    : engine_(engine), dir_id_(id_base), next_file_(id_base + 1) {}
+
+Status FileSystem::Mount() {
+  if (!engine_->Exists(dir_id_)) {
+    return PersistDirectory();  // creates an empty directory object
+  }
+  ObjectValue bytes;
+  LOGLOG_RETURN_IF_ERROR(engine_->Read(dir_id_, &bytes));
+  return DeserializeDirectory(Slice(bytes), &directory_, &next_file_);
+}
+
+Status FileSystem::PersistDirectory() {
+  return engine_->Execute(MakePhysicalWrite(
+      dir_id_, Slice(SerializeDirectory(directory_, next_file_))));
+}
+
+Status FileSystem::Create(const std::string& name, Slice data) {
+  if (directory_.contains(name)) {
+    return Status::InvalidArgument("file exists: " + name);
+  }
+  ObjectId id = AllocFileId();
+  LOGLOG_RETURN_IF_ERROR(engine_->Execute(MakeCreate(id, data)));
+  directory_[name] = id;
+  return PersistDirectory();
+}
+
+Status FileSystem::WriteFile(const std::string& name, Slice data) {
+  ObjectId id = Resolve(name);
+  if (id == kInvalidObjectId) return Status::NotFound(name);
+  return engine_->Execute(MakePhysicalWrite(id, data));
+}
+
+Status FileSystem::Append(const std::string& name, Slice data) {
+  ObjectId id = Resolve(name);
+  if (id == kInvalidObjectId) return Status::NotFound(name);
+  return engine_->Execute(MakeAppend(id, data));
+}
+
+Status FileSystem::Copy(const std::string& dst, const std::string& src) {
+  ObjectId src_id = Resolve(src);
+  if (src_id == kInvalidObjectId) return Status::NotFound(src);
+  ObjectId dst_id = Resolve(dst);
+  bool fresh = dst_id == kInvalidObjectId;
+  if (fresh) dst_id = AllocFileId();
+  LOGLOG_RETURN_IF_ERROR(engine_->Execute(MakeCopy(dst_id, src_id)));
+  if (fresh) {
+    directory_[dst] = dst_id;
+    return PersistDirectory();
+  }
+  return Status::OK();
+}
+
+Status FileSystem::SortFile(const std::string& dst, const std::string& src,
+                            uint32_t record_size) {
+  ObjectId src_id = Resolve(src);
+  if (src_id == kInvalidObjectId) return Status::NotFound(src);
+  ObjectId dst_id = Resolve(dst);
+  bool fresh = dst_id == kInvalidObjectId;
+  if (fresh) dst_id = AllocFileId();
+  LOGLOG_RETURN_IF_ERROR(
+      engine_->Execute(MakeSort(dst_id, src_id, record_size)));
+  if (fresh) {
+    directory_[dst] = dst_id;
+    return PersistDirectory();
+  }
+  return Status::OK();
+}
+
+Status FileSystem::Remove(const std::string& name) {
+  auto it = directory_.find(name);
+  if (it == directory_.end()) return Status::NotFound(name);
+  ObjectId id = it->second;
+  directory_.erase(it);
+  // Directory first: a crash after this leaves an orphan object (garbage)
+  // but never a name pointing at a deleted file.
+  LOGLOG_RETURN_IF_ERROR(PersistDirectory());
+  return engine_->Execute(MakeDelete(id));
+}
+
+Status FileSystem::ReadFile(const std::string& name, ObjectValue* out) {
+  ObjectId id = Resolve(name);
+  if (id == kInvalidObjectId) return Status::NotFound(name);
+  return engine_->Read(id, out);
+}
+
+std::vector<std::string> FileSystem::List() const {
+  std::vector<std::string> names;
+  names.reserve(directory_.size());
+  for (const auto& [name, id] : directory_) names.push_back(name);
+  return names;
+}
+
+ObjectId FileSystem::Resolve(const std::string& name) const {
+  auto it = directory_.find(name);
+  return it == directory_.end() ? kInvalidObjectId : it->second;
+}
+
+}  // namespace loglog

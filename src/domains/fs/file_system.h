@@ -1,0 +1,67 @@
+#ifndef LOGLOG_DOMAINS_FS_FILE_SYSTEM_H_
+#define LOGLOG_DOMAINS_FS_FILE_SYSTEM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/recovery_engine.h"
+
+namespace loglog {
+
+/// \brief A recoverable file system — the paper's "File System Recovery"
+/// example built on the engine's public API.
+///
+/// Files are recoverable objects; a directory object maps names to object
+/// ids. Copy and sort are *logical* operations: only identifiers reach
+/// the log, never file contents (the Figure 1a operation-B forms). The
+/// directory is updated with small physical writes, ordered after file
+/// creation so that a torn log suffix can leave at most an orphan object,
+/// never a dangling directory entry.
+class FileSystem {
+ public:
+  FileSystem(RecoveryEngine* engine, ObjectId id_base = 200'000);
+
+  /// Creates or loads the directory object.
+  Status Mount();
+
+  /// Creates a file with contents (fails if the name exists).
+  Status Create(const std::string& name, Slice data);
+  /// Overwrites a file's contents (physical write).
+  Status WriteFile(const std::string& name, Slice data);
+  /// Appends bytes (physiological).
+  Status Append(const std::string& name, Slice data);
+  /// dst := src, logically — no file contents logged. Creates dst.
+  Status Copy(const std::string& dst, const std::string& src);
+  /// dst := sort(src) with fixed-size records, logically. Creates dst.
+  Status SortFile(const std::string& dst, const std::string& src,
+                  uint32_t record_size);
+  /// Deletes a file (directory first, then the object: a torn suffix
+  /// leaves garbage, never a dangling name).
+  Status Remove(const std::string& name);
+
+  Status ReadFile(const std::string& name, ObjectValue* out);
+  bool Exists(const std::string& name) const {
+    return directory_.contains(name);
+  }
+  std::vector<std::string> List() const;
+
+  /// Object id behind a name (kInvalidObjectId if absent) — lets other
+  /// domains (applications) read files by id.
+  ObjectId Resolve(const std::string& name) const;
+
+ private:
+  Status PersistDirectory();
+  ObjectId AllocFileId() { return next_file_++; }
+
+  RecoveryEngine* engine_;
+  ObjectId dir_id_;
+  ObjectId next_file_;
+  std::map<std::string, ObjectId> directory_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_DOMAINS_FS_FILE_SYSTEM_H_

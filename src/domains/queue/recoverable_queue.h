@@ -1,0 +1,68 @@
+#ifndef LOGLOG_DOMAINS_QUEUE_RECOVERABLE_QUEUE_H_
+#define LOGLOG_DOMAINS_QUEUE_RECOVERABLE_QUEUE_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/recovery_engine.h"
+
+namespace loglog {
+
+// Custom transform ids registered by RegisterQueueTransforms().
+inline constexpr FuncId kFuncQueueAdvanceHead = kFuncFirstCustom + 0x22;
+inline constexpr FuncId kFuncQueueAdvanceTail = kFuncFirstCustom + 0x23;
+
+/// Registers the queue transforms (idempotent; the constructor calls it).
+void RegisterQueueTransforms();
+
+/// \brief A recoverable FIFO message queue built on the engine's public
+/// API — messages are transient recoverable objects.
+///
+/// Each message is its own object, deleted when consumed; the queue meta
+/// object holds (head, tail) sequence numbers. An enqueue is a blind
+/// message write (for EnqueueFromApp, the paper's W_L(A, msg) — the
+/// payload never reaches the log) followed by a tiny physiological tail
+/// bump; ordering plus log prefix-stability bounds any torn pair to an
+/// orphan object. Consumed messages end their lifetime with a delete, so
+/// under the rSI REDO tests a crash never re-executes the enqueue work
+/// of already-consumed messages (Section 5's transient-object
+/// optimization at work).
+class RecoverableQueue {
+ public:
+  RecoverableQueue(RecoveryEngine* engine, ObjectId id_base = 300'000);
+
+  /// Creates or loads the queue meta object.
+  Status Open();
+
+  /// Enqueues an explicit payload (logged physically inside the enqueue
+  /// record — the value must be durable somewhere).
+  Status Enqueue(Slice payload);
+
+  /// Enqueues `size` bytes emitted by the application state object
+  /// `app`: logical — no payload bytes are logged.
+  Status EnqueueFromApp(ObjectId app, uint64_t size, uint64_t seed);
+
+  /// Pops the front message into `out`. NotFound when empty.
+  Status Dequeue(ObjectValue* out);
+
+  /// Reads the front message without consuming it. NotFound when empty.
+  Status Peek(ObjectValue* out);
+
+  uint64_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  uint64_t head() const { return head_; }
+  uint64_t tail() const { return tail_; }
+
+ private:
+  Status LoadMeta();
+  ObjectId MessageId(uint64_t seq) const { return id_base_ + 1 + seq; }
+
+  RecoveryEngine* engine_;
+  ObjectId id_base_;
+  ObjectId meta_id_;
+  uint64_t head_ = 0;
+  uint64_t tail_ = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_DOMAINS_QUEUE_RECOVERABLE_QUEUE_H_

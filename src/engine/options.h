@@ -1,0 +1,42 @@
+#ifndef LOGLOG_ENGINE_OPTIONS_H_
+#define LOGLOG_ENGINE_OPTIONS_H_
+
+#include <cstddef>
+
+#include "cache/policies.h"
+
+namespace loglog {
+
+/// \brief Configuration of a RecoveryEngine.
+///
+/// The four enums select one point in the paper's design space; the
+/// benchmarks sweep them against each other (logical vs physiological
+/// logging, W vs rW, identity writes vs flush transactions vs shadows,
+/// and the three REDO tests).
+struct EngineOptions {
+  LoggingMode logging_mode = LoggingMode::kLogical;
+  GraphKind graph_kind = GraphKind::kRefined;
+  FlushPolicy flush_policy = FlushPolicy::kIdentityWrites;
+  RedoTestKind redo_test = RedoTestKind::kRsiGeneralized;
+
+  /// Install nodes whenever more than this many uninstalled operations
+  /// accumulate (0 disables automatic purging).
+  size_t purge_threshold_ops = 128;
+  /// Take a checkpoint (and truncate the log) every N operations
+  /// (0 = only on explicit Checkpoint() calls).
+  size_t checkpoint_interval_ops = 0;
+  /// Evict clean objects beyond this cache size (0 = unbounded).
+  size_t cache_capacity_objects = 0;
+  /// Log installation records (Section 5). Turning this off degrades the
+  /// analysis pass's rSIs but never correctness.
+  bool log_installs = true;
+  /// Automatic hot-object detection: after this many writes without an
+  /// intervening flush an object is treated as hot (installed by
+  /// identity-write logging at checkpoints instead of flushed by the
+  /// automatic purge; Section 4). 0 disables; MarkHot remains manual.
+  uint64_t auto_hot_write_threshold = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_ENGINE_OPTIONS_H_

@@ -1,0 +1,154 @@
+#include "engine/recovery_engine.h"
+
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+RecoveryEngine::RecoveryEngine(const EngineOptions& options,
+                               SimulatedDisk* disk)
+    : options_(options), disk_(disk) {
+  log_ = std::make_unique<LogManager>(&disk_->log());
+  cache_ = std::make_unique<CacheManager>(disk_, log_.get(),
+                                          options_.graph_kind,
+                                          options_.flush_policy,
+                                          options_.log_installs);
+  cache_->set_auto_hot_threshold(options_.auto_hot_write_threshold);
+  needs_recovery_ = disk_->log().retained_bytes() > 0;
+}
+
+Status RecoveryEngine::Recover(RecoveryStats* stats) {
+  RecoveryStats local;
+  RecoveryDriver driver(disk_, log_.get(), cache_.get(),
+                        options_.redo_test);
+  LOGLOG_RETURN_IF_ERROR(driver.Run(stats != nullptr ? stats : &local));
+  recovered_ = true;
+  needs_recovery_ = false;
+  return Status::OK();
+}
+
+Status RecoveryEngine::Execute(const OperationDesc& op, Lsn* lsn) {
+  if (needs_recovery_ && !recovered_) {
+    return Status::FailedPrecondition(
+        "engine has a stable log but Recover() has not run");
+  }
+  LOGLOG_RETURN_IF_ERROR(op.Validate());
+  if (!FunctionRegistry::Global().Contains(op.func)) {
+    return Status::InvalidArgument("operation uses unregistered transform");
+  }
+
+  // Figure 1b baseline: physiological logging cannot express cross-object
+  // reads, so compute the result now and log physical writes carrying the
+  // values.
+  bool cross_object =
+      !op.reads.empty() &&
+      (op.writes.size() > 1 || op.reads != op.writes);
+  if (options_.logging_mode == LoggingMode::kPhysiological &&
+      op.op_class == OpClass::kLogical && cross_object) {
+    std::vector<ObjectValue> read_values;
+    read_values.reserve(op.reads.size());
+    for (ObjectId r : op.reads) {
+      ObjectValue v;
+      LOGLOG_RETURN_IF_ERROR(cache_->GetValue(r, &v));
+      read_values.push_back(std::move(v));
+    }
+    std::vector<ObjectValue> write_values(op.writes.size());
+    for (size_t i = 0; i < op.writes.size(); ++i) {
+      ObjectValue v;
+      if (cache_->GetValue(op.writes[i], &v).ok()) {
+        write_values[i] = std::move(v);
+      }
+    }
+    LOGLOG_RETURN_IF_ERROR(FunctionRegistry::Global().Apply(
+        op, read_values, &write_values));
+    for (size_t i = 0; i < op.writes.size(); ++i) {
+      OperationDesc phys =
+          MakePhysicalWrite(op.writes[i], Slice(write_values[i]));
+      LOGLOG_RETURN_IF_ERROR(ExecuteInternal(phys, lsn));
+    }
+    return MaybeMaintain();
+  }
+
+  LOGLOG_RETURN_IF_ERROR(ExecuteInternal(op, lsn));
+  return MaybeMaintain();
+}
+
+Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
+  std::vector<ObjectValue> new_values;
+  if (op.op_class != OpClass::kDelete) {
+    std::vector<ObjectValue> read_values;
+    read_values.reserve(op.reads.size());
+    for (ObjectId r : op.reads) {
+      ObjectValue v;
+      LOGLOG_RETURN_IF_ERROR(cache_->GetValue(r, &v));
+      read_values.push_back(std::move(v));
+    }
+    new_values.resize(op.writes.size());
+    for (size_t i = 0; i < op.writes.size(); ++i) {
+      ObjectValue v;
+      if (cache_->GetValue(op.writes[i], &v).ok()) {
+        new_values[i] = std::move(v);
+      }
+    }
+    LOGLOG_RETURN_IF_ERROR(
+        FunctionRegistry::Global().Apply(op, read_values, &new_values));
+  } else if (!cache_->ObjectExists(op.writes[0])) {
+    return Status::NotFound("delete of nonexistent object");
+  }
+
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.op = op;
+  stats_.op_log_bytes += rec.EncodedSize();
+  Lsn assigned = log_->Append(std::move(rec));
+  if (lsn != nullptr) *lsn = assigned;
+
+  ++stats_.ops_executed;
+  switch (op.op_class) {
+    case OpClass::kLogical:
+      ++stats_.logical_ops;
+      break;
+    case OpClass::kPhysiological:
+      ++stats_.physiological_ops;
+      break;
+    default:
+      ++stats_.physical_ops;
+      break;
+  }
+  return cache_->ApplyResults(op, assigned, std::move(new_values));
+}
+
+Status RecoveryEngine::MaybeMaintain() {
+  if (options_.purge_threshold_ops > 0) {
+    while (cache_->uninstalled_ops() > options_.purge_threshold_ops) {
+      // Automatic purging protects hot objects (they install via logging
+      // under kIdentityWrites but are not flushed); FlushAll drains them.
+      Status st = cache_->PurgeOne(/*allow_hot_flush=*/false);
+      if (st.IsNotFound()) break;
+      LOGLOG_RETURN_IF_ERROR(st);
+    }
+  }
+  if (options_.checkpoint_interval_ops > 0 &&
+      ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops) {
+    LOGLOG_RETURN_IF_ERROR(Checkpoint());
+  }
+  if (options_.cache_capacity_objects > 0) {
+    cache_->EvictTo(options_.cache_capacity_objects);
+  }
+  return Status::OK();
+}
+
+Status RecoveryEngine::Checkpoint() {
+  ops_since_checkpoint_ = 0;
+  return cache_->Checkpoint();
+}
+
+Status RecoveryEngine::Read(ObjectId id, ObjectValue* out) {
+  return cache_->GetValue(id, out);
+}
+
+bool RecoveryEngine::Exists(ObjectId id) {
+  return cache_->ObjectExists(id);
+}
+
+}  // namespace loglog

@@ -1,0 +1,183 @@
+#include "explain/explainability.h"
+
+#include "ops/function_registry.h"
+
+namespace loglog {
+
+ExplainabilityChecker::ExplainabilityChecker(
+    std::vector<OperationDesc> history,
+    std::map<ObjectId, ObjectValue> initial)
+    : history_(std::move(history)), initial_(std::move(initial)) {
+  preds_.assign(history_.size(), {});
+  for (size_t j = 0; j < history_.size(); ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      // Read-write rule: an earlier reader installs before a later
+      // writer of the same object.
+      for (ObjectId r : history_[i].reads) {
+        if (history_[j].WritesObject(r)) {
+          preds_[j].insert(i);
+          break;
+        }
+      }
+    }
+  }
+  Precompute();
+}
+
+void ExplainabilityChecker::Precompute() {
+  effects_.assign(history_.size(), {});
+  is_delete_.assign(history_.size(), false);
+  std::map<ObjectId, ObjectValue> state = initial_;
+  for (size_t i = 0; i < history_.size(); ++i) {
+    const OperationDesc& op = history_[i];
+    if (op.op_class == OpClass::kDelete) {
+      is_delete_[i] = true;
+      state.erase(op.writes[0]);
+      continue;
+    }
+    std::vector<ObjectValue> reads;
+    for (ObjectId r : op.reads) reads.push_back(state[r]);
+    std::vector<ObjectValue> writes(op.writes.size());
+    for (size_t w = 0; w < op.writes.size(); ++w) {
+      auto it = state.find(op.writes[w]);
+      if (it != state.end()) writes[w] = it->second;
+    }
+    Status st = FunctionRegistry::Global().Apply(op, reads, &writes);
+    if (!st.ok()) continue;  // malformed history: op has no effect
+    for (size_t w = 0; w < op.writes.size(); ++w) {
+      effects_[i][op.writes[w]] = writes[w];
+      state[op.writes[w]] = writes[w];
+    }
+  }
+}
+
+bool ExplainabilityChecker::IsPrefixSet(
+    const std::set<size_t>& index_set) const {
+  for (size_t i : index_set) {
+    for (size_t p : preds_[i]) {
+      if (!index_set.contains(p)) return false;
+    }
+  }
+  return true;
+}
+
+std::set<ObjectId> ExplainabilityChecker::ExposedBy(
+    const std::set<size_t>& index_set) const {
+  std::set<ObjectId> universe;
+  for (const auto& [id, value] : initial_) universe.insert(id);
+  for (const OperationDesc& op : history_) {
+    for (ObjectId r : op.reads) universe.insert(r);
+    for (ObjectId w : op.writes) universe.insert(w);
+  }
+  std::set<ObjectId> exposed;
+  for (ObjectId x : universe) {
+    bool outside_touches = false;
+    bool minimal_reads = false;
+    for (size_t i = 0; i < history_.size(); ++i) {
+      if (index_set.contains(i)) continue;
+      const OperationDesc& op = history_[i];
+      if (op.ReadsObject(x) || op.WritesObject(x)) {
+        outside_touches = true;
+        minimal_reads = op.ReadsObject(x);
+        break;  // earliest outside operation touching x
+      }
+    }
+    if (!outside_touches || minimal_reads) exposed.insert(x);
+  }
+  return exposed;
+}
+
+std::map<ObjectId, ObjectValue> ExplainabilityChecker::StateAfter(
+    const std::set<size_t>& index_set) const {
+  std::map<ObjectId, ObjectValue> state = initial_;
+  for (size_t i : index_set) {  // std::set iterates ascending
+    if (is_delete_[i]) {
+      state.erase(history_[i].writes[0]);
+    } else {
+      for (const auto& [id, value] : effects_[i]) state[id] = value;
+    }
+  }
+  return state;
+}
+
+bool ExplainabilityChecker::Explains(
+    const std::set<size_t>& index_set,
+    const std::map<ObjectId, ObjectValue>& state) const {
+  if (!IsPrefixSet(index_set)) return false;
+  for (ObjectId x : ExposedBy(index_set)) {
+    // Value after the last operation of I that writes x.
+    bool written = false;
+    bool deleted = false;
+    const ObjectValue* value = nullptr;
+    for (size_t i : index_set) {
+      if (!history_[i].WritesObject(x)) continue;
+      written = true;
+      if (is_delete_[i]) {
+        deleted = true;
+        value = nullptr;
+      } else {
+        deleted = false;
+        auto it = effects_[i].find(x);
+        value = it == effects_[i].end() ? nullptr : &it->second;
+      }
+    }
+    auto state_it = state.find(x);
+    if (!written) {
+      auto init_it = initial_.find(x);
+      if (init_it == initial_.end()) {
+        if (state_it != state.end()) return false;
+      } else {
+        if (state_it == state.end() || state_it->second != init_it->second) {
+          return false;
+        }
+      }
+      continue;
+    }
+    if (deleted) {
+      if (state_it != state.end()) return false;
+      continue;
+    }
+    if (value == nullptr || state_it == state.end() ||
+        state_it->second != *value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::set<size_t>> ExplainabilityChecker::FindExplanation(
+    const std::map<ObjectId, ObjectValue>& state) const {
+  // DFS over downward-closed sets: predecessors always have smaller
+  // indices (read-write edges point forward), so deciding indices in
+  // order keeps closure checkable incrementally.
+  std::set<size_t> current;
+  std::optional<std::set<size_t>> found;
+  // Prefer larger explanations first (include before exclude): the
+  // leading-edge explanation is the most informative witness.
+  auto dfs = [&](auto&& self, size_t next) -> bool {
+    if (next == history_.size()) {
+      if (Explains(current, state)) {
+        found = current;
+        return true;
+      }
+      return false;
+    }
+    bool preds_in = true;
+    for (size_t p : preds_[next]) {
+      if (!current.contains(p)) {
+        preds_in = false;
+        break;
+      }
+    }
+    if (preds_in) {
+      current.insert(next);
+      if (self(self, next + 1)) return true;
+      current.erase(next);
+    }
+    return self(self, next + 1);
+  };
+  dfs(dfs, 0);
+  return found;
+}
+
+}  // namespace loglog

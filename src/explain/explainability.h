@@ -1,0 +1,82 @@
+#ifndef LOGLOG_EXPLAIN_EXPLAINABILITY_H_
+#define LOGLOG_EXPLAIN_EXPLAINABILITY_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// \brief Section 2 of the paper, executable: installation graphs,
+/// prefix sets, exposed objects, and the "I explains S" relation.
+///
+/// This module is a direct transcription of the theory, independent of
+/// the engine: histories are sequences of operations (conflict order =
+/// sequence order), and the checker searches for a prefix set I of the
+/// installation graph that explains a given state. It is exponential in
+/// the worst case and meant for small histories — its role is to be an
+/// *oracle*: tests feed it crash states produced by the real cache
+/// manager and assert they are explainable, tying the implementation
+/// back to the theorem it relies on.
+class ExplainabilityChecker {
+ public:
+  /// `history` in conflict order; operations are applied through the
+  /// global function registry starting from `initial` (missing objects
+  /// start empty/nonexistent).
+  ExplainabilityChecker(std::vector<OperationDesc> history,
+                        std::map<ObjectId, ObjectValue> initial = {});
+
+  /// Installation-graph edges (read-write rule): i -> j (i installs
+  /// before j) iff i < j and readset(i) ∩ writeset(j) ≠ ∅.
+  const std::vector<std::set<size_t>>& preds() const { return preds_; }
+
+  /// True iff `index_set` is a prefix set: closed under installation
+  /// predecessors.
+  bool IsPrefixSet(const std::set<size_t>& index_set) const;
+
+  /// Objects exposed by a prefix set I (Section 2): x is exposed iff no
+  /// operation outside I touches x, or the earliest outside operation
+  /// touching x reads it.
+  std::set<ObjectId> ExposedBy(const std::set<size_t>& index_set) const;
+
+  /// True iff the prefix set explains `state`: for every exposed object,
+  /// the state's value equals the value after the last operation of I
+  /// touching it (objects never written have their initial value;
+  /// deleted objects must be absent).
+  bool Explains(const std::set<size_t>& index_set,
+                const std::map<ObjectId, ObjectValue>& state) const;
+
+  /// Exhaustive search (over downward-closed sets) for any prefix set
+  /// that explains `state`. Suitable for histories up to ~20 operations.
+  std::optional<std::set<size_t>> FindExplanation(
+      const std::map<ObjectId, ObjectValue>& state) const;
+
+  /// The state after executing exactly the operations in `index_set`
+  /// sequentially (used to build candidate states in tests).
+  std::map<ObjectId, ObjectValue> StateAfter(
+      const std::set<size_t>& index_set) const;
+
+  size_t size() const { return history_.size(); }
+
+ private:
+  /// Value of every object after each prefix of the full history;
+  /// versions_[i] = state after executing ops 0..i-1.
+  void Precompute();
+
+  std::vector<OperationDesc> history_;
+  std::map<ObjectId, ObjectValue> initial_;
+  std::vector<std::set<size_t>> preds_;
+  /// For each op i: the value it wrote to each of its write objects.
+  std::vector<std::map<ObjectId, ObjectValue>> effects_;
+  /// Ops that deleted their object (effects_ entry absent means delete).
+  std::vector<bool> is_delete_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_EXPLAIN_EXPLAINABILITY_H_

@@ -1,0 +1,153 @@
+#include "graph/batch_write_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace loglog {
+
+namespace {
+
+/// Union-find over operation indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+size_t BatchWriteGraph::NodeOf(size_t op_index) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].ops.contains(op_index)) return i;
+  }
+  return nodes.size();
+}
+
+BatchWriteGraph ComputeBatchW(const std::vector<PendingOp>& ops) {
+  const size_t n = ops.size();
+
+  // First collapse: T = transitive closure of writeset intersection,
+  // realized as connected components over shared written objects.
+  UnionFind uf(n);
+  std::unordered_map<ObjectId, size_t> writer_of;
+  for (size_t i = 0; i < n; ++i) {
+    for (ObjectId w : ops[i].writes) {
+      auto [it, fresh] = writer_of.try_emplace(w, i);
+      if (!fresh) uf.Union(i, it->second);
+    }
+  }
+
+  // Installation-graph read-write edges, lifted to T-classes.
+  std::unordered_map<size_t, size_t> class_index;  // root -> dense id
+  std::vector<std::set<size_t>> class_ops;
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = uf.Find(i);
+    auto [it, fresh] = class_index.try_emplace(root, class_ops.size());
+    if (fresh) class_ops.emplace_back();
+    class_ops[it->second].insert(i);
+  }
+  size_t m = class_ops.size();
+  std::vector<std::set<size_t>> succs(m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // i read something j writes: i's class installs before j's class.
+      bool edge = false;
+      for (ObjectId r : ops[i].reads) {
+        if (std::find(ops[j].writes.begin(), ops[j].writes.end(), r) !=
+            ops[j].writes.end()) {
+          edge = true;
+          break;
+        }
+      }
+      if (!edge) continue;
+      size_t ci = class_index.at(uf.Find(i));
+      size_t cj = class_index.at(uf.Find(j));
+      if (ci != cj) succs[ci].insert(cj);
+    }
+  }
+
+  // Second collapse: strongly connected components (iterative Tarjan).
+  std::vector<int> index(m, -1), lowlink(m, 0);
+  std::vector<bool> on_stack(m, false);
+  std::vector<size_t> stack;
+  std::vector<size_t> scc_of(m, m);
+  size_t scc_count = 0;
+  int counter = 0;
+  struct Frame {
+    size_t v;
+    std::vector<size_t> next;
+    size_t i = 0;
+  };
+  for (size_t root = 0; root < m; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, {succs[root].begin(), succs[root].end()}, 0});
+    index[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.i < f.next.size()) {
+        size_t w = f.next[f.i++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, {succs[w].begin(), succs[w].end()}, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          while (true) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc_of[w] = scc_count;
+            if (w == f.v) break;
+          }
+          ++scc_count;
+        }
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] =
+              std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  BatchWriteGraph out;
+  out.nodes.resize(scc_count);
+  for (size_t c = 0; c < m; ++c) {
+    BatchWriteGraph::Node& node = out.nodes[scc_of[c]];
+    for (size_t op : class_ops[c]) {
+      node.ops.insert(op);
+      for (ObjectId w : ops[op].writes) node.vars.insert(w);
+    }
+  }
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t d : succs[c]) {
+      if (scc_of[c] != scc_of[d]) {
+        out.nodes[scc_of[c]].succs.insert(scc_of[d]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace loglog

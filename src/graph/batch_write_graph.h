@@ -1,0 +1,41 @@
+#ifndef LOGLOG_GRAPH_BATCH_WRITE_GRAPH_H_
+#define LOGLOG_GRAPH_BATCH_WRITE_GRAPH_H_
+
+#include <set>
+#include <vector>
+
+#include "graph/pending_op.h"
+
+namespace loglog {
+
+/// \brief Figure 3's WriteGraph(In), computed verbatim as a batch.
+///
+/// Given the uninstalled operations (conflict order = vector order), this
+/// performs the two collapses exactly as the paper writes them:
+///   1. T := transitive closure of O ~ P iff writeset(O) ∩ writeset(P)
+///      ≠ ∅; collapse the installation graph by T's equivalence classes.
+///   2. Collapse the result's strongly connected components to make it
+///      acyclic.
+/// The incremental WriteGraphW used by the cache manager must produce
+/// exactly this partition and reachability — a differential test holds
+/// the two against each other.
+struct BatchWriteGraph {
+  struct Node {
+    std::set<size_t> ops;      // indices into the input vector
+    std::set<ObjectId> vars;   // union of writesets
+    std::set<size_t> succs;    // edges by node index
+  };
+  std::vector<Node> nodes;
+
+  /// Index of the node containing operation `op_index`.
+  size_t NodeOf(size_t op_index) const;
+};
+
+/// Computes W per Figure 3 from `ops` (in conflict order). Installation
+/// edges are the read-write edges (strategy 2 of Section 2 needs no
+/// write-write edges: history is repeated, never reset).
+BatchWriteGraph ComputeBatchW(const std::vector<PendingOp>& ops);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_GRAPH_BATCH_WRITE_GRAPH_H_

@@ -1,0 +1,36 @@
+#ifndef LOGLOG_GRAPH_PENDING_OP_H_
+#define LOGLOG_GRAPH_PENDING_OP_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// \brief The view of an operation the write-graph machinery needs: its
+/// log position and its read/write sets, with the exposed/blind partition
+/// of the writeset precomputed (Table 1's exp/notexp).
+struct PendingOp {
+  Lsn lsn = kInvalidLsn;
+  std::vector<ObjectId> reads;
+  std::vector<ObjectId> writes;
+  /// exp(Op) = writes ∩ reads.
+  std::vector<ObjectId> exposed;
+  /// notexp(Op) = writes − reads.
+  std::vector<ObjectId> blind;
+
+  static PendingOp FromDesc(Lsn lsn, const OperationDesc& desc) {
+    PendingOp p;
+    p.lsn = lsn;
+    p.reads = desc.reads;
+    p.writes = desc.writes;
+    p.exposed = desc.Exposed();
+    p.blind = desc.NotExposed();
+    return p;
+  }
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_GRAPH_PENDING_OP_H_

@@ -1,0 +1,73 @@
+#include "graph/refined_write_graph.h"
+
+#include <set>
+#include <vector>
+
+namespace loglog {
+
+void RefinedWriteGraph::AddOperation(const PendingOp& op) {
+  // Merge step of addop_rW: nodes whose vars intersect exp(Op) must be
+  // installed together with Op, because Op's updates of those objects
+  // depend on their previous values.
+  std::set<NodeId> to_merge;
+  for (ObjectId x : op.exposed) {
+    NodeId owner = NodeOwningVar(x);
+    if (owner != kNoNode) to_merge.insert(owner);
+  }
+  NodeId m = NewNode();
+  for (NodeId n : to_merge) MergeInto(m, n);
+
+  // Read-write edges: earlier uninstalled readers of objects Op writes
+  // install before m ({<p,m> | Reads(p) ∩ writeset(Op) ≠ ∅} in Fig 6).
+  for (ObjectId x : op.writes) {
+    for (Lsn reader : ObjState(x).readers) {
+      NodeId q = NodeOfOp(reader);
+      if (q != kNoNode && q != m) {
+        AddEdge(q, m);
+        ++stats_.rw_edges;
+      }
+    }
+  }
+
+  // Blind-write step: remove notexp(Op) objects from other nodes' vars.
+  // Those values become unexposed — recovery can regenerate the objects
+  // from Op's log record, so installing the old writers no longer needs
+  // to flush them.
+  for (ObjectId x : op.blind) {
+    NodeId p = NodeOwningVar(x);
+    if (p == kNoNode || p == m) continue;
+    GraphNode& pn = Node(p);
+    pn.vars.erase(x);
+    pn.notx.insert(x);
+    ObjState(x).vars_owner = kNoNode;  // m takes ownership below
+    ++stats_.vars_removed;
+
+    // Write-write conflict: Op must install after the ops of p that wrote
+    // x (Op is in must(op) for some op in ops(p)).
+    AddEdge(p, m);
+    ++stats_.ww_edges;
+
+    // Inverse write-read edges: any node q that read Lastw(p, x) must be
+    // installed before p, so that when p installs without flushing x, no
+    // uninstalled operation still needs x's old value. If q == m this
+    // creates a p↔m cycle, and Normalize() collapses it — exactly the
+    // paper's prescription.
+    for (Lsn reader : ObjState(x).readers_of_last_write) {
+      NodeId q = NodeOfOp(reader);
+      if (q != kNoNode && q != p) {
+        AddEdge(q, p);
+        ++stats_.inverse_wr_edges;
+      }
+    }
+  }
+
+  TrackOp(op, m);
+  GraphNode& node = Node(m);
+  for (ObjectId x : op.writes) {
+    node.vars.insert(x);
+    node.notx.erase(x);
+    ObjState(x).vars_owner = m;
+  }
+}
+
+}  // namespace loglog

@@ -1,0 +1,33 @@
+#ifndef LOGLOG_GRAPH_REFINED_WRITE_GRAPH_H_
+#define LOGLOG_GRAPH_REFINED_WRITE_GRAPH_H_
+
+#include "graph/write_graph.h"
+
+namespace loglog {
+
+/// \brief The refined write graph rW (Figure 6, procedure addop_rW) — the
+/// paper's central contribution.
+///
+/// Differences from W:
+///  - Nodes merge only when the new operation's *exposed* objects
+///    (exp(Op) = writeset ∩ readset) intersect a node's vars. Blind
+///    writes do not coalesce nodes.
+///  - A blind write of X *removes* X from the vars of the node p that
+///    owned it: X joins Notx(p) and no longer needs to be flushed to
+///    install ops(p) — its last value became unexposed. A write-write
+///    edge p→m keeps installation order, and inverse write-read edges
+///    q→p (from nodes that read Lastw(p,X)) guarantee X really is
+///    unexposed by the time p installs.
+///  - Cycles can still arise (e.g. the §4 sequence Y=f(X,Y); X=g(Y);
+///    Y=h(Y)); the shared Normalize() collapses them, after which the
+///    cache manager may break multi-object flush sets up with identity
+///    writes instead of flushing atomically.
+class RefinedWriteGraph : public WriteGraph {
+ public:
+  void AddOperation(const PendingOp& op) override;
+  const char* Kind() const override { return "rW"; }
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_GRAPH_REFINED_WRITE_GRAPH_H_

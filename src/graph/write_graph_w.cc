@@ -1,0 +1,39 @@
+#include "graph/write_graph_w.h"
+
+#include <set>
+
+namespace loglog {
+
+void WriteGraphW::AddOperation(const PendingOp& op) {
+  // First collapse (T of Figure 3): the new op joins the node(s) owning
+  // any object it writes; shared writesets are equivalence classes.
+  std::set<NodeId> owners;
+  for (ObjectId x : op.writes) {
+    NodeId owner = NodeOwningVar(x);
+    if (owner != kNoNode) owners.insert(owner);
+  }
+  NodeId m = NewNode();
+  for (NodeId n : owners) MergeInto(m, n);
+
+  // Read-write edges: every uninstalled earlier reader of an object this
+  // op writes must be installed before this op (installation graph rule 1
+  // lifted to write-graph nodes).
+  for (ObjectId x : op.writes) {
+    for (Lsn reader : ObjState(x).readers) {
+      NodeId q = NodeOfOp(reader);
+      if (q != kNoNode && q != m) {
+        AddEdge(q, m);
+        ++stats_.rw_edges;
+      }
+    }
+  }
+
+  TrackOp(op, m);
+  GraphNode& node = Node(m);
+  for (ObjectId x : op.writes) {
+    node.vars.insert(x);
+    ObjState(x).vars_owner = m;
+  }
+}
+
+}  // namespace loglog

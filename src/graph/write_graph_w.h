@@ -1,0 +1,26 @@
+#ifndef LOGLOG_GRAPH_WRITE_GRAPH_W_H_
+#define LOGLOG_GRAPH_WRITE_GRAPH_W_H_
+
+#include "graph/write_graph.h"
+
+namespace loglog {
+
+/// \brief The write graph W of Figure 3 (from Lomet & Tuttle, VLDB 1995),
+/// built incrementally.
+///
+/// First collapse: operations whose writesets intersect (transitively)
+/// share a node — realized incrementally by merging the nodes that own any
+/// object the new operation writes. Edges are the installation graph's
+/// read-write edges lifted to nodes. Second collapse (acyclicity) is the
+/// shared Normalize(). In W, vars(n) always equals Writes(n): every
+/// written object must be flushed, atomically per node, and |vars(n)| only
+/// grows until the node is flushed.
+class WriteGraphW : public WriteGraph {
+ public:
+  void AddOperation(const PendingOp& op) override;
+  const char* Kind() const override { return "W"; }
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_GRAPH_WRITE_GRAPH_W_H_

@@ -1,0 +1,231 @@
+#include "ops/function_registry.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace loglog {
+
+namespace {
+
+uint64_t HashBytes(const ObjectValue& v) {
+  uint64_t h = 0x8445d61a4e774912;
+  for (uint8_t b : v) h = Mix64(h ^ b);
+  h = Mix64(h ^ v.size());
+  return h;
+}
+
+Status SetValue(const OperationDesc& op,
+                const std::vector<ObjectValue>& /*reads*/,
+                std::vector<ObjectValue>* writes) {
+  (*writes)[0] = op.params;
+  return Status::OK();
+}
+
+// params: varint64 offset, length-prefixed bytes. Overwrites (extending if
+// needed) writes[0] at offset — the physiological "update a record on a
+// page" shape where only the delta is logged.
+Status ApplyDelta(const OperationDesc& op,
+                  const std::vector<ObjectValue>& /*reads*/,
+                  std::vector<ObjectValue>* writes) {
+  Slice p(op.params);
+  uint64_t offset;
+  Slice bytes;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&p, &offset));
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&p, &bytes));
+  ObjectValue& v = (*writes)[0];
+  if (v.size() < offset + bytes.size()) v.resize(offset + bytes.size());
+  std::memcpy(v.data() + offset, bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Status Copy(const OperationDesc& /*op*/,
+            const std::vector<ObjectValue>& reads,
+            std::vector<ObjectValue>* writes) {
+  if (reads.empty()) return Status::InvalidArgument("copy needs one read");
+  (*writes)[0] = reads[0];
+  return Status::OK();
+}
+
+// params: varint32 record_size. Sorts reads[0] viewed as fixed-size
+// records into writes[0] — the paper's file-sort example (form of op B).
+Status SortRecords(const OperationDesc& op,
+                   const std::vector<ObjectValue>& reads,
+                   std::vector<ObjectValue>* writes) {
+  Slice p(op.params);
+  uint32_t rec;
+  LOGLOG_RETURN_IF_ERROR(GetVarint32(&p, &rec));
+  if (rec == 0) return Status::InvalidArgument("record size 0");
+  if (reads.empty()) return Status::InvalidArgument("sort needs one read");
+  const ObjectValue& in = reads[0];
+  if (in.size() % rec != 0) {
+    return Status::InvalidArgument("input not a multiple of record size");
+  }
+  size_t n = in.size() / rec;
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::memcmp(in.data() + a * rec, in.data() + b * rec, rec) < 0;
+  });
+  ObjectValue out(in.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out.data() + i * rec, in.data() + order[i] * rec, rec);
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+Status Append(const OperationDesc& op,
+              const std::vector<ObjectValue>& /*reads*/,
+              std::vector<ObjectValue>* writes) {
+  ObjectValue& v = (*writes)[0];
+  v.insert(v.end(), op.params.begin(), op.params.end());
+  return Status::OK();
+}
+
+// params: fixed64 seed. Ex(A): evolves application state by a keyed
+// hash chain. Deterministic in (A, seed) — replay reproduces the state.
+Status AppExecute(const OperationDesc& op,
+                  const std::vector<ObjectValue>& reads,
+                  std::vector<ObjectValue>* writes) {
+  Slice p(op.params);
+  uint64_t seed;
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&p, &seed));
+  const ObjectValue& a = reads.empty() ? (*writes)[0] : reads[0];
+  ObjectValue out(a.size());
+  uint64_t h = seed;
+  for (size_t i = 0; i < a.size(); ++i) {
+    h = Mix64(h ^ a[i] ^ i);
+    out[i] = static_cast<uint8_t>(h);
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+// R(A,X): reads = {A, X}, writes = {A}. Absorbs the read object into the
+// application state. The value of X is *not* logged — it is re-read from
+// the recovered X during replay (the headline saving of Figure 1a).
+Status AppRead(const OperationDesc& /*op*/,
+               const std::vector<ObjectValue>& reads,
+               std::vector<ObjectValue>* writes) {
+  if (reads.size() < 2) {
+    return Status::InvalidArgument("app read needs reads {A, X}");
+  }
+  const ObjectValue& a = reads[0];
+  const ObjectValue& x = reads[1];
+  uint64_t hx = HashBytes(x);
+  ObjectValue out(a.size());
+  uint64_t h = hx;
+  for (size_t i = 0; i < a.size(); ++i) {
+    h = Mix64(h ^ a[i]);
+    out[i] = static_cast<uint8_t>(h ^ (x.empty() ? 0 : x[i % x.size()]));
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+// W_L(A,X): reads = {A}, writes = {X}; params: varint64 out_size,
+// fixed64 seed. Emits A's output buffer as a deterministic function of A.
+// X's new value does not depend on X's old value: X is blind / notexp.
+Status AppWrite(const OperationDesc& op,
+                const std::vector<ObjectValue>& reads,
+                std::vector<ObjectValue>* writes) {
+  Slice p(op.params);
+  uint64_t out_size, seed;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&p, &out_size));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&p, &seed));
+  if (reads.empty()) return Status::InvalidArgument("app write needs {A}");
+  uint64_t ha = HashBytes(reads[0]) ^ seed;
+  ObjectValue out(out_size);
+  uint64_t h = ha;
+  for (size_t i = 0; i < out_size; ++i) {
+    h = Mix64(h + i);
+    out[i] = static_cast<uint8_t>(h);
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+Status XorMerge(const OperationDesc& /*op*/,
+                const std::vector<ObjectValue>& reads,
+                std::vector<ObjectValue>* writes) {
+  size_t max_size = 0;
+  for (const ObjectValue& r : reads) max_size = std::max(max_size, r.size());
+  ObjectValue out(max_size, 0);
+  for (const ObjectValue& r : reads) {
+    for (size_t i = 0; i < r.size(); ++i) out[i] ^= r[i];
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+// params: varint64 out_size, fixed64 seed. writes[0] := keyed expansion of
+// the hash of all read values.
+Status HashCombine(const OperationDesc& op,
+                   const std::vector<ObjectValue>& reads,
+                   std::vector<ObjectValue>* writes) {
+  Slice p(op.params);
+  uint64_t out_size, seed;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(&p, &out_size));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&p, &seed));
+  uint64_t h = seed;
+  for (const ObjectValue& r : reads) h = Mix64(h ^ HashBytes(r));
+  ObjectValue out(out_size);
+  for (size_t i = 0; i < out_size; ++i) {
+    h = Mix64(h + i);
+    out[i] = static_cast<uint8_t>(h);
+  }
+  (*writes)[0] = std::move(out);
+  return Status::OK();
+}
+
+Status DeleteFn(const OperationDesc& /*op*/,
+                const std::vector<ObjectValue>& /*reads*/,
+                std::vector<ObjectValue>* /*writes*/) {
+  // Deletion has no value computation; the engine interprets OpClass
+  // kDelete by erasing the object.
+  return Status::OK();
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() {
+  Register(kFuncSetValue, SetValue);
+  Register(kFuncApplyDelta, ApplyDelta);
+  Register(kFuncCopy, Copy);
+  Register(kFuncSortRecords, SortRecords);
+  Register(kFuncAppend, Append);
+  Register(kFuncAppExecute, AppExecute);
+  Register(kFuncAppRead, AppRead);
+  Register(kFuncAppWrite, AppWrite);
+  Register(kFuncXorMerge, XorMerge);
+  Register(kFuncHashCombine, HashCombine);
+  Register(kFuncDelete, DeleteFn);
+}
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+void FunctionRegistry::Register(FuncId id, TransformFn fn) {
+  fns_[id] = std::move(fn);
+}
+
+Status FunctionRegistry::Apply(const OperationDesc& op,
+                               const std::vector<ObjectValue>& read_values,
+                               std::vector<ObjectValue>* write_values) const {
+  auto it = fns_.find(op.func);
+  if (it == fns_.end()) {
+    return Status::NotFound("unregistered transform function");
+  }
+  if (read_values.size() != op.reads.size() ||
+      write_values->size() != op.writes.size()) {
+    return Status::InvalidArgument("value vectors do not match op sets");
+  }
+  return it->second(op, read_values, write_values);
+}
+
+}  // namespace loglog

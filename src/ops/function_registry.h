@@ -1,0 +1,57 @@
+#ifndef LOGLOG_OPS_FUNCTION_REGISTRY_H_
+#define LOGLOG_OPS_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// \brief A deterministic state transform.
+///
+/// `read_values` are the current values of op.reads (same order);
+/// `write_values` enters holding the current values of op.writes (empty
+/// vectors for objects that do not exist yet) and must exit holding the
+/// new values. Transforms must be pure: replaying a logged operation
+/// against the same inputs must reproduce the original outputs, which is
+/// what makes logical logging sound ("repeating history").
+using TransformFn =
+    std::function<Status(const OperationDesc& op,
+                         const std::vector<ObjectValue>& read_values,
+                         std::vector<ObjectValue>* write_values)>;
+
+/// \brief Registry mapping FuncId to its transform.
+///
+/// Built-in transforms (kFuncSetValue .. kFuncDelete) are registered on
+/// first use. Domains (B-tree, file system, application models) register
+/// custom transforms at ids >= kFuncFirstCustom; registration must happen
+/// before any log containing those ids is replayed.
+class FunctionRegistry {
+ public:
+  /// Process-wide registry (recovery replays from a single function
+  /// space, exactly as a real system links in its redo routines).
+  static FunctionRegistry& Global();
+
+  /// Registers or replaces a transform.
+  void Register(FuncId id, TransformFn fn);
+
+  bool Contains(FuncId id) const { return fns_.contains(id); }
+
+  /// Applies op's transform; NotFound if the FuncId is unregistered.
+  Status Apply(const OperationDesc& op,
+               const std::vector<ObjectValue>& read_values,
+               std::vector<ObjectValue>* write_values) const;
+
+ private:
+  FunctionRegistry();
+
+  std::unordered_map<FuncId, TransformFn> fns_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OPS_FUNCTION_REGISTRY_H_

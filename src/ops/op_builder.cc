@@ -1,0 +1,131 @@
+#include "ops/op_builder.h"
+
+#include "common/coding.h"
+
+namespace loglog {
+
+OperationDesc MakePhysicalWrite(ObjectId x, Slice value) {
+  OperationDesc op;
+  op.op_class = OpClass::kPhysical;
+  op.func = kFuncSetValue;
+  op.writes = {x};
+  op.params = value.ToBytes();
+  return op;
+}
+
+OperationDesc MakeCreate(ObjectId x, Slice initial) {
+  OperationDesc op = MakePhysicalWrite(x, initial);
+  op.op_class = OpClass::kCreate;
+  return op;
+}
+
+OperationDesc MakeDelete(ObjectId x) {
+  OperationDesc op;
+  op.op_class = OpClass::kDelete;
+  op.func = kFuncDelete;
+  op.writes = {x};
+  return op;
+}
+
+OperationDesc MakeDelta(ObjectId x, uint64_t offset, Slice bytes) {
+  OperationDesc op;
+  op.op_class = OpClass::kPhysiological;
+  op.func = kFuncApplyDelta;
+  op.writes = {x};
+  op.reads = {x};
+  PutVarint64(&op.params, offset);
+  PutLengthPrefixed(&op.params, bytes);
+  return op;
+}
+
+OperationDesc MakeAppend(ObjectId x, Slice bytes) {
+  OperationDesc op;
+  op.op_class = OpClass::kPhysiological;
+  op.func = kFuncAppend;
+  op.writes = {x};
+  op.reads = {x};
+  op.params = bytes.ToBytes();
+  return op;
+}
+
+OperationDesc MakeCopy(ObjectId y, ObjectId x) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncCopy;
+  op.writes = {y};
+  op.reads = {x};
+  return op;
+}
+
+OperationDesc MakeSort(ObjectId y, ObjectId x, uint32_t record_size) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncSortRecords;
+  op.writes = {y};
+  op.reads = {x};
+  PutVarint32(&op.params, record_size);
+  return op;
+}
+
+OperationDesc MakeAppExecute(ObjectId a, uint64_t seed) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncAppExecute;
+  op.writes = {a};
+  op.reads = {a};
+  PutFixed64(&op.params, seed);
+  return op;
+}
+
+OperationDesc MakeAppRead(ObjectId a, ObjectId x) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncAppRead;
+  op.writes = {a};
+  op.reads = {a, x};
+  return op;
+}
+
+OperationDesc MakeAppWrite(ObjectId a, ObjectId x, uint64_t out_size,
+                           uint64_t seed) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncAppWrite;
+  op.writes = {x};
+  op.reads = {a};
+  PutVarint64(&op.params, out_size);
+  PutFixed64(&op.params, seed);
+  return op;
+}
+
+OperationDesc MakeIdentityWrite(ObjectId x, Slice current) {
+  OperationDesc op;
+  op.op_class = OpClass::kIdentityWrite;
+  op.func = kFuncSetValue;
+  op.writes = {x};
+  op.params = current.ToBytes();
+  return op;
+}
+
+OperationDesc MakeXorMerge(ObjectId dst, std::vector<ObjectId> srcs) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncXorMerge;
+  op.writes = {dst};
+  op.reads = std::move(srcs);
+  return op;
+}
+
+OperationDesc MakeHashCombine(ObjectId dst, std::vector<ObjectId> srcs,
+                              uint64_t out_size, uint64_t seed) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kFuncHashCombine;
+  op.writes = {dst};
+  op.reads = std::move(srcs);
+  PutVarint64(&op.params, out_size);
+  PutFixed64(&op.params, seed);
+  return op;
+}
+
+}  // namespace loglog

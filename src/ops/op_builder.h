@@ -1,0 +1,64 @@
+#ifndef LOGLOG_OPS_OP_BUILDER_H_
+#define LOGLOG_OPS_OP_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// Factory helpers for the operation forms of Table 1 plus the file and
+/// database examples from Section 1. Each returns a fully-formed
+/// OperationDesc ready for RecoveryEngine::Execute.
+
+/// W_P(X, v): physical write of X with value v (v is logged).
+OperationDesc MakePhysicalWrite(ObjectId x, Slice value);
+
+/// Object creation with an initial value (logged physically).
+OperationDesc MakeCreate(ObjectId x, Slice initial);
+
+/// Object deletion (terminates X's lifetime; Section 5 optimization).
+OperationDesc MakeDelete(ObjectId x);
+
+/// W_PL(X): physiological update, splices `bytes` into X at `offset`;
+/// only the delta is logged.
+OperationDesc MakeDelta(ObjectId x, uint64_t offset, Slice bytes);
+
+/// Physiological append of `bytes` to X.
+OperationDesc MakeAppend(ObjectId x, Slice bytes);
+
+/// Logical file copy: Y := X (form of operation B in Figure 1a; neither
+/// file value is logged).
+OperationDesc MakeCopy(ObjectId y, ObjectId x);
+
+/// Logical file sort: Y := sort(X) with fixed `record_size` records.
+OperationDesc MakeSort(ObjectId y, ObjectId x, uint32_t record_size);
+
+/// Ex(A): application execution step with a logged seed parameter.
+OperationDesc MakeAppExecute(ObjectId a, uint64_t seed);
+
+/// R(A,X): application read — A absorbs X; neither value is logged.
+OperationDesc MakeAppRead(ObjectId a, ObjectId x);
+
+/// W_L(A,X): logical application write — X := emit(A); X's value is NOT
+/// logged (the advance over [7]'s physical writes).
+OperationDesc MakeAppWrite(ObjectId a, ObjectId x, uint64_t out_size,
+                           uint64_t seed);
+
+/// W_IP(X, val(X)): cache-manager identity write; `current` is X's cached
+/// value, logged physically (Section 4).
+OperationDesc MakeIdentityWrite(ObjectId x, Slice current);
+
+/// Logical merge: dst := xor of `srcs` (multi-read logical operation).
+OperationDesc MakeXorMerge(ObjectId dst, std::vector<ObjectId> srcs);
+
+/// Logical combine: dst := H(srcs) expanded to out_size bytes.
+OperationDesc MakeHashCombine(ObjectId dst, std::vector<ObjectId> srcs,
+                              uint64_t out_size, uint64_t seed);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OPS_OP_BUILDER_H_

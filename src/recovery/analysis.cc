@@ -1,0 +1,169 @@
+#include "recovery/analysis.h"
+
+#include <algorithm>
+
+namespace loglog {
+
+AnalysisResult RunAnalysis(const std::vector<LogRecord>& records) {
+  AnalysisResult out;
+
+  // Locate the last checkpoint; its dirty object table is the baseline.
+  size_t ckpt_index = records.size();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type == RecordType::kCheckpoint) {
+      out.last_checkpoint = records[i].lsn;
+      ckpt_index = i;
+    }
+  }
+  size_t dot_start = 0;
+  if (ckpt_index < records.size()) {
+    for (const DotEntry& e : records[ckpt_index].dot) {
+      out.dot[e.id] = e.rsi;
+      out.dot_classic[e.id] = e.rsi;
+    }
+    dot_start = ckpt_index + 1;
+  }
+
+  // Dirty-object-table evolution from the checkpoint onwards. The
+  // generalized table applies install records for vars(n) and Notx(n);
+  // the classic (ARIES-style) table honors only actual flushes.
+  for (size_t i = dot_start; i < records.size(); ++i) {
+    const LogRecord& rec = records[i];
+    switch (rec.type) {
+      case RecordType::kOperation:
+        for (ObjectId x : rec.op.writes) {
+          out.dot.try_emplace(x, rec.lsn);
+          out.dot_classic.try_emplace(x, rec.lsn);
+        }
+        break;
+      case RecordType::kInstall:
+        for (const InstallEntry& e : rec.installed_vars) {
+          if (e.rsi == kInvalidLsn) {
+            out.dot.erase(e.id);
+            out.dot_classic.erase(e.id);
+          } else {
+            out.dot[e.id] = e.rsi;
+            out.dot_classic[e.id] = e.rsi;
+          }
+        }
+        for (const InstallEntry& e : rec.installed_notx) {
+          if (e.rsi == kInvalidLsn) {
+            out.dot.erase(e.id);
+          } else {
+            out.dot[e.id] = e.rsi;
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Full-retained-log scan: delete lifetimes, readers, writesets, and
+  // committed flush transactions. (Uninstalled deletes are always within
+  // the retained log because truncation never passes the minimum rSI.)
+  for (const LogRecord& rec : records) {
+    switch (rec.type) {
+      case RecordType::kOperation: {
+        for (ObjectId r : rec.op.reads) {
+          out.readers[r].push_back(rec.lsn);
+        }
+        out.op_writes[rec.lsn] = rec.op.writes;
+        for (ObjectId x : rec.op.writes) {
+          if (rec.op.op_class == OpClass::kDelete) {
+            out.deleted_at[x] = rec.lsn;
+          } else {
+            out.deleted_at.erase(x);
+          }
+        }
+        break;
+      }
+      case RecordType::kFlushTxnCommit:
+        out.committed_flush_txns.insert(rec.ref_lsn);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [id, rsi] : out.dot) {
+    if (rsi != kInvalidLsn) out.redo_start = std::min(out.redo_start, rsi);
+  }
+  for (const auto& [id, rsi] : out.dot_classic) {
+    if (rsi != kInvalidLsn) {
+      out.redo_start_classic = std::min(out.redo_start_classic, rsi);
+    }
+  }
+  return out;
+}
+
+bool BasicRsiRedoable(const AnalysisResult& analysis, Lsn lsn,
+                      const std::vector<ObjectId>& writes) {
+  for (ObjectId x : writes) {
+    auto it = analysis.dot.find(x);
+    if (it != analysis.dot.end() && lsn >= it->second) return true;
+  }
+  return false;
+}
+
+std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
+    const std::vector<LogRecord>& records, const AnalysisResult& analysis) {
+  std::unordered_map<Lsn, bool> redo;
+  // Reverse LSN order: readers are strictly later than the writes they
+  // gate, so their final decisions are available when needed.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->type != RecordType::kOperation) continue;
+    const OperationDesc& op = it->op;
+    Lsn lsn = it->lsn;
+    bool needed = false;
+    for (ObjectId x : op.writes) {
+      auto dot_it = analysis.dot.find(x);
+      if (dot_it == analysis.dot.end()) continue;  // clean: installed
+      if (lsn < dot_it->second) continue;          // lSI < rSI: installed
+      auto dead_it = analysis.deleted_at.find(x);
+      if (dead_it != analysis.deleted_at.end() && lsn < dead_it->second) {
+        // Deleted afterwards: exposed only if a redone reader needs it.
+        bool reader_needs = false;
+        auto readers_it = analysis.readers.find(x);
+        if (readers_it != analysis.readers.end()) {
+          for (Lsn reader : readers_it->second) {
+            if (reader <= lsn || reader >= dead_it->second) continue;
+            auto decided = redo.find(reader);
+            if (decided != redo.end() && decided->second) {
+              reader_needs = true;
+              break;
+            }
+          }
+        }
+        if (!reader_needs) continue;
+      }
+      needed = true;
+      break;
+    }
+    redo[lsn] = needed;
+  }
+  return redo;
+}
+
+bool DeadSkipAllowed(const AnalysisResult& analysis, ObjectId x, Lsn lsn) {
+  auto dead_it = analysis.deleted_at.find(x);
+  if (dead_it == analysis.deleted_at.end() || lsn >= dead_it->second) {
+    return false;
+  }
+  Lsn delete_lsn = dead_it->second;
+  auto readers_it = analysis.readers.find(x);
+  if (readers_it == analysis.readers.end()) return true;
+  for (Lsn reader : readers_it->second) {
+    if (reader <= lsn || reader >= delete_lsn) continue;
+    auto writes_it = analysis.op_writes.find(reader);
+    if (writes_it == analysis.op_writes.end()) continue;
+    if (BasicRsiRedoable(analysis, reader, writes_it->second)) {
+      // A possibly-uninstalled operation still needs x's value: x is not
+      // unexposed between this write and the delete.
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace loglog

@@ -1,0 +1,81 @@
+#ifndef LOGLOG_RECOVERY_ANALYSIS_H_
+#define LOGLOG_RECOVERY_ANALYSIS_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// \brief Output of the recovery analysis pass (Section 5 "Logging and
+/// Recovery using rSI's").
+///
+/// Starting from the last checkpoint's dirty object table, the analysis
+/// pass replays operation, install and flush-transaction records to build
+/// an as-of-crash approximation of the dirty object table with advanced
+/// rSIs, the set of objects whose last update is a delete (their earlier
+/// operations need no redo), and the set of committed flush transactions.
+struct AnalysisResult {
+  /// Dirty object table: object -> rSI of its earliest (possibly)
+  /// uninstalled operation. Uses the paper's *generalized* rSIs: install
+  /// records advance rSIs for flushed vars(n) AND unflushed Notx(n).
+  std::unordered_map<ObjectId, Lsn> dot;
+  /// The ARIES-style classic table: like `dot`, but install records only
+  /// advance rSIs of objects actually flushed (vars(n)); objects that
+  /// were installed without flushing stay pinned at their first writer.
+  /// This is what the kVsi baseline REDO test consults.
+  std::unordered_map<ObjectId, Lsn> dot_classic;
+  /// Objects whose final logged update is a delete, with the delete's
+  /// lSI. Operations on them before that lSI are treated as installed —
+  /// unless an uninstalled reader still needs the value (see `readers`).
+  std::unordered_map<ObjectId, Lsn> deleted_at;
+  /// Per object, the lSIs of every logged operation that reads it. Used
+  /// to keep the deleted-object optimization sound: a write of a deleted
+  /// object may only be treated as installed if no possibly-uninstalled
+  /// operation read the object between the write and the delete.
+  std::unordered_map<ObjectId, std::vector<Lsn>> readers;
+  /// lSI -> writeset of every logged operation (for the reader check).
+  std::unordered_map<Lsn, std::vector<ObjectId>> op_writes;
+  /// Begin-record LSNs of flush transactions whose commit is on the log.
+  std::set<Lsn> committed_flush_txns;
+  /// LSN of the last checkpoint record found (kInvalidLsn if none).
+  Lsn last_checkpoint = kInvalidLsn;
+  /// Minimum rSI over the dirty object table: the redo scan start point.
+  /// kMaxLsn when the table is empty (nothing to redo).
+  Lsn redo_start = kMaxLsn;
+  /// Minimum rSI over dot_classic (the kVsi baseline's scan start).
+  Lsn redo_start_classic = kMaxLsn;
+  /// Filled by the driver for RedoTestKind::kRsiFixpoint (see
+  /// ComputeRedoFixpoint); empty otherwise.
+  std::unordered_map<Lsn, bool> fixpoint_redo;
+};
+
+/// Runs the analysis pass over the stable records (ascending LSN order).
+AnalysisResult RunAnalysis(const std::vector<LogRecord>& records);
+
+/// Conservative "could this operation be redone?" using only the static
+/// rSI information (no vSIs, no deleted-object skips). Overapproximates
+/// the redone set, which makes it safe for gating the deleted-object
+/// optimization.
+bool BasicRsiRedoable(const AnalysisResult& analysis, Lsn lsn,
+                      const std::vector<ObjectId>& writes);
+
+/// True when the write of `x` by the operation at `lsn` may be treated as
+/// unexposed because x was deleted afterwards and no possibly-uninstalled
+/// operation read x between the write and the delete.
+bool DeadSkipAllowed(const AnalysisResult& analysis, ObjectId x, Lsn lsn);
+
+/// Exact static redo decisions for the kRsiFixpoint REDO test: processes
+/// operations in reverse LSN order so each dead-skip consults the final
+/// decision of every (strictly later) reader. Returns lSI -> would-redo;
+/// operations absent from the map are statically skippable. Conservative
+/// with respect to dynamic vSI skips (those only shrink the redone set).
+std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
+    const std::vector<LogRecord>& records, const AnalysisResult& analysis);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_RECOVERY_ANALYSIS_H_

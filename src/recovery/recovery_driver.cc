@@ -1,0 +1,173 @@
+#include "recovery/recovery_driver.h"
+
+#include <cstdio>
+
+#include "ops/function_registry.h"
+#include "recovery/analysis.h"
+#include "recovery/redo_test.h"
+
+namespace loglog {
+
+std::string RecoveryStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "records=%llu scanned=%llu considered=%llu redone=%llu "
+      "skip_installed=%llu skip_unexposed=%llu voided=%llu "
+      "expensive_redos=%llu redo_bytes=%llu redo_start=%llu torn=%d",
+      static_cast<unsigned long long>(log_records_total),
+      static_cast<unsigned long long>(records_scanned),
+      static_cast<unsigned long long>(ops_considered),
+      static_cast<unsigned long long>(ops_redone),
+      static_cast<unsigned long long>(ops_skipped_installed),
+      static_cast<unsigned long long>(ops_skipped_unexposed),
+      static_cast<unsigned long long>(ops_voided),
+      static_cast<unsigned long long>(expensive_redos),
+      static_cast<unsigned long long>(redo_value_bytes),
+      static_cast<unsigned long long>(redo_start), torn_tail ? 1 : 0);
+  return buf;
+}
+
+namespace {
+
+/// Re-executes one logged operation against the recovering state through
+/// the normal cache path. Implements the "expanded REDO" trial execution
+/// of Section 5: an inapplicable replay (missing or newer-than-lSI read
+/// state, failing transform) is voided without touching exposed objects.
+Status RedoOperation(CacheManager* cm, const OperationDesc& op, Lsn lsn,
+                     bool* voided, uint64_t* value_bytes) {
+  *voided = false;
+  if (op.op_class == OpClass::kDelete) {
+    return cm->ApplyResults(op, lsn, {});
+  }
+  std::vector<ObjectValue> read_values;
+  read_values.reserve(op.reads.size());
+  for (ObjectId r : op.reads) {
+    if (cm->CurrentVsi(r) >= lsn) {
+      // The read object is newer than this operation: the operation is
+      // installed in every explanation; re-execution would be erroneous.
+      *voided = true;
+      return Status::OK();
+    }
+    ObjectValue v;
+    Status st = cm->GetValue(r, &v);
+    if (st.IsNotFound()) {
+      *voided = true;  // input no longer exists (deleted/never recreated)
+      return Status::OK();
+    }
+    LOGLOG_RETURN_IF_ERROR(st);
+    read_values.push_back(std::move(v));
+  }
+  std::vector<ObjectValue> write_values(op.writes.size());
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    ObjectValue v;
+    if (cm->GetValue(op.writes[i], &v).ok()) write_values[i] = std::move(v);
+  }
+  Status st =
+      FunctionRegistry::Global().Apply(op, read_values, &write_values);
+  if (!st.ok()) {
+    // Case (c) of Section 5: execution against inapplicable state raised
+    // an error — void the replay.
+    *voided = true;
+    return Status::OK();
+  }
+  for (const ObjectValue& v : write_values) *value_bytes += v.size();
+  return cm->ApplyResults(op, lsn, std::move(write_values));
+}
+
+}  // namespace
+
+Status RecoveryDriver::Run(RecoveryStats* stats) {
+  std::vector<LogRecord> records;
+  bool torn = false;
+  Lsn next_lsn = 1;
+  uint64_t valid_end = 0;
+  LOGLOG_RETURN_IF_ERROR(LogManager::ReadStable(disk_->log(), &records,
+                                                &torn, &next_lsn,
+                                                &valid_end));
+  stats->torn_tail = torn;
+  stats->log_records_total = records.size();
+  if (torn) {
+    // Discard the torn suffix so future appends resume at a clean point.
+    disk_->log().TearTail(disk_->log().end_offset() - valid_end);
+  }
+
+  AnalysisResult analysis = RunAnalysis(records);
+  // Scan start: the generalized test uses the minimum generalized rSI,
+  // the classic vSI test its classic recLSN minimum; the repeat-all
+  // baseline replays the full retained log.
+  Lsn start = kInvalidLsn;
+  if (redo_test_ == RedoTestKind::kRsiGeneralized ||
+      redo_test_ == RedoTestKind::kRsiFixpoint) {
+    start = analysis.redo_start;
+  } else if (redo_test_ == RedoTestKind::kVsi) {
+    start = analysis.redo_start_classic;
+  }
+  if (redo_test_ == RedoTestKind::kRsiFixpoint) {
+    analysis.fixpoint_redo = ComputeRedoFixpoint(records, analysis);
+  }
+  stats->redo_start = start == kMaxLsn ? next_lsn : start;
+
+  for (const LogRecord& rec : records) {
+    switch (rec.type) {
+      case RecordType::kOperation: {
+        if (rec.lsn < start) break;
+        ++stats->records_scanned;
+        ++stats->ops_considered;
+        RedoDecision decision =
+            TestRedo(redo_test_, rec.op, rec.lsn, analysis, *cm_);
+        if (decision == RedoDecision::kSkipInstalled) {
+          ++stats->ops_skipped_installed;
+          break;
+        }
+        if (decision == RedoDecision::kSkipUnexposed) {
+          ++stats->ops_skipped_unexposed;
+          break;
+        }
+        bool voided = false;
+        LOGLOG_RETURN_IF_ERROR(RedoOperation(cm_, rec.op, rec.lsn, &voided,
+                                             &stats->redo_value_bytes));
+        if (voided) {
+          ++stats->ops_voided;
+        } else {
+          ++stats->ops_redone;
+          if (rec.op.op_class == OpClass::kLogical) {
+            ++stats->expensive_redos;
+          }
+        }
+        break;
+      }
+      case RecordType::kFlushTxnBegin: {
+        ++stats->records_scanned;
+        // Complete a committed flush transaction whose in-place writes
+        // may have been interrupted: re-apply the frozen values to the
+        // stable store wherever it is behind. Uncommitted transactions
+        // never touched the stable store and are ignored.
+        if (!analysis.committed_flush_txns.contains(rec.lsn)) break;
+        bool applied = false;
+        for (const FlushValue& fv : rec.flush_values) {
+          if (fv.erase) {
+            if (disk_->store().Exists(fv.id)) {
+              disk_->store().Erase(fv.id);
+              applied = true;
+            }
+          } else if (disk_->store().StableVsi(fv.id) < fv.vsi) {
+            disk_->store().Write(fv.id, Slice(fv.value), fv.vsi);
+            applied = true;
+          }
+        }
+        if (applied) ++stats->flush_txns_completed;
+        break;
+      }
+      case RecordType::kCheckpoint:
+      case RecordType::kInstall:
+      case RecordType::kFlushTxnCommit:
+        break;  // consumed by analysis
+    }
+  }
+
+  log_->SetNextLsn(next_lsn);
+  return Status::OK();
+}
+
+}  // namespace loglog

@@ -1,0 +1,63 @@
+#ifndef LOGLOG_RECOVERY_RECOVERY_DRIVER_H_
+#define LOGLOG_RECOVERY_RECOVERY_DRIVER_H_
+
+#include <string>
+
+#include "cache/cache_manager.h"
+#include "cache/policies.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+
+namespace loglog {
+
+/// Outcome counters of a recovery run — the quantities the Section 5
+/// experiments report.
+struct RecoveryStats {
+  uint64_t log_records_total = 0;
+  uint64_t records_scanned = 0;   // records at or after the redo start
+  uint64_t ops_considered = 0;
+  uint64_t ops_redone = 0;
+  uint64_t ops_skipped_installed = 0;  // vSI test
+  uint64_t ops_skipped_unexposed = 0;  // generalized rSI test
+  uint64_t ops_voided = 0;             // trial execution aborted
+  uint64_t flush_txns_completed = 0;
+  uint64_t redo_value_bytes = 0;  // bytes of object values recomputed
+  /// Re-executions of expensive logical transforms (application execute/
+  /// read/write, file copy/sort) — what the rSI optimization avoids.
+  uint64_t expensive_redos = 0;
+  Lsn redo_start = kInvalidLsn;
+  bool torn_tail = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Drives crash recovery: read the stable log (tolerating a torn
+/// tail), run the analysis pass, then the redo pass (Figure 2's
+/// Recover(D, I) with the Section 5 REDO tests), repeating history
+/// through the same cache-manager path used during normal execution.
+///
+/// After Run() the cache holds the recovered state with a rebuilt write
+/// graph; the caller may resume normal execution immediately (and flush
+/// lazily, in write-graph order) — recovery is idempotent under crashes
+/// because redone operations are installed through PurgeCache like any
+/// others.
+class RecoveryDriver {
+ public:
+  RecoveryDriver(SimulatedDisk* disk, LogManager* log, CacheManager* cm,
+                 RedoTestKind redo_test)
+      : disk_(disk), log_(log), cm_(cm), redo_test_(redo_test) {}
+
+  Status Run(RecoveryStats* stats);
+
+ private:
+  SimulatedDisk* disk_;
+  LogManager* log_;
+  CacheManager* cm_;
+  RedoTestKind redo_test_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_RECOVERY_RECOVERY_DRIVER_H_

@@ -1,0 +1,58 @@
+#include "recovery/redo_test.h"
+
+namespace loglog {
+
+RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
+                      const AnalysisResult& analysis,
+                      const CacheManager& cm) {
+  // Manifestly-installed check (all variants): if any written object
+  // carries a vSI at or past this operation, the operation was installed
+  // — under rW installation is atomic over the writeset even when only
+  // part of it was flushed, so a single object suffices (Section 5).
+  for (ObjectId x : op.writes) {
+    if (cm.CurrentVsi(x) >= lsn) return RedoDecision::kSkipInstalled;
+  }
+  if (kind == RedoTestKind::kAlways) return RedoDecision::kRedo;
+
+  if (kind == RedoTestKind::kVsi) {
+    // ARIES-style: skip when every written object is outside the classic
+    // dirty object table or the record precedes its recLSN. Installs
+    // without flushes (Notx) and delete lifetimes are NOT exploited.
+    for (ObjectId x : op.writes) {
+      auto it = analysis.dot_classic.find(x);
+      if (it != analysis.dot_classic.end() && lsn >= it->second) {
+        return RedoDecision::kRedo;
+      }
+    }
+    return RedoDecision::kSkipInstalled;
+  }
+
+  if (kind == RedoTestKind::kRsiFixpoint) {
+    auto it = analysis.fixpoint_redo.find(lsn);
+    if (it != analysis.fixpoint_redo.end() && !it->second) {
+      return BasicRsiRedoable(analysis, lsn, op.writes)
+                 ? RedoDecision::kSkipUnexposed
+                 : RedoDecision::kSkipInstalled;
+    }
+    return RedoDecision::kRedo;
+  }
+
+  // Generalized test: redo iff some written object is exposed and
+  // uninstalled, i.e. lSI >= max(rSI, vSI+1) — where an object absent
+  // from the dirty object table is clean (all its operations installed),
+  // and an object whose last update is a delete at D makes every earlier
+  // operation's result unexposed.
+  for (ObjectId x : op.writes) {
+    auto dot_it = analysis.dot.find(x);
+    if (dot_it == analysis.dot.end()) continue;      // clean: installed
+    if (lsn < dot_it->second) continue;              // lSI < rSI: installed
+    if (DeadSkipAllowed(analysis, x, lsn)) {
+      continue;  // result unexposed: the object's lifetime ended and no
+                 // uninstalled operation read it in between
+    }
+    return RedoDecision::kRedo;
+  }
+  return RedoDecision::kSkipUnexposed;
+}
+
+}  // namespace loglog

@@ -1,0 +1,40 @@
+#ifndef LOGLOG_RECOVERY_REDO_TEST_H_
+#define LOGLOG_RECOVERY_REDO_TEST_H_
+
+#include "cache/cache_manager.h"
+#include "cache/policies.h"
+#include "common/types.h"
+#include "ops/operation.h"
+#include "recovery/analysis.h"
+
+namespace loglog {
+
+/// Why a REDO test decided not to replay an operation (for stats).
+enum class RedoDecision {
+  /// Replay the operation.
+  kRedo,
+  /// Some written object's vSI >= lSI: manifestly installed (classic SI
+  /// test; under rW, installation is atomic so one object suffices).
+  kSkipInstalled,
+  /// Every written object is clean, unexposed (lSI < rSI), or deleted:
+  /// the operation is installed in the largest explanation even though
+  /// vSIs may be stale (the generalized rSI test of Section 5).
+  kSkipUnexposed,
+};
+
+/// \brief The REDO test of Section 5: should the operation at `lsn` be
+/// re-executed during the redo scan?
+///
+/// `kAlways` replays everything (trial execution voids inapplicable
+/// replays downstream); `kVsi` is the traditional SI test; and
+/// `kRsiGeneralized` combines "is installed" (vSI) with "is exposed"
+/// (rSI, delete lifetimes) so that operations whose results are unexposed
+/// — including every operation on deleted transient objects — are never
+/// re-executed.
+RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
+                      const AnalysisResult& analysis,
+                      const CacheManager& cm);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_RECOVERY_REDO_TEST_H_

@@ -1,0 +1,85 @@
+#include "sim/reference_executor.h"
+
+#include <string>
+
+#include "ops/function_registry.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+Status ReferenceExecutor::Apply(const OperationDesc& op) {
+  if (op.op_class == OpClass::kDelete) {
+    objects_.erase(op.writes[0]);
+    return Status::OK();
+  }
+  std::vector<ObjectValue> read_values;
+  read_values.reserve(op.reads.size());
+  for (ObjectId r : op.reads) {
+    auto it = objects_.find(r);
+    if (it == objects_.end()) {
+      return Status::NotFound("reference read of missing object " +
+                              std::to_string(r));
+    }
+    read_values.push_back(it->second);
+  }
+  std::vector<ObjectValue> write_values(op.writes.size());
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    auto it = objects_.find(op.writes[i]);
+    if (it != objects_.end()) write_values[i] = it->second;
+  }
+  LOGLOG_RETURN_IF_ERROR(
+      FunctionRegistry::Global().Apply(op, read_values, &write_values));
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    objects_[op.writes[i]] = std::move(write_values[i]);
+  }
+  return Status::OK();
+}
+
+Status ReferenceExecutor::ReplayLog(Slice log_bytes) {
+  while (true) {
+    LogRecord rec;
+    Status st = ReadFramedRecord(&log_bytes, &rec);
+    if (st.IsNotFound()) break;
+    LOGLOG_RETURN_IF_ERROR(st);
+    if (rec.type != RecordType::kOperation) continue;
+    LOGLOG_RETURN_IF_ERROR(Apply(rec.op));
+  }
+  return Status::OK();
+}
+
+Status ReferenceExecutor::Get(ObjectId id, ObjectValue* out) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  *out = it->second;
+  return Status::OK();
+}
+
+Status CompareWithReference(const ReferenceExecutor& ref,
+                            const StableStore& store) {
+  for (const auto& [id, value] : ref.objects()) {
+    StoredObject stored;
+    if (!store.Exists(id)) {
+      return Status::Corruption("object " + std::to_string(id) +
+                                " missing from stable store");
+    }
+    Status st = store.Read(id, &stored);
+    if (!st.ok()) return st;
+    if (stored.value != value) {
+      return Status::Corruption("object " + std::to_string(id) +
+                                " value mismatch (stable " +
+                                std::to_string(stored.value.size()) +
+                                "B vs reference " +
+                                std::to_string(value.size()) + "B)");
+    }
+  }
+  Status extra = Status::OK();
+  store.ForEach([&](ObjectId id, const StoredObject&) {
+    if (extra.ok() && !ref.Exists(id)) {
+      extra = Status::Corruption("stable store has extra object " +
+                                 std::to_string(id));
+    }
+  });
+  return extra;
+}
+
+}  // namespace loglog

@@ -1,0 +1,46 @@
+#ifndef LOGLOG_SIM_REFERENCE_EXECUTOR_H_
+#define LOGLOG_SIM_REFERENCE_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/operation.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+
+/// \brief Ground truth for crash-recovery verification.
+///
+/// Executes operation records sequentially against a plain in-memory map
+/// — no cache, no log, no recovery machinery. Because the recovery
+/// theorem says a recovered database equals the sequential execution of
+/// its stable history, replaying the stable log archive through this
+/// executor yields exactly the state the engine must expose after
+/// Recover() + FlushAll().
+class ReferenceExecutor {
+ public:
+  /// Applies one operation (same transform registry as the engine).
+  Status Apply(const OperationDesc& op);
+
+  /// Replays every kOperation record found in a stable-log byte stream
+  /// (e.g. SimulatedDisk::log().ArchiveContents()), in order.
+  Status ReplayLog(Slice log_bytes);
+
+  bool Exists(ObjectId id) const { return objects_.contains(id); }
+  Status Get(ObjectId id, ObjectValue* out) const;
+  const std::map<ObjectId, ObjectValue>& objects() const { return objects_; }
+
+ private:
+  std::map<ObjectId, ObjectValue> objects_;
+};
+
+/// Compares a recovered, fully flushed stable store against the reference
+/// state; returns Corruption with a diagnostic on the first mismatch.
+Status CompareWithReference(const ReferenceExecutor& ref,
+                            const StableStore& store);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SIM_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,124 @@
+#include "sim/workload.h"
+
+namespace loglog {
+
+MixedWorkload::MixedWorkload(const MixedWorkloadOptions& options)
+    : options_(options), rng_(options.seed), next_temp_(kTempIdBase) {
+  total_weight_ = options_.w_app_exec + options_.w_app_read +
+                  options_.w_app_write + options_.w_copy + options_.w_sort +
+                  options_.w_delta + options_.w_append +
+                  options_.w_physical + options_.w_temp_create +
+                  options_.w_temp_delete + options_.w_merge;
+}
+
+std::vector<OperationDesc> MixedWorkload::SetupOps() {
+  std::vector<OperationDesc> ops;
+  for (size_t i = 0; i < options_.num_apps; ++i) {
+    ops.push_back(MakeCreate(kAppIdBase + i,
+                             Slice(rng_.Bytes(options_.app_state_size))));
+  }
+  for (size_t i = 0; i < options_.num_files; ++i) {
+    ops.push_back(
+        MakeCreate(kFileIdBase + i, Slice(rng_.Bytes(options_.file_size))));
+  }
+  for (size_t i = 0; i < options_.num_pages; ++i) {
+    ops.push_back(
+        MakeCreate(kPageIdBase + i, Slice(rng_.Bytes(options_.page_size))));
+  }
+  return ops;
+}
+
+ObjectId MixedWorkload::RandomApp() {
+  return kAppIdBase + rng_.Uniform(options_.num_apps);
+}
+ObjectId MixedWorkload::RandomFile() {
+  if (options_.hot_skew_percent > 0 && options_.num_files >= 2 &&
+      static_cast<int>(rng_.Uniform(100)) < options_.hot_skew_percent) {
+    return kFileIdBase + rng_.Uniform(2);
+  }
+  return kFileIdBase + rng_.Uniform(options_.num_files);
+}
+ObjectId MixedWorkload::RandomPage() {
+  if (options_.hot_skew_percent > 0 && options_.num_pages >= 2 &&
+      static_cast<int>(rng_.Uniform(100)) < options_.hot_skew_percent) {
+    return kPageIdBase + rng_.Uniform(2);
+  }
+  return kPageIdBase + rng_.Uniform(options_.num_pages);
+}
+
+OperationDesc MixedWorkload::Next() {
+  int pick = static_cast<int>(rng_.Uniform(total_weight_));
+  auto take = [&pick](int w) {
+    if (pick < w) return true;
+    pick -= w;
+    return false;
+  };
+
+  if (take(options_.w_app_exec)) {
+    return MakeAppExecute(RandomApp(), rng_.Next());
+  }
+  if (take(options_.w_app_read)) {
+    // Applications read files, pages, or live temporaries.
+    ObjectId src;
+    if (!live_temps_.empty() && rng_.OneIn(3)) {
+      auto it = live_temps_.begin();
+      std::advance(it, rng_.Uniform(live_temps_.size()));
+      src = *it;
+    } else {
+      src = rng_.OneIn(2) ? RandomFile() : RandomPage();
+    }
+    return MakeAppRead(RandomApp(), src);
+  }
+  if (take(options_.w_app_write)) {
+    return MakeAppWrite(RandomApp(), RandomFile(), options_.file_size,
+                        rng_.Next());
+  }
+  if (take(options_.w_copy)) {
+    ObjectId src = RandomFile();
+    ObjectId dst = RandomFile();
+    if (dst == src) dst = kFileIdBase + (dst - kFileIdBase + 1) %
+                                            options_.num_files;
+    return MakeCopy(dst, src);
+  }
+  if (take(options_.w_sort)) {
+    ObjectId src = RandomFile();
+    ObjectId dst = RandomFile();
+    if (dst == src) dst = kFileIdBase + (dst - kFileIdBase + 1) %
+                                            options_.num_files;
+    return MakeSort(dst, src, options_.sort_record_size);
+  }
+  if (take(options_.w_delta)) {
+    uint64_t offset = rng_.Uniform(options_.page_size / 2 + 1);
+    return MakeDelta(RandomPage(), offset, Slice(rng_.Bytes(8)));
+  }
+  if (take(options_.w_append)) {
+    return MakeAppend(RandomPage(), Slice(rng_.Bytes(8)));
+  }
+  if (take(options_.w_physical)) {
+    return MakePhysicalWrite(RandomPage(),
+                             Slice(rng_.Bytes(options_.page_size)));
+  }
+  if (take(options_.w_temp_create)) {
+    ObjectId id = next_temp_++;
+    live_temps_.insert(id);
+    return MakeCreate(id, Slice(rng_.Bytes(options_.file_size)));
+  }
+  if (take(options_.w_temp_delete)) {
+    if (!live_temps_.empty()) {
+      auto it = live_temps_.begin();
+      std::advance(it, rng_.Uniform(live_temps_.size()));
+      ObjectId id = *it;
+      live_temps_.erase(it);
+      return MakeDelete(id);
+    }
+    return MakeAppExecute(RandomApp(), rng_.Next());
+  }
+  // w_merge: a multi-read logical operation combining two distinct files.
+  ObjectId a = RandomFile();
+  ObjectId b = RandomFile();
+  if (b == a) b = kFileIdBase + (b - kFileIdBase + 1) % options_.num_files;
+  return MakeHashCombine(RandomFile(), {a, b}, options_.file_size,
+                         rng_.Next());
+}
+
+}  // namespace loglog

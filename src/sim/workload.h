@@ -1,0 +1,84 @@
+#ifndef LOGLOG_SIM_WORKLOAD_H_
+#define LOGLOG_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "ops/op_builder.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// Object-id namespaces used by the generators (disjoint by construction).
+inline constexpr ObjectId kAppIdBase = 1'000;
+inline constexpr ObjectId kFileIdBase = 2'000;
+inline constexpr ObjectId kPageIdBase = 3'000;
+inline constexpr ObjectId kTempIdBase = 10'000;
+
+/// \brief Options for the mixed application/file/database workload.
+///
+/// The mix mirrors the paper's motivating domains: application recovery
+/// (Ex, R, W_L), file-system recovery (copy, sort, create/delete of
+/// transient files) and database recovery (physiological page updates).
+struct MixedWorkloadOptions {
+  uint64_t seed = 42;
+  size_t num_apps = 4;
+  size_t num_files = 12;
+  size_t num_pages = 12;
+  size_t app_state_size = 64;
+  size_t file_size = 256;
+  size_t page_size = 128;
+  uint32_t sort_record_size = 16;  // file_size must be a multiple
+  /// Access skew: with this percentage, page/file picks hit the two
+  /// lowest-numbered objects of their class ("hot set"). 0 = uniform.
+  /// Pairs with the engine's automatic hot-object detection (E11).
+  int hot_skew_percent = 0;
+
+  // Relative weights of each operation kind.
+  int w_app_exec = 3;
+  int w_app_read = 3;
+  int w_app_write = 3;
+  int w_copy = 2;
+  int w_sort = 1;
+  int w_delta = 3;
+  int w_append = 1;
+  int w_physical = 1;
+  int w_temp_create = 2;
+  int w_temp_delete = 2;
+  int w_merge = 1;
+};
+
+/// \brief Stateful random workload generator.
+///
+/// SetupOps() creates the object universe; Next() produces one random
+/// well-formed operation (reads only live objects). Deterministic in the
+/// seed, so (seed, op count, crash point) reproduces an experiment.
+class MixedWorkload {
+ public:
+  explicit MixedWorkload(const MixedWorkloadOptions& options);
+
+  /// Creation operations for the initial universe, in execution order.
+  std::vector<OperationDesc> SetupOps();
+
+  /// One random operation.
+  OperationDesc Next();
+
+  const MixedWorkloadOptions& options() const { return options_; }
+
+ private:
+  ObjectId RandomApp();
+  ObjectId RandomFile();
+  ObjectId RandomPage();
+
+  MixedWorkloadOptions options_;
+  Random rng_;
+  std::set<ObjectId> live_temps_;
+  ObjectId next_temp_;
+  int total_weight_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SIM_WORKLOAD_H_

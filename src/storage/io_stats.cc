@@ -1,0 +1,44 @@
+#include "storage/io_stats.h"
+
+#include <cstdio>
+
+namespace loglog {
+
+std::string IoStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "obj_writes=%llu atomic_multi=%llu(atomic_objs=%llu) obj_reads=%llu "
+      "obj_bytes=%llu log_forces=%llu log_bytes=%llu shadow_swings=%llu "
+      "quiesce=%llu",
+      static_cast<unsigned long long>(object_writes),
+      static_cast<unsigned long long>(atomic_multi_writes),
+      static_cast<unsigned long long>(objects_in_atomic_writes),
+      static_cast<unsigned long long>(object_reads),
+      static_cast<unsigned long long>(object_bytes_written),
+      static_cast<unsigned long long>(log_forces),
+      static_cast<unsigned long long>(log_bytes),
+      static_cast<unsigned long long>(shadow_pointer_swings),
+      static_cast<unsigned long long>(quiesce_events));
+  return buf;
+}
+
+IoStats IoStats::Delta(const IoStats& earlier) const {
+  IoStats d;
+  d.object_writes = object_writes - earlier.object_writes;
+  d.atomic_multi_writes = atomic_multi_writes - earlier.atomic_multi_writes;
+  d.objects_in_atomic_writes =
+      objects_in_atomic_writes - earlier.objects_in_atomic_writes;
+  d.object_reads = object_reads - earlier.object_reads;
+  d.object_bytes_written =
+      object_bytes_written - earlier.object_bytes_written;
+  d.log_forces = log_forces - earlier.log_forces;
+  d.log_bytes = log_bytes - earlier.log_bytes;
+  d.shadow_pointer_swings =
+      shadow_pointer_swings - earlier.shadow_pointer_swings;
+  d.shadow_relocations = shadow_relocations - earlier.shadow_relocations;
+  d.quiesce_events = quiesce_events - earlier.quiesce_events;
+  return d;
+}
+
+}  // namespace loglog

@@ -1,0 +1,50 @@
+#ifndef LOGLOG_STORAGE_IO_STATS_H_
+#define LOGLOG_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace loglog {
+
+/// \brief Counters for every interaction with stable storage.
+///
+/// The paper's cost arguments (Section 4 "Comparing Costs") are stated in
+/// terms of I/Os, logged bytes and system interruption (quiesce). The
+/// simulated disk increments these deterministically so benches can report
+/// the exact quantities the paper reasons about.
+struct IoStats {
+  /// Single-object in-place stable writes (each is one atomic device write).
+  uint64_t object_writes = 0;
+  /// Native multi-object atomic flushes (require shadowing or special HW).
+  uint64_t atomic_multi_writes = 0;
+  /// Total objects covered by atomic_multi_writes.
+  uint64_t objects_in_atomic_writes = 0;
+  /// Object reads served from stable storage (cache misses).
+  uint64_t object_reads = 0;
+  /// Bytes of object payload written in place.
+  uint64_t object_bytes_written = 0;
+  /// Log forces (stable log device syncs).
+  uint64_t log_forces = 0;
+  /// Bytes appended to the stable log.
+  uint64_t log_bytes = 0;
+  /// Shadow-mode pointer-swing writes (one per atomic multi-write when the
+  /// store runs in shadow mode; models System R propagation).
+  uint64_t shadow_pointer_swings = 0;
+  /// Objects relocated by shadow writes (sequentiality loss proxy).
+  uint64_t shadow_relocations = 0;
+  /// Times the system had to quiesce (flush transactions freeze execution).
+  uint64_t quiesce_events = 0;
+
+  /// Total device write operations of any kind.
+  uint64_t TotalWrites() const {
+    return object_writes + atomic_multi_writes + shadow_pointer_swings;
+  }
+
+  std::string ToString() const;
+
+  IoStats Delta(const IoStats& earlier) const;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_STORAGE_IO_STATS_H_

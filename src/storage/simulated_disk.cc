@@ -1,0 +1,34 @@
+#include "storage/simulated_disk.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loglog {
+
+uint64_t StableLogDevice::Append(Slice bytes) {
+  uint64_t offset = end_offset();
+  bytes_.insert(bytes_.end(), bytes.data(), bytes.data() + bytes.size());
+  archive_.insert(archive_.end(), bytes.data(), bytes.data() + bytes.size());
+  last_append_size_ = bytes.size();
+  ++stats_->log_forces;
+  stats_->log_bytes += bytes.size();
+  return offset;
+}
+
+void StableLogDevice::TruncatePrefix(uint64_t offset) {
+  if (offset <= start_offset_) return;
+  assert(offset <= end_offset());
+  uint64_t drop = offset - start_offset_;
+  bytes_.erase(bytes_.begin(), bytes_.begin() + static_cast<long>(drop));
+  start_offset_ = offset;
+}
+
+void StableLogDevice::TearTail(uint64_t n) {
+  uint64_t live_drop = std::min<uint64_t>(n, bytes_.size());
+  bytes_.resize(bytes_.size() - live_drop);
+  // Torn bytes were never stable; the archive drops them too.
+  uint64_t archive_drop = std::min<uint64_t>(live_drop, archive_.size());
+  archive_.resize(archive_.size() - archive_drop);
+}
+
+}  // namespace loglog

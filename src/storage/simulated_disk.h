@@ -1,0 +1,91 @@
+#ifndef LOGLOG_STORAGE_SIMULATED_DISK_H_
+#define LOGLOG_STORAGE_SIMULATED_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "storage/io_stats.h"
+#include "storage/stable_store.h"
+
+namespace loglog {
+
+/// \brief The append-only stable log device.
+///
+/// Bytes handed to Append are stable (the volatile log buffer lives in
+/// LogManager; only forced bytes reach this device). Offsets are absolute
+/// and never reused, so log truncation just advances start_offset.
+class StableLogDevice {
+ public:
+  explicit StableLogDevice(IoStats* stats) : stats_(stats) {}
+
+  StableLogDevice(const StableLogDevice&) = delete;
+  StableLogDevice& operator=(const StableLogDevice&) = delete;
+
+  /// Appends forced bytes; returns the offset of the first byte. Counts
+  /// one log force and the byte volume.
+  uint64_t Append(Slice bytes);
+
+  /// Absolute end offset (== total bytes ever appended).
+  uint64_t end_offset() const { return start_offset_ + bytes_.size(); }
+  /// Absolute offset of the first retained byte.
+  uint64_t start_offset() const { return start_offset_; }
+  uint64_t retained_bytes() const { return bytes_.size(); }
+
+  /// View of the retained log [start_offset, end_offset).
+  Slice Contents() const { return Slice(bytes_); }
+
+  /// Drops bytes before `offset` (checkpoint-driven truncation).
+  void TruncatePrefix(uint64_t offset);
+
+  /// Crash simulation: removes the final `n` bytes, as if the last force
+  /// was torn by the crash. Recovery must stop cleanly at the tear.
+  void TearTail(uint64_t n);
+
+  /// Bytes of the most recent Append (the largest tear a crash during
+  /// that force could produce).
+  uint64_t last_append_size() const { return last_append_size_; }
+
+  /// Every byte ever made stable, unaffected by truncation (but trimmed
+  /// by TearTail, since torn bytes never count as stable). Verification
+  /// only: the reference executor replays this to compute ground truth.
+  Slice ArchiveContents() const { return Slice(archive_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> archive_;
+  uint64_t start_offset_ = 0;
+  uint64_t last_append_size_ = 0;
+  IoStats* stats_;
+};
+
+/// \brief Everything that survives a crash: the stable object store, the
+/// stable log, and the I/O counters.
+///
+/// An engine instance owns all volatile state (cache, write graph,
+/// volatile log buffer); simulating a crash is simply destroying the
+/// engine while the SimulatedDisk lives on, then constructing a new
+/// engine over the same disk and running Recover().
+class SimulatedDisk {
+ public:
+  SimulatedDisk() : store_(&stats_), log_(&stats_) {}
+
+  SimulatedDisk(const SimulatedDisk&) = delete;
+  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+
+  StableStore& store() { return store_; }
+  const StableStore& store() const { return store_; }
+  StableLogDevice& log() { return log_; }
+  const StableLogDevice& log() const { return log_; }
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ private:
+  IoStats stats_;
+  StableStore store_;
+  StableLogDevice log_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_STORAGE_SIMULATED_DISK_H_

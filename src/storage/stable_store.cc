@@ -1,0 +1,86 @@
+#include "storage/stable_store.h"
+
+namespace loglog {
+
+Status StableStore::Read(ObjectId id, StoredObject* out) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object not in stable store");
+  }
+  ++stats_->object_reads;
+  *out = it->second;
+  return Status::OK();
+}
+
+Lsn StableStore::StableVsi(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? kInvalidLsn : it->second.vsi;
+}
+
+void StableStore::Write(ObjectId id, Slice value, Lsn vsi) {
+  Audit(id, vsi);
+  ++stats_->object_writes;
+  stats_->object_bytes_written += value.size();
+  StoredObject& obj = objects_[id];
+  obj.value = value.ToBytes();
+  obj.vsi = vsi;
+}
+
+void StableStore::WriteAtomic(const std::vector<ObjectWrite>& writes) {
+  if (writes.empty()) return;
+  for (const ObjectWrite& w : writes) {
+    if (!w.erase) Audit(w.id, w.vsi);
+  }
+  if (writes.size() == 1 && !shadow_mode_) {
+    // A singleton set needs no multi-object machinery.
+    const ObjectWrite& w = writes[0];
+    if (w.erase) {
+      Erase(w.id);
+    } else {
+      Write(w.id, w.value, w.vsi);
+    }
+    return;
+  }
+  if (shadow_mode_) {
+    // Shadow propagation: each object is written out of place (one device
+    // write and one relocation each), then a single pointer swing makes
+    // the set current atomically.
+    for (const ObjectWrite& w : writes) {
+      if (!w.erase) {
+        ++stats_->object_writes;
+        stats_->object_bytes_written += w.value.size();
+        ++stats_->shadow_relocations;
+      }
+    }
+    ++stats_->shadow_pointer_swings;
+  } else {
+    ++stats_->atomic_multi_writes;
+    stats_->objects_in_atomic_writes += writes.size();
+    for (const ObjectWrite& w : writes) {
+      if (!w.erase) stats_->object_bytes_written += w.value.size();
+    }
+  }
+  for (const ObjectWrite& w : writes) {
+    if (w.erase) {
+      objects_.erase(w.id);
+    } else {
+      StoredObject& obj = objects_[w.id];
+      obj.value = w.value.ToBytes();
+      obj.vsi = w.vsi;
+    }
+  }
+}
+
+void StableStore::Erase(ObjectId id) {
+  ++stats_->object_writes;
+  objects_.erase(id);
+}
+
+void StableStore::ForEach(
+    const std::function<void(ObjectId, const StoredObject&)>& fn) const {
+  for (const auto& [id, obj] : objects_) {
+    fn(id, obj);
+  }
+}
+
+}  // namespace loglog

@@ -1,0 +1,109 @@
+#ifndef LOGLOG_STORAGE_STABLE_STORE_H_
+#define LOGLOG_STORAGE_STABLE_STORE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+
+namespace loglog {
+
+/// A stable object as stored on disk: its value plus the state identifier
+/// (vSI) of the last operation whose write of the object was flushed.
+struct StoredObject {
+  ObjectValue value;
+  Lsn vsi = kInvalidLsn;
+};
+
+/// One entry of an atomic multi-object write.
+struct ObjectWrite {
+  ObjectId id = kInvalidObjectId;
+  Slice value;
+  Lsn vsi = kInvalidLsn;
+  /// When true the object is deleted from the stable store instead of
+  /// written (installation of a delete operation).
+  bool erase = false;
+};
+
+/// \brief The stable database: the part of system state that survives a
+/// crash.
+///
+/// The paper's model needs exactly two properties from the disk: single
+/// object writes are atomic, and (optionally, at a cost) a *set* of
+/// objects can be written atomically — via shadows or flush transactions.
+/// `WriteAtomic` provides the native multi-object primitive so that the
+/// cache-manager policies that *avoid* it (identity writes, flush
+/// transactions) can be compared against it; `shadow_mode` makes the
+/// native primitive bill shadow-propagation costs (System R style).
+class StableStore {
+ public:
+  /// Audits every object write before it lands. Installed by test
+  /// harnesses to enforce the WAL protocol: the writing code must have
+  /// forced the log through the object's vSI first.
+  using WriteValidator = std::function<Status(ObjectId id, Lsn vsi)>;
+
+  explicit StableStore(IoStats* stats) : stats_(stats) {}
+
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  /// Reads an object; NotFound if it does not exist. Counts one device
+  /// read.
+  Status Read(ObjectId id, StoredObject* out) const;
+
+  bool Exists(ObjectId id) const { return objects_.contains(id); }
+
+  /// Stable vSI of an object, or kInvalidLsn if absent. Does not count as
+  /// a device read (SIs live in the object header the CM already holds).
+  Lsn StableVsi(ObjectId id) const;
+
+  /// Atomically writes a single object in place.
+  void Write(ObjectId id, Slice value, Lsn vsi);
+
+  /// Atomically writes (or erases) a set of objects. With shadow_mode on,
+  /// bills per-object out-of-place writes plus one pointer swing;
+  /// otherwise bills one multi-object atomic write (idealized hardware).
+  void WriteAtomic(const std::vector<ObjectWrite>& writes);
+
+  /// Removes an object (atomic single-object operation).
+  void Erase(ObjectId id);
+
+  /// Enables System R style shadow propagation accounting for WriteAtomic.
+  void set_shadow_mode(bool on) { shadow_mode_ = on; }
+  bool shadow_mode() const { return shadow_mode_; }
+
+  /// Installs (or clears, with nullptr) the write auditor. Violations are
+  /// sticky in audit_status() — the first failing write wins.
+  void set_write_validator(WriteValidator validator) {
+    validator_ = std::move(validator);
+  }
+  const Status& audit_status() const { return audit_status_; }
+
+  size_t object_count() const { return objects_.size(); }
+
+  /// Iterates all stable objects (verification only; no I/O billed).
+  void ForEach(
+      const std::function<void(ObjectId, const StoredObject&)>& fn) const;
+
+ private:
+  void Audit(ObjectId id, Lsn vsi) {
+    if (validator_ && audit_status_.ok()) {
+      Status st = validator_(id, vsi);
+      if (!st.ok()) audit_status_ = st;
+    }
+  }
+
+  std::unordered_map<ObjectId, StoredObject> objects_;
+  IoStats* stats_;
+  bool shadow_mode_ = false;
+  WriteValidator validator_;
+  Status audit_status_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,44 @@
+#include "wal/log_dump.h"
+
+#include "wal/log_record.h"
+
+namespace loglog {
+
+Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
+  *summary = LogDumpSummary();
+  while (true) {
+    LogRecord rec;
+    Status st = ReadFramedRecord(&log_bytes, &rec);
+    if (st.IsNotFound()) break;
+    if (st.IsCorruption()) {
+      summary->torn_tail = true;
+      break;
+    }
+    LOGLOG_RETURN_IF_ERROR(st);
+    switch (rec.type) {
+      case RecordType::kOperation:
+        ++summary->operations;
+        break;
+      case RecordType::kCheckpoint:
+        ++summary->checkpoints;
+        break;
+      case RecordType::kInstall:
+        ++summary->installs;
+        break;
+      case RecordType::kFlushTxnBegin:
+        ++summary->flush_txn_begins;
+        break;
+      case RecordType::kFlushTxnCommit:
+        ++summary->flush_txn_commits;
+        break;
+    }
+    summary->payload_bytes += rec.EncodedSize();
+    if (out != nullptr) {
+      out->append(rec.DebugString());
+      out->push_back('\n');
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace loglog

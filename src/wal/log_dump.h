@@ -1,0 +1,37 @@
+#ifndef LOGLOG_WAL_LOG_DUMP_H_
+#define LOGLOG_WAL_LOG_DUMP_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace loglog {
+
+/// Per-record-type tallies of a log dump.
+struct LogDumpSummary {
+  uint64_t operations = 0;
+  uint64_t checkpoints = 0;
+  uint64_t installs = 0;
+  uint64_t flush_txn_begins = 0;
+  uint64_t flush_txn_commits = 0;
+  uint64_t payload_bytes = 0;
+  bool torn_tail = false;
+
+  uint64_t total() const {
+    return operations + checkpoints + installs + flush_txn_begins +
+           flush_txn_commits;
+  }
+};
+
+/// \brief Human-readable dump of a framed log byte stream — the
+/// operational "what is on my log?" tool.
+///
+/// Appends one line per record to `out` (skipped when out == nullptr, so
+/// the function doubles as a validating scan) and tallies a summary.
+/// Stops cleanly at a torn tail.
+Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_WAL_LOG_DUMP_H_

@@ -1,0 +1,98 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loglog {
+
+LogManager::LogManager(StableLogDevice* device) : device_(device) {
+  // Index whatever valid records already sit on the device (recovery
+  // case): record their offsets for truncation and continue the LSN
+  // sequence past them. A torn tail is ignored here; the recovery driver
+  // deals with it.
+  Slice contents = device_->Contents();
+  uint64_t offset = device_->start_offset();
+  while (true) {
+    Slice before = contents;
+    LogRecord rec;
+    Status st = ReadFramedRecord(&contents, &rec);
+    if (!st.ok()) break;
+    stable_offsets_[rec.lsn] = offset;
+    offset += before.size() - contents.size();
+    last_stable_lsn_ = std::max(last_stable_lsn_, rec.lsn);
+    next_lsn_ = std::max(next_lsn_, rec.lsn + 1);
+  }
+}
+
+Lsn LogManager::Append(LogRecord rec) {
+  rec.lsn = next_lsn_++;
+  buffer_.push_back(std::move(rec));
+  return buffer_.back().lsn;
+}
+
+Status LogManager::Force(Lsn upto) {
+  if (buffer_.empty() || buffer_.front().lsn > upto) return Status::OK();
+  std::vector<uint8_t> bytes;
+  std::vector<std::pair<Lsn, uint64_t>> offsets;
+  while (!buffer_.empty() && buffer_.front().lsn <= upto) {
+    offsets.emplace_back(buffer_.front().lsn, bytes.size());
+    FrameRecord(buffer_.front(), &bytes);
+    last_stable_lsn_ = buffer_.front().lsn;
+    buffer_.pop_front();
+  }
+  uint64_t base = device_->Append(Slice(bytes));
+  for (const auto& [lsn, rel] : offsets) {
+    stable_offsets_[lsn] = base + rel;
+  }
+  return Status::OK();
+}
+
+Status LogManager::ForceAll() {
+  if (buffer_.empty()) return Status::OK();
+  return Force(buffer_.back().lsn);
+}
+
+void LogManager::TruncateBefore(Lsn lsn) {
+  auto it = stable_offsets_.lower_bound(lsn);
+  if (it == stable_offsets_.begin()) return;
+  uint64_t offset;
+  if (it == stable_offsets_.end()) {
+    // Everything stable precedes lsn; drop the whole stable log.
+    offset = device_->end_offset();
+  } else {
+    offset = it->second;
+  }
+  device_->TruncatePrefix(offset);
+  stable_offsets_.erase(stable_offsets_.begin(), it);
+}
+
+Status LogManager::ReadStable(const StableLogDevice& device,
+                              std::vector<LogRecord>* out, bool* torn,
+                              Lsn* next_lsn, uint64_t* valid_end) {
+  out->clear();
+  *torn = false;
+  Lsn max_lsn = 0;
+  Slice contents = device.Contents();
+  uint64_t offset = device.start_offset();
+  while (true) {
+    Slice before = contents;
+    LogRecord rec;
+    Status st = ReadFramedRecord(&contents, &rec);
+    if (st.IsNotFound()) break;  // clean end of log
+    if (st.IsCorruption()) {
+      // Torn tail: the final force did not complete. Everything before it
+      // is valid; recovery proceeds from what we have.
+      *torn = true;
+      break;
+    }
+    LOGLOG_RETURN_IF_ERROR(st);
+    offset += before.size() - contents.size();
+    max_lsn = std::max(max_lsn, rec.lsn);
+    out->push_back(std::move(rec));
+  }
+  *next_lsn = max_lsn + 1;
+  *valid_end = offset;
+  return Status::OK();
+}
+
+}  // namespace loglog

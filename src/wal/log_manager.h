@@ -1,0 +1,75 @@
+#ifndef LOGLOG_WAL_LOG_MANAGER_H_
+#define LOGLOG_WAL_LOG_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// \brief The write-ahead log: volatile buffer in front of the stable log
+/// device.
+///
+/// Appends go to a volatile buffer (lost in a crash); Force(lsn) makes all
+/// records up to lsn stable, which is the WAL obligation the cache manager
+/// discharges before flushing objects. LSNs are assigned densely starting
+/// from 1 (or from wherever a recovered log left off) and double as state
+/// identifiers (lSI / vSI / rSI).
+class LogManager {
+ public:
+  explicit LogManager(StableLogDevice* device);
+
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  /// Appends a record to the volatile buffer, assigning and returning its
+  /// LSN (rec.lsn is overwritten).
+  Lsn Append(LogRecord rec);
+
+  /// Forces all buffered records with lsn <= upto to the stable device
+  /// (one device force). No-op if they are already stable.
+  Status Force(Lsn upto);
+
+  /// Forces the entire volatile buffer.
+  Status ForceAll();
+
+  /// Highest LSN that is stable (0 if none).
+  Lsn last_stable_lsn() const { return last_stable_lsn_; }
+  /// Highest LSN assigned (stable or volatile).
+  Lsn last_assigned_lsn() const { return next_lsn_ - 1; }
+  size_t volatile_record_count() const { return buffer_.size(); }
+
+  /// Truncates the stable log prefix strictly before `lsn` (the record
+  /// with LSN `lsn` is retained). Used after checkpoints: `lsn` must be
+  /// the minimum rSI over the dirty object table (every uninstalled
+  /// operation is at or after it).
+  void TruncateBefore(Lsn lsn);
+
+  /// Re-seeds the LSN counter after recovery scanned an existing log.
+  void SetNextLsn(Lsn next) { next_lsn_ = next; }
+
+  /// Decodes every stable record in order. Stops cleanly at a torn tail
+  /// (sets *torn). Returns the records, via *next_lsn 1 + the highest LSN
+  /// seen (or 1 for an empty log), and via *valid_end the absolute device
+  /// offset just past the last valid record (torn bytes begin there).
+  static Status ReadStable(const StableLogDevice& device,
+                           std::vector<LogRecord>* out, bool* torn,
+                           Lsn* next_lsn, uint64_t* valid_end);
+
+ private:
+  StableLogDevice* device_;
+  std::deque<LogRecord> buffer_;  // volatile records, ascending lsn
+  Lsn next_lsn_ = 1;
+  Lsn last_stable_lsn_ = 0;
+  /// Byte offset on the device of each stable record, for truncation.
+  std::map<Lsn, uint64_t> stable_offsets_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_WAL_LOG_MANAGER_H_

@@ -1,0 +1,195 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace loglog {
+
+namespace {
+
+void PutInstallEntries(std::vector<uint8_t>* dst,
+                       const std::vector<InstallEntry>& entries) {
+  PutVarint64(dst, entries.size());
+  for (const InstallEntry& e : entries) {
+    PutVarint64(dst, e.id);
+    PutVarint64(dst, e.rsi);
+  }
+}
+
+Status GetInstallEntries(Slice* src, std::vector<InstallEntry>* out) {
+  uint64_t n;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &n));
+  // Two varints per entry: at least two bytes each (count bound guards
+  // reserve() against garbage input).
+  if (n > src->size()) return Status::Corruption("install count too large");
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    InstallEntry e;
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.id));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.rsi));
+    out->push_back(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
+  dst->push_back(static_cast<uint8_t>(type));
+  PutVarint64(dst, lsn);
+  switch (type) {
+    case RecordType::kOperation:
+      op.EncodeTo(dst);
+      break;
+    case RecordType::kCheckpoint:
+      PutVarint64(dst, dot.size());
+      for (const DotEntry& e : dot) {
+        PutVarint64(dst, e.id);
+        PutVarint64(dst, e.rsi);
+        dst->push_back(e.dead ? 1 : 0);
+      }
+      break;
+    case RecordType::kInstall:
+      PutInstallEntries(dst, installed_vars);
+      PutInstallEntries(dst, installed_notx);
+      break;
+    case RecordType::kFlushTxnBegin:
+      PutVarint64(dst, flush_values.size());
+      for (const FlushValue& fv : flush_values) {
+        PutVarint64(dst, fv.id);
+        PutVarint64(dst, fv.vsi);
+        dst->push_back(fv.erase ? 1 : 0);
+        PutLengthPrefixed(dst, Slice(fv.value));
+      }
+      break;
+    case RecordType::kFlushTxnCommit:
+      PutVarint64(dst, ref_lsn);
+      break;
+  }
+}
+
+Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
+  if (src->empty()) return Status::Corruption("empty record");
+  uint8_t type_byte = (*src)[0];
+  src->RemovePrefix(1);
+  if (type_byte < 1 ||
+      type_byte > static_cast<uint8_t>(RecordType::kFlushTxnCommit)) {
+    return Status::Corruption("bad record type");
+  }
+  out->type = static_cast<RecordType>(type_byte);
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->lsn));
+  switch (out->type) {
+    case RecordType::kOperation:
+      LOGLOG_RETURN_IF_ERROR(OperationDesc::DecodeFrom(src, &out->op));
+      break;
+    case RecordType::kCheckpoint: {
+      uint64_t n;
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &n));
+      if (n > src->size()) return Status::Corruption("dot count too large");
+      out->dot.clear();
+      out->dot.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DotEntry e;
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.id));
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.rsi));
+        if (src->empty()) return Status::Corruption("truncated dot entry");
+        e.dead = (*src)[0] != 0;
+        src->RemovePrefix(1);
+        out->dot.push_back(e);
+      }
+      break;
+    }
+    case RecordType::kInstall:
+      LOGLOG_RETURN_IF_ERROR(GetInstallEntries(src, &out->installed_vars));
+      LOGLOG_RETURN_IF_ERROR(GetInstallEntries(src, &out->installed_notx));
+      break;
+    case RecordType::kFlushTxnBegin: {
+      uint64_t n;
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &n));
+      if (n > src->size()) {
+        return Status::Corruption("flush value count too large");
+      }
+      out->flush_values.clear();
+      out->flush_values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        FlushValue fv;
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &fv.id));
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &fv.vsi));
+        if (src->empty()) return Status::Corruption("truncated flush value");
+        fv.erase = (*src)[0] != 0;
+        src->RemovePrefix(1);
+        Slice value;
+        LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(src, &value));
+        fv.value = value.ToBytes();
+        out->flush_values.push_back(std::move(fv));
+      }
+      break;
+    }
+    case RecordType::kFlushTxnCommit:
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->ref_lsn));
+      break;
+  }
+  return Status::OK();
+}
+
+size_t LogRecord::EncodedSize() const {
+  std::vector<uint8_t> buf;
+  EncodeTo(&buf);
+  return buf.size();
+}
+
+std::string LogRecord::DebugString() const {
+  std::string out = "Rec{lsn=" + std::to_string(lsn) + " type=";
+  switch (type) {
+    case RecordType::kOperation:
+      out += "op " + op.DebugString();
+      break;
+    case RecordType::kCheckpoint:
+      out += "checkpoint dot=" + std::to_string(dot.size());
+      break;
+    case RecordType::kInstall:
+      out += "install vars=" + std::to_string(installed_vars.size()) +
+             " notx=" + std::to_string(installed_notx.size());
+      break;
+    case RecordType::kFlushTxnBegin:
+      out += "ftxn-begin n=" + std::to_string(flush_values.size());
+      break;
+    case RecordType::kFlushTxnCommit:
+      out += "ftxn-commit ref=" + std::to_string(ref_lsn);
+      break;
+  }
+  out += "}";
+  return out;
+}
+
+void FrameRecord(const LogRecord& rec, std::vector<uint8_t>* dst) {
+  std::vector<uint8_t> payload;
+  rec.EncodeTo(&payload);
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, Crc32c(Slice(payload)));
+  dst->insert(dst->end(), payload.begin(), payload.end());
+}
+
+Status ReadFramedRecord(Slice* src, LogRecord* out) {
+  if (src->empty()) return Status::NotFound("end of log");
+  Slice probe = *src;
+  uint32_t len, crc;
+  if (!GetFixed32(&probe, &len).ok() || !GetFixed32(&probe, &crc).ok() ||
+      probe.size() < len) {
+    return Status::Corruption("torn record header");
+  }
+  Slice payload(probe.data(), len);
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  Slice cursor = payload;
+  LOGLOG_RETURN_IF_ERROR(LogRecord::DecodeFrom(&cursor, out));
+  if (!cursor.empty()) {
+    return Status::Corruption("trailing bytes in record payload");
+  }
+  src->RemovePrefix(8 + len);
+  return Status::OK();
+}
+
+}  // namespace loglog

@@ -1,0 +1,104 @@
+#ifndef LOGLOG_WAL_LOG_RECORD_H_
+#define LOGLOG_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// Kinds of records on the recovery log.
+enum class RecordType : uint8_t {
+  /// A logged operation (Figure 1 forms). The only record the WAL
+  /// protocol requires before installation.
+  kOperation = 1,
+  /// ARIES-style checkpoint: snapshot of the dirty object table with the
+  /// rSI of every dirty object (Section 5 "Logging and Recovery using
+  /// rSI's").
+  kCheckpoint = 2,
+  /// Installation of a write-graph node: identifies vars(n) and Notx(n)
+  /// and their advanced rSIs. Lazily logged after the flush; the analysis
+  /// pass uses it to advance rSIs / remove clean objects (Section 5).
+  kInstall = 3,
+  /// Flush transaction begin: carries the frozen values of the objects
+  /// being atomically flushed (Section 4 "Atomic Flush", technique 2).
+  kFlushTxnBegin = 4,
+  /// Flush transaction commit; the atomic point of the flush transaction.
+  kFlushTxnCommit = 5,
+};
+
+/// One dirty-object-table entry in a checkpoint record.
+struct DotEntry {
+  ObjectId id = kInvalidObjectId;
+  /// lSI of the earliest uninstalled operation writing the object.
+  Lsn rsi = kInvalidLsn;
+  /// True when the object's last update is an uninstalled delete (its
+  /// lifetime has ended; Section 5's transient-object optimization).
+  bool dead = false;
+};
+
+/// One object in an install record: the object and its advanced rSI.
+/// rsi == kInvalidLsn means the object has no uninstalled writers left
+/// (analysis removes it from the dirty object table).
+struct InstallEntry {
+  ObjectId id = kInvalidObjectId;
+  Lsn rsi = kInvalidLsn;
+};
+
+/// One object value frozen into a flush-transaction begin record.
+struct FlushValue {
+  ObjectId id = kInvalidObjectId;
+  Lsn vsi = kInvalidLsn;
+  std::vector<uint8_t> value;
+  bool erase = false;
+};
+
+/// \brief A single log record (tagged union over RecordType).
+struct LogRecord {
+  RecordType type = RecordType::kOperation;
+  Lsn lsn = kInvalidLsn;
+
+  // kOperation
+  OperationDesc op;
+
+  // kCheckpoint
+  std::vector<DotEntry> dot;
+
+  // kInstall: objects flushed (vars(n)) and merely installed (Notx(n)).
+  std::vector<InstallEntry> installed_vars;
+  std::vector<InstallEntry> installed_notx;
+
+  // kFlushTxnBegin
+  std::vector<FlushValue> flush_values;
+
+  // kFlushTxnCommit: lsn of the matching begin record.
+  Lsn ref_lsn = kInvalidLsn;
+
+  void EncodeTo(std::vector<uint8_t>* dst) const;
+  static Status DecodeFrom(Slice* src, LogRecord* out);
+
+  /// Encoded payload size (the record's logging cost, before framing).
+  size_t EncodedSize() const;
+
+  std::string DebugString() const;
+};
+
+/// Frames a record payload for the device: fixed32 length, fixed32 CRC32C,
+/// payload.
+void FrameRecord(const LogRecord& rec, std::vector<uint8_t>* dst);
+
+/// Reads one framed record from `src`. Returns:
+///  - OK and advances src past the record;
+///  - NotFound when src is empty (clean end of log);
+///  - Corruption when bytes remain but do not form a whole valid record
+///    (torn tail — recovery treats this as end of log).
+Status ReadFramedRecord(Slice* src, LogRecord* out);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_WAL_LOG_RECORD_H_

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "graph/batch_write_graph.h"
+#include "graph/write_graph_w.h"
+
+namespace loglog {
+namespace {
+
+PendingOp Op(Lsn lsn, std::vector<ObjectId> reads,
+             std::vector<ObjectId> writes) {
+  OperationDesc d;
+  d.reads = std::move(reads);
+  d.writes = std::move(writes);
+  return PendingOp::FromDesc(lsn, d);
+}
+
+TEST(BatchWriteGraphTest, Figure1Example) {
+  std::vector<PendingOp> ops = {
+      Op(1, {1, 2}, {2}),  // A: Y=f(X,Y)
+      Op(2, {2}, {1}),     // B: X=g(Y)
+  };
+  BatchWriteGraph w = ComputeBatchW(ops);
+  ASSERT_EQ(w.nodes.size(), 2u);
+  size_t a = w.NodeOf(0), b = w.NodeOf(1);
+  ASSERT_NE(a, b);
+  EXPECT_TRUE(w.nodes[a].succs.contains(b));  // Y flushes before X
+  EXPECT_EQ(w.nodes[a].vars, (std::set<ObjectId>{2}));
+  EXPECT_EQ(w.nodes[b].vars, (std::set<ObjectId>{1}));
+}
+
+TEST(BatchWriteGraphTest, SharedWritesetsCollapse) {
+  std::vector<PendingOp> ops = {
+      Op(1, {}, {1}),
+      Op(2, {}, {1, 2}),  // shares 1 with op 0
+      Op(3, {}, {2, 3}),  // shares 2 with op 1: transitive closure
+      Op(4, {}, {9}),     // unrelated
+  };
+  BatchWriteGraph w = ComputeBatchW(ops);
+  ASSERT_EQ(w.nodes.size(), 2u);
+  EXPECT_EQ(w.NodeOf(0), w.NodeOf(1));
+  EXPECT_EQ(w.NodeOf(1), w.NodeOf(2));
+  EXPECT_NE(w.NodeOf(3), w.NodeOf(0));
+}
+
+TEST(BatchWriteGraphTest, CycleCollapsesToOneNode) {
+  // §4: (a) Y=f(X,Y); (b) X=g(Y); (c) Y=h(Y) — cycle between the
+  // {Y}-class and the {X}-class.
+  std::vector<PendingOp> ops = {
+      Op(1, {1, 2}, {2}),
+      Op(2, {2}, {1}),
+      Op(3, {2}, {2}),
+  };
+  BatchWriteGraph w = ComputeBatchW(ops);
+  ASSERT_EQ(w.nodes.size(), 1u);
+  EXPECT_EQ(w.nodes[0].vars, (std::set<ObjectId>{1, 2}));
+  EXPECT_EQ(w.nodes[0].ops.size(), 3u);
+}
+
+// Differential: the incremental WriteGraphW (used by the cache manager)
+// and the verbatim Figure 3 batch construction must agree on the node
+// partition over random operation streams.
+class BatchDifferentialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchDifferentialTest, IncrementalMatchesBatchPartition) {
+  Random rng(GetParam());
+  std::vector<PendingOp> ops;
+  WriteGraphW incremental;
+  for (Lsn lsn = 1; lsn <= 120; ++lsn) {
+    OperationDesc d;
+    size_t nw = 1 + rng.Uniform(2);
+    size_t nr = rng.Uniform(3);
+    while (d.writes.size() < nw) {
+      ObjectId x = 1 + rng.Uniform(8);
+      if (!d.WritesObject(x)) d.writes.push_back(x);
+    }
+    while (d.reads.size() < nr) {
+      ObjectId x = 1 + rng.Uniform(8);
+      if (!d.ReadsObject(x)) d.reads.push_back(x);
+    }
+    PendingOp op = PendingOp::FromDesc(lsn, d);
+    ops.push_back(op);
+    incremental.AddOperation(op);
+  }
+  incremental.Normalize();
+  ASSERT_TRUE(incremental.CheckInvariants().ok());
+  BatchWriteGraph batch = ComputeBatchW(ops);
+
+  // Same partition: two ops share an incremental node iff they share a
+  // batch node.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      bool inc_same = incremental.NodeOfOp(ops[i].lsn) ==
+                      incremental.NodeOfOp(ops[j].lsn);
+      bool batch_same = batch.NodeOf(i) == batch.NodeOf(j);
+      ASSERT_EQ(inc_same, batch_same)
+          << "ops " << i << "," << j << " seed " << GetParam();
+    }
+  }
+  // Same vars per node.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const GraphNode* inc = incremental.Find(incremental.NodeOfOp(ops[i].lsn));
+    ASSERT_NE(inc, nullptr);
+    EXPECT_EQ(inc->vars, batch.nodes[batch.NodeOf(i)].vars);
+  }
+  // Same direct edges, mapped through the partition.
+  std::map<NodeId, size_t> to_batch;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    to_batch[incremental.NodeOfOp(ops[i].lsn)] = batch.NodeOf(i);
+  }
+  for (const auto& [inc_id, batch_id] : to_batch) {
+    std::set<size_t> inc_succs;
+    for (NodeId s : incremental.Find(inc_id)->succs) {
+      inc_succs.insert(to_batch.at(s));
+    }
+    EXPECT_EQ(inc_succs, batch.nodes[batch_id].succs)
+        << "node " << inc_id << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferentialTest,
+                         testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                         111));
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "domains/btree/btree.h"
+#include "domains/btree/btree_page.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+TEST(BtreePageTest, LeafInsertLookupErase) {
+  BtreePage page;
+  page.LeafInsert(5, "five");
+  page.LeafInsert(1, "one");
+  page.LeafInsert(3, "three");
+  ASSERT_EQ(page.leaf_entries.size(), 3u);
+  EXPECT_EQ(page.leaf_entries[0].key, 1u);
+  EXPECT_EQ(page.leaf_entries[2].key, 5u);
+  std::vector<uint8_t> v;
+  ASSERT_TRUE(page.LeafLookup(3, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "three");
+  EXPECT_TRUE(page.LeafLookup(4, &v).IsNotFound());
+  // Overwrite.
+  page.LeafInsert(3, "THREE");
+  ASSERT_TRUE(page.LeafLookup(3, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "THREE");
+  EXPECT_EQ(page.leaf_entries.size(), 3u);
+  EXPECT_TRUE(page.LeafErase(3));
+  EXPECT_FALSE(page.LeafErase(3));
+  EXPECT_EQ(page.leaf_entries.size(), 2u);
+}
+
+TEST(BtreePageTest, SerializeRoundTrip) {
+  BtreePage leaf;
+  leaf.LeafInsert(7, "seven");
+  leaf.LeafInsert(2, "two");
+  ObjectValue bytes = leaf.Serialize();
+  BtreePage out;
+  ASSERT_TRUE(BtreePage::Deserialize(Slice(bytes), &out).ok());
+  EXPECT_TRUE(out.is_leaf);
+  ASSERT_EQ(out.leaf_entries.size(), 2u);
+  EXPECT_EQ(out.leaf_entries[0].key, 2u);
+
+  BtreePage internal;
+  internal.is_leaf = false;
+  internal.first_child = 11;
+  internal.InternalInsert(10, 12);
+  internal.InternalInsert(20, 13);
+  bytes = internal.Serialize();
+  ASSERT_TRUE(BtreePage::Deserialize(Slice(bytes), &out).ok());
+  EXPECT_FALSE(out.is_leaf);
+  EXPECT_EQ(out.first_child, 11u);
+  EXPECT_EQ(out.ChildFor(5), 11u);
+  EXPECT_EQ(out.ChildFor(10), 12u);
+  EXPECT_EQ(out.ChildFor(15), 12u);
+  EXPECT_EQ(out.ChildFor(25), 13u);
+}
+
+TEST(BtreePageTest, LeafSplitIsDeterministicMidpoint) {
+  BtreePage page;
+  for (uint64_t k = 1; k <= 10; ++k) page.LeafInsert(k, "v");
+  BtreePage right;
+  uint64_t sep = page.SplitInto(&right);
+  EXPECT_EQ(page.leaf_entries.size(), 5u);
+  EXPECT_EQ(right.leaf_entries.size(), 5u);
+  EXPECT_EQ(sep, right.leaf_entries.front().key);
+  EXPECT_EQ(sep, 6u);
+}
+
+TEST(BtreePageTest, InternalSplitMovesMiddleKeyUp) {
+  BtreePage page;
+  page.is_leaf = false;
+  page.first_child = 100;
+  for (uint64_t k = 1; k <= 5; ++k) page.InternalInsert(k * 10, 100 + k);
+  BtreePage right;
+  uint64_t sep = page.SplitInto(&right);
+  EXPECT_EQ(sep, 30u);
+  EXPECT_EQ(page.internal_entries.size(), 2u);
+  EXPECT_EQ(right.first_child, 103u);  // child of the promoted key
+  EXPECT_EQ(right.internal_entries.size(), 2u);
+}
+
+class BtreeModeTest : public testing::TestWithParam<bool> {};
+
+TEST_P(BtreeModeTest, InsertLookupThroughSplits) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 256;  // force frequent splits
+  bopts.logical_splits = GetParam();
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+
+  std::map<uint64_t, std::string> model;
+  Random rng(77);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t key = rng.Uniform(10'000);
+    std::string value = "v" + std::to_string(rng.Next() % 1000);
+    ASSERT_TRUE(tree.Insert(key, value).ok());
+    model[key] = value;
+  }
+  EXPECT_GT(tree.stats().splits, 5u);
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  for (const auto& [key, value] : model) {
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(tree.Get(key, &got).ok()) << key;
+    EXPECT_EQ(Slice(got).ToString(), value);
+  }
+  std::vector<uint8_t> none;
+  EXPECT_TRUE(tree.Get(999'999, &none).IsNotFound());
+}
+
+TEST_P(BtreeModeTest, EraseRemovesKeys) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 256;
+  bopts.logical_splits = GetParam();
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(tree.Insert(k, "x").ok());
+  }
+  for (uint64_t k = 0; k < 100; k += 2) {
+    ASSERT_TRUE(tree.Erase(k).ok());
+  }
+  EXPECT_TRUE(tree.Erase(0).IsNotFound());
+  std::vector<uint8_t> v;
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_TRUE(tree.Get(k, &v).IsNotFound()) << k;
+    } else {
+      EXPECT_TRUE(tree.Get(k, &v).ok()) << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BtreeModeTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "LogicalSplits"
+                                             : "PhysiologicalSplits";
+                         });
+
+TEST(BtreeScanTest, RangeScansFollowLeafChain) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 160;  // many leaves
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  for (uint64_t k = 0; k < 300; k += 3) {
+    ASSERT_TRUE(tree.Insert(k, "v" + std::to_string(k)).ok());
+  }
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> out;
+  ASSERT_TRUE(tree.Scan(30, 10, &out).ok());
+  ASSERT_EQ(out.size(), 10u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, 30 + 3 * i);
+    EXPECT_EQ(Slice(out[i].second).ToString(),
+              "v" + std::to_string(out[i].first));
+  }
+  // From a key between entries, and over the end of the tree.
+  ASSERT_TRUE(tree.Scan(31, 3, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 33u);
+  ASSERT_TRUE(tree.Scan(295, 100, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 297u);
+  ASSERT_TRUE(tree.Scan(1000, 5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BtreeMergeTest, ErasureMergesAndRecyclesPages) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 200;
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(tree.Insert(k, "payload-value").ok());
+  }
+  uint64_t peak_pages = tree.live_pages();
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+
+  for (uint64_t k = 0; k < 380; ++k) {
+    ASSERT_TRUE(tree.Erase(k).ok());
+  }
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  EXPECT_GT(tree.stats().merges, 0u);
+  EXPECT_LT(tree.live_pages(), peak_pages);
+  EXPECT_GT(tree.free_pages(), 0u);
+
+  // Freed pages are recycled by later splits.
+  uint64_t allocated_before = tree.allocated_pages();
+  for (uint64_t k = 1000; k < 1400; ++k) {
+    ASSERT_TRUE(tree.Insert(k, "payload-value").ok());
+  }
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  EXPECT_GT(tree.stats().pages_reused, 0u);
+  EXPECT_LT(tree.allocated_pages() - allocated_before, 400u / 5);
+
+  // Remaining keys still answer.
+  std::vector<uint8_t> v;
+  for (uint64_t k = 380; k < 400; ++k) {
+    EXPECT_TRUE(tree.Get(k, &v).ok()) << k;
+  }
+  for (uint64_t k = 0; k < 380; ++k) {
+    ASSERT_TRUE(tree.Get(k, &v).IsNotFound()) << k;
+  }
+}
+
+TEST(BtreeMergeTest, RootCollapsesWhenTreeShrinks) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 160;
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Insert(k, "x").ok());
+  }
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Erase(k).ok());
+  }
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  EXPECT_GT(tree.stats().root_collapses, 0u);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> out;
+  ASSERT_TRUE(tree.Scan(0, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+  // The shrunken tree keeps working.
+  ASSERT_TRUE(tree.Insert(5, "back").ok());
+  std::vector<uint8_t> v;
+  ASSERT_TRUE(tree.Get(5, &v).ok());
+}
+
+TEST(BtreeScanTest, ScansSurviveCrashRecovery) {
+  EngineOptions eopts;
+  eopts.purge_threshold_ops = 16;
+  CrashHarness harness(eopts, 47);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 160;
+  {
+    Btree tree(&harness.engine(), bopts);
+    ASSERT_TRUE(tree.Open().ok());
+    for (uint64_t k = 0; k < 200; k += 2) {
+      ASSERT_TRUE(tree.Insert(k, "s" + std::to_string(k)).ok());
+    }
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  Btree tree(&harness.engine(), bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  ASSERT_EQ(tree.Validate().ToString(), "OK");  // chain intact
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> out;
+  ASSERT_TRUE(tree.Scan(50, 25, &out).ok());
+  ASSERT_EQ(out.size(), 25u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, 50 + 2 * i);
+  }
+}
+
+TEST(BtreeMergeTest, MergesSurviveCrashRecovery) {
+  EngineOptions eopts;
+  eopts.purge_threshold_ops = 16;
+  eopts.checkpoint_interval_ops = 80;
+  CrashHarness harness(eopts, 41);
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 200;
+  Random rng(41);
+  std::map<uint64_t, bool> live;
+  {
+    Btree tree(&harness.engine(), bopts);
+    ASSERT_TRUE(tree.Open().ok());
+    for (uint64_t k = 0; k < 250; ++k) {
+      ASSERT_TRUE(tree.Insert(k, "vv").ok());
+      live[k] = true;
+    }
+    for (int i = 0; i < 180; ++i) {
+      uint64_t k = rng.Uniform(250);
+      if (live[k]) {
+        ASSERT_TRUE(tree.Erase(k).ok());
+        live[k] = false;
+      }
+    }
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  Btree tree(&harness.engine(), bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  std::vector<uint8_t> v;
+  for (const auto& [k, alive] : live) {
+    if (alive) {
+      EXPECT_TRUE(tree.Get(k, &v).ok()) << k;
+    } else {
+      EXPECT_TRUE(tree.Get(k, &v).IsNotFound()) << k;
+    }
+  }
+}
+
+// The headline crash property: a tree built with logical splits survives
+// crashes at arbitrary points, because each structure modification is one
+// atomic logged operation.
+TEST(BtreeCrashTest, SurvivesCrashesMidLoad) {
+  EngineOptions eopts;
+  eopts.purge_threshold_ops = 16;
+  eopts.checkpoint_interval_ops = 50;
+  CrashHarness harness(eopts, 9);
+
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 192;
+  std::map<uint64_t, std::string> model;
+  Random rng(13);
+
+  {
+    Btree tree(&harness.engine(), bopts);
+    ASSERT_TRUE(tree.Open().ok());
+    for (int i = 0; i < 150; ++i) {
+      uint64_t key = rng.Uniform(5'000);
+      ASSERT_TRUE(tree.Insert(key, "a").ok());
+      model[key] = "a";
+    }
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    // Force the log (but flush nothing): the crash loses all cached
+    // state, recovery must rebuild it purely by redo, and the model
+    // stays exact because every logged operation survives.
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+    harness.Crash();
+    RecoveryStats rstats;
+    ASSERT_TRUE(harness.Recover(&rstats).ok());
+    ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+
+    Btree tree(&harness.engine(), bopts);
+    ASSERT_TRUE(tree.Open().ok());
+    ASSERT_EQ(tree.Validate().ToString(), "OK");
+    // Everything whose insert reached the stable log must be present;
+    // since VerifyAgainstReference passed, spot-check via the model for
+    // keys inserted before the last flush (all earlier rounds are
+    // durable because recovery flushed them).
+    for (int i = 0; i < 100; ++i) {
+      uint64_t key = rng.Uniform(5'000);
+      std::string value = "r" + std::to_string(round);
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      model[key] = value;
+    }
+    ASSERT_EQ(tree.Validate().ToString(), "OK");
+  }
+
+  // Quiesce: everything is now durable; the model must match exactly.
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+  Btree tree(&harness.engine(), bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  for (const auto& [key, value] : model) {
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(tree.Get(key, &got).ok()) << key;
+    EXPECT_EQ(Slice(got).ToString(), value);
+  }
+}
+
+}  // namespace
+}  // namespace loglog

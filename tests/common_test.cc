@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace loglog {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status nf = Status::NotFound("missing");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: missing");
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fn = [](bool fail) -> Status {
+    LOGLOG_RETURN_IF_ERROR(fail ? Status::IoError("boom") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_TRUE(fn(true).IsIoError());
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  StatusOr<int> bad(Status::NotFound("no"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(SliceTest, BasicsAndComparison) {
+  std::string s = "hello";
+  Slice a(s);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.ToString(), "hello");
+  Slice b("hello");
+  EXPECT_EQ(a, b);
+  b.RemovePrefix(1);
+  EXPECT_EQ(b.ToString(), "ello");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::vector<uint8_t> buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Slice s(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&s, &v32).ok());
+  ASSERT_TRUE(GetFixed64(&s, &v64).ok());
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(s.empty());
+}
+
+class VarintRoundTrip : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, GetParam());
+  EXPECT_EQ(buf.size(), VarintLength(GetParam()));
+  Slice s(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetVarint64(&s, &v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(s.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    testing::Values(0u, 1u, 127u, 128u, 300u, 16383u, 16384u, 1u << 30,
+                    (1ull << 35) + 7, std::numeric_limits<uint64_t>::max()));
+
+TEST(CodingTest, TruncatedInputsFail) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 1u << 20);
+  buf.pop_back();
+  Slice s(buf);
+  uint64_t v;
+  EXPECT_TRUE(GetVarint64(&s, &v).IsCorruption());
+
+  std::vector<uint8_t> buf2 = {0x01, 0x02};
+  Slice s2(buf2);
+  uint32_t v32;
+  EXPECT_TRUE(GetFixed32(&s2, &v32).IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::vector<uint8_t> buf;
+  PutLengthPrefixed(&buf, "abc");
+  PutLengthPrefixed(&buf, "");
+  Slice s(buf);
+  Slice a, b;
+  ASSERT_TRUE(GetLengthPrefixed(&s, &a).ok());
+  ASSERT_TRUE(GetLengthPrefixed(&s, &b).ok());
+  EXPECT_EQ(a.ToString(), "abc");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(&buf, 100);  // claims 100 bytes but provides none
+  Slice s(buf);
+  Slice v;
+  EXPECT_TRUE(GetLengthPrefixed(&s, &v).IsCorruption());
+}
+
+TEST(Crc32Test, KnownVectorAndProperties) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(Crc32c(Slice("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(Slice("")), 0u);
+  // Extension property.
+  uint32_t whole = Crc32c(Slice("hello world"));
+  uint32_t ext = Crc32cExtend(Crc32c(Slice("hello ")), Slice("world"));
+  EXPECT_EQ(whole, ext);
+  // Sensitivity.
+  EXPECT_NE(Crc32c(Slice("hello")), Crc32c(Slice("hellp")));
+}
+
+TEST(RandomTest, DeterministicAndBounded) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+  EXPECT_EQ(Random(9).Bytes(32).size(), 32u);
+  EXPECT_EQ(Random(9).Bytes(32), Random(9).Bytes(32));
+}
+
+TEST(Mix64Test, DeterministicAndDispersive) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(HistogramTest, StatsAndPercentiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_EQ(h.Percentile(0.5), 50u);
+  EXPECT_EQ(h.Percentile(0.99), 99u);
+  EXPECT_EQ(h.CountOf(42), 1u);
+  EXPECT_EQ(h.CountOf(1000), 0u);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace loglog

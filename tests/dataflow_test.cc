@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "domains/dataflow/dataflow.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+TEST(DataflowTest, FormulasEvaluateAndPropagate) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  DataflowGraph graph(&engine);
+  ASSERT_TRUE(graph.Open().ok());
+
+  ASSERT_TRUE(graph.DefineInput(1, 10).ok());
+  ASSERT_TRUE(graph.DefineInput(2, 20).ok());
+  ASSERT_TRUE(graph.DefineInput(3, 5).ok());
+  ASSERT_TRUE(
+      graph.DefineDerived(10, CellFormula::kSum, {1, 2}).ok());       // 30
+  ASSERT_TRUE(
+      graph.DefineDerived(11, CellFormula::kMin, {10, 3}).ok());      // 5
+  ASSERT_TRUE(
+      graph.DefineDerived(12, CellFormula::kProduct, {10, 11}).ok()); // 150
+
+  int64_t v;
+  ASSERT_TRUE(graph.Value(10, &v).ok());
+  EXPECT_EQ(v, 30);
+  ASSERT_TRUE(graph.Value(11, &v).ok());
+  EXPECT_EQ(v, 5);
+  ASSERT_TRUE(graph.Value(12, &v).ok());
+  EXPECT_EQ(v, 150);
+  ASSERT_TRUE(graph.Audit().ok());
+
+  // One input change cascades through the whole graph.
+  ASSERT_TRUE(graph.SetInput(1, 100).ok());
+  ASSERT_TRUE(graph.Value(10, &v).ok());
+  EXPECT_EQ(v, 120);
+  ASSERT_TRUE(graph.Value(11, &v).ok());
+  EXPECT_EQ(v, 5);
+  ASSERT_TRUE(graph.Value(12, &v).ok());
+  EXPECT_EQ(v, 600);
+  ASSERT_TRUE(graph.Audit().ok());
+
+  ASSERT_TRUE(graph.SetInput(3, 1000).ok());
+  ASSERT_TRUE(graph.Value(11, &v).ok());
+  EXPECT_EQ(v, 120);
+  ASSERT_TRUE(graph.Value(12, &v).ok());
+  EXPECT_EQ(v, 14400);
+}
+
+TEST(DataflowTest, DefinitionErrors) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  DataflowGraph graph(&engine);
+  ASSERT_TRUE(graph.Open().ok());
+  ASSERT_TRUE(graph.DefineInput(1, 1).ok());
+  EXPECT_TRUE(graph.DefineInput(1, 2).IsInvalidArgument());
+  EXPECT_TRUE(graph.DefineDerived(2, CellFormula::kSum, {9})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      graph.DefineDerived(3, CellFormula::kSum, {}).IsInvalidArgument());
+  EXPECT_TRUE(graph.SetInput(99, 1).IsInvalidArgument());
+}
+
+TEST(DataflowTest, RecomputationLogsOnlyIdentifiers) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  DataflowGraph graph(&engine);
+  ASSERT_TRUE(graph.Open().ok());
+  for (uint32_t c = 0; c < 8; ++c) {
+    ASSERT_TRUE(graph.DefineInput(c, c).ok());
+  }
+  ASSERT_TRUE(graph.DefineDerived(100, CellFormula::kSum,
+                                  {0, 1, 2, 3, 4, 5, 6, 7})
+                  .ok());
+  uint64_t before = engine.stats().op_log_bytes;
+  ASSERT_TRUE(graph.SetInput(0, 1000).ok());
+  // One 8-byte physical write + one identifier-only recompute record.
+  EXPECT_LT(engine.stats().op_log_bytes - before, 96u);
+  int64_t v;
+  ASSERT_TRUE(graph.Value(100, &v).ok());
+  EXPECT_EQ(v, 1000 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(DataflowTest, GraphSurvivesCrash) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 8;
+  CrashHarness harness(opts, 61);
+  {
+    DataflowGraph graph(&harness.engine());
+    ASSERT_TRUE(graph.Open().ok());
+    ASSERT_TRUE(graph.DefineInput(1, 7).ok());
+    ASSERT_TRUE(graph.DefineInput(2, 9).ok());
+    ASSERT_TRUE(graph.DefineDerived(5, CellFormula::kSum, {1, 2}).ok());
+    ASSERT_TRUE(graph.DefineDerived(6, CellFormula::kMax, {5, 1}).ok());
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(graph.SetInput(1, i * 3).ok());
+      ASSERT_TRUE(graph.SetInput(2, 100 - i).ok());
+    }
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+
+  DataflowGraph graph(&harness.engine());
+  ASSERT_TRUE(graph.Open().ok());
+  ASSERT_TRUE(graph.Audit().ok());
+  int64_t v;
+  ASSERT_TRUE(graph.Value(5, &v).ok());
+  EXPECT_EQ(v, 24 * 3 + (100 - 24));
+  ASSERT_TRUE(graph.Value(6, &v).ok());
+  EXPECT_EQ(v, 24 * 3 + (100 - 24));
+}
+
+TEST(DataflowTest, DiamondDependenciesRecomputeOnce) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  DataflowGraph graph(&engine);
+  ASSERT_TRUE(graph.Open().ok());
+  // Diamond: 1 feeds 10 and 11, which both feed 20.
+  ASSERT_TRUE(graph.DefineInput(1, 4).ok());
+  ASSERT_TRUE(graph.DefineDerived(10, CellFormula::kSum, {1}).ok());
+  ASSERT_TRUE(graph.DefineDerived(11, CellFormula::kProduct, {1}).ok());
+  ASSERT_TRUE(graph.DefineDerived(20, CellFormula::kSum, {10, 11}).ok());
+  uint64_t ops_before = engine.stats().ops_executed;
+  ASSERT_TRUE(graph.SetInput(1, 6).ok());
+  // Input write + exactly one recompute per affected cell: 4 operations.
+  EXPECT_EQ(engine.stats().ops_executed - ops_before, 4u);
+  int64_t v;
+  ASSERT_TRUE(graph.Value(20, &v).ok());
+  EXPECT_EQ(v, 12);
+  ASSERT_TRUE(graph.Audit().ok());
+}
+
+}  // namespace
+}  // namespace loglog

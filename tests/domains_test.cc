@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "domains/app/recoverable_app.h"
+#include "ops/op_builder.h"
+#include "domains/fs/file_system.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+TEST(FileSystemTest, CreateReadWriteList) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  FileSystem fs(&engine);
+  ASSERT_TRUE(fs.Mount().ok());
+  ASSERT_TRUE(fs.Create("a.txt", "alpha").ok());
+  ASSERT_TRUE(fs.Create("b.txt", "beta").ok());
+  EXPECT_TRUE(fs.Create("a.txt", "dup").IsInvalidArgument());
+
+  ObjectValue data;
+  ASSERT_TRUE(fs.ReadFile("a.txt", &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "alpha");
+  ASSERT_TRUE(fs.WriteFile("a.txt", "ALPHA").ok());
+  ASSERT_TRUE(fs.Append("a.txt", "!").ok());
+  ASSERT_TRUE(fs.ReadFile("a.txt", &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "ALPHA!");
+
+  EXPECT_EQ(fs.List(), (std::vector<std::string>{"a.txt", "b.txt"}));
+  EXPECT_TRUE(fs.ReadFile("nope", &data).IsNotFound());
+}
+
+TEST(FileSystemTest, LogicalCopyAndSortLogNoContents) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  FileSystem fs(&engine);
+  ASSERT_TRUE(fs.Mount().ok());
+
+  // A big file whose content must never reach the log via copy/sort.
+  Random rng(5);
+  std::vector<uint8_t> big;
+  for (int i = 0; i < 1024; ++i) {
+    auto rec = rng.Bytes(16);
+    big.insert(big.end(), rec.begin(), rec.end());
+  }
+  ASSERT_TRUE(fs.Create("big", Slice(big)).ok());
+
+  uint64_t bytes_before = engine.stats().op_log_bytes;
+  ASSERT_TRUE(fs.Copy("copy", "big").ok());
+  ASSERT_TRUE(fs.SortFile("sorted", "big", 16).ok());
+  uint64_t logged = engine.stats().op_log_bytes - bytes_before;
+  // Two logical ops plus two small directory updates — far below one
+  // file's 16 KiB content.
+  EXPECT_LT(logged, 1024u);
+
+  ObjectValue copy, sorted;
+  ASSERT_TRUE(fs.ReadFile("copy", &copy).ok());
+  EXPECT_EQ(copy, big);
+  ASSERT_TRUE(fs.ReadFile("sorted", &sorted).ok());
+  ASSERT_EQ(sorted.size(), big.size());
+  for (size_t i = 16; i < sorted.size(); i += 16) {
+    EXPECT_LE(memcmp(sorted.data() + i - 16, sorted.data() + i, 16), 0);
+  }
+}
+
+TEST(FileSystemTest, CopyOntoExistingOverwrites) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  FileSystem fs(&engine);
+  ASSERT_TRUE(fs.Mount().ok());
+  ASSERT_TRUE(fs.Create("src", "source-content").ok());
+  ASSERT_TRUE(fs.Create("dst", "old-content").ok());
+  size_t names_before = fs.List().size();
+  ASSERT_TRUE(fs.Copy("dst", "src").ok());  // overwrite, no new entry
+  EXPECT_EQ(fs.List().size(), names_before);
+  ObjectValue data;
+  ASSERT_TRUE(fs.ReadFile("dst", &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "source-content");
+  EXPECT_TRUE(fs.Copy("dst", "missing").IsNotFound());
+
+  // Sort onto an existing destination likewise reuses the object.
+  std::string recs = "ddddccccbbbbaaaa";
+  ASSERT_TRUE(fs.WriteFile("src", recs).ok());
+  ASSERT_TRUE(fs.SortFile("dst", "src", 4).ok());
+  ASSERT_TRUE(fs.ReadFile("dst", &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "aaaabbbbccccdddd");
+}
+
+TEST(FileSystemTest, RemoveDeletesAndSurvivesRecovery) {
+  CrashHarness harness(EngineOptions{}, 3);
+  {
+    FileSystem fs(&harness.engine());
+    ASSERT_TRUE(fs.Mount().ok());
+    ASSERT_TRUE(fs.Create("keep", "stay").ok());
+    ASSERT_TRUE(fs.Create("temp", "gone").ok());
+    ASSERT_TRUE(fs.Remove("temp").ok());
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  FileSystem fs(&harness.engine());
+  ASSERT_TRUE(fs.Mount().ok());
+  EXPECT_TRUE(fs.Exists("keep"));
+  EXPECT_FALSE(fs.Exists("temp"));
+  ObjectValue data;
+  ASSERT_TRUE(fs.ReadFile("keep", &data).ok());
+  EXPECT_EQ(Slice(data).ToString(), "stay");
+}
+
+TEST(RecoverableAppTest, DeterministicPipelineAcrossModes) {
+  // The logical-write app and the [7] physical-write baseline must
+  // produce identical states and outputs; only the logging cost differs.
+  auto run = [](bool logical, uint64_t* log_bytes, ObjectValue* out) {
+    SimulatedDisk disk;
+    RecoveryEngine engine(EngineOptions{}, &disk);
+    ASSERT_TRUE(
+        engine.Execute(MakeCreate(50, Slice(Random(1).Bytes(4096)))).ok());
+    RecoverableApp app(&engine, 60, 128, logical);
+    ASSERT_TRUE(app.Init(7).ok());
+    uint64_t before = engine.stats().op_log_bytes;
+    ASSERT_TRUE(app.Absorb(50).ok());
+    ASSERT_TRUE(app.Step(11).ok());
+    ASSERT_TRUE(app.Emit(70, 4096, 13).ok());
+    *log_bytes = engine.stats().op_log_bytes - before;
+    ASSERT_TRUE(engine.Read(70, out).ok());
+  };
+  uint64_t logical_bytes = 0, physical_bytes = 0;
+  ObjectValue logical_out, physical_out;
+  run(true, &logical_bytes, &logical_out);
+  run(false, &physical_bytes, &physical_out);
+  EXPECT_EQ(logical_out, physical_out);
+  // The logical write avoids logging the 4 KiB output.
+  EXPECT_LT(logical_bytes, 256u);
+  EXPECT_GT(physical_bytes, 4096u);
+}
+
+TEST(RecoverableAppTest, StateRecoversAfterCrash) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 8;
+  CrashHarness harness(opts, 21);
+  ObjectValue expected_state, expected_out;
+  {
+    ASSERT_TRUE(harness.engine()
+                    .Execute(MakeCreate(50, Slice(Random(2).Bytes(512))))
+                    .ok());
+    RecoverableApp app(&harness.engine(), 61, 64);
+    ASSERT_TRUE(app.Init(1).ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(app.Step(i).ok());
+      ASSERT_TRUE(app.Absorb(50).ok());
+      ASSERT_TRUE(app.Emit(71, 512, i).ok());
+    }
+    ASSERT_TRUE(app.State(&expected_state).ok());
+    ASSERT_TRUE(harness.engine().Read(71, &expected_out).ok());
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  RecoverableApp app(&harness.engine(), 61, 64);
+  ObjectValue state, out;
+  ASSERT_TRUE(app.State(&state).ok());
+  EXPECT_EQ(state, expected_state);
+  ASSERT_TRUE(harness.engine().Read(71, &out).ok());
+  EXPECT_EQ(out, expected_out);
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/recovery_engine.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+TEST(EngineTest, ExecuteReadRoundTrip) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "hello")).ok());
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "hello");
+  EXPECT_TRUE(engine.Exists(1));
+  EXPECT_FALSE(engine.Exists(2));
+  EXPECT_TRUE(engine.Read(2, &v).IsNotFound());
+}
+
+TEST(EngineTest, ValidationErrors) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  OperationDesc bad;
+  EXPECT_TRUE(engine.Execute(bad).IsInvalidArgument());  // empty writeset
+
+  OperationDesc unknown = MakeCreate(1, "x");
+  unknown.func = 0x7777;
+  EXPECT_TRUE(engine.Execute(unknown).IsInvalidArgument());
+
+  // Reading a missing object fails without logging anything.
+  uint64_t ops = engine.stats().ops_executed;
+  EXPECT_TRUE(engine.Execute(MakeCopy(2, 99)).IsNotFound());
+  EXPECT_EQ(engine.stats().ops_executed, ops);
+  EXPECT_TRUE(engine.Execute(MakeDelete(42)).IsNotFound());
+}
+
+TEST(EngineTest, DeleteThenRecreate) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "v1")).ok());
+  ASSERT_TRUE(engine.Execute(MakeDelete(1)).ok());
+  EXPECT_FALSE(engine.Exists(1));
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "v2")).ok());
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "v2");
+  ASSERT_TRUE(engine.FlushAll().ok());
+  StoredObject obj;
+  ASSERT_TRUE(disk.store().Read(1, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "v2");
+}
+
+TEST(EngineTest, PurgeThresholdBoundsUninstalledOps) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 10;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        engine.Execute(MakePhysicalWrite(1 + (i % 5), "value")).ok());
+    EXPECT_LE(engine.cache().uninstalled_ops(), 10u);
+  }
+  EXPECT_GT(engine.cache().stats().nodes_installed, 0u);
+}
+
+TEST(EngineTest, CheckpointIntervalTruncatesAutomatically) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 4;
+  opts.checkpoint_interval_ops = 20;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine.Execute(MakePhysicalWrite(1, "v")).ok());
+  }
+  EXPECT_GE(engine.cache().stats().checkpoints, 9u);
+  // The retained log stays bounded: far fewer than 200 records' worth.
+  std::vector<LogRecord> records;
+  bool torn;
+  Lsn next;
+  uint64_t valid_end;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next,
+                                     &valid_end)
+                  .ok());
+  EXPECT_LT(records.size(), 60u);
+}
+
+TEST(EngineTest, CacheCapacityEvictsClean) {
+  EngineOptions opts;
+  opts.cache_capacity_objects = 4;
+  opts.purge_threshold_ops = 2;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  for (ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE(engine.Execute(MakeCreate(id, "x")).ok());
+  }
+  EXPECT_LE(engine.cache().table().size(), 6u);  // capacity + in-flight dirt
+  EXPECT_GT(engine.cache().stats().evictions, 0u);
+  // Evicted objects are still readable (cache miss -> stable store).
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "x");
+}
+
+TEST(EngineTest, PhysiologicalModeDecomposesLogicalOps) {
+  EngineOptions opts;
+  opts.logging_mode = LoggingMode::kPhysiological;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "source-data")).ok());
+  uint64_t ops_before = engine.stats().ops_executed;
+  ASSERT_TRUE(engine.Execute(MakeCopy(2, 1)).ok());
+  // The copy became a physical write carrying the value.
+  EXPECT_EQ(engine.stats().ops_executed, ops_before + 1);
+  EXPECT_GT(engine.stats().physical_ops, 0u);
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(2, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "source-data");
+
+  // Single-object physiological ops are logged as-is.
+  uint64_t physio_before = engine.stats().physiological_ops;
+  ASSERT_TRUE(engine.Execute(MakeAppend(1, "!")).ok());
+  EXPECT_EQ(engine.stats().physiological_ops, physio_before + 1);
+}
+
+TEST(EngineTest, OpClassCountersTrack) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "a")).ok());     // physical
+  ASSERT_TRUE(engine.Execute(MakeAppend(1, "b")).ok());     // physiological
+  ASSERT_TRUE(engine.Execute(MakeCopy(2, 1)).ok());         // logical
+  EXPECT_EQ(engine.stats().physical_ops, 1u);
+  EXPECT_EQ(engine.stats().physiological_ops, 1u);
+  EXPECT_EQ(engine.stats().logical_ops, 1u);
+  EXPECT_EQ(engine.stats().ops_executed, 3u);
+}
+
+TEST(EngineTest, FlushAllMakesStoreMatchCache) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  Random rng(4);
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(engine.Execute(MakeCreate(id, Slice(rng.Bytes(100)))).ok());
+  }
+  for (int i = 0; i < 30; ++i) {
+    ObjectId a = 1 + rng.Uniform(10), b = 1 + rng.Uniform(10);
+    if (a == b) continue;
+    ASSERT_TRUE(engine.Execute(MakeCopy(a, b)).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ObjectValue cached;
+    StoredObject stored;
+    ASSERT_TRUE(engine.Read(id, &cached).ok());
+    ASSERT_TRUE(disk.store().Read(id, &stored).ok());
+    EXPECT_EQ(cached, stored.value) << id;
+  }
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+constexpr FuncId kTwoOut = kFuncFirstCustom + 0x50;
+
+void RegisterTwoOut() {
+  FunctionRegistry::Global().Register(
+      kTwoOut,
+      [](const OperationDesc&, const std::vector<ObjectValue>& reads,
+         std::vector<ObjectValue>* writes) {
+        (*writes)[0] = reads[0];
+        (*writes)[1] = reads[0];
+        return Status::OK();
+      });
+}
+
+OperationDesc TwoOutOp(ObjectId src, ObjectId a, ObjectId b) {
+  OperationDesc op;
+  op.op_class = OpClass::kLogical;
+  op.func = kTwoOut;
+  op.reads = {src};
+  op.writes = {a, b};
+  return op;
+}
+
+// Crash exactly between a flush transaction's commit and its in-place
+// writes, through the real PurgeCache path: recovery must complete the
+// transaction from the logged values.
+class FlushTxnWindowTest
+    : public testing::TestWithParam<CacheManager::FailPoint> {};
+
+TEST_P(FlushTxnWindowTest, RecoveryCompletesInterruptedFlush) {
+  RegisterTwoOut();
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kFlushTransaction;
+  opts.purge_threshold_ops = 0;  // manual
+  CrashHarness harness(opts, 77);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "source-value")).ok());
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+  ASSERT_TRUE(harness.Execute(TwoOutOp(1, 2, 3)).ok());
+
+  harness.engine().cache().set_fail_point(GetParam());
+  Status st = harness.engine().PurgeOne();
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  StoredObject obj;
+  ASSERT_TRUE(harness.disk().store().Read(2, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "source-value");
+  ASSERT_TRUE(harness.disk().store().Read(3, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "source-value");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, FlushTxnWindowTest,
+    testing::Values(CacheManager::FailPoint::kAfterFlushTxnCommit,
+                    CacheManager::FailPoint::kAfterFirstFlushTxnWrite),
+    [](const testing::TestParamInfo<CacheManager::FailPoint>& info) {
+      return info.param == CacheManager::FailPoint::kAfterFlushTxnCommit
+                 ? "AfterCommit"
+                 : "AfterFirstWrite";
+    });
+
+// Crash after the WAL force but before any flush: pure redo territory.
+TEST(FailPointTest, CrashAfterWalForceRedoesEverything) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 0;
+  CrashHarness harness(opts, 78);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "payload")).ok());
+  harness.engine().cache().set_fail_point(
+      CacheManager::FailPoint::kAfterWalForce);
+  ASSERT_TRUE(harness.engine().PurgeOne().IsAborted());
+  EXPECT_FALSE(harness.disk().store().Exists(1));
+
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  EXPECT_EQ(stats.ops_redone, 1u);
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  EXPECT_TRUE(harness.disk().store().Exists(1));
+}
+
+}  // namespace
+}  // namespace loglog

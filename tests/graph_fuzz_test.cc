@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/refined_write_graph.h"
+#include "graph/write_graph_w.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+#include "storage/stable_store.h"
+
+namespace loglog {
+namespace {
+
+// Randomized structural fuzz: arbitrary read/write-set operations keep
+// both graphs' invariants intact, every operation installs exactly once,
+// and minimal-node installation always makes progress.
+class GraphFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+PendingOp RandomOp(Random& rng, Lsn lsn, ObjectId universe) {
+  OperationDesc d;
+  size_t n_writes = 1 + rng.Uniform(3);
+  size_t n_reads = rng.Uniform(4);
+  while (d.writes.size() < n_writes) {
+    ObjectId x = 1 + rng.Uniform(universe);
+    if (!d.WritesObject(x)) d.writes.push_back(x);
+  }
+  while (d.reads.size() < n_reads) {
+    ObjectId x = 1 + rng.Uniform(universe);
+    if (!d.ReadsObject(x)) d.reads.push_back(x);
+  }
+  return PendingOp::FromDesc(lsn, d);
+}
+
+TEST_P(GraphFuzzTest, InvariantsAndFullDrain) {
+  Random rng(GetParam());
+  for (WriteGraph* graph :
+       std::initializer_list<WriteGraph*>{new WriteGraphW,
+                                          new RefinedWriteGraph}) {
+    std::unique_ptr<WriteGraph> owned(graph);
+    std::set<Lsn> pending;
+    Lsn next_lsn = 1;
+    size_t installed = 0;
+    for (int round = 0; round < 400; ++round) {
+      if (pending.size() < 40 || !rng.OneIn(3)) {
+        PendingOp op = RandomOp(rng, next_lsn++, /*universe=*/12);
+        pending.insert(op.lsn);
+        graph->AddOperation(op);
+      } else {
+        NodeId v = graph->MinimalNode();
+        ASSERT_NE(v, kNoNode);
+        InstallResult result;
+        ASSERT_TRUE(graph->RemoveNode(v, &result).ok());
+        for (Lsn lsn : result.installed_ops) {
+          ASSERT_EQ(pending.erase(lsn), 1u) << "op installed twice";
+          ++installed;
+        }
+      }
+      if (round % 16 == 0) {
+        ASSERT_EQ(graph->CheckInvariants().ToString(), "OK")
+            << graph->Kind() << " seed=" << GetParam();
+      }
+    }
+    // Drain: minimal-node installation must terminate with every op
+    // installed exactly once.
+    while (!graph->empty()) {
+      NodeId v = graph->MinimalNode();
+      ASSERT_NE(v, kNoNode);
+      InstallResult result;
+      ASSERT_TRUE(graph->RemoveNode(v, &result).ok());
+      for (Lsn lsn : result.installed_ops) {
+        ASSERT_EQ(pending.erase(lsn), 1u);
+        ++installed;
+      }
+    }
+    EXPECT_TRUE(pending.empty());
+    EXPECT_EQ(installed, static_cast<size_t>(next_lsn - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzTest,
+                         testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                         808));
+
+// Differential property: for the same op stream, rW never flushes more
+// objects than W does (vars(n) in rW is a refinement), measured as the
+// total number of object-flush slots over a full drain.
+TEST(GraphDifferentialTest, RefinedFlushesNoMoreObjects) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Random rng_w(seed), rng_rw(seed);
+    WriteGraphW w;
+    RefinedWriteGraph rw;
+    for (Lsn lsn = 1; lsn <= 200; ++lsn) {
+      w.AddOperation(RandomOp(rng_w, lsn, 10));
+      rw.AddOperation(RandomOp(rng_rw, lsn, 10));
+    }
+    auto drain = [](WriteGraph& g) {
+      uint64_t flushed = 0;
+      while (!g.empty()) {
+        InstallResult r;
+        EXPECT_TRUE(g.RemoveNode(g.MinimalNode(), &r).ok());
+        flushed += r.flush_objects.size();
+      }
+      return flushed;
+    };
+    uint64_t w_flushed = drain(w);
+    uint64_t rw_flushed = drain(rw);
+    EXPECT_LE(rw_flushed, w_flushed) << "seed " << seed;
+  }
+}
+
+// The WAL auditor actually detects violations (self-test of the fixture
+// used throughout the crash matrix).
+TEST(WalAuditorTest, FlagsUnloggedFlush) {
+  CrashHarness harness(EngineOptions{}, 1);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "x")).ok());
+  // Sneak a write past the WAL: vSI 999 was never forced.
+  harness.disk().store().Write(1, "illegal", 999);
+  EXPECT_TRUE(harness.disk().store().audit_status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "graph/pending_op.h"
+#include "graph/refined_write_graph.h"
+#include "graph/write_graph_w.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+namespace {
+
+PendingOp Op(Lsn lsn, std::vector<ObjectId> reads,
+             std::vector<ObjectId> writes) {
+  OperationDesc d;
+  d.reads = std::move(reads);
+  d.writes = std::move(writes);
+  return PendingOp::FromDesc(lsn, d);
+}
+
+constexpr ObjectId kX = 1, kY = 2, kZ = 3;
+
+// Figure 1(a): A: Y <- f(X,Y); B: X <- g(Y). The paper's flush-order
+// discussion: Y must flush before a subsequent change to X, and once B
+// runs, W requires {X,Y} to flush atomically.
+TEST(WriteGraphWTest, Figure1FormsOneAtomicNode) {
+  WriteGraphW w;
+  w.AddOperation(Op(1, {kX, kY}, {kY}));  // A
+  w.AddOperation(Op(2, {kY}, {kX}));      // B
+  w.Normalize();
+  ASSERT_EQ(w.CheckInvariants().ToString(), "OK");
+  // A read X which B writes -> edge A->B; distinct writesets keep two
+  // nodes in W, ordered Y before X.
+  ASSERT_EQ(w.node_count(), 2u);
+  NodeId first = w.MinimalNode();
+  const GraphNode* n = w.Find(first);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->vars, (std::set<ObjectId>{kY}));
+  InstallResult r;
+  ASSERT_TRUE(w.RemoveNode(first, &r).ok());
+  EXPECT_EQ(r.installed_ops, (std::vector<Lsn>{1}));
+  NodeId second = w.MinimalNode();
+  const GraphNode* n2 = w.Find(second);
+  EXPECT_EQ(n2->vars, (std::set<ObjectId>{kX}));
+}
+
+// Section 4's cycle example: (a) Y=f(X,Y); (b) X=g(Y); (c) Y=h(Y).
+// After (c), X must flush before the new Y, creating a cycle with the
+// earlier Y-before-X order; both graphs collapse it into one node with a
+// multi-object atomic flush set {X,Y}.
+TEST(RefinedWriteGraphTest, Section4CycleCollapses) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX, kY}, {kY}));  // (a) app read form
+  rw.AddOperation(Op(2, {kY}, {kX}));      // (b) app logical write form
+  EXPECT_EQ(rw.node_count(), 2u);
+  rw.AddOperation(Op(3, {kY}, {kY}));      // (c) app execute form
+  rw.Normalize();
+  ASSERT_EQ(rw.CheckInvariants().ToString(), "OK");
+  ASSERT_EQ(rw.node_count(), 1u);
+  NodeId v = rw.MinimalNode();
+  EXPECT_EQ(rw.Find(v)->vars, (std::set<ObjectId>{kX, kY}));
+  EXPECT_GE(rw.stats().cycle_collapses, 1u);
+}
+
+// Figure 7: A writes {X,Y}; B (elsewhere) reads X; C blind-writes X.
+// In W, X and Y stay in one atomic flush set. In rW, C peels X out:
+// vars(l)={Y}, Notx(l)={X}, and the inverse write-read edge forces B's
+// node to install before l.
+TEST(RefinedWriteGraphTest, Figure7BlindWritePeelsVars) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX, kY}, {kX, kY}));  // A
+  rw.AddOperation(Op(2, {kX}, {kZ}));          // B reads Lastw(l, X)
+  rw.AddOperation(Op(3, {}, {kX}));            // C: blind write of X
+  rw.Normalize();
+  ASSERT_EQ(rw.CheckInvariants().ToString(), "OK");
+  ASSERT_EQ(rw.node_count(), 3u);
+
+  NodeId l = rw.NodeOfOp(1);
+  NodeId b = rw.NodeOfOp(2);
+  NodeId m = rw.NodeOfOp(3);
+  EXPECT_EQ(rw.Find(l)->vars, (std::set<ObjectId>{kY}));
+  EXPECT_EQ(rw.Find(l)->notx, (std::set<ObjectId>{kX}));
+  EXPECT_EQ(rw.Find(m)->vars, (std::set<ObjectId>{kX}));
+  // Install order must be B, then l, then m.
+  EXPECT_TRUE(rw.Find(l)->preds.contains(b));   // inverse write-read
+  EXPECT_TRUE(rw.Find(m)->preds.contains(l));   // write-write
+  EXPECT_TRUE(rw.Find(m)->preds.contains(b));   // read-write (B read X)
+
+  // Installing l flushes only Y but installs X's writer too.
+  InstallResult r;
+  NodeId first = rw.MinimalNode();
+  EXPECT_EQ(first, b);
+  ASSERT_TRUE(rw.RemoveNode(first, &r).ok());
+  NodeId second = rw.MinimalNode();
+  EXPECT_EQ(second, l);
+  ASSERT_TRUE(rw.RemoveNode(second, &r).ok());
+  EXPECT_EQ(r.flush_objects, (std::vector<ObjectId>{kY}));
+  EXPECT_EQ(r.unflushed_objects, (std::vector<ObjectId>{kX}));
+  // X's rSI becomes C's lSI.
+  EXPECT_EQ(rw.FirstUninstalledWriter(kX), 3u);
+}
+
+// Same scenario in W: one node must flush {X,Y} atomically, and C joins
+// that node (vars never shrink in W).
+TEST(WriteGraphWTest, Figure7StaysAtomicInW) {
+  WriteGraphW w;
+  w.AddOperation(Op(1, {kX, kY}, {kX, kY}));  // A
+  w.AddOperation(Op(2, {kX}, {kZ}));          // B
+  w.AddOperation(Op(3, {}, {kX}));            // C merges with A's node
+  w.Normalize();
+  ASSERT_EQ(w.CheckInvariants().ToString(), "OK");
+  NodeId l = w.NodeOfOp(1);
+  EXPECT_EQ(w.NodeOfOp(3), l);
+  EXPECT_EQ(w.Find(l)->vars, (std::set<ObjectId>{kX, kY}));
+  EXPECT_TRUE(w.Find(l)->notx.empty());
+}
+
+// Physiological operations (single-object, read==write) degenerate to
+// per-object nodes with no edges: no flush-order restrictions at all.
+TEST(WriteGraphWTest, PhysiologicalOpsDegenerate) {
+  WriteGraphW w;
+  for (Lsn l = 1; l <= 6; ++l) {
+    ObjectId x = 1 + (l % 3);
+    w.AddOperation(Op(l, {x}, {x}));
+  }
+  w.Normalize();
+  ASSERT_EQ(w.CheckInvariants().ToString(), "OK");
+  EXPECT_EQ(w.node_count(), 3u);
+  EXPECT_EQ(w.MinimalNodes().size(), 3u);
+}
+
+// An identity write W_IP(X) peels X from a multi-object vars set without
+// making the new node anyone's predecessor.
+TEST(RefinedWriteGraphTest, IdentityWritePeeling) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX, kY}, {kX, kY}));  // one op writes both
+  NodeId l = rw.NodeOfOp(1);
+  ASSERT_EQ(rw.Find(l)->vars.size(), 2u);
+  // CM-injected identity write of X: blind single-object write.
+  rw.AddOperation(Op(2, {}, {kX}));
+  rw.Normalize();
+  ASSERT_EQ(rw.CheckInvariants().ToString(), "OK");
+  EXPECT_EQ(rw.Find(l)->vars, (std::set<ObjectId>{kY}));
+  EXPECT_EQ(rw.Find(l)->notx, (std::set<ObjectId>{kX}));
+  NodeId m = rw.NodeOfOp(2);
+  EXPECT_TRUE(rw.Find(m)->preds.contains(l));
+  EXPECT_TRUE(rw.Find(m)->succs.empty());
+  EXPECT_TRUE(rw.Find(l)->preds.empty());  // l still minimal
+}
+
+// Merging on exposure: two ops exposed-writing the same object share a
+// node; a third blind write of an unrelated object does not merge.
+TEST(RefinedWriteGraphTest, MergeOnlyOnExposedOverlap) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX}, {kX}));
+  rw.AddOperation(Op(2, {kX}, {kX}));  // exposed overlap -> merge
+  EXPECT_EQ(rw.NodeOfOp(1), rw.NodeOfOp(2));
+  rw.AddOperation(Op(3, {}, {kY}));    // unrelated blind write
+  EXPECT_NE(rw.NodeOfOp(3), rw.NodeOfOp(1));
+  rw.Normalize();
+  EXPECT_EQ(rw.node_count(), 2u);
+}
+
+// In rW a blind overwrite of the same object creates a new node and the
+// old one's vars empty out (install-without-any-flush is possible).
+TEST(RefinedWriteGraphTest, BlindOverwriteEmptiesVars) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {}, {kX}));  // physical write
+  rw.AddOperation(Op(2, {}, {kX}));  // blind overwrite
+  rw.Normalize();
+  ASSERT_EQ(rw.CheckInvariants().ToString(), "OK");
+  NodeId first = rw.NodeOfOp(1);
+  NodeId second = rw.NodeOfOp(2);
+  ASSERT_NE(first, second);
+  EXPECT_TRUE(rw.Find(first)->vars.empty());
+  EXPECT_EQ(rw.Find(first)->notx, (std::set<ObjectId>{kX}));
+  EXPECT_EQ(rw.Find(second)->vars, (std::set<ObjectId>{kX}));
+  // Installing the first node flushes nothing.
+  InstallResult r;
+  ASSERT_EQ(rw.MinimalNode(), first);
+  ASSERT_TRUE(rw.RemoveNode(first, &r).ok());
+  EXPECT_TRUE(r.flush_objects.empty());
+  EXPECT_EQ(r.unflushed_objects, (std::vector<ObjectId>{kX}));
+}
+
+// Read-write edges order readers before later writers in both graphs.
+TEST(WriteGraphWTest, ReadWriteEdgeOrdersReaderFirst) {
+  WriteGraphW w;
+  w.AddOperation(Op(1, {kX}, {kY}));  // reads X
+  w.AddOperation(Op(2, {}, {kX}));    // later write of X
+  w.Normalize();
+  NodeId reader = w.NodeOfOp(1);
+  NodeId writer = w.NodeOfOp(2);
+  EXPECT_TRUE(w.Find(writer)->preds.contains(reader));
+}
+
+// InstallClosure returns the node plus its transitive predecessors in a
+// valid installation order.
+TEST(WriteGraphTest, InstallClosureTopoOrder) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX}, {kY}));  // n1 reads X
+  rw.AddOperation(Op(2, {}, {kX}));    // n2 writes X: n1 -> n2
+  rw.AddOperation(Op(3, {kX}, {kZ}));  // n3 reads X (no edge to n2 yet)
+  rw.AddOperation(Op(4, {}, {kX}));    // n4: n3 -> n4, n2 -> n4 (ww)
+  rw.Normalize();
+  NodeId last = rw.NodeOfOp(4);
+  std::vector<NodeId> order = rw.InstallClosure(last);
+  // Every predecessor appears before its successor.
+  auto pos = [&](NodeId id) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return order.size();
+  };
+  for (NodeId id : order) {
+    for (NodeId p : rw.Find(id)->preds) {
+      if (pos(p) < order.size()) {
+        EXPECT_LT(pos(p), pos(id));
+      }
+    }
+  }
+  EXPECT_EQ(order.back(), last);
+}
+
+// Stats: blind writes count vars removals; cycles count collapses.
+TEST(RefinedWriteGraphTest, StatsAreTracked) {
+  RefinedWriteGraph rw;
+  rw.AddOperation(Op(1, {kX, kY}, {kX, kY}));
+  rw.AddOperation(Op(2, {}, {kX}));
+  EXPECT_EQ(rw.stats().vars_removed, 1u);
+  EXPECT_EQ(rw.stats().ww_edges, 1u);
+  EXPECT_EQ(rw.stats().ops_added, 2u);
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "engine/recovery_engine.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+// Section 4's install-without-flush: a hot object's operations are
+// installed by identity-write logging during automatic purging; the
+// object itself is not written to the stable store until FlushAll.
+TEST(HotObjectTest, HotObjectInstallsWithoutFlushing) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kIdentityWrites;
+  opts.purge_threshold_ops = 4;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  engine.MarkHot(1, true);
+
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "initial")).ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.Execute(
+                    MakeDelta(1, 0, "update-" + std::to_string(i)))
+                    .ok());
+  }
+  // Automatic purging deferred the hot object: nothing flushed, no
+  // identity writes yet.
+  EXPECT_FALSE(disk.store().Exists(1));
+  EXPECT_EQ(engine.cache().stats().identity_writes, 0u);
+
+  // Checkpoint installs the hot node by logging (install-without-flush):
+  // one identity write, still no stable-store write.
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  EXPECT_GT(engine.cache().stats().identity_writes, 0u);
+  EXPECT_FALSE(disk.store().Exists(1));
+  EXPECT_GT(engine.cache().stats().nodes_installed, 0u);
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_TRUE(disk.store().Exists(1));
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(Slice(v).ToString().substr(0, 7), "update-");
+}
+
+TEST(HotObjectTest, CheckpointAdvancesPastHotInstalls) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kIdentityWrites;
+  opts.purge_threshold_ops = 4;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  engine.MarkHot(1, true);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "initial")).ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeDelta(1, 0, "x")).ok());
+  }
+  // The object's rSI advanced to its latest identity write, so the
+  // checkpoint can truncate nearly the whole log despite the object
+  // never being flushed.
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  std::vector<LogRecord> records;
+  bool torn;
+  Lsn next;
+  uint64_t valid_end;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next,
+                                     &valid_end)
+                  .ok());
+  EXPECT_LT(records.size(), 20u);
+}
+
+TEST(HotObjectTest, NonIdentityPolicyLeavesHotNodesForFlushAll) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kNativeAtomic;
+  opts.purge_threshold_ops = 4;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  engine.MarkHot(1, true);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "initial")).ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeDelta(1, 0, "x")).ok());
+  }
+  // Without identity writes there is no install-without-flush; the hot
+  // node simply waits (automatic purging skips it).
+  EXPECT_FALSE(disk.store().Exists(1));
+  EXPECT_FALSE(engine.cache().graph().empty());
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_TRUE(disk.store().Exists(1));
+}
+
+TEST(HotObjectTest, CrashRecoveryWithHotObjects) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kIdentityWrites;
+  opts.purge_threshold_ops = 6;
+  CrashHarness harness(opts, 3);
+  harness.engine().MarkHot(1, true);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "hot")).ok());
+  ASSERT_TRUE(harness.Execute(MakeCreate(2, "cold")).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(harness.Execute(MakeAppend(1, "+")).ok());
+    ASSERT_TRUE(harness.Execute(MakeCopy(2, 1)).ok());
+  }
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+TEST(HotObjectTest, AutoHotDetectionAndCooling) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kIdentityWrites;
+  opts.purge_threshold_ops = 4;
+  // Must trip within one purge window, or each flush resets the counter.
+  opts.auto_hot_write_threshold = 3;
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "hot-to-be")).ok());
+  ASSERT_TRUE(engine.Execute(MakeCreate(2, "written-once")).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeDelta(1, 0, "u")).ok());
+  }
+  // Object 1 crossed the write threshold and became hot (deferred by
+  // automatic purging); object 2 was flushed normally.
+  EXPECT_TRUE(engine.cache().IsHot(1));
+  EXPECT_FALSE(engine.cache().IsHot(2));
+  EXPECT_FALSE(disk.store().Exists(1));
+  EXPECT_TRUE(disk.store().Exists(2));
+
+  // FlushAll writes it and cools it back down.
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_TRUE(disk.store().Exists(1));
+  EXPECT_FALSE(engine.cache().IsHot(1));
+}
+
+TEST(HotObjectTest, AutoHotCrashRecovery) {
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kIdentityWrites;
+  opts.purge_threshold_ops = 6;
+  opts.auto_hot_write_threshold = 4;
+  opts.checkpoint_interval_ops = 25;
+  CrashHarness harness(opts, 19);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "counter")).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(harness.Execute(MakeAppend(1, "+")).ok());
+  }
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "cache/object_table.h"
+
+namespace loglog {
+namespace {
+
+TEST(ObjectTableTest, FindGetOrCreateErase) {
+  ObjectTable table;
+  EXPECT_EQ(table.Find(1), nullptr);
+  CachedObject& obj = table.GetOrCreate(1);
+  obj.value = {1, 2, 3};
+  obj.vsi = 7;
+  ASSERT_NE(table.Find(1), nullptr);
+  EXPECT_EQ(table.Find(1)->vsi, 7u);
+  EXPECT_EQ(table.size(), 1u);
+  table.Erase(1);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ObjectTableTest, DirtyCountAndSnapshot) {
+  ObjectTable table;
+  CachedObject& a = table.GetOrCreate(1);
+  a.dirty = true;
+  a.rsi = 5;
+  CachedObject& b = table.GetOrCreate(2);
+  b.dirty = false;
+  CachedObject& c = table.GetOrCreate(3);
+  c.dirty = true;
+  c.rsi = 9;
+  c.exists = false;  // uninstalled delete: dead in the snapshot
+
+  EXPECT_EQ(table.dirty_count(), 2u);
+  std::vector<DotEntry> dot = table.DirtySnapshot();
+  ASSERT_EQ(dot.size(), 2u);
+  bool saw_dead = false;
+  for (const DotEntry& e : dot) {
+    if (e.id == 3) {
+      EXPECT_TRUE(e.dead);
+      EXPECT_EQ(e.rsi, 9u);
+      saw_dead = true;
+    } else {
+      EXPECT_EQ(e.id, 1u);
+      EXPECT_FALSE(e.dead);
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(ObjectTableTest, OldestCleanPrefersLruAndSkipsDirty) {
+  ObjectTable table;
+  CachedObject& a = table.GetOrCreate(1);
+  a.last_access = 10;
+  CachedObject& b = table.GetOrCreate(2);
+  b.last_access = 5;  // older
+  CachedObject& c = table.GetOrCreate(3);
+  c.last_access = 1;  // oldest but dirty
+  c.dirty = true;
+  EXPECT_EQ(table.OldestClean(), 2u);
+  table.Erase(2);
+  EXPECT_EQ(table.OldestClean(), 1u);
+  table.Erase(1);
+  EXPECT_EQ(table.OldestClean(), kInvalidObjectId);  // only dirty left
+}
+
+TEST(ObjectTableTest, ForEachVisitsAll) {
+  ObjectTable table;
+  for (ObjectId id = 1; id <= 5; ++id) table.GetOrCreate(id);
+  size_t count = 0;
+  table.ForEach([&](ObjectId, CachedObject&) { ++count; });
+  EXPECT_EQ(count, 5u);
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ops/function_registry.h"
+#include "ops/op_builder.h"
+#include "ops/operation.h"
+
+namespace loglog {
+namespace {
+
+std::vector<ObjectValue> Apply(const OperationDesc& op,
+                               std::vector<ObjectValue> reads,
+                               std::vector<ObjectValue> writes) {
+  Status st = FunctionRegistry::Global().Apply(op, reads, &writes);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return writes;
+}
+
+ObjectValue Bytes(std::initializer_list<uint8_t> b) { return ObjectValue(b); }
+
+TEST(OperationTest, ExposedAndBlindPartition) {
+  OperationDesc op = MakeAppRead(1, 2);  // reads {1,2}, writes {1}
+  EXPECT_EQ(op.Exposed(), (std::vector<ObjectId>{1}));
+  EXPECT_TRUE(op.NotExposed().empty());
+
+  OperationDesc wl = MakeAppWrite(1, 2, 16, 7);  // reads {1}, writes {2}
+  EXPECT_TRUE(wl.Exposed().empty());
+  EXPECT_EQ(wl.NotExposed(), (std::vector<ObjectId>{2}));
+}
+
+TEST(OperationTest, EncodeDecodeRoundTrip) {
+  for (const OperationDesc& op :
+       {MakePhysicalWrite(5, "payload"), MakeCreate(6, "init"),
+        MakeDelete(7), MakeDelta(8, 3, "xy"), MakeCopy(9, 10),
+        MakeSort(11, 12, 16), MakeAppExecute(13, 99), MakeAppRead(14, 15),
+        MakeAppWrite(16, 17, 128, 3), MakeIdentityWrite(18, "val"),
+        MakeXorMerge(19, {20, 21}),
+        MakeHashCombine(22, {23, 24}, 64, 5)}) {
+    std::vector<uint8_t> buf;
+    op.EncodeTo(&buf);
+    EXPECT_EQ(buf.size(), op.EncodedSize());
+    Slice s(buf);
+    OperationDesc out;
+    ASSERT_TRUE(OperationDesc::DecodeFrom(&s, &out).ok());
+    EXPECT_TRUE(out == op) << op.DebugString();
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(OperationTest, ValidateRejectsMalformed) {
+  OperationDesc empty;
+  empty.writes.clear();
+  EXPECT_TRUE(empty.Validate().IsInvalidArgument());
+
+  OperationDesc dup = MakePhysicalWrite(1, "x");
+  dup.writes = {1, 1};
+  EXPECT_TRUE(dup.Validate().IsInvalidArgument());
+
+  OperationDesc phys_reading = MakePhysicalWrite(1, "x");
+  phys_reading.reads = {2};
+  EXPECT_TRUE(phys_reading.Validate().IsInvalidArgument());
+
+  OperationDesc bad_physio = MakeDelta(1, 0, "x");
+  bad_physio.reads = {2};
+  EXPECT_TRUE(bad_physio.Validate().IsInvalidArgument());
+
+  EXPECT_TRUE(MakeAppRead(1, 2).Validate().ok());
+}
+
+TEST(OperationTest, LogicalLoggingCostIsSizeIndependent) {
+  // Figure 1's economics: a logical copy logs identifiers only, so its
+  // record size is independent of the object size, while the physical
+  // write's record carries the value.
+  OperationDesc copy = MakeCopy(1, 2);
+  EXPECT_LT(copy.EncodedSize(), 24u);
+  std::string big(1 << 16, 'x');
+  OperationDesc phys = MakePhysicalWrite(1, big);
+  EXPECT_GT(phys.EncodedSize(), big.size());
+}
+
+TEST(TransformTest, SetValueAndIdentity) {
+  auto out = Apply(MakePhysicalWrite(1, "abc"), {}, {{}});
+  EXPECT_EQ(out[0], ObjectValue({'a', 'b', 'c'}));
+  auto id = Apply(MakeIdentityWrite(1, "abc"), {}, {Bytes({1, 2})});
+  EXPECT_EQ(id[0], ObjectValue({'a', 'b', 'c'}));
+}
+
+TEST(TransformTest, ApplyDeltaSplicesAndExtends) {
+  // Physiological ops read their own object: read value == write value.
+  auto out = Apply(MakeDelta(1, 1, "ZZ"), {Bytes({1, 2, 3, 4})},
+                   {Bytes({1, 2, 3, 4})});
+  EXPECT_EQ(out[0], ObjectValue({1, 'Z', 'Z', 4}));
+  // Extends when the delta reaches past the end.
+  auto ext = Apply(MakeDelta(1, 3, "AB"), {Bytes({1, 2})}, {Bytes({1, 2})});
+  EXPECT_EQ(ext[0].size(), 5u);
+  EXPECT_EQ(ext[0][3], 'A');
+}
+
+TEST(TransformTest, AppendConcatenates) {
+  auto out =
+      Apply(MakeAppend(1, "cd"), {Bytes({'a', 'b'})}, {Bytes({'a', 'b'})});
+  EXPECT_EQ(out[0], ObjectValue({'a', 'b', 'c', 'd'}));
+}
+
+TEST(TransformTest, CopyTakesReadValue) {
+  auto out = Apply(MakeCopy(1, 2), {Bytes({9, 8, 7})}, {{}});
+  EXPECT_EQ(out[0], Bytes({9, 8, 7}));
+}
+
+TEST(TransformTest, SortRecordsSortsFixedRecords) {
+  // Three 2-byte records: (3,0) (1,1) (2,2) -> (1,1) (2,2) (3,0).
+  auto out = Apply(MakeSort(1, 2, 2), {Bytes({3, 0, 1, 1, 2, 2})}, {{}});
+  EXPECT_EQ(out[0], Bytes({1, 1, 2, 2, 3, 0}));
+  // Misaligned input fails.
+  OperationDesc bad = MakeSort(1, 2, 4);
+  std::vector<ObjectValue> writes{{}};
+  std::vector<ObjectValue> reads{Bytes({1, 2, 3})};
+  EXPECT_FALSE(FunctionRegistry::Global().Apply(bad, reads, &writes).ok());
+}
+
+TEST(TransformTest, AppOpsAreDeterministic) {
+  ObjectValue a = Random(1).Bytes(32);
+  ObjectValue x = Random(2).Bytes(64);
+  auto r1 = Apply(MakeAppRead(1, 2), {a, x}, {a});
+  auto r2 = Apply(MakeAppRead(1, 2), {a, x}, {a});
+  EXPECT_EQ(r1[0], r2[0]);
+  EXPECT_NE(r1[0], a);  // state evolved
+
+  auto e1 = Apply(MakeAppExecute(1, 7), {a}, {a});
+  auto e2 = Apply(MakeAppExecute(1, 7), {a}, {a});
+  EXPECT_EQ(e1[0], e2[0]);
+  EXPECT_NE(e1[0], Apply(MakeAppExecute(1, 8), {a}, {a})[0]);
+
+  auto w1 = Apply(MakeAppWrite(1, 2, 48, 5), {a}, {{}});
+  EXPECT_EQ(w1[0].size(), 48u);
+  EXPECT_EQ(w1[0], Apply(MakeAppWrite(1, 2, 48, 5), {a}, {{}})[0]);
+  // Output depends on the application state.
+  EXPECT_NE(w1[0], Apply(MakeAppWrite(1, 2, 48, 5), {e1[0]}, {{}})[0]);
+}
+
+TEST(TransformTest, AppWriteIgnoresTargetOldValue) {
+  // W_L(A,X) must be a blind write: X's new value cannot depend on X's
+  // old value, or X would be exposed.
+  ObjectValue a = Random(3).Bytes(16);
+  auto w1 = Apply(MakeAppWrite(1, 2, 32, 9), {a}, {{}});
+  auto w2 = Apply(MakeAppWrite(1, 2, 32, 9), {a}, {Random(4).Bytes(32)});
+  EXPECT_EQ(w1[0], w2[0]);
+}
+
+TEST(TransformTest, XorMergeAndHashCombine) {
+  auto x = Apply(MakeXorMerge(1, {2, 3}),
+                 {Bytes({0xF0, 0x0F}), Bytes({0x0F})}, {{}});
+  EXPECT_EQ(x[0], Bytes({0xFF, 0x0F}));
+
+  auto h1 = Apply(MakeHashCombine(1, {2, 3}, 24, 11),
+                  {Bytes({1}), Bytes({2})}, {{}});
+  auto h2 = Apply(MakeHashCombine(1, {2, 3}, 24, 11),
+                  {Bytes({1}), Bytes({2})}, {{}});
+  EXPECT_EQ(h1[0], h2[0]);
+  EXPECT_EQ(h1[0].size(), 24u);
+}
+
+TEST(FunctionRegistryTest, UnknownFunctionFails) {
+  OperationDesc op = MakePhysicalWrite(1, "x");
+  op.func = 9999;
+  std::vector<ObjectValue> writes{{}};
+  EXPECT_TRUE(
+      FunctionRegistry::Global().Apply(op, {}, &writes).IsNotFound());
+}
+
+TEST(FunctionRegistryTest, CustomRegistration) {
+  FuncId custom = kFuncFirstCustom + 77;
+  FunctionRegistry::Global().Register(
+      custom, [](const OperationDesc&, const std::vector<ObjectValue>&,
+                 std::vector<ObjectValue>* writes) {
+        (*writes)[0] = {42};
+        return Status::OK();
+      });
+  OperationDesc op;
+  op.func = custom;
+  op.writes = {1};
+  std::vector<ObjectValue> writes{{}};
+  ASSERT_TRUE(FunctionRegistry::Global().Apply(op, {}, &writes).ok());
+  EXPECT_EQ(writes[0], Bytes({42}));
+}
+
+TEST(FunctionRegistryTest, MismatchedVectorsRejected) {
+  OperationDesc op = MakeCopy(1, 2);
+  std::vector<ObjectValue> writes{{}};
+  EXPECT_TRUE(FunctionRegistry::Global()
+                  .Apply(op, {}, &writes)  // missing read value
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace loglog

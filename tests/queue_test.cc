@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.h"
+#include "domains/app/recoverable_app.h"
+#include "domains/queue/recoverable_queue.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+TEST(QueueTest, FifoBasics) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  RecoverableQueue q(&engine);
+  ASSERT_TRUE(q.Open().ok());
+  EXPECT_TRUE(q.empty());
+  ObjectValue v;
+  EXPECT_TRUE(q.Dequeue(&v).IsNotFound());
+
+  ASSERT_TRUE(q.Enqueue("first").ok());
+  ASSERT_TRUE(q.Enqueue("second").ok());
+  EXPECT_EQ(q.size(), 2u);
+  ASSERT_TRUE(q.Peek(&v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "first");
+  ASSERT_TRUE(q.Dequeue(&v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "first");
+  ASSERT_TRUE(q.Dequeue(&v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "second");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(QueueTest, LogicalEnqueueLogsNoPayload) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  RecoverableApp app(&engine, 500, 128);
+  ASSERT_TRUE(app.Init(3).ok());
+  RecoverableQueue q(&engine);
+  ASSERT_TRUE(q.Open().ok());
+
+  uint64_t before = engine.stats().op_log_bytes;
+  ASSERT_TRUE(q.EnqueueFromApp(app.id(), 64 * 1024, 7).ok());
+  EXPECT_LT(engine.stats().op_log_bytes - before, 128u);
+  ObjectValue msg;
+  ASSERT_TRUE(q.Dequeue(&msg).ok());
+  EXPECT_EQ(msg.size(), 64u * 1024);
+}
+
+TEST(QueueTest, SurvivesCrashWithPendingMessages) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 6;
+  CrashHarness harness(opts, 12);
+  std::deque<std::string> model;
+  {
+    RecoverableQueue q(&harness.engine());
+    ASSERT_TRUE(q.Open().ok());
+    for (int i = 0; i < 20; ++i) {
+      std::string payload = "msg-" + std::to_string(i);
+      ASSERT_TRUE(q.Enqueue(payload).ok());
+      model.push_back(payload);
+    }
+    ObjectValue v;
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(q.Dequeue(&v).ok());
+      EXPECT_EQ(Slice(v).ToString(), model.front());
+      model.pop_front();
+    }
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+
+  RecoverableQueue q(&harness.engine());
+  ASSERT_TRUE(q.Open().ok());
+  EXPECT_EQ(q.size(), model.size());
+  ObjectValue v;
+  while (!model.empty()) {
+    ASSERT_TRUE(q.Dequeue(&v).ok());
+    EXPECT_EQ(Slice(v).ToString(), model.front());
+    model.pop_front();
+  }
+  EXPECT_TRUE(q.Dequeue(&v).IsNotFound());
+}
+
+// Consumed messages are transient objects: with the generalized rSI test
+// their enqueue work is never re-executed after a crash.
+TEST(QueueTest, ConsumedMessagesSkipRedo) {
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kRsiFixpoint;
+  opts.purge_threshold_ops = 1 << 20;  // keep everything uninstalled
+  CrashHarness harness(opts, 5);
+  {
+    RecoverableQueue q(&harness.engine());
+    ASSERT_TRUE(q.Open().ok());
+    ObjectValue v;
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(q.Enqueue("payload-" + std::to_string(i)).ok());
+    }
+    for (int i = 0; i < 15; ++i) ASSERT_TRUE(q.Dequeue(&v).ok());
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  }
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  // Every fully-consumed message's enqueue is skipped as unexposed.
+  EXPECT_GE(stats.ops_skipped_unexposed, 10u);
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+TEST(QueueTest, InterleavedProducerConsumerAcrossCrashes) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 10;
+  opts.checkpoint_interval_ops = 40;
+  CrashHarness harness(opts, 31);
+  Random rng(31);
+  std::deque<std::string> model;
+  int produced = 0;
+
+  RecoverableQueue* q = new RecoverableQueue(&harness.engine());
+  ASSERT_TRUE(q->Open().ok());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      if (rng.OneIn(2) || model.empty()) {
+        std::string payload = "m" + std::to_string(produced++);
+        ASSERT_TRUE(q->Enqueue(payload).ok());
+        model.push_back(payload);
+      } else {
+        ObjectValue v;
+        ASSERT_TRUE(q->Dequeue(&v).ok());
+        EXPECT_EQ(Slice(v).ToString(), model.front());
+        model.pop_front();
+      }
+    }
+    ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+    delete q;
+    q = nullptr;
+    harness.Crash();
+    ASSERT_TRUE(harness.Recover().ok());
+    ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+    q = new RecoverableQueue(&harness.engine());
+    ASSERT_TRUE(q->Open().ok());
+    ASSERT_EQ(q->size(), model.size());
+  }
+  delete q;
+}
+
+}  // namespace
+}  // namespace loglog

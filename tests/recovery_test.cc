@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include "ops/op_builder.h"
+#include "recovery/analysis.h"
+#include "recovery/redo_test.h"
+#include "sim/crash_harness.h"
+#include "sim/workload.h"
+
+namespace loglog {
+namespace {
+
+LogRecord Op(Lsn lsn, OperationDesc desc) {
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.lsn = lsn;
+  rec.op = std::move(desc);
+  return rec;
+}
+
+TEST(AnalysisTest, DotFromOperationsAndInstalls) {
+  std::vector<LogRecord> records;
+  records.push_back(Op(1, MakePhysicalWrite(10, "a")));
+  records.push_back(Op(2, MakePhysicalWrite(11, "b")));
+  LogRecord install;
+  install.type = RecordType::kInstall;
+  install.lsn = 3;
+  install.installed_vars = {{10, kInvalidLsn}};  // 10 now clean
+  records.push_back(install);
+  records.push_back(Op(4, MakeDelta(11, 0, "c")));
+
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_FALSE(a.dot.contains(10));
+  ASSERT_TRUE(a.dot.contains(11));
+  EXPECT_EQ(a.dot.at(11), 2u);  // first uninstalled writer of 11
+  EXPECT_EQ(a.redo_start, 2u);
+}
+
+TEST(AnalysisTest, CheckpointSeedsBaseline) {
+  std::vector<LogRecord> records;
+  records.push_back(Op(1, MakePhysicalWrite(10, "a")));
+  LogRecord ckpt;
+  ckpt.type = RecordType::kCheckpoint;
+  ckpt.lsn = 2;
+  ckpt.dot = {{20, 1, false}};
+  records.push_back(ckpt);
+  records.push_back(Op(3, MakePhysicalWrite(21, "b")));
+
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_EQ(a.last_checkpoint, 2u);
+  // Object 10's pre-checkpoint record is ignored for the DOT (the
+  // checkpoint snapshot is authoritative), 20 comes from the snapshot,
+  // 21 from the post-checkpoint scan.
+  EXPECT_FALSE(a.dot.contains(10));
+  EXPECT_EQ(a.dot.at(20), 1u);
+  EXPECT_EQ(a.dot.at(21), 3u);
+  EXPECT_EQ(a.redo_start, 1u);
+}
+
+TEST(AnalysisTest, DeleteLifetimesAndReaderGating) {
+  std::vector<LogRecord> records;
+  records.push_back(Op(1, MakeCreate(10, "temp")));
+  records.push_back(Op(2, MakeAppRead(30, 10)));  // reader of 10 at lsn 2
+  records.push_back(Op(3, MakeDelete(10)));
+
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_EQ(a.deleted_at.at(10), 3u);
+  // The create at lsn 1 cannot be dead-skipped while the reader at lsn 2
+  // is possibly uninstalled (it writes 30, which is in the DOT).
+  EXPECT_FALSE(DeadSkipAllowed(a, 10, 1));
+
+  // Once the reader is known installed, the skip becomes legal.
+  LogRecord install;
+  install.type = RecordType::kInstall;
+  install.lsn = 4;
+  install.installed_vars = {{30, kInvalidLsn}};
+  records.push_back(install);
+  AnalysisResult b = RunAnalysis(records);
+  EXPECT_TRUE(DeadSkipAllowed(b, 10, 1));
+  // Writes after the delete are never dead-skipped.
+  EXPECT_FALSE(DeadSkipAllowed(b, 10, 5));
+}
+
+TEST(AnalysisTest, RedoFixpointResolvesReaderChains) {
+  // temp 10: created (1), read by op writing temp 20 (2), both deleted.
+  // The conservative gate redoes the create of 10 (its reader at lsn 2
+  // is rsi-redoable); the fixpoint sees the reader is itself dead-
+  // skippable and skips the whole chain.
+  std::vector<LogRecord> records;
+  records.push_back(Op(1, MakeCreate(10, "temp")));
+  records.push_back(Op(2, MakeCopy(20, 10)));
+  records.push_back(Op(3, MakeDelete(20)));
+  records.push_back(Op(4, MakeDelete(10)));
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_FALSE(DeadSkipAllowed(a, 10, 1));  // conservative gate blocks
+
+  auto fixpoint = ComputeRedoFixpoint(records, a);
+  EXPECT_FALSE(fixpoint.at(1));  // create of 10: skipped
+  EXPECT_FALSE(fixpoint.at(2));  // copy into 20: skipped
+  EXPECT_TRUE(fixpoint.at(3));   // the deletes themselves replay
+  EXPECT_TRUE(fixpoint.at(4));
+
+  // A live reader pins the chain: op 5 copies 10 into live object 30
+  // before the delete of 10.
+  records.clear();
+  records.push_back(Op(1, MakeCreate(10, "temp")));
+  records.push_back(Op(2, MakeCopy(30, 10)));  // 30 stays live
+  records.push_back(Op(3, MakeDelete(10)));
+  AnalysisResult b = RunAnalysis(records);
+  auto fixpoint2 = ComputeRedoFixpoint(records, b);
+  EXPECT_TRUE(fixpoint2.at(2));  // live copy must replay
+  EXPECT_TRUE(fixpoint2.at(1));  // so the create must too
+}
+
+TEST(AnalysisTest, RecreateClearsDeadState) {
+  std::vector<LogRecord> records;
+  records.push_back(Op(1, MakeCreate(10, "v1")));
+  records.push_back(Op(2, MakeDelete(10)));
+  records.push_back(Op(3, MakeCreate(10, "v2")));
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_FALSE(a.deleted_at.contains(10));
+}
+
+TEST(AnalysisTest, CommittedFlushTxns) {
+  std::vector<LogRecord> records;
+  LogRecord begin;
+  begin.type = RecordType::kFlushTxnBegin;
+  begin.lsn = 1;
+  records.push_back(begin);
+  LogRecord commit;
+  commit.type = RecordType::kFlushTxnCommit;
+  commit.lsn = 2;
+  commit.ref_lsn = 1;
+  records.push_back(commit);
+  LogRecord dangling;
+  dangling.type = RecordType::kFlushTxnBegin;
+  dangling.lsn = 3;
+  records.push_back(dangling);
+  AnalysisResult a = RunAnalysis(records);
+  EXPECT_TRUE(a.committed_flush_txns.contains(1));
+  EXPECT_FALSE(a.committed_flush_txns.contains(3));
+}
+
+// Recovery is idempotent (Theorem 2): crashing during/after recovery and
+// recovering again converges to the same state.
+TEST(RecoveryTest, IdempotentUnderRepeatedCrashes) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 16;
+  CrashHarness harness(opts, 5);
+  MixedWorkloadOptions wopts;
+  wopts.seed = 55;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    ASSERT_TRUE(harness.Execute(op).ok());
+  }
+  for (int i = 0; i < 120; ++i) {
+    Status st = harness.Execute(workload.Next());
+    ASSERT_TRUE(st.ok() || st.IsNotFound());
+  }
+  // Crash; recover; crash again *without* flushing; recover; verify.
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  harness.Crash();  // recovery's own state dies
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+// A third crash mid-recovery: recover, purge a few nodes (partial
+// progress reaches the disk), crash, recover again.
+TEST(RecoveryTest, CrashMidRecoveryAfterPartialFlush) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 1 << 20;  // no auto purge: lots of dirt
+  CrashHarness harness(opts, 6);
+  MixedWorkloadOptions wopts;
+  wopts.seed = 66;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    ASSERT_TRUE(harness.Execute(op).ok());
+  }
+  for (int i = 0; i < 100; ++i) {
+    Status st = harness.Execute(workload.Next());
+    ASSERT_TRUE(st.ok() || st.IsNotFound());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  // Partial post-recovery flushing, then crash again.
+  for (int i = 0; i < 3; ++i) {
+    Status st = harness.engine().PurgeOne();
+    if (st.IsNotFound()) break;
+    ASSERT_TRUE(st.ok());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+class TornTailTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TornTailTest, TornFinalForceIsDiscardedCleanly) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 8;
+  CrashHarness harness(opts, GetParam());
+  MixedWorkloadOptions wopts;
+  wopts.seed = GetParam() * 31 + 7;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    ASSERT_TRUE(harness.Execute(op).ok());
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      Status st = harness.Execute(workload.Next());
+      ASSERT_TRUE(st.ok() || st.IsNotFound());
+    }
+    harness.Crash(/*tear_tail=*/true);
+    RecoveryStats stats;
+    ASSERT_TRUE(harness.Recover(&stats).ok());
+    ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TornTailTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Crash between a flush transaction's commit and its in-place writes:
+// recovery completes the transaction from the logged values.
+TEST(RecoveryTest, CompletesInterruptedFlushTransaction) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    // History: two ops creating objects 1 and 2, then a committed flush
+    // transaction whose in-place writes never happened.
+    log.Append(Op(0, MakeCreate(1, "one")));
+    log.Append(Op(0, MakeCreate(2, "two")));
+    LogRecord begin;
+    begin.type = RecordType::kFlushTxnBegin;
+    begin.flush_values.push_back({1, 1, {'o', 'n', 'e'}, false});
+    begin.flush_values.push_back({2, 2, {'t', 'w', 'o'}, false});
+    Lsn begin_lsn = log.Append(std::move(begin));
+    LogRecord commit;
+    commit.type = RecordType::kFlushTxnCommit;
+    commit.ref_lsn = begin_lsn;
+    log.Append(std::move(commit));
+    ASSERT_TRUE(log.ForceAll().ok());
+    // Crash here: stable store never saw objects 1 and 2.
+  }
+  ASSERT_FALSE(disk.store().Exists(1));
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  RecoveryStats stats;
+  ASSERT_TRUE(engine.Recover(&stats).ok());
+  EXPECT_GE(stats.flush_txns_completed, 1u);
+  ASSERT_TRUE(engine.FlushAll().ok());
+  StoredObject obj;
+  ASSERT_TRUE(disk.store().Read(1, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "one");
+  ASSERT_TRUE(disk.store().Read(2, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "two");
+}
+
+// An uncommitted flush transaction is ignored entirely.
+TEST(RecoveryTest, IgnoresUncommittedFlushTransaction) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    log.Append(Op(0, MakeCreate(1, "one")));
+    LogRecord begin;
+    begin.type = RecordType::kFlushTxnBegin;
+    begin.flush_values.push_back({9, 5, {'x'}, false});
+    log.Append(std::move(begin));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  ASSERT_TRUE(engine.Recover().ok());
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_TRUE(disk.store().Exists(1));
+  EXPECT_FALSE(disk.store().Exists(9));
+}
+
+// The three REDO tests produce decreasing amounts of redo work on the
+// same crash image, and all of them recover correctly.
+TEST(RecoveryTest, RedoTestGradient) {
+  uint64_t redone[4];
+  uint64_t expensive[4];
+  int idx = 0;
+  for (RedoTestKind kind :
+       {RedoTestKind::kAlways, RedoTestKind::kVsi,
+        RedoTestKind::kRsiGeneralized, RedoTestKind::kRsiFixpoint}) {
+    EngineOptions opts;
+    opts.redo_test = kind;
+    opts.purge_threshold_ops = 12;
+    opts.checkpoint_interval_ops = 40;
+    CrashHarness harness(opts, 99);
+    MixedWorkloadOptions wopts;
+    wopts.seed = 1234;  // identical history across kinds
+    MixedWorkload workload(wopts);
+    for (const OperationDesc& op : workload.SetupOps()) {
+      ASSERT_TRUE(harness.Execute(op).ok());
+    }
+    for (int i = 0; i < 300; ++i) {
+      Status st = harness.Execute(workload.Next());
+      ASSERT_TRUE(st.ok() || st.IsNotFound());
+    }
+    harness.Crash();
+    RecoveryStats stats;
+    ASSERT_TRUE(harness.Recover(&stats).ok());
+    ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+    redone[idx] = stats.ops_redone + stats.ops_voided;
+    expensive[idx] = stats.expensive_redos;
+    ++idx;
+  }
+  // kVsi skips installed ops that kAlways replays; the generalized test
+  // skips at least as much as kVsi; the fixpoint at least as much again.
+  EXPECT_LE(redone[1], redone[0]);
+  EXPECT_LE(redone[2], redone[1]);
+  EXPECT_LE(redone[3], redone[2]);
+  EXPECT_LE(expensive[2], expensive[1]);
+  EXPECT_LE(expensive[3], expensive[2]);
+}
+
+// Deleted transient objects: with the generalized test their operations
+// are never re-executed.
+TEST(RecoveryTest, DeletedTempOpsAreSkipped) {
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kRsiGeneralized;
+  opts.purge_threshold_ops = 1 << 20;  // keep everything uninstalled
+  CrashHarness harness(opts, 17);
+  // Create temps, churn them, delete them; only one live object remains.
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "live")).ok());
+  for (ObjectId t = 100; t < 110; ++t) {
+    ASSERT_TRUE(harness.Execute(MakeCreate(t, "temp-data")).ok());
+    ASSERT_TRUE(harness.Execute(MakeDelta(t, 0, "x")).ok());
+    ASSERT_TRUE(harness.Execute(MakeDelete(t)).ok());
+  }
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  // The delta on each deleted temp is skipped as unexposed. The create
+  // is conservatively redone: the delta *read* the temp, and the reader
+  // gate (DeadSkipAllowed) over-approximates redoable readers without
+  // chasing the fixpoint. The deletes themselves are redone (erases).
+  EXPECT_GE(stats.ops_skipped_unexposed, 10u);
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+// Same workload under the fixpoint REDO test: the reader chain resolves
+// (the delta itself is skippable), so creates are skipped too.
+TEST(RecoveryTest, FixpointSkipsCreatesOfDeletedTemps) {
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kRsiFixpoint;
+  opts.purge_threshold_ops = 1 << 20;
+  CrashHarness harness(opts, 17);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "live")).ok());
+  for (ObjectId t = 100; t < 110; ++t) {
+    ASSERT_TRUE(harness.Execute(MakeCreate(t, "temp-data")).ok());
+    ASSERT_TRUE(harness.Execute(MakeDelta(t, 0, "x")).ok());
+    ASSERT_TRUE(harness.Execute(MakeDelete(t)).ok());
+  }
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  // Both the create and the delta of every temp (2 x 10) are skipped.
+  EXPECT_GE(stats.ops_skipped_unexposed, 20u);
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+// The redo scan starts at the minimum rSI: operations installed before
+// the last checkpoint are not even scanned under the generalized test.
+TEST(RecoveryTest, RedoScanStartAdvancesWithCheckpoints) {
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kRsiGeneralized;
+  opts.purge_threshold_ops = 4;
+  CrashHarness harness(opts, 23);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        harness.Execute(MakePhysicalWrite(1 + (i % 3), "value")).ok());
+  }
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+  ASSERT_TRUE(harness.engine().Checkpoint().ok());
+  ASSERT_TRUE(harness.Execute(MakePhysicalWrite(9, "tail")).ok());
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  EXPECT_LE(stats.ops_considered, 2u);  // only the tail write (+ slack)
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+// Section 5's "expanded REDO" trial execution: re-executions against
+// inapplicable state are voided without touching exposed objects.
+TEST(RecoveryTest, TrialExecutionVoidsInapplicableReplays) {
+  // Case (2c analog): an operation whose input no longer exists. Build
+  // the log by hand: op 1 creates X; op 2 copies X into Y; op 3 deletes
+  // X. Pretend ops 2 and 3 installed (flush Y's result and the delete)
+  // but with a stale install-record-free log and the kAlways test, op 2
+  // gets re-tried against a state where X is gone — and must void.
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    LogRecord r1 = Op(0, MakeCreate(10, "source"));
+    log.Append(std::move(r1));
+    LogRecord r2 = Op(0, MakeCopy(11, 10));
+    log.Append(std::move(r2));
+    LogRecord r3 = Op(0, MakeDelete(10));
+    log.Append(std::move(r3));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  // Stable state as if everything installed except... X's create was
+  // never flushed; Y was flushed with the copy's result; X was erased.
+  disk.store().Write(11, "source", 2);
+
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kAlways;
+  RecoveryEngine engine(opts, &disk);
+  RecoveryStats stats;
+  ASSERT_TRUE(engine.Recover(&stats).ok());
+  // The create redoes (X reappears in cache), the copy is skipped via
+  // its vSI (Y@2 >= lsn 2), the delete redoes. Now tear X's create off:
+  // nothing voids here — so assert the baseline first.
+  EXPECT_EQ(stats.ops_voided, 0u);
+  ASSERT_TRUE(engine.FlushAll().ok());
+  EXPECT_FALSE(disk.store().Exists(10));
+
+  // Second image: Y was NOT flushed (vSI 0) but X's delete installed.
+  SimulatedDisk disk2;
+  {
+    LogManager log(&disk2.log());
+    LogRecord r2 = Op(0, MakeCopy(11, 10));
+    r2.lsn = 2;  // preserve numbering: op 1's record was truncated away
+    LogRecord r1 = Op(0, MakeCreate(10, "source"));
+    log.Append(std::move(r1));
+    log.Append(std::move(r2));
+    LogRecord r3 = Op(0, MakeDelete(10));
+    log.Append(std::move(r3));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  disk2.log().TearTail(0);  // no tear; full log
+  // Stable: X absent (delete installed, create's effect superseded), Y
+  // stale. Replaying the copy needs X — which recovery first rebuilds
+  // from the create record, so it succeeds; then the delete erases X.
+  RecoveryEngine engine2(opts, &disk2);
+  RecoveryStats stats2;
+  ASSERT_TRUE(engine2.Recover(&stats2).ok());
+  ASSERT_TRUE(engine2.FlushAll().ok());
+  StoredObject y;
+  ASSERT_TRUE(disk2.store().Read(11, &y).ok());
+  EXPECT_EQ(Slice(y.value).ToString(), "source");
+  EXPECT_FALSE(disk2.store().Exists(10));
+}
+
+// Case (2b analog): a read object newer than the operation being
+// re-tried marks the replay inapplicable (the operation is installed in
+// every explanation) and it voids.
+TEST(RecoveryTest, TrialExecutionVoidsNewerInputs) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    log.Append(Op(0, MakeCreate(10, "v1")));       // lsn 1
+    log.Append(Op(0, MakeCopy(11, 10)));           // lsn 2: Y := X@1
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  // Stable: X carries a FUTURE version (vSI 5, as a lost-log media
+  // scenario would produce), Y never flushed. The copy at lsn 2 cannot
+  // replay against X@5 — the trial execution voids it.
+  disk.store().Write(10, "v-newer", 5);
+
+  EngineOptions opts;
+  opts.redo_test = RedoTestKind::kAlways;
+  RecoveryEngine engine(opts, &disk);
+  RecoveryStats stats;
+  ASSERT_TRUE(engine.Recover(&stats).ok());
+  EXPECT_GE(stats.ops_voided, 1u);
+  // Exposed objects were not touched by the voided replay.
+  ASSERT_TRUE(engine.FlushAll().ok());
+  StoredObject x;
+  ASSERT_TRUE(disk.store().Read(10, &x).ok());
+  EXPECT_EQ(Slice(x.value).ToString(), "v-newer");
+}
+
+TEST(RecoveryTest, ExecuteRefusedBeforeRecover) {
+  SimulatedDisk disk;
+  {
+    RecoveryEngine engine(EngineOptions{}, &disk);
+    ASSERT_TRUE(engine.Execute(MakeCreate(1, "x")).ok());
+    ASSERT_TRUE(engine.log().ForceAll().ok());
+  }
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  EXPECT_TRUE(
+      engine.Execute(MakeCreate(2, "y")).IsFailedPrecondition());
+  ASSERT_TRUE(engine.Recover().ok());
+  EXPECT_TRUE(engine.Execute(MakeCreate(2, "y")).ok());
+}
+
+TEST(RecoveryTest, EmptyDiskNeedsNoRecovery) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(EngineOptions{}, &disk);
+  EXPECT_TRUE(engine.Execute(MakeCreate(1, "x")).ok());
+}
+
+}  // namespace
+}  // namespace loglog

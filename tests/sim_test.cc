@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/crash_harness.h"
+#include "sim/reference_executor.h"
+#include "sim/workload.h"
+
+namespace loglog {
+namespace {
+
+TEST(ReferenceExecutorTest, AppliesAndDeletes) {
+  ReferenceExecutor ref;
+  ASSERT_TRUE(ref.Apply(MakeCreate(1, "one")).ok());
+  ASSERT_TRUE(ref.Apply(MakeCopy(2, 1)).ok());
+  ObjectValue v;
+  ASSERT_TRUE(ref.Get(2, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "one");
+  ASSERT_TRUE(ref.Apply(MakeDelete(1)).ok());
+  EXPECT_FALSE(ref.Exists(1));
+  EXPECT_TRUE(ref.Apply(MakeCopy(3, 1)).IsNotFound());
+}
+
+TEST(ReferenceExecutorTest, ReplaysArchiveIncludingTruncatedHistory) {
+  EngineOptions opts;
+  opts.checkpoint_interval_ops = 5;  // aggressive truncation
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.Execute(MakePhysicalWrite(1, "v" +
+                                                        std::to_string(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  ASSERT_TRUE(engine.log().ForceAll().ok());
+  // The live log is truncated, but the archive still replays everything.
+  ReferenceExecutor ref;
+  ASSERT_TRUE(ref.ReplayLog(disk.log().ArchiveContents()).ok());
+  ObjectValue v;
+  ASSERT_TRUE(ref.Get(1, &v).ok());
+  EXPECT_EQ(Slice(v).ToString(), "v39");
+}
+
+TEST(CompareWithReferenceTest, DetectsMismatches) {
+  SimulatedDisk disk;
+  ReferenceExecutor ref;
+  ASSERT_TRUE(ref.Apply(MakeCreate(1, "x")).ok());
+  // Missing from store.
+  EXPECT_TRUE(CompareWithReference(ref, disk.store()).IsCorruption());
+  // Value mismatch.
+  disk.store().Write(1, "y", 1);
+  EXPECT_TRUE(CompareWithReference(ref, disk.store()).IsCorruption());
+  // Match.
+  disk.store().Write(1, "x", 1);
+  EXPECT_TRUE(CompareWithReference(ref, disk.store()).ok());
+  // Extra object in store.
+  disk.store().Write(2, "ghost", 2);
+  EXPECT_TRUE(CompareWithReference(ref, disk.store()).IsCorruption());
+}
+
+TEST(WorkloadTest, DeterministicAndWellFormed) {
+  MixedWorkloadOptions opts;
+  opts.seed = 123;
+  MixedWorkload a(opts), b(opts);
+  // SetupOps consumes generator state; both instances must run it.
+  std::vector<OperationDesc> setup_a = a.SetupOps();
+  std::vector<OperationDesc> setup_b = b.SetupOps();
+  ASSERT_EQ(setup_a.size(), setup_b.size());
+  for (size_t i = 0; i < setup_a.size(); ++i) {
+    EXPECT_TRUE(setup_a[i].Validate().ok());
+    EXPECT_TRUE(setup_a[i] == setup_b[i]);
+  }
+  for (int i = 0; i < 500; ++i) {
+    OperationDesc oa = a.Next();
+    OperationDesc ob = b.Next();
+    EXPECT_TRUE(oa == ob) << i;
+    EXPECT_TRUE(oa.Validate().ok()) << oa.DebugString();
+  }
+}
+
+TEST(WorkloadTest, CoversAllOperationClasses) {
+  MixedWorkloadOptions opts;
+  opts.seed = 9;
+  MixedWorkload w(opts);
+  std::set<FuncId> funcs;
+  for (int i = 0; i < 2000; ++i) funcs.insert(w.Next().func);
+  EXPECT_TRUE(funcs.contains(kFuncAppExecute));
+  EXPECT_TRUE(funcs.contains(kFuncAppRead));
+  EXPECT_TRUE(funcs.contains(kFuncAppWrite));
+  EXPECT_TRUE(funcs.contains(kFuncCopy));
+  EXPECT_TRUE(funcs.contains(kFuncSortRecords));
+  EXPECT_TRUE(funcs.contains(kFuncApplyDelta));
+  EXPECT_TRUE(funcs.contains(kFuncSetValue));
+  EXPECT_TRUE(funcs.contains(kFuncDelete));
+  EXPECT_TRUE(funcs.contains(kFuncHashCombine));
+}
+
+TEST(WorkloadTest, HotSkewConcentratesPageAccess) {
+  MixedWorkloadOptions opts;
+  opts.seed = 5;
+  opts.hot_skew_percent = 80;
+  MixedWorkload w(opts);
+  (void)w.SetupOps();
+  size_t hot = 0, page_writes = 0;
+  for (int i = 0; i < 4000; ++i) {
+    OperationDesc op = w.Next();
+    if (op.writes.size() == 1 && op.writes[0] >= kPageIdBase &&
+        op.writes[0] < kPageIdBase + 100) {
+      ++page_writes;
+      if (op.writes[0] < kPageIdBase + 2) ++hot;
+    }
+  }
+  ASSERT_GT(page_writes, 100u);
+  // ~80% skew onto 2 of 12 pages.
+  EXPECT_GT(hot * 100 / page_writes, 60u);
+
+  // Skewed workloads still recover (with auto-hot detection active).
+  EngineOptions eopts;
+  eopts.flush_policy = FlushPolicy::kIdentityWrites;
+  eopts.purge_threshold_ops = 12;
+  eopts.auto_hot_write_threshold = 4;
+  eopts.checkpoint_interval_ops = 50;
+  CrashHarness harness(eopts, 5);
+  MixedWorkload workload(opts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    ASSERT_TRUE(harness.Execute(op).ok());
+  }
+  for (int i = 0; i < 200; ++i) {
+    Status st = harness.Execute(workload.Next());
+    ASSERT_TRUE(st.ok() || st.IsNotFound());
+  }
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+TEST(CrashHarnessTest, CrashDropsVolatileOnly) {
+  CrashHarness harness(EngineOptions{}, 1);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "durable")).ok());
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+  ASSERT_TRUE(harness.Execute(MakeCreate(2, "volatile")).ok());
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  // Object 1 was flushed; object 2's record was never forced.
+  EXPECT_TRUE(harness.engine().Exists(1));
+  EXPECT_FALSE(harness.engine().Exists(2));
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+TEST(CrashHarnessTest, TearNeverBreaksAcknowledgedForces) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 2;  // frequent flushes -> frequent forces
+  CrashHarness harness(opts, 8);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        harness.Execute(MakePhysicalWrite(1 + (i % 4), "v")).ok());
+  }
+  harness.Crash(/*tear_tail=*/true);
+  ASSERT_TRUE(harness.Recover().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+}
+
+}  // namespace
+}  // namespace loglog

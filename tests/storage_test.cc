@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+TEST(StableStoreTest, WriteReadErase) {
+  SimulatedDisk disk;
+  StableStore& store = disk.store();
+  store.Write(1, "hello", 5);
+  EXPECT_TRUE(store.Exists(1));
+  EXPECT_EQ(store.StableVsi(1), 5u);
+  StoredObject obj;
+  ASSERT_TRUE(store.Read(1, &obj).ok());
+  EXPECT_EQ(Slice(obj.value).ToString(), "hello");
+  EXPECT_TRUE(store.Read(2, &obj).IsNotFound());
+  store.Erase(1);
+  EXPECT_FALSE(store.Exists(1));
+  EXPECT_EQ(store.StableVsi(1), kInvalidLsn);
+}
+
+TEST(StableStoreTest, IoAccounting) {
+  SimulatedDisk disk;
+  StableStore& store = disk.store();
+  store.Write(1, "abcd", 1);
+  EXPECT_EQ(disk.stats().object_writes, 1u);
+  EXPECT_EQ(disk.stats().object_bytes_written, 4u);
+  StoredObject obj;
+  ASSERT_TRUE(store.Read(1, &obj).ok());
+  EXPECT_EQ(disk.stats().object_reads, 1u);
+}
+
+TEST(StableStoreTest, AtomicMultiWriteAllOrNothingSemantics) {
+  SimulatedDisk disk;
+  StableStore& store = disk.store();
+  store.Write(3, "old", 1);
+  std::vector<ObjectWrite> writes;
+  writes.push_back({1, Slice("a"), 10, false});
+  writes.push_back({2, Slice("b"), 11, false});
+  writes.push_back({3, Slice(), 12, true});  // erase
+  store.WriteAtomic(writes);
+  EXPECT_TRUE(store.Exists(1));
+  EXPECT_TRUE(store.Exists(2));
+  EXPECT_FALSE(store.Exists(3));
+  EXPECT_EQ(disk.stats().atomic_multi_writes, 1u);
+  EXPECT_EQ(disk.stats().objects_in_atomic_writes, 3u);
+}
+
+TEST(StableStoreTest, SingletonAtomicWriteIsPlainWrite) {
+  SimulatedDisk disk;
+  StableStore& store = disk.store();
+  store.WriteAtomic({{1, Slice("x"), 1, false}});
+  EXPECT_EQ(disk.stats().atomic_multi_writes, 0u);
+  EXPECT_EQ(disk.stats().object_writes, 1u);
+}
+
+TEST(StableStoreTest, ShadowModeBillsPerObjectPlusSwing) {
+  SimulatedDisk disk;
+  StableStore& store = disk.store();
+  store.set_shadow_mode(true);
+  std::vector<ObjectWrite> writes;
+  writes.push_back({1, Slice("a"), 1, false});
+  writes.push_back({2, Slice("b"), 2, false});
+  store.WriteAtomic(writes);
+  EXPECT_EQ(disk.stats().object_writes, 2u);
+  EXPECT_EQ(disk.stats().shadow_pointer_swings, 1u);
+  EXPECT_EQ(disk.stats().shadow_relocations, 2u);
+  EXPECT_EQ(disk.stats().atomic_multi_writes, 0u);
+}
+
+TEST(StableLogDeviceTest, AppendTruncateTear) {
+  SimulatedDisk disk;
+  StableLogDevice& log = disk.log();
+  std::vector<uint8_t> a(10, 1), b(20, 2);
+  EXPECT_EQ(log.Append(Slice(a)), 0u);
+  EXPECT_EQ(log.Append(Slice(b)), 10u);
+  EXPECT_EQ(log.end_offset(), 30u);
+  EXPECT_EQ(log.last_append_size(), 20u);
+  EXPECT_EQ(log.ArchiveContents().size(), 30u);
+
+  log.TruncatePrefix(10);
+  EXPECT_EQ(log.start_offset(), 10u);
+  EXPECT_EQ(log.retained_bytes(), 20u);
+  EXPECT_EQ(log.ArchiveContents().size(), 30u);  // archive unaffected
+
+  log.TearTail(5);
+  EXPECT_EQ(log.retained_bytes(), 15u);
+  EXPECT_EQ(log.ArchiveContents().size(), 25u);  // archive trimmed too
+}
+
+TEST(IoStatsTest, DeltaSubtracts) {
+  IoStats a;
+  a.object_writes = 10;
+  a.log_bytes = 100;
+  IoStats b = a;
+  b.object_writes = 15;
+  b.log_bytes = 180;
+  IoStats d = b.Delta(a);
+  EXPECT_EQ(d.object_writes, 5u);
+  EXPECT_EQ(d.log_bytes, 80u);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace loglog

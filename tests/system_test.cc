@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "domains/app/recoverable_app.h"
+#include "domains/btree/btree.h"
+#include "domains/dataflow/dataflow.h"
+#include "domains/fs/file_system.h"
+#include "domains/queue/recoverable_queue.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+// The whole point of the paper: ONE recovery mechanism serves every
+// domain. Five domains share a single engine (disjoint object-id
+// ranges), interleave work, crash, and all recover through the same
+// analysis+redo pass with no domain-specific recovery code.
+TEST(SystemTest, FiveDomainsOneRecovery) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 24;
+  opts.checkpoint_interval_ops = 90;
+  CrashHarness harness(opts, 2026);
+  Random rng(2026);
+
+  std::map<uint64_t, std::string> btree_model;
+  int64_t df_in1 = 3, df_in2 = 4;
+  size_t queue_expected = 0;
+
+  {
+    RecoveryEngine& engine = harness.engine();
+
+    FileSystem fs(&engine);
+    ASSERT_TRUE(fs.Mount().ok());
+    ASSERT_TRUE(fs.Create("input.dat", Slice(rng.Bytes(2048))).ok());
+
+    RecoverableApp app(&engine, 50'000, 256);
+    ASSERT_TRUE(app.Init(1).ok());
+
+    RecoverableQueue queue(&engine);
+    ASSERT_TRUE(queue.Open().ok());
+
+    BtreeOptions bopts;
+    bopts.max_page_bytes = 256;
+    Btree tree(&engine, bopts);
+    ASSERT_TRUE(tree.Open().ok());
+
+    DataflowGraph graph(&engine);
+    ASSERT_TRUE(graph.Open().ok());
+    ASSERT_TRUE(graph.DefineInput(1, df_in1).ok());
+    ASSERT_TRUE(graph.DefineInput(2, df_in2).ok());
+    ASSERT_TRUE(graph.DefineDerived(9, CellFormula::kSum, {1, 2}).ok());
+
+    for (int round = 0; round < 40; ++round) {
+      // Application consumes the file and emits into the queue.
+      ASSERT_TRUE(app.Absorb(fs.Resolve("input.dat")).ok());
+      ASSERT_TRUE(app.Step(round).ok());
+      ASSERT_TRUE(queue.EnqueueFromApp(app.id(), 512, round).ok());
+      ++queue_expected;
+      if (round % 3 == 0 && !queue.empty()) {
+        ObjectValue msg;
+        ASSERT_TRUE(queue.Dequeue(&msg).ok());
+        --queue_expected;
+      }
+      // Index some keys.
+      uint64_t key = rng.Uniform(10'000);
+      std::string value = "r" + std::to_string(round);
+      ASSERT_TRUE(tree.Insert(key, value).ok());
+      btree_model[key] = value;
+      // Tweak the dataflow inputs.
+      if (round % 5 == 0) {
+        df_in1 = round;
+        ASSERT_TRUE(graph.SetInput(1, df_in1).ok());
+      }
+      // Churn files.
+      if (round % 7 == 0) {
+        ASSERT_TRUE(fs.Copy("mirror.dat", "input.dat").ok());
+      }
+    }
+    ASSERT_TRUE(engine.log().ForceAll().ok());
+  }
+
+  harness.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+
+  RecoveryEngine& engine = harness.engine();
+  FileSystem fs(&engine);
+  ASSERT_TRUE(fs.Mount().ok());
+  EXPECT_TRUE(fs.Exists("input.dat"));
+  EXPECT_TRUE(fs.Exists("mirror.dat"));
+  ObjectValue a, b;
+  ASSERT_TRUE(fs.ReadFile("input.dat", &a).ok());
+  ASSERT_TRUE(fs.ReadFile("mirror.dat", &b).ok());
+  EXPECT_EQ(a, b);
+
+  RecoverableQueue queue(&engine);
+  ASSERT_TRUE(queue.Open().ok());
+  EXPECT_EQ(queue.size(), queue_expected);
+
+  BtreeOptions bopts;
+  bopts.max_page_bytes = 256;
+  Btree tree(&engine, bopts);
+  ASSERT_TRUE(tree.Open().ok());
+  ASSERT_EQ(tree.Validate().ToString(), "OK");
+  for (const auto& [key, value] : btree_model) {
+    std::vector<uint8_t> got;
+    ASSERT_TRUE(tree.Get(key, &got).ok()) << key;
+    EXPECT_EQ(Slice(got).ToString(), value);
+  }
+
+  DataflowGraph graph(&engine);
+  ASSERT_TRUE(graph.Open().ok());
+  ASSERT_TRUE(graph.Audit().ok());
+  int64_t sum;
+  ASSERT_TRUE(graph.Value(9, &sum).ok());
+  EXPECT_EQ(sum, df_in1 + df_in2);
+}
+
+}  // namespace
+}  // namespace loglog
