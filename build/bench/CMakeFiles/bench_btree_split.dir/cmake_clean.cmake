@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_btree_split.dir/bench_btree_split.cc.o"
+  "CMakeFiles/bench_btree_split.dir/bench_btree_split.cc.o.d"
+  "bench_btree_split"
+  "bench_btree_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btree_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

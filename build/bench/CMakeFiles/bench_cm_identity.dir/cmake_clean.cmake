@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cm_identity.dir/bench_cm_identity.cc.o"
+  "CMakeFiles/bench_cm_identity.dir/bench_cm_identity.cc.o.d"
+  "bench_cm_identity"
+  "bench_cm_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cm_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

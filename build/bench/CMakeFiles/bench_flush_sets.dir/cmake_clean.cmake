@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flush_sets.dir/bench_flush_sets.cc.o"
+  "CMakeFiles/bench_flush_sets.dir/bench_flush_sets.cc.o.d"
+  "bench_flush_sets"
+  "bench_flush_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flush_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

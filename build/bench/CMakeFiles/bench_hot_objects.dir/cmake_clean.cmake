@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hot_objects.dir/bench_hot_objects.cc.o"
+  "CMakeFiles/bench_hot_objects.dir/bench_hot_objects.cc.o.d"
+  "bench_hot_objects"
+  "bench_hot_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hot_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_install_logging.dir/bench_install_logging.cc.o"
+  "CMakeFiles/bench_install_logging.dir/bench_install_logging.cc.o.d"
+  "bench_install_logging"
+  "bench_install_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_install_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging_cost.dir/bench_logging_cost.cc.o"
+  "CMakeFiles/bench_logging_cost.dir/bench_logging_cost.cc.o.d"
+  "bench_logging_cost"
+  "bench_logging_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_media_recovery.dir/bench_media_recovery.cc.o"
+  "CMakeFiles/bench_media_recovery.dir/bench_media_recovery.cc.o.d"
+  "bench_media_recovery"
+  "bench_media_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_media_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redo_test.dir/bench_redo_test.cc.o"
+  "CMakeFiles/bench_redo_test.dir/bench_redo_test.cc.o.d"
+  "bench_redo_test"
+  "bench_redo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_graph.dir/bench_write_graph.cc.o"
+  "CMakeFiles/bench_write_graph.dir/bench_write_graph.cc.o.d"
+  "bench_write_graph"
+  "bench_write_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_app_pipeline.dir/app_pipeline.cpp.o"
+  "CMakeFiles/example_app_pipeline.dir/app_pipeline.cpp.o.d"
+  "example_app_pipeline"
+  "example_app_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_app_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

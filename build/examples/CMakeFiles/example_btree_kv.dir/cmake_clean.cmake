@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_btree_kv.dir/btree_kv.cpp.o"
+  "CMakeFiles/example_btree_kv.dir/btree_kv.cpp.o.d"
+  "example_btree_kv"
+  "example_btree_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_btree_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_durable_files.dir/durable_files.cpp.o"
+  "CMakeFiles/example_durable_files.dir/durable_files.cpp.o.d"
+  "example_durable_files"
+  "example_durable_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_durable_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

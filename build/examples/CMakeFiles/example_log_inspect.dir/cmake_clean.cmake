@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_log_inspect.dir/log_inspect.cpp.o"
+  "CMakeFiles/example_log_inspect.dir/log_inspect.cpp.o.d"
+  "example_log_inspect"
+  "example_log_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_log_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_message_queue.dir/message_queue.cpp.o"
+  "CMakeFiles/example_message_queue.dir/message_queue.cpp.o.d"
+  "example_message_queue"
+  "example_message_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_message_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/backup_manager.cc" "src/CMakeFiles/loglog.dir/backup/backup_manager.cc.o" "gcc" "src/CMakeFiles/loglog.dir/backup/backup_manager.cc.o.d"
+  "/root/repo/src/backup/media_recovery.cc" "src/CMakeFiles/loglog.dir/backup/media_recovery.cc.o" "gcc" "src/CMakeFiles/loglog.dir/backup/media_recovery.cc.o.d"
+  "/root/repo/src/cache/cache_manager.cc" "src/CMakeFiles/loglog.dir/cache/cache_manager.cc.o" "gcc" "src/CMakeFiles/loglog.dir/cache/cache_manager.cc.o.d"
+  "/root/repo/src/cache/object_table.cc" "src/CMakeFiles/loglog.dir/cache/object_table.cc.o" "gcc" "src/CMakeFiles/loglog.dir/cache/object_table.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/loglog.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/loglog.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/loglog.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/loglog.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/loglog.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/loglog.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/loglog.dir/common/status.cc.o" "gcc" "src/CMakeFiles/loglog.dir/common/status.cc.o.d"
+  "/root/repo/src/domains/app/recoverable_app.cc" "src/CMakeFiles/loglog.dir/domains/app/recoverable_app.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/app/recoverable_app.cc.o.d"
+  "/root/repo/src/domains/btree/btree.cc" "src/CMakeFiles/loglog.dir/domains/btree/btree.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/btree/btree.cc.o.d"
+  "/root/repo/src/domains/btree/btree_page.cc" "src/CMakeFiles/loglog.dir/domains/btree/btree_page.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/btree/btree_page.cc.o.d"
+  "/root/repo/src/domains/dataflow/dataflow.cc" "src/CMakeFiles/loglog.dir/domains/dataflow/dataflow.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/dataflow/dataflow.cc.o.d"
+  "/root/repo/src/domains/fs/file_system.cc" "src/CMakeFiles/loglog.dir/domains/fs/file_system.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/fs/file_system.cc.o.d"
+  "/root/repo/src/domains/queue/recoverable_queue.cc" "src/CMakeFiles/loglog.dir/domains/queue/recoverable_queue.cc.o" "gcc" "src/CMakeFiles/loglog.dir/domains/queue/recoverable_queue.cc.o.d"
+  "/root/repo/src/engine/recovery_engine.cc" "src/CMakeFiles/loglog.dir/engine/recovery_engine.cc.o" "gcc" "src/CMakeFiles/loglog.dir/engine/recovery_engine.cc.o.d"
+  "/root/repo/src/explain/explainability.cc" "src/CMakeFiles/loglog.dir/explain/explainability.cc.o" "gcc" "src/CMakeFiles/loglog.dir/explain/explainability.cc.o.d"
+  "/root/repo/src/graph/batch_write_graph.cc" "src/CMakeFiles/loglog.dir/graph/batch_write_graph.cc.o" "gcc" "src/CMakeFiles/loglog.dir/graph/batch_write_graph.cc.o.d"
+  "/root/repo/src/graph/refined_write_graph.cc" "src/CMakeFiles/loglog.dir/graph/refined_write_graph.cc.o" "gcc" "src/CMakeFiles/loglog.dir/graph/refined_write_graph.cc.o.d"
+  "/root/repo/src/graph/write_graph.cc" "src/CMakeFiles/loglog.dir/graph/write_graph.cc.o" "gcc" "src/CMakeFiles/loglog.dir/graph/write_graph.cc.o.d"
+  "/root/repo/src/graph/write_graph_w.cc" "src/CMakeFiles/loglog.dir/graph/write_graph_w.cc.o" "gcc" "src/CMakeFiles/loglog.dir/graph/write_graph_w.cc.o.d"
+  "/root/repo/src/ops/function_registry.cc" "src/CMakeFiles/loglog.dir/ops/function_registry.cc.o" "gcc" "src/CMakeFiles/loglog.dir/ops/function_registry.cc.o.d"
+  "/root/repo/src/ops/op_builder.cc" "src/CMakeFiles/loglog.dir/ops/op_builder.cc.o" "gcc" "src/CMakeFiles/loglog.dir/ops/op_builder.cc.o.d"
+  "/root/repo/src/ops/operation.cc" "src/CMakeFiles/loglog.dir/ops/operation.cc.o" "gcc" "src/CMakeFiles/loglog.dir/ops/operation.cc.o.d"
+  "/root/repo/src/recovery/analysis.cc" "src/CMakeFiles/loglog.dir/recovery/analysis.cc.o" "gcc" "src/CMakeFiles/loglog.dir/recovery/analysis.cc.o.d"
+  "/root/repo/src/recovery/recovery_driver.cc" "src/CMakeFiles/loglog.dir/recovery/recovery_driver.cc.o" "gcc" "src/CMakeFiles/loglog.dir/recovery/recovery_driver.cc.o.d"
+  "/root/repo/src/recovery/redo_test.cc" "src/CMakeFiles/loglog.dir/recovery/redo_test.cc.o" "gcc" "src/CMakeFiles/loglog.dir/recovery/redo_test.cc.o.d"
+  "/root/repo/src/sim/crash_harness.cc" "src/CMakeFiles/loglog.dir/sim/crash_harness.cc.o" "gcc" "src/CMakeFiles/loglog.dir/sim/crash_harness.cc.o.d"
+  "/root/repo/src/sim/reference_executor.cc" "src/CMakeFiles/loglog.dir/sim/reference_executor.cc.o" "gcc" "src/CMakeFiles/loglog.dir/sim/reference_executor.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/loglog.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/loglog.dir/sim/workload.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/loglog.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/loglog.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/simulated_disk.cc" "src/CMakeFiles/loglog.dir/storage/simulated_disk.cc.o" "gcc" "src/CMakeFiles/loglog.dir/storage/simulated_disk.cc.o.d"
+  "/root/repo/src/storage/stable_store.cc" "src/CMakeFiles/loglog.dir/storage/stable_store.cc.o" "gcc" "src/CMakeFiles/loglog.dir/storage/stable_store.cc.o.d"
+  "/root/repo/src/wal/log_dump.cc" "src/CMakeFiles/loglog.dir/wal/log_dump.cc.o" "gcc" "src/CMakeFiles/loglog.dir/wal/log_dump.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/loglog.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/loglog.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/loglog.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/loglog.dir/wal/log_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backup_test.cc" "tests/CMakeFiles/loglog_tests.dir/backup_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/backup_test.cc.o.d"
+  "/root/repo/tests/batch_graph_test.cc" "tests/CMakeFiles/loglog_tests.dir/batch_graph_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/batch_graph_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/loglog_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/loglog_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/loglog_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crash_recovery_test.cc" "tests/CMakeFiles/loglog_tests.dir/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/crash_recovery_test.cc.o.d"
+  "/root/repo/tests/dataflow_test.cc" "tests/CMakeFiles/loglog_tests.dir/dataflow_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/dataflow_test.cc.o.d"
+  "/root/repo/tests/decode_fuzz_test.cc" "tests/CMakeFiles/loglog_tests.dir/decode_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/decode_fuzz_test.cc.o.d"
+  "/root/repo/tests/domains_test.cc" "tests/CMakeFiles/loglog_tests.dir/domains_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/domains_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/loglog_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/explainability_test.cc" "tests/CMakeFiles/loglog_tests.dir/explainability_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/explainability_test.cc.o.d"
+  "/root/repo/tests/failpoint_test.cc" "tests/CMakeFiles/loglog_tests.dir/failpoint_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/failpoint_test.cc.o.d"
+  "/root/repo/tests/graph_fuzz_test.cc" "tests/CMakeFiles/loglog_tests.dir/graph_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/graph_fuzz_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/loglog_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/hot_objects_test.cc" "tests/CMakeFiles/loglog_tests.dir/hot_objects_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/hot_objects_test.cc.o.d"
+  "/root/repo/tests/object_table_test.cc" "tests/CMakeFiles/loglog_tests.dir/object_table_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/object_table_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/loglog_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/queue_test.cc" "tests/CMakeFiles/loglog_tests.dir/queue_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/queue_test.cc.o.d"
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/loglog_tests.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/recovery_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/loglog_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/loglog_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/loglog_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/system_test.cc" "tests/CMakeFiles/loglog_tests.dir/system_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/system_test.cc.o.d"
+  "/root/repo/tests/wal_test.cc" "tests/CMakeFiles/loglog_tests.dir/wal_test.cc.o" "gcc" "tests/CMakeFiles/loglog_tests.dir/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/loglog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
