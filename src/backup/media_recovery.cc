@@ -13,10 +13,11 @@ Status MediaRecover(const BackupImage& image, Slice log_archive,
   // Restore the image as the stable store (restoration I/O is not part
   // of the experiment counters; it happens before the disk is live).
   for (const auto& [id, entry] : image.entries) {
-    fresh_disk->store().Write(id, Slice(entry.value), entry.vsi);
+    LOGLOG_RETURN_IF_ERROR(
+        fresh_disk->store().Write(id, Slice(entry.value), entry.vsi));
   }
   // The surviving log archive becomes the new disk's log.
-  fresh_disk->log().Append(log_archive);
+  LOGLOG_RETURN_IF_ERROR(fresh_disk->log().Append(log_archive));
 
   EngineOptions opts;
   opts.redo_test = RedoTestKind::kAlways;  // vSI guard only; see header
@@ -37,7 +38,9 @@ Status RestoreToLsn(Slice log_archive, Lsn target,
     if (rec.type != RecordType::kOperation || rec.lsn > target) continue;
     const OperationDesc& op = rec.op;
     if (op.op_class == OpClass::kDelete) {
-      if (store.Exists(op.writes[0])) store.Erase(op.writes[0]);
+      if (store.Exists(op.writes[0])) {
+        LOGLOG_RETURN_IF_ERROR(store.Erase(op.writes[0]));
+      }
       continue;
     }
     std::vector<ObjectValue> reads;
@@ -57,7 +60,8 @@ Status RestoreToLsn(Slice log_archive, Lsn target,
     LOGLOG_RETURN_IF_ERROR(
         FunctionRegistry::Global().Apply(op, reads, &writes));
     for (size_t i = 0; i < op.writes.size(); ++i) {
-      store.Write(op.writes[i], Slice(writes[i]), rec.lsn);
+      LOGLOG_RETURN_IF_ERROR(
+          store.Write(op.writes[i], Slice(writes[i]), rec.lsn));
     }
   }
   return Status::OK();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/retry.h"
+#include "fault/fault_injector.h"
 #include "graph/refined_write_graph.h"
 #include "graph/write_graph_w.h"
 #include "ops/op_builder.h"
@@ -40,6 +42,26 @@ CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
   disk_->store().set_shadow_mode(flush_policy_ == FlushPolicy::kShadow);
 }
 
+void CacheManager::set_fail_point(FailPoint fp) {
+  FaultInjector& inj = disk_->fault_injector();
+  switch (fp) {
+    case FailPoint::kNone:
+      inj.Disarm(fault::kCmAfterWalForce);
+      inj.Disarm(fault::kCmAfterFlushTxnCommit);
+      inj.Disarm(fault::kCmAfterFirstFlushTxnWrite);
+      break;
+    case FailPoint::kAfterFlushTxnCommit:
+      inj.Arm(fault::kCmAfterFlushTxnCommit, FaultSpec::CrashOnce());
+      break;
+    case FailPoint::kAfterFirstFlushTxnWrite:
+      inj.Arm(fault::kCmAfterFirstFlushTxnWrite, FaultSpec::CrashOnce());
+      break;
+    case FailPoint::kAfterWalForce:
+      inj.Arm(fault::kCmAfterWalForce, FaultSpec::CrashOnce());
+      break;
+  }
+}
+
 Status CacheManager::GetValue(ObjectId id, ObjectValue* out) {
   CachedObject* obj = table_.Find(id);
   if (obj != nullptr) {
@@ -49,7 +71,9 @@ Status CacheManager::GetValue(ObjectId id, ObjectValue* out) {
     return Status::OK();
   }
   StoredObject stored;
-  LOGLOG_RETURN_IF_ERROR(disk_->store().Read(id, &stored));
+  LOGLOG_RETURN_IF_ERROR(RetryTransientIo(&disk_->stats().io_retries, [&] {
+    return disk_->store().Read(id, &stored);
+  }));
   CachedObject& entry = table_.GetOrCreate(id);
   entry.value = stored.value;
   entry.vsi = stored.vsi;
@@ -235,12 +259,13 @@ Status CacheManager::InstallNode(NodeId v) {
   if (!node->preds.empty()) {
     return Status::FailedPrecondition("node has uninstalled predecessors");
   }
-  // WAL: every operation being installed must be stable first.
-  LOGLOG_RETURN_IF_ERROR(log_->Force(node->MaxOpLsn()));
-  if (fail_point_ == FailPoint::kAfterWalForce) {
-    fail_point_ = FailPoint::kNone;
-    return Status::Aborted("fail point: after WAL force");
-  }
+  // WAL: every operation being installed must be stable first — and so
+  // must every blind write whose record this installation counts on to
+  // regenerate an unexposed (notx) object after a crash.
+  LOGLOG_RETURN_IF_ERROR(
+      log_->Force(std::max(node->MaxOpLsn(), node->notx_force_lsn)));
+  LOGLOG_RETURN_IF_ERROR(
+      disk_->fault_injector().MaybeFail(fault::kCmAfterWalForce));
 
   stats_.flush_set_sizes.Add(node->vars.size());
   stats_.node_writes_sizes.Add(node->vars.size() + node->notx.size());
@@ -264,11 +289,17 @@ Status CacheManager::InstallNode(NodeId v) {
     writes.push_back(w);
   }
 
-  // Flush vars(n) under the configured policy.
+  // Flush vars(n) under the configured policy. Transient device errors
+  // are retried here (the flush path is where the WAL protocol lets us
+  // simply re-issue); anything that survives the retry budget propagates.
+  auto flush_atomic = [&](const std::vector<ObjectWrite>& ws) {
+    return RetryTransientIo(&disk_->stats().io_retries,
+                            [&] { return disk_->store().WriteAtomic(ws); });
+  };
   switch (flush_policy_) {
     case FlushPolicy::kNativeAtomic:
     case FlushPolicy::kShadow:
-      disk_->store().WriteAtomic(writes);
+      LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
       break;
     case FlushPolicy::kIdentityWrites:
       // PurgeOne reduced |vars| to at most 1.
@@ -276,11 +307,11 @@ Status CacheManager::InstallNode(NodeId v) {
         return Status::FailedPrecondition(
             "identity-write policy with multi-object flush set");
       }
-      disk_->store().WriteAtomic(writes);
+      LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
       break;
     case FlushPolicy::kFlushTransaction: {
       if (writes.size() <= 1) {
-        disk_->store().WriteAtomic(writes);
+        LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
         break;
       }
       // Freeze the set: quiesce, log every value plus a commit record,
@@ -305,21 +336,18 @@ Status CacheManager::InstallNode(NodeId v) {
       commit.ref_lsn = begin_lsn;
       Lsn commit_lsn = log_->Append(std::move(commit));
       LOGLOG_RETURN_IF_ERROR(log_->Force(commit_lsn));
-      if (fail_point_ == FailPoint::kAfterFlushTxnCommit) {
-        fail_point_ = FailPoint::kNone;
-        return Status::Aborted("fail point: after flush-txn commit");
-      }
+      LOGLOG_RETURN_IF_ERROR(
+          disk_->fault_injector().MaybeFail(fault::kCmAfterFlushTxnCommit));
       bool first = true;
       for (const ObjectWrite& w : writes) {
-        if (w.erase) {
-          disk_->store().Erase(w.id);
-        } else {
-          disk_->store().Write(w.id, w.value, w.vsi);
-        }
-        if (first &&
-            fail_point_ == FailPoint::kAfterFirstFlushTxnWrite) {
-          fail_point_ = FailPoint::kNone;
-          return Status::Aborted("fail point: after first in-place write");
+        LOGLOG_RETURN_IF_ERROR(
+            RetryTransientIo(&disk_->stats().io_retries, [&] {
+              return w.erase ? disk_->store().Erase(w.id)
+                             : disk_->store().Write(w.id, w.value, w.vsi);
+            }));
+        if (first) {
+          LOGLOG_RETURN_IF_ERROR(disk_->fault_injector().MaybeFail(
+              fault::kCmAfterFirstFlushTxnWrite));
         }
         first = false;
       }
@@ -389,13 +417,19 @@ Status CacheManager::FlushAll() {
     CachedObject* obj = table_.Find(id);
     LOGLOG_RETURN_IF_ERROR(log_->Force(obj->vsi));
     if (obj->exists) {
-      disk_->store().Write(id, Slice(obj->value), obj->vsi);
+      LOGLOG_RETURN_IF_ERROR(
+          RetryTransientIo(&disk_->stats().io_retries, [&] {
+            return disk_->store().Write(id, Slice(obj->value), obj->vsi);
+          }));
       obj->dirty = false;
       obj->rsi = kInvalidLsn;
       obj->writes_since_clean = 0;
       if (auto_hot_.erase(id) > 0) hot_.erase(id);
     } else {
-      if (disk_->store().Exists(id)) disk_->store().Erase(id);
+      if (disk_->store().Exists(id)) {
+        LOGLOG_RETURN_IF_ERROR(RetryTransientIo(
+            &disk_->stats().io_retries, [&] { return disk_->store().Erase(id); }));
+      }
       table_.Erase(id);
     }
   }

@@ -123,9 +123,12 @@ class CacheManager {
   /// write-graph invariants.
   Status CheckInvariants();
 
-  /// Crash-window fail points for tests: the next matching step aborts
-  /// with Status::Aborted *after* its stable side effects, leaving the
-  /// disk exactly as a crash at that instant would.
+  /// Crash-window fail points, kept as a compatibility shim over the
+  /// FaultInjector registry: each value maps to a one-shot kCrashNow
+  /// fault at the corresponding fault::kCm* site on the disk's injector
+  /// (kNone disarms all three). New code should arm the sites directly —
+  /// the registry adds trigger policies (nth-hit, every-k, probabilistic)
+  /// this enum never had.
   enum class FailPoint {
     kNone,
     /// Flush transaction: after the commit record is forced but before
@@ -137,7 +140,7 @@ class CacheManager {
     /// After the WAL force, before the flush itself (recovery redoes).
     kAfterWalForce,
   };
-  void set_fail_point(FailPoint fp) { fail_point_ = fp; }
+  void set_fail_point(FailPoint fp);
 
  private:
   /// Flushes vars(v) and removes v from the graph; v must be minimal.
@@ -165,7 +168,6 @@ class CacheManager {
   std::set<ObjectId> hot_;
   std::set<ObjectId> auto_hot_;
   uint64_t auto_hot_threshold_ = 0;
-  FailPoint fail_point_ = FailPoint::kNone;
 };
 
 }  // namespace loglog

@@ -1,0 +1,35 @@
+#ifndef LOGLOG_COMMON_RETRY_H_
+#define LOGLOG_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+
+namespace loglog {
+
+/// Retry budget for transient I/O errors. The simulator has no clock, so
+/// "bounded backoff" is a bounded number of immediate re-issues; each
+/// re-issue is billed to the caller's retry counter. A fault armed as
+/// permanent keeps failing, exhausts the budget, and surfaces as a clean
+/// IoError; a transient fault succeeds on a retry and the caller never
+/// sees it.
+inline constexpr int kMaxIoRetries = 3;
+
+/// Runs `fn` (a callable returning Status), re-issuing it up to
+/// kMaxIoRetries times while it fails with IoError. Other failure codes
+/// (Corruption, Aborted, NotFound...) are never retried — they are not
+/// transient device conditions.
+template <typename Fn>
+Status RetryTransientIo(uint64_t* retry_counter, Fn&& fn) {
+  Status st = std::forward<Fn>(fn)();
+  for (int i = 0; i < kMaxIoRetries && st.IsIoError(); ++i) {
+    ++*retry_counter;
+    st = std::forward<Fn>(fn)();
+  }
+  return st;
+}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_COMMON_RETRY_H_

@@ -20,7 +20,7 @@ RecoveryEngine::RecoveryEngine(const EngineOptions& options,
 Status RecoveryEngine::Recover(RecoveryStats* stats) {
   RecoveryStats local;
   RecoveryDriver driver(disk_, log_.get(), cache_.get(),
-                        options_.redo_test);
+                        options_.redo_test, repair_backup_);
   LOGLOG_RETURN_IF_ERROR(driver.Run(stats != nullptr ? stats : &local));
   recovered_ = true;
   needs_recovery_ = false;

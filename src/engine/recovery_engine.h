@@ -55,6 +55,13 @@ class RecoveryEngine {
   /// needs no recovery. Idempotent across repeated crashes mid-recovery.
   Status Recover(RecoveryStats* stats = nullptr);
 
+  /// Installs the backup image Recover() repairs from when its checksum
+  /// sweep finds corrupt stable objects (nullptr: repair from the log
+  /// archive alone). The image must outlive the engine.
+  void set_repair_backup(const BackupImage* image) {
+    repair_backup_ = image;
+  }
+
   /// Executes and logs one operation. Under LoggingMode::kPhysiological,
   /// cross-object logical operations are decomposed into physical writes
   /// whose values are logged (the Figure 1b baseline). Returns the LSN of
@@ -94,6 +101,7 @@ class RecoveryEngine {
   uint64_t ops_since_checkpoint_ = 0;
   bool recovered_ = false;
   bool needs_recovery_ = false;
+  const BackupImage* repair_backup_ = nullptr;
 };
 
 }  // namespace loglog

@@ -1,0 +1,110 @@
+#include "fault/fault_injector.h"
+
+namespace loglog {
+
+void FaultInjector::Arm(std::string_view site, FaultSpec spec) {
+  auto [it, inserted] = sites_.try_emplace(std::string(site));
+  Site& s = it->second;
+  if (!inserted && s.armed) --armed_count_;
+  s.spec = spec;
+  s.stats = FaultSiteStats{};
+  s.rng = Random(spec.seed);
+  s.armed = spec.action != FaultAction::kNone;
+  if (s.armed) ++armed_count_;
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  --armed_count_;
+}
+
+void FaultInjector::DisarmAll() {
+  for (auto& [name, site] : sites_) site.armed = false;
+  armed_count_ = 0;
+}
+
+bool FaultInjector::armed(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it != sites_.end() && it->second.armed;
+}
+
+FaultFire FaultInjector::Hit(std::string_view site) {
+  if (armed_count_ == 0) return {};
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return {};
+  Site& s = it->second;
+  ++s.stats.hits;
+  bool fire = false;
+  bool disarm = false;
+  switch (s.spec.trigger) {
+    case FaultTrigger::kOneShot:
+      fire = true;
+      disarm = true;
+      break;
+    case FaultTrigger::kNthHit:
+      fire = s.stats.hits == s.spec.n;
+      disarm = fire;
+      break;
+    case FaultTrigger::kEveryK:
+      fire = s.spec.n > 0 && s.stats.hits % s.spec.n == 0;
+      break;
+    case FaultTrigger::kProbabilistic:
+      fire = s.rng.Uniform(100) < s.spec.percent;
+      break;
+  }
+  if (!fire) return {};
+  ++s.stats.fires;
+  ++total_fires_;
+  if (disarm ||
+      (s.spec.max_fires > 0 && s.stats.fires >= s.spec.max_fires)) {
+    s.armed = false;
+    --armed_count_;
+  }
+  FaultFire out;
+  out.action = s.spec.action;
+  out.rng = s.rng.Next();
+  if ((out.action == FaultAction::kCrashNow ||
+       out.action == FaultAction::kTornWrite) &&
+      crash_cb_) {
+    crash_cb_(site);
+  }
+  return out;
+}
+
+Status FaultInjector::ErrorStatus(FaultAction action, std::string_view site) {
+  std::string where(site);
+  switch (action) {
+    case FaultAction::kNone:
+      return Status::OK();
+    case FaultAction::kTransientIoError:
+      return Status::IoError("fault[" + where + "]: transient I/O error");
+    case FaultAction::kPermanentIoError:
+      return Status::IoError("fault[" + where + "]: permanent I/O error");
+    case FaultAction::kCrashNow:
+      return Status::Aborted("fault[" + where + "]: crash");
+    case FaultAction::kTornWrite:
+      return Status::Aborted("fault[" + where + "]: torn write; crash");
+    default:
+      // Data-corruption actions at a pure error site degrade to an error.
+      return Status::IoError("fault[" + where + "]: I/O error");
+  }
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  return ErrorStatus(Hit(site).action, site);
+}
+
+void FaultInjector::FlipBit(uint64_t rng, std::vector<uint8_t>* data) {
+  if (data == nullptr || data->empty()) return;
+  uint64_t bit = rng % (data->size() * 8);
+  (*data)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+FaultSiteStats FaultInjector::site_stats(std::string_view site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+}  // namespace loglog

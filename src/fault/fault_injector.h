@@ -1,0 +1,244 @@
+#ifndef LOGLOG_FAULT_FAULT_INJECTOR_H_
+#define LOGLOG_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace loglog {
+
+/// Canonical fault-site names. Every layer that touches durable state
+/// registers a hit at one of these sites before (or around) the touch;
+/// the injector decides whether a fault fires there. The catalogue is
+/// documented in EXPERIMENTS.md ("Fault-site catalogue").
+namespace fault {
+/// StableLogDevice::Append — a stable log force. Supports error actions,
+/// kTornWrite (a prefix of the force becomes stable, then the device
+/// demands a crash) and kCrashNow (force completes, then crash).
+inline constexpr std::string_view kLogAppend = "log.append";
+/// LogManager::Force — evaluated before the device append (models a
+/// controller failure ahead of the media).
+inline constexpr std::string_view kLogForce = "log.force";
+/// StableStore::Read — cache-miss object reads. Error actions plus
+/// kBitFlip (the returned copy is corrupted; the per-object checksum
+/// turns it into a clean Corruption status).
+inline constexpr std::string_view kStoreRead = "store.read";
+/// StableStore::Write / Erase — single-object in-place writes. Error
+/// actions, kLostWrite (acknowledged but not persisted), kBitFlip
+/// (persisted bytes corrupted under a stale checksum) and kCrashNow.
+inline constexpr std::string_view kStoreWrite = "store.write";
+/// StableStore::WriteAtomic — multi-object installs. Error actions,
+/// kTornWrite (only a prefix of the set lands — deliberately violates
+/// the atomicity contract to test detection), kBitFlip, kLostWrite.
+inline constexpr std::string_view kStoreWriteAtomic = "store.write_atomic";
+/// CacheManager::InstallNode — after the WAL force, before any flush.
+/// Crash window: recovery must redo the node's operations.
+inline constexpr std::string_view kCmAfterWalForce = "cm.flush.after_wal_force";
+/// Flush transaction — after the commit record is forced but before any
+/// in-place write. Recovery must complete the transaction.
+inline constexpr std::string_view kCmAfterFlushTxnCommit =
+    "cm.flush_txn.after_commit";
+/// Flush transaction — after the first in-place write. Recovery must
+/// complete the remainder idempotently.
+inline constexpr std::string_view kCmAfterFirstFlushTxnWrite =
+    "cm.flush_txn.after_first_write";
+}  // namespace fault
+
+/// What happens when an armed site triggers.
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  /// The I/O fails with Status::IoError but a re-issue may succeed (the
+  /// trigger policy decides when the site stops firing).
+  kTransientIoError,
+  /// The I/O fails with Status::IoError on every trigger; callers must
+  /// surface it as a clean error after bounded retries.
+  kPermanentIoError,
+  /// The process "crashes" at the site: the crash callback is invoked and
+  /// the call returns Status::Aborted *after* the site's stable side
+  /// effects, exactly as a real crash at that instant would leave the
+  /// disk. The caller is expected to tear the engine down.
+  kCrashNow,
+  /// Payload corruption: one deterministically chosen bit of the data at
+  /// the site is flipped (stored bytes at write sites, the returned copy
+  /// at read sites). Detection is the checksum layer's job.
+  kBitFlip,
+  /// Multi-part write torn mid-way: only a prefix becomes stable, then
+  /// the site behaves like kCrashNow.
+  kTornWrite,
+  /// The device acknowledges the write but persists nothing.
+  kLostWrite,
+};
+
+/// When an armed site triggers.
+enum class FaultTrigger : uint8_t {
+  /// Fire on the next hit, then disarm.
+  kOneShot,
+  /// Fire on the n-th hit (1-based) only, then disarm.
+  kNthHit,
+  /// Fire on every k-th hit (k == 1 fires always) until max_fires.
+  kEveryK,
+  /// Fire with `percent`% probability per hit (seeded, deterministic)
+  /// until max_fires.
+  kProbabilistic,
+};
+
+/// A fault armed at one site: what happens and when.
+struct FaultSpec {
+  FaultAction action = FaultAction::kNone;
+  FaultTrigger trigger = FaultTrigger::kOneShot;
+  /// kNthHit: the hit ordinal that fires. kEveryK: the period.
+  uint64_t n = 1;
+  /// kProbabilistic: firing probability per hit, in percent.
+  uint32_t percent = 100;
+  /// kEveryK / kProbabilistic: stop (disarm) after this many fires
+  /// (0 = unlimited).
+  uint64_t max_fires = 0;
+  /// Seeds the site's private RNG (probabilistic decisions, tear sizes,
+  /// bit indices), so a (seed, workload) pair reproduces the fault.
+  uint64_t seed = 0x5eed;
+
+  // Common shapes, named for readability at call sites.
+  static FaultSpec TransientOnce() {
+    return {FaultAction::kTransientIoError, FaultTrigger::kOneShot};
+  }
+  /// Error-then-succeed: the first `times` hits fail, then the site is
+  /// exhausted and every later hit succeeds.
+  static FaultSpec TransientTimes(uint64_t times) {
+    FaultSpec s;
+    s.action = FaultAction::kTransientIoError;
+    s.trigger = FaultTrigger::kEveryK;
+    s.n = 1;
+    s.max_fires = times;
+    return s;
+  }
+  static FaultSpec Permanent() {
+    FaultSpec s;
+    s.action = FaultAction::kPermanentIoError;
+    s.trigger = FaultTrigger::kEveryK;
+    s.n = 1;
+    return s;
+  }
+  static FaultSpec CrashOnce() {
+    return {FaultAction::kCrashNow, FaultTrigger::kOneShot};
+  }
+  static FaultSpec CrashOnHit(uint64_t nth) {
+    FaultSpec s;
+    s.action = FaultAction::kCrashNow;
+    s.trigger = FaultTrigger::kNthHit;
+    s.n = nth;
+    return s;
+  }
+  static FaultSpec BitFlipOnce(uint64_t seed) {
+    FaultSpec s;
+    s.action = FaultAction::kBitFlip;
+    s.seed = seed;
+    return s;
+  }
+  static FaultSpec TornOnce(uint64_t seed) {
+    FaultSpec s;
+    s.action = FaultAction::kTornWrite;
+    s.seed = seed;
+    return s;
+  }
+  static FaultSpec LostOnce() {
+    return {FaultAction::kLostWrite, FaultTrigger::kOneShot};
+  }
+  static FaultSpec Probabilistic(FaultAction action, uint32_t percent,
+                                 uint64_t seed, uint64_t max_fires = 0) {
+    FaultSpec s;
+    s.action = action;
+    s.trigger = FaultTrigger::kProbabilistic;
+    s.percent = percent;
+    s.max_fires = max_fires;
+    s.seed = seed;
+    return s;
+  }
+};
+
+/// The outcome of registering a hit at a site.
+struct FaultFire {
+  FaultAction action = FaultAction::kNone;
+  /// Deterministic per-fire randomness for the call site (tear sizes,
+  /// bit indices) drawn from the site's seeded RNG.
+  uint64_t rng = 0;
+
+  explicit operator bool() const { return action != FaultAction::kNone; }
+};
+
+/// Hit/fire counters of one site (kept after disarm, reset on re-Arm).
+struct FaultSiteStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// \brief Central registry of named fault sites.
+///
+/// Owned by the SimulatedDisk so armed faults — like the disk itself —
+/// survive simulated crashes. Layers register hits; trigger policies
+/// decide when a hit becomes a fire; actions say what the layer does
+/// about it. All decisions are seeded and deterministic, so a
+/// (seed, workload, armed-spec) triple reproduces a failure exactly.
+class FaultInjector {
+ public:
+  using CrashCallback = std::function<void(std::string_view site)>;
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or re-arms, resetting counters) a fault at `site`.
+  void Arm(std::string_view site, FaultSpec spec);
+  /// Disarms `site`; its counters remain readable. No-op if not armed.
+  void Disarm(std::string_view site);
+  void DisarmAll();
+  bool armed(std::string_view site) const;
+
+  /// Registers a hit at `site` and decides whether a fault fires now.
+  /// Cheap (one branch) when nothing is armed anywhere.
+  FaultFire Hit(std::string_view site);
+
+  /// Hit() for pure error sites: kNone maps to OK, transient/permanent
+  /// errors to IoError, kCrashNow to the crash callback plus Aborted.
+  /// Data actions make no sense at such sites and map to IoError too.
+  Status MaybeFail(std::string_view site);
+
+  /// Builds the Status for an error-action fire at `site` (shared by the
+  /// layers that must interleave the fire with their own side effects).
+  static Status ErrorStatus(FaultAction action, std::string_view site);
+
+  /// Flips one deterministically chosen bit of `data` (no-op if empty).
+  static void FlipBit(uint64_t rng, std::vector<uint8_t>* data);
+
+  /// Invoked whenever a kCrashNow (or kTornWrite) fault fires, before the
+  /// site returns Aborted. Purely observational: the Aborted status is
+  /// what propagates; harnesses use the callback to count or to stage
+  /// the teardown.
+  void set_crash_callback(CrashCallback cb) { crash_cb_ = std::move(cb); }
+
+  uint64_t total_fires() const { return total_fires_; }
+  size_t armed_count() const { return armed_count_; }
+  FaultSiteStats site_stats(std::string_view site) const;
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    FaultSiteStats stats;
+    Random rng{0};
+    bool armed = false;
+  };
+
+  std::map<std::string, Site, std::less<>> sites_;
+  CrashCallback crash_cb_;
+  uint64_t total_fires_ = 0;
+  size_t armed_count_ = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_FAULT_FAULT_INJECTOR_H_

@@ -1,5 +1,6 @@
 #include "graph/refined_write_graph.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -39,6 +40,9 @@ void RefinedWriteGraph::AddOperation(const PendingOp& op) {
     GraphNode& pn = Node(p);
     pn.vars.erase(x);
     pn.notx.insert(x);
+    // p now installs without flushing x; recovery regenerates x from
+    // *this* operation's record, so p's installation force must cover it.
+    pn.notx_force_lsn = std::max(pn.notx_force_lsn, op.lsn);
     ObjState(x).vars_owner = kNoNode;  // m takes ownership below
     ++stats_.vars_removed;
 

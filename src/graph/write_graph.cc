@@ -41,6 +41,7 @@ void WriteGraph::MergeInto(NodeId dst, NodeId src) {
   for (ObjectId x : s.notx) d.notx.insert(x);
   // vars wins over notx inside one node.
   for (ObjectId x : d.vars) d.notx.erase(x);
+  d.notx_force_lsn = std::max(d.notx_force_lsn, s.notx_force_lsn);
   for (NodeId t : s.succs) {
     Node(t).preds.erase(src);
     if (t != dst) {

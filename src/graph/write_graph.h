@@ -35,6 +35,13 @@ struct GraphNode {
   /// Edges: this node must be installed before each successor.
   std::set<NodeId> succs;
   std::set<NodeId> preds;
+  /// Highest LSN of a blind write that peeled an object off vars into
+  /// notx. Installing this node relies on those records to regenerate
+  /// the unexposed values, so the WAL force at installation must cover
+  /// them too — forcing only MaxOpLsn() would let a crash lose the
+  /// regenerating record while the peeled object's stale value is
+  /// already "installed" and unrecoverable.
+  Lsn notx_force_lsn = kInvalidLsn;
 
   Lsn MinOpLsn() const { return ops.empty() ? kMaxLsn : *ops.begin(); }
   Lsn MaxOpLsn() const { return ops.empty() ? kInvalidLsn : *ops.rbegin(); }

@@ -1,7 +1,12 @@
 #include "recovery/recovery_driver.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <unordered_set>
 
+#include "backup/media_recovery.h"
+#include "common/retry.h"
 #include "ops/function_registry.h"
 #include "recovery/analysis.h"
 #include "recovery/redo_test.h"
@@ -14,7 +19,8 @@ std::string RecoveryStats::ToString() const {
       buf, sizeof(buf),
       "records=%llu scanned=%llu considered=%llu redone=%llu "
       "skip_installed=%llu skip_unexposed=%llu voided=%llu "
-      "expensive_redos=%llu redo_bytes=%llu redo_start=%llu torn=%d",
+      "expensive_redos=%llu redo_bytes=%llu redo_start=%llu torn=%d "
+      "corrupt=%llu media_repairs=%llu media_recovery=%d",
       static_cast<unsigned long long>(log_records_total),
       static_cast<unsigned long long>(records_scanned),
       static_cast<unsigned long long>(ops_considered),
@@ -24,11 +30,38 @@ std::string RecoveryStats::ToString() const {
       static_cast<unsigned long long>(ops_voided),
       static_cast<unsigned long long>(expensive_redos),
       static_cast<unsigned long long>(redo_value_bytes),
-      static_cast<unsigned long long>(redo_start), torn_tail ? 1 : 0);
+      static_cast<unsigned long long>(redo_start), torn_tail ? 1 : 0,
+      static_cast<unsigned long long>(corrupt_objects),
+      static_cast<unsigned long long>(media_repairs),
+      media_recovery ? 1 : 0);
   return buf;
 }
 
 namespace {
+
+/// A store write issued by recovery itself, verified by read-back.
+///
+/// Recovery is the last line of defense: a write silently damaged on the
+/// way down (bit rot in flight) would otherwise be labeled with a fresh
+/// vSI and survive as an installed-but-rotten object until the *next*
+/// scrub. Re-reading through the checksum catches that immediately; the
+/// write is re-issued a bounded number of times before the damage is
+/// surfaced as Corruption.
+Status VerifiedStableWrite(StableStore* store, uint64_t* retry_counter,
+                           ObjectId id, Slice value, Lsn vsi) {
+  Status st;
+  for (int attempt = 0; attempt <= kMaxIoRetries; ++attempt) {
+    st = RetryTransientIo(retry_counter,
+                          [&] { return store->Write(id, value, vsi); });
+    if (!st.ok()) return st;
+    StoredObject check;
+    st = RetryTransientIo(retry_counter,
+                          [&] { return store->Read(id, &check); });
+    if (st.ok()) return Status::OK();
+    if (!st.IsCorruption()) return st;
+  }
+  return st;
+}
 
 /// Re-executes one logged operation against the recovering state through
 /// the normal cache path. Implements the "expanded REDO" trial execution
@@ -92,6 +125,23 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
     disk_->log().TearTail(disk_->log().end_offset() - valid_end);
   }
 
+  // Media scrub: checksum-sweep the stable store before trusting it as
+  // the redo base. Any corrupt object diverts recovery to the media path
+  // (see the class comment) — ordinary redo would either read the
+  // damaged value (Corruption on every access) or, worse, skip the
+  // object as "installed" on the strength of a vSI attached to rotten
+  // bytes.
+  stats->corrupt_objects = disk_->store().CorruptObjects().size();
+  if (stats->corrupt_objects > 0) {
+    LOGLOG_RETURN_IF_ERROR(RepairFromMedia(next_lsn - 1, stats));
+    stats->media_recovery = true;
+    // The rebuilt store is the fully-installed final state: every logged
+    // operation's writes already carry their vSIs, so the redo pass
+    // would skip everything. Resume execution directly.
+    log_->SetNextLsn(next_lsn);
+    return Status::OK();
+  }
+
   AnalysisResult analysis = RunAnalysis(records);
   // Scan start: the generalized test uses the minimum generalized rSI,
   // the classic vSI test its classic recLSN minimum; the repeat-all
@@ -148,11 +198,16 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
         for (const FlushValue& fv : rec.flush_values) {
           if (fv.erase) {
             if (disk_->store().Exists(fv.id)) {
-              disk_->store().Erase(fv.id);
+              LOGLOG_RETURN_IF_ERROR(
+                  RetryTransientIo(&disk_->stats().io_retries, [&] {
+                    return disk_->store().Erase(fv.id);
+                  }));
               applied = true;
             }
           } else if (disk_->store().StableVsi(fv.id) < fv.vsi) {
-            disk_->store().Write(fv.id, Slice(fv.value), fv.vsi);
+            LOGLOG_RETURN_IF_ERROR(VerifiedStableWrite(
+                &disk_->store(), &disk_->stats().io_retries, fv.id,
+                Slice(fv.value), fv.vsi));
             applied = true;
           }
         }
@@ -168,6 +223,66 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
 
   log_->SetNextLsn(next_lsn);
   return Status::OK();
+}
+
+Status RecoveryDriver::RepairFromMedia(Lsn max_valid_lsn,
+                                       RecoveryStats* stats) {
+  // Rebuild the database wholesale on a scratch disk: backup image (or
+  // an empty one — the verification archive reaches back to the
+  // beginning of history) plus full archive replay under the vSI-guarded
+  // repeat-all test, then flush everything. The result is the
+  // fully-installed final state of the logged history.
+  BackupImage empty;
+  const BackupImage* image =
+      repair_backup_ != nullptr ? repair_backup_ : &empty;
+  SimulatedDisk rebuilt_disk;
+  std::unique_ptr<RecoveryEngine> rebuilt;
+  RecoveryStats media_stats;
+  LOGLOG_RETURN_IF_ERROR(MediaRecover(*image,
+                                      disk_->log().ArchiveContents(),
+                                      &rebuilt_disk, &rebuilt,
+                                      &media_stats));
+  LOGLOG_RETURN_IF_ERROR(rebuilt->FlushAll());
+
+  // Resync the live store to the rebuilt state. A per-object patch of
+  // only the corrupt objects would be unsound under the rSI redo tests:
+  // patching to a final-history value regresses nothing, but a later
+  // redone blind write (tested redo-worthy against the *old* vSI) could
+  // clobber it, and a voided reader could leave stale outputs. The
+  // wholesale copy sidesteps the hazard — afterwards nothing needs redo.
+  StableStore& live = disk_->store();
+  const StableStore& fresh = rebuilt_disk.store();
+
+  std::vector<ObjectId> to_erase;
+  live.ForEach([&](ObjectId id, const StoredObject&) {
+    if (!fresh.Exists(id)) to_erase.push_back(id);
+  });
+  for (ObjectId id : to_erase) {
+    LOGLOG_RETURN_IF_ERROR(RetryTransientIo(
+        &disk_->stats().io_retries, [&] { return live.Erase(id); }));
+  }
+
+  std::vector<ObjectId> corrupt_list = live.CorruptObjects();
+  std::unordered_set<ObjectId> corrupt(corrupt_list.begin(),
+                                       corrupt_list.end());
+  Status out = Status::OK();
+  fresh.ForEach([&](ObjectId id, const StoredObject& obj) {
+    if (!out.ok()) return;
+    // The rebuilt engine re-logged its own installation traffic (identity
+    // writes, install records), so rebuilt vSIs can exceed the live log's
+    // end. The repaired value is exactly the replay of the live archive,
+    // so the live log's last valid LSN is the honest label: it keeps the
+    // WAL invariant (vSI <= stable log end) and still makes every redo
+    // test skip operations whose effects the replay already contains.
+    Lsn vsi = std::min(obj.vsi, max_valid_lsn);
+    // An intact live object at the rebuilt vSI already holds the same
+    // value (vSI identifies the operation that produced it).
+    if (!corrupt.contains(id) && live.StableVsi(id) == vsi) return;
+    out = VerifiedStableWrite(&live, &disk_->stats().io_retries, id,
+                              Slice(obj.value), vsi);
+    if (out.ok()) ++stats->media_repairs;
+  });
+  return out;
 }
 
 }  // namespace loglog

@@ -12,6 +12,8 @@
 
 namespace loglog {
 
+struct BackupImage;
+
 /// Outcome counters of a recovery run — the quantities the Section 5
 /// experiments report.
 struct RecoveryStats {
@@ -29,6 +31,13 @@ struct RecoveryStats {
   uint64_t expensive_redos = 0;
   Lsn redo_start = kInvalidLsn;
   bool torn_tail = false;
+  /// Stable objects that failed the checksum sweep at recovery start.
+  uint64_t corrupt_objects = 0;
+  /// Stable objects rewritten by the media-repair pass.
+  uint64_t media_repairs = 0;
+  /// True when corruption forced recovery through the media path
+  /// (backup + full archive replay) instead of ordinary redo.
+  bool media_recovery = false;
 
   std::string ToString() const;
 };
@@ -43,19 +52,38 @@ struct RecoveryStats {
 /// lazily, in write-graph order) — recovery is idempotent under crashes
 /// because redone operations are installed through PurgeCache like any
 /// others.
+/// Before any of that, the stable store is swept for checksum failures.
+/// A corrupt object is a media failure, not a crash artifact — ordinary
+/// redo cannot fix it (the damaged object may be an input of operations
+/// that redo would replay, and under the rSI tests a per-object patch to
+/// a newer value could be clobbered by a redone blind write). So on any
+/// detected corruption the driver rebuilds the *whole* stable database:
+/// media recovery from `repair_backup` (or an empty image — the archive
+/// reaches back to the beginning of history) plus full archive replay,
+/// then overwrites the live store with the rebuilt, fully-installed
+/// state. Nothing is left to redo afterwards, so recovery returns early.
 class RecoveryDriver {
  public:
   RecoveryDriver(SimulatedDisk* disk, LogManager* log, CacheManager* cm,
-                 RedoTestKind redo_test)
-      : disk_(disk), log_(log), cm_(cm), redo_test_(redo_test) {}
+                 RedoTestKind redo_test,
+                 const BackupImage* repair_backup = nullptr)
+      : disk_(disk),
+        log_(log),
+        cm_(cm),
+        redo_test_(redo_test),
+        repair_backup_(repair_backup) {}
 
   Status Run(RecoveryStats* stats);
 
  private:
+  /// Wholesale media resync of the live stable store (see class comment).
+  Status RepairFromMedia(Lsn max_valid_lsn, RecoveryStats* stats);
+
   SimulatedDisk* disk_;
   LogManager* log_;
   CacheManager* cm_;
   RedoTestKind redo_test_;
+  const BackupImage* repair_backup_;
 };
 
 }  // namespace loglog

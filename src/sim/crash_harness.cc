@@ -28,10 +28,13 @@ void CrashHarness::Crash(bool tear_tail) {
   // acknowledged force may already have object flushes depending on it
   // (WAL). Model "crash during the final force": push the volatile
   // buffer to the device as that in-flight force, then tear within it.
+  // If the force itself fails (an armed fault), nothing new reached the
+  // device, so there is no in-flight force to tear — tearing anyway
+  // would damage previously acknowledged bytes and break WAL.
   bool can_tear =
       tear_tail && engine_->log().volatile_record_count() > 0;
   if (can_tear) {
-    (void)engine_->log().ForceAll();
+    can_tear = engine_->log().ForceAll().ok();
   }
   disk_->store().set_write_validator(nullptr);  // engine is going away
   engine_.reset();  // cache, write graph and volatile log buffer die
@@ -43,6 +46,7 @@ void CrashHarness::Crash(bool tear_tail) {
   }
   engine_ = std::make_unique<RecoveryEngine>(options_, disk_.get());
   InstallWalAuditor();
+  if (has_backup_) engine_->set_repair_backup(&backup_);
 }
 
 Status CrashHarness::Recover(RecoveryStats* stats) {
@@ -55,6 +59,18 @@ Status CrashHarness::VerifyAgainstReference() {
   ReferenceExecutor ref;
   LOGLOG_RETURN_IF_ERROR(ref.ReplayLog(disk_->log().ArchiveContents()));
   return CompareWithReference(ref, disk_->store());
+}
+
+Status CrashHarness::TakeBackup() {
+  BackupManager bm(disk_.get(), /*repair_order=*/true);
+  LOGLOG_RETURN_IF_ERROR(bm.Begin());
+  while (!bm.done()) {
+    LOGLOG_RETURN_IF_ERROR(bm.Step(16));
+  }
+  backup_ = bm.image();
+  has_backup_ = true;
+  engine_->set_repair_backup(&backup_);
+  return Status::OK();
 }
 
 }  // namespace loglog

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "backup/backup_manager.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/options.h"
@@ -42,6 +43,13 @@ class CrashHarness {
   /// stable log archive. Call after Recover() (or any quiesced point).
   Status VerifyAgainstReference();
 
+  /// Takes an order-repaired fuzzy backup of the current stable state and
+  /// installs it as the engine's media-repair image (it survives crashes;
+  /// every rebuilt engine gets the pointer again). Later calls replace
+  /// the image.
+  Status TakeBackup();
+  bool has_backup() const { return has_backup_; }
+
  private:
   /// Hooks the stable store with a WAL auditor bound to the current
   /// engine's log (re-installed after every crash).
@@ -51,6 +59,8 @@ class CrashHarness {
   std::unique_ptr<SimulatedDisk> disk_;
   std::unique_ptr<RecoveryEngine> engine_;
   Random rng_;
+  BackupImage backup_;
+  bool has_backup_ = false;
 };
 
 }  // namespace loglog

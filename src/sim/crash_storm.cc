@@ -1,0 +1,199 @@
+#include "sim/crash_storm.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "fault/fault_injector.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+
+std::string CrashStormStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "iters=%llu crashes=%llu(torn=%llu) recoveries=%llu "
+      "recovery_crashes=%llu faults_armed=%llu faults_fired=%llu "
+      "fault_aborts=%llu io_errors=%llu corrupt_detected=%llu "
+      "media_repairs=%llu verify_passes=%llu",
+      static_cast<unsigned long long>(iterations),
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(torn_crashes),
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(recovery_crashes),
+      static_cast<unsigned long long>(faults_armed),
+      static_cast<unsigned long long>(faults_fired),
+      static_cast<unsigned long long>(fault_aborts),
+      static_cast<unsigned long long>(io_errors),
+      static_cast<unsigned long long>(corrupt_detected),
+      static_cast<unsigned long long>(media_repairs),
+      static_cast<unsigned long long>(verify_passes));
+  return buf;
+}
+
+namespace {
+
+/// Arms one randomly chosen fault from the survivable catalogue.
+void ArmRandomFault(FaultInjector* inj, Random* rng) {
+  uint64_t pick = rng->Uniform(10);
+  switch (pick) {
+    case 0:
+      inj->Arm(fault::kCmAfterWalForce,
+               FaultSpec::CrashOnHit(1 + rng->Uniform(3)));
+      break;
+    case 1:
+      inj->Arm(fault::kCmAfterFlushTxnCommit, FaultSpec::CrashOnce());
+      break;
+    case 2:
+      inj->Arm(fault::kCmAfterFirstFlushTxnWrite, FaultSpec::CrashOnce());
+      break;
+    case 3:
+      inj->Arm(fault::kLogAppend, FaultSpec::TornOnce(rng->Next()));
+      break;
+    case 4:
+      inj->Arm(fault::kLogForce,
+               FaultSpec::TransientTimes(1 + rng->Uniform(2)));
+      break;
+    case 5:
+      inj->Arm(fault::kStoreWrite,
+               FaultSpec::TransientTimes(1 + rng->Uniform(2)));
+      break;
+    case 6:
+      // Silent media rot under a stale checksum: the recovery sweep must
+      // catch it and repair from backup + archive replay.
+      inj->Arm(fault::kStoreWrite, FaultSpec::BitFlipOnce(rng->Next()));
+      break;
+    case 7:
+      inj->Arm(fault::kStoreRead,
+               FaultSpec::TransientTimes(1 + rng->Uniform(2)));
+      break;
+    case 8:
+      inj->Arm(fault::kStoreWriteAtomic,
+               rng->OneIn(2)
+                   ? FaultSpec::TransientTimes(1)
+                   : FaultSpec::BitFlipOnce(rng->Next()));
+      break;
+    case 9:
+      if (rng->OneIn(2)) {
+        // A permanent device error: retries exhaust, the workload sees a
+        // clean IoError, the storm disarms ("replaces the device") and
+        // crash-recovers.
+        inj->Arm(fault::kStoreWrite, FaultSpec::Permanent());
+      } else {
+        // In-flight read corruption: the checksum turns it into a clean
+        // Corruption status (the media itself is intact).
+        inj->Arm(fault::kStoreRead, FaultSpec::BitFlipOnce(rng->Next()));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Status RunCrashStorm(const CrashStormOptions& options,
+                     CrashStormStats* stats) {
+  *stats = CrashStormStats{};
+  CrashHarness harness(options.engine, options.seed);
+  Random rng(options.seed * 0x9e3779b97f4a7c15 + 1);
+  MixedWorkloadOptions wl_opts = options.workload;
+  wl_opts.seed = options.seed;
+  MixedWorkload workload(wl_opts);
+  FaultInjector& inj = harness.disk().fault_injector();
+
+  for (const OperationDesc& op : workload.SetupOps()) {
+    LOGLOG_RETURN_IF_ERROR(harness.Execute(op));
+  }
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    ++stats->iterations;
+    // Maintenance runs clean (faults from the previous iteration were
+    // disarmed before verification).
+    if (options.checkpoint_every > 0 &&
+        iter % options.checkpoint_every == options.checkpoint_every - 1) {
+      LOGLOG_RETURN_IF_ERROR(harness.engine().Checkpoint());
+    }
+    if (options.backup_every > 0 &&
+        iter % options.backup_every == options.backup_every - 1) {
+      LOGLOG_RETURN_IF_ERROR(harness.TakeBackup());
+    }
+
+    uint64_t fires_before = inj.total_fires();
+    if (options.faults) {
+      uint64_t n = rng.Uniform(3);  // 0-2 faults this burst
+      for (uint64_t i = 0; i < n; ++i) {
+        ArmRandomFault(&inj, &rng);
+      }
+      stats->faults_armed += n;
+    }
+
+    // Burst of workload; an injected fault may cut it short.
+    uint64_t ops =
+        rng.Range(static_cast<uint64_t>(options.min_ops),
+                  static_cast<uint64_t>(options.max_ops));
+    bool crashed = false;
+    for (uint64_t i = 0; i < ops; ++i) {
+      Status st = harness.Execute(workload.Next());
+      if (st.ok() || st.IsNotFound()) continue;
+      if (st.IsAborted()) {
+        // A crash fault fired: the engine is wedged exactly as a real
+        // crash would leave the disk. Go down now.
+        ++stats->fault_aborts;
+        crashed = true;
+        break;
+      }
+      if (st.IsIoError()) {
+        // A permanent device error surfaced cleanly. The operator
+        // "replaces the device" (disarms) and restarts the system.
+        ++stats->io_errors;
+        inj.DisarmAll();
+        crashed = true;
+        break;
+      }
+      if (st.IsCorruption()) {
+        // A checksum-verified read met damaged data. Restart: recovery's
+        // sweep decides whether the media itself needs repair.
+        crashed = true;
+        break;
+      }
+      return st;  // anything else is a bug in the storm or the engine
+    }
+    (void)crashed;
+
+    bool tear = rng.OneIn(3);
+    harness.Crash(tear);
+    ++stats->crashes;
+    if (tear) ++stats->torn_crashes;
+
+    // Recovery, itself under fire: a fault during recovery crashes the
+    // system again; recovery must be idempotent across such re-crashes.
+    // After a few attempts the storm disarms everything (a fault that
+    // fires on every attempt would otherwise starve recovery forever).
+    constexpr int kMaxRecoveryAttempts = 8;
+    Status rec_status;
+    RecoveryStats rec_stats;
+    for (int attempt = 0; attempt < kMaxRecoveryAttempts; ++attempt) {
+      if (attempt >= kMaxRecoveryAttempts / 2) inj.DisarmAll();
+      rec_stats = RecoveryStats{};
+      rec_status = harness.Recover(&rec_stats);
+      if (rec_status.ok()) break;
+      ++stats->recovery_crashes;
+      harness.Crash(/*tear_tail=*/false);
+      ++stats->crashes;
+    }
+    if (!rec_status.ok()) return rec_status;
+    ++stats->recoveries;
+    if (rec_stats.corrupt_objects > 0) ++stats->corrupt_detected;
+    stats->media_repairs += rec_stats.media_repairs;
+
+    // Verify with a quiet device: armed faults would fail the flush the
+    // verification needs, and the reference comparison reads raw state.
+    inj.DisarmAll();
+    stats->faults_fired += inj.total_fires() - fires_before;
+    LOGLOG_RETURN_IF_ERROR(harness.VerifyAgainstReference());
+    LOGLOG_RETURN_IF_ERROR(harness.engine().cache().CheckInvariants());
+    ++stats->verify_passes;
+  }
+  return Status::OK();
+}
+
+}  // namespace loglog

@@ -10,7 +10,7 @@ std::string IoStats::ToString() const {
       buf, sizeof(buf),
       "obj_writes=%llu atomic_multi=%llu(atomic_objs=%llu) obj_reads=%llu "
       "obj_bytes=%llu log_forces=%llu log_bytes=%llu shadow_swings=%llu "
-      "quiesce=%llu",
+      "quiesce=%llu io_retries=%llu",
       static_cast<unsigned long long>(object_writes),
       static_cast<unsigned long long>(atomic_multi_writes),
       static_cast<unsigned long long>(objects_in_atomic_writes),
@@ -19,7 +19,8 @@ std::string IoStats::ToString() const {
       static_cast<unsigned long long>(log_forces),
       static_cast<unsigned long long>(log_bytes),
       static_cast<unsigned long long>(shadow_pointer_swings),
-      static_cast<unsigned long long>(quiesce_events));
+      static_cast<unsigned long long>(quiesce_events),
+      static_cast<unsigned long long>(io_retries));
   return buf;
 }
 
@@ -38,6 +39,7 @@ IoStats IoStats::Delta(const IoStats& earlier) const {
       shadow_pointer_swings - earlier.shadow_pointer_swings;
   d.shadow_relocations = shadow_relocations - earlier.shadow_relocations;
   d.quiesce_events = quiesce_events - earlier.quiesce_events;
+  d.io_retries = io_retries - earlier.io_retries;
   return d;
 }
 

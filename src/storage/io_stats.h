@@ -34,6 +34,8 @@ struct IoStats {
   uint64_t shadow_relocations = 0;
   /// Times the system had to quiesce (flush transactions freeze execution).
   uint64_t quiesce_events = 0;
+  /// Re-issues of device I/Os after a transient error (fault injection).
+  uint64_t io_retries = 0;
 
   /// Total device write operations of any kind.
   uint64_t TotalWrites() const {

@@ -5,14 +5,46 @@
 
 namespace loglog {
 
-uint64_t StableLogDevice::Append(Slice bytes) {
-  uint64_t offset = end_offset();
-  bytes_.insert(bytes_.end(), bytes.data(), bytes.data() + bytes.size());
-  archive_.insert(archive_.end(), bytes.data(), bytes.data() + bytes.size());
-  last_append_size_ = bytes.size();
+Status StableLogDevice::Append(Slice bytes, uint64_t* offset) {
+  FaultFire fire =
+      faults_ != nullptr ? faults_->Hit(fault::kLogAppend) : FaultFire{};
+  if (fire.action == FaultAction::kTransientIoError ||
+      fire.action == FaultAction::kPermanentIoError ||
+      fire.action == FaultAction::kLostWrite) {
+    // The force never reaches the platter; a lost log write is
+    // indistinguishable from a failed one at this layer because the
+    // caller must not ack records the device did not confirm.
+    return FaultInjector::ErrorStatus(
+        fire.action == FaultAction::kLostWrite
+            ? FaultAction::kTransientIoError
+            : fire.action,
+        fault::kLogAppend);
+  }
+  size_t persist = bytes.size();
+  if (fire.action == FaultAction::kTornWrite && bytes.size() > 1) {
+    // A crash mid-force: only a strict prefix of the force is stable.
+    persist = 1 + static_cast<size_t>(fire.rng % (bytes.size() - 1));
+  }
+  if (offset != nullptr) *offset = end_offset();
+  if (fire.action == FaultAction::kBitFlip) {
+    // Silent in-flight corruption: the damaged bytes become stable and the
+    // device reports success. Recovery's framing CRC is what catches it.
+    std::vector<uint8_t> damaged(bytes.data(), bytes.data() + persist);
+    FaultInjector::FlipBit(fire.rng, &damaged);
+    bytes_.insert(bytes_.end(), damaged.begin(), damaged.end());
+    archive_.insert(archive_.end(), damaged.begin(), damaged.end());
+  } else {
+    bytes_.insert(bytes_.end(), bytes.data(), bytes.data() + persist);
+    archive_.insert(archive_.end(), bytes.data(), bytes.data() + persist);
+  }
+  last_append_size_ = persist;
   ++stats_->log_forces;
-  stats_->log_bytes += bytes.size();
-  return offset;
+  stats_->log_bytes += persist;
+  if (fire.action == FaultAction::kTornWrite ||
+      fire.action == FaultAction::kCrashNow) {
+    return FaultInjector::ErrorStatus(fire.action, fault::kLogAppend);
+  }
+  return Status::OK();
 }
 
 void StableLogDevice::TruncatePrefix(uint64_t offset) {

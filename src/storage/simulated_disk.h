@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/slice.h"
+#include "common/status.h"
+#include "fault/fault_injector.h"
 #include "storage/io_stats.h"
 #include "storage/stable_store.h"
 
@@ -17,14 +19,19 @@ namespace loglog {
 /// and never reused, so log truncation just advances start_offset.
 class StableLogDevice {
  public:
-  explicit StableLogDevice(IoStats* stats) : stats_(stats) {}
+  StableLogDevice(IoStats* stats, FaultInjector* faults)
+      : stats_(stats), faults_(faults) {}
 
   StableLogDevice(const StableLogDevice&) = delete;
   StableLogDevice& operator=(const StableLogDevice&) = delete;
 
-  /// Appends forced bytes; returns the offset of the first byte. Counts
-  /// one log force and the byte volume.
-  uint64_t Append(Slice bytes);
+  /// Appends forced bytes; on success stores the offset of the first byte
+  /// in *offset (if non-null) and counts one log force plus the byte
+  /// volume. The fault::kLogAppend site can fail the force (IoError,
+  /// nothing appended), tear it (a strict prefix becomes stable, Aborted
+  /// — the system must crash, exactly as a power loss mid-force), or
+  /// silently corrupt the appended bytes.
+  Status Append(Slice bytes, uint64_t* offset = nullptr);
 
   /// Absolute end offset (== total bytes ever appended).
   uint64_t end_offset() const { return start_offset_ + bytes_.size(); }
@@ -51,12 +58,16 @@ class StableLogDevice {
   /// only: the reference executor replays this to compute ground truth.
   Slice ArchiveContents() const { return Slice(archive_); }
 
+  FaultInjector* faults() const { return faults_; }
+  IoStats* stats() const { return stats_; }
+
  private:
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> archive_;
   uint64_t start_offset_ = 0;
   uint64_t last_append_size_ = 0;
   IoStats* stats_;
+  FaultInjector* faults_;
 };
 
 /// \brief Everything that survives a crash: the stable object store, the
@@ -68,7 +79,8 @@ class StableLogDevice {
 /// engine over the same disk and running Recover().
 class SimulatedDisk {
  public:
-  SimulatedDisk() : store_(&stats_), log_(&stats_) {}
+  SimulatedDisk()
+      : store_(&stats_, &injector_), log_(&stats_, &injector_) {}
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
@@ -79,9 +91,14 @@ class SimulatedDisk {
   const StableLogDevice& log() const { return log_; }
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
+  /// Fault sites live with the disk — armed faults, like the media, are
+  /// unaffected by engine crashes.
+  FaultInjector& fault_injector() { return injector_; }
+  const FaultInjector& fault_injector() const { return injector_; }
 
  private:
   IoStats stats_;
+  FaultInjector injector_;  // must outlive (so precede) store_ and log_
   StableStore store_;
   StableLogDevice log_;
 };

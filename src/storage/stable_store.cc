@@ -1,14 +1,41 @@
 #include "storage/stable_store.h"
 
+#include <algorithm>
+
+#include "common/crc32.h"
+
 namespace loglog {
 
+namespace {
+
+bool IsErrorAction(FaultAction a) {
+  return a == FaultAction::kTransientIoError ||
+         a == FaultAction::kPermanentIoError;
+}
+
+}  // namespace
+
 Status StableStore::Read(ObjectId id, StoredObject* out) const {
+  FaultFire fire =
+      faults_ != nullptr ? faults_->Hit(fault::kStoreRead) : FaultFire{};
+  if (IsErrorAction(fire.action) || fire.action == FaultAction::kCrashNow ||
+      fire.action == FaultAction::kLostWrite) {
+    return FaultInjector::ErrorStatus(fire.action, fault::kStoreRead);
+  }
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object not in stable store");
   }
   ++stats_->object_reads;
   *out = it->second;
+  if (fire.action == FaultAction::kBitFlip) {
+    // In-flight read corruption: damage the returned copy, not the media.
+    FaultInjector::FlipBit(fire.rng, &out->value);
+  }
+  if (Crc32c(Slice(out->value)) != out->crc) {
+    return Status::Corruption("stable object " + std::to_string(id) +
+                              " failed checksum verification");
+  }
   return Status::OK();
 }
 
@@ -17,63 +44,143 @@ Lsn StableStore::StableVsi(ObjectId id) const {
   return it == objects_.end() ? kInvalidLsn : it->second.vsi;
 }
 
-void StableStore::Write(ObjectId id, Slice value, Lsn vsi) {
-  Audit(id, vsi);
-  ++stats_->object_writes;
-  stats_->object_bytes_written += value.size();
+void StableStore::Install(ObjectId id, Slice value, Lsn vsi,
+                          const FaultFire& fire) {
   StoredObject& obj = objects_[id];
   obj.value = value.ToBytes();
   obj.vsi = vsi;
+  obj.crc = Crc32c(value);
+  if (fire.action == FaultAction::kBitFlip) {
+    // Media corruption: the bytes rot after the checksum was computed, so
+    // the damage is silent until a checksum-verified read or the recovery
+    // scrub meets it.
+    FaultInjector::FlipBit(fire.rng, &obj.value);
+  }
 }
 
-void StableStore::WriteAtomic(const std::vector<ObjectWrite>& writes) {
-  if (writes.empty()) return;
-  for (const ObjectWrite& w : writes) {
-    if (!w.erase) Audit(w.id, w.vsi);
+Status StableStore::Write(ObjectId id, Slice value, Lsn vsi) {
+  FaultFire fire =
+      faults_ != nullptr ? faults_->Hit(fault::kStoreWrite) : FaultFire{};
+  if (IsErrorAction(fire.action)) {
+    return FaultInjector::ErrorStatus(fire.action, fault::kStoreWrite);
   }
+  if (fire.action == FaultAction::kLostWrite) {
+    // Acknowledged and billed like a normal write, but nothing persists.
+    ++stats_->object_writes;
+    stats_->object_bytes_written += value.size();
+    return Status::OK();
+  }
+  Audit(id, vsi);
+  ++stats_->object_writes;
+  stats_->object_bytes_written += value.size();
+  Install(id, value, vsi, fire);
+  if (fire.action == FaultAction::kCrashNow ||
+      fire.action == FaultAction::kTornWrite) {
+    // Crash after the (atomic) write's stable side effects.
+    return FaultInjector::ErrorStatus(FaultAction::kCrashNow,
+                                      fault::kStoreWrite);
+  }
+  return Status::OK();
+}
+
+Status StableStore::WriteAtomic(const std::vector<ObjectWrite>& writes) {
+  if (writes.empty()) return Status::OK();
   if (writes.size() == 1 && !shadow_mode_) {
-    // A singleton set needs no multi-object machinery.
+    // A singleton set needs no multi-object machinery (and hits the
+    // single-object fault site instead).
     const ObjectWrite& w = writes[0];
-    if (w.erase) {
-      Erase(w.id);
-    } else {
-      Write(w.id, w.value, w.vsi);
-    }
-    return;
+    return w.erase ? Erase(w.id) : Write(w.id, w.value, w.vsi);
+  }
+  FaultFire fire = faults_ != nullptr ? faults_->Hit(fault::kStoreWriteAtomic)
+                                      : FaultFire{};
+  if (IsErrorAction(fire.action)) {
+    return FaultInjector::ErrorStatus(fire.action, fault::kStoreWriteAtomic);
+  }
+  if (fire.action == FaultAction::kLostWrite) {
+    return Status::OK();  // the whole set is acknowledged but never lands
+  }
+  // A torn multi-object install persists only a strict prefix of the set
+  // and then demands a crash. This deliberately violates the atomicity
+  // the flush policies rely on — armed only to prove the verification
+  // layers catch the damage.
+  size_t applied = writes.size();
+  if (fire.action == FaultAction::kTornWrite && writes.size() > 1) {
+    applied = 1 + static_cast<size_t>(fire.rng % (writes.size() - 1));
+  }
+  for (size_t i = 0; i < applied; ++i) {
+    if (!writes[i].erase) Audit(writes[i].id, writes[i].vsi);
   }
   if (shadow_mode_) {
     // Shadow propagation: each object is written out of place (one device
     // write and one relocation each), then a single pointer swing makes
     // the set current atomically.
-    for (const ObjectWrite& w : writes) {
-      if (!w.erase) {
+    for (size_t i = 0; i < applied; ++i) {
+      if (!writes[i].erase) {
         ++stats_->object_writes;
-        stats_->object_bytes_written += w.value.size();
+        stats_->object_bytes_written += writes[i].value.size();
         ++stats_->shadow_relocations;
       }
     }
     ++stats_->shadow_pointer_swings;
   } else {
     ++stats_->atomic_multi_writes;
-    stats_->objects_in_atomic_writes += writes.size();
-    for (const ObjectWrite& w : writes) {
-      if (!w.erase) stats_->object_bytes_written += w.value.size();
+    stats_->objects_in_atomic_writes += applied;
+    for (size_t i = 0; i < applied; ++i) {
+      if (!writes[i].erase) {
+        stats_->object_bytes_written += writes[i].value.size();
+      }
     }
   }
-  for (const ObjectWrite& w : writes) {
+  // At most one object of the set takes the bit-flip damage.
+  size_t flip_index =
+      fire.action == FaultAction::kBitFlip ? fire.rng % applied : applied;
+  for (size_t i = 0; i < applied; ++i) {
+    const ObjectWrite& w = writes[i];
     if (w.erase) {
       objects_.erase(w.id);
     } else {
-      StoredObject& obj = objects_[w.id];
-      obj.value = w.value.ToBytes();
-      obj.vsi = w.vsi;
+      Install(w.id, w.value, w.vsi,
+              i == flip_index ? fire : FaultFire{});
     }
   }
+  if (fire.action == FaultAction::kTornWrite) {
+    return FaultInjector::ErrorStatus(FaultAction::kTornWrite,
+                                      fault::kStoreWriteAtomic);
+  }
+  if (fire.action == FaultAction::kCrashNow) {
+    return FaultInjector::ErrorStatus(FaultAction::kCrashNow,
+                                      fault::kStoreWriteAtomic);
+  }
+  return Status::OK();
 }
 
-void StableStore::Erase(ObjectId id) {
+Status StableStore::Erase(ObjectId id) {
+  FaultFire fire =
+      faults_ != nullptr ? faults_->Hit(fault::kStoreWrite) : FaultFire{};
+  if (IsErrorAction(fire.action)) {
+    return FaultInjector::ErrorStatus(fire.action, fault::kStoreWrite);
+  }
+  if (fire.action == FaultAction::kLostWrite) {
+    ++stats_->object_writes;
+    return Status::OK();
+  }
   ++stats_->object_writes;
   objects_.erase(id);
+  if (fire.action == FaultAction::kCrashNow ||
+      fire.action == FaultAction::kTornWrite) {
+    return FaultInjector::ErrorStatus(FaultAction::kCrashNow,
+                                      fault::kStoreWrite);
+  }
+  return Status::OK();
+}
+
+std::vector<ObjectId> StableStore::CorruptObjects() const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, obj] : objects_) {
+    if (Crc32c(Slice(obj.value)) != obj.crc) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void StableStore::ForEach(

@@ -8,15 +8,19 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "storage/io_stats.h"
 
 namespace loglog {
 
 /// A stable object as stored on disk: its value plus the state identifier
-/// (vSI) of the last operation whose write of the object was flushed.
+/// (vSI) of the last operation whose write of the object was flushed, plus
+/// a CRC32c over the value so corrupted media reads surface as Corruption
+/// instead of silently wrong data.
 struct StoredObject {
   ObjectValue value;
   Lsn vsi = kInvalidLsn;
+  uint32_t crc = 0;
 };
 
 /// One entry of an atomic multi-object write.
@@ -39,6 +43,13 @@ struct ObjectWrite {
 /// cache-manager policies that *avoid* it (identity writes, flush
 /// transactions) can be compared against it; `shadow_mode` makes the
 /// native primitive bill shadow-propagation costs (System R style).
+///
+/// Every entry point is a fault site (fault::kStoreRead / kStoreWrite /
+/// kStoreWriteAtomic): the injector can fail, lose, tear or bit-flip the
+/// I/O. All mutators therefore return Status; a non-OK write means the
+/// store is exactly as if the write never happened (except kBitFlip and
+/// kTornWrite, which deliberately persist damage for the recovery layers
+/// to detect).
 class StableStore {
  public:
   /// Audits every object write before it lands. Installed by test
@@ -46,13 +57,16 @@ class StableStore {
   /// forced the log through the object's vSI first.
   using WriteValidator = std::function<Status(ObjectId id, Lsn vsi)>;
 
-  explicit StableStore(IoStats* stats) : stats_(stats) {}
+  StableStore(IoStats* stats, FaultInjector* faults)
+      : stats_(stats), faults_(faults) {}
 
   StableStore(const StableStore&) = delete;
   StableStore& operator=(const StableStore&) = delete;
 
   /// Reads an object; NotFound if it does not exist. Counts one device
-  /// read.
+  /// read. Verifies the per-object checksum: on mismatch, fills *out with
+  /// the (corrupt) bytes and returns Corruption — the caller never
+  /// mistakes damaged media for good data.
   Status Read(ObjectId id, StoredObject* out) const;
 
   bool Exists(ObjectId id) const { return objects_.contains(id); }
@@ -62,15 +76,20 @@ class StableStore {
   Lsn StableVsi(ObjectId id) const;
 
   /// Atomically writes a single object in place.
-  void Write(ObjectId id, Slice value, Lsn vsi);
+  Status Write(ObjectId id, Slice value, Lsn vsi);
 
   /// Atomically writes (or erases) a set of objects. With shadow_mode on,
   /// bills per-object out-of-place writes plus one pointer swing;
   /// otherwise bills one multi-object atomic write (idealized hardware).
-  void WriteAtomic(const std::vector<ObjectWrite>& writes);
+  Status WriteAtomic(const std::vector<ObjectWrite>& writes);
 
   /// Removes an object (atomic single-object operation).
-  void Erase(ObjectId id);
+  Status Erase(ObjectId id);
+
+  /// Checksum sweep: every object whose stored CRC no longer matches its
+  /// value (ascending id order). Models the recovery scrubber; bills no
+  /// I/O and bypasses fault sites.
+  std::vector<ObjectId> CorruptObjects() const;
 
   /// Enables System R style shadow propagation accounting for WriteAtomic.
   void set_shadow_mode(bool on) { shadow_mode_ = on; }
@@ -85,7 +104,8 @@ class StableStore {
 
   size_t object_count() const { return objects_.size(); }
 
-  /// Iterates all stable objects (verification only; no I/O billed).
+  /// Iterates all stable objects (verification only; no I/O billed, no
+  /// checksum verification — raw bytes as the media holds them).
   void ForEach(
       const std::function<void(ObjectId, const StoredObject&)>& fn) const;
 
@@ -96,9 +116,12 @@ class StableStore {
       if (!st.ok()) audit_status_ = st;
     }
   }
+  /// Stores value/vsi/crc for one object, applying a pending bit-flip.
+  void Install(ObjectId id, Slice value, Lsn vsi, const FaultFire& fire);
 
   std::unordered_map<ObjectId, StoredObject> objects_;
   IoStats* stats_;
+  FaultInjector* faults_;
   bool shadow_mode_ = false;
   WriteValidator validator_;
   Status audit_status_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/retry.h"
+#include "fault/fault_injector.h"
+
 namespace loglog {
 
 LogManager::LogManager(StableLogDevice* device) : device_(device) {
@@ -31,19 +34,45 @@ Lsn LogManager::Append(LogRecord rec) {
 }
 
 Status LogManager::Force(Lsn upto) {
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log manager poisoned by an earlier torn force; recovery required");
+  }
   if (buffer_.empty() || buffer_.front().lsn > upto) return Status::OK();
+  // Frame without acknowledging: records stay buffered until the device
+  // confirms the append, so a failed force leaves the WAL obligation
+  // intact (nothing claims to be stable that is not).
   std::vector<uint8_t> bytes;
   std::vector<std::pair<Lsn, uint64_t>> offsets;
-  while (!buffer_.empty() && buffer_.front().lsn <= upto) {
-    offsets.emplace_back(buffer_.front().lsn, bytes.size());
-    FrameRecord(buffer_.front(), &bytes);
-    last_stable_lsn_ = buffer_.front().lsn;
-    buffer_.pop_front();
+  size_t count = 0;
+  for (const LogRecord& rec : buffer_) {
+    if (rec.lsn > upto) break;
+    offsets.emplace_back(rec.lsn, bytes.size());
+    FrameRecord(rec, &bytes);
+    ++count;
   }
-  uint64_t base = device_->Append(Slice(bytes));
+  uint64_t base = 0;
+  Status st = RetryTransientIo(&device_->stats()->io_retries, [&] {
+    if (FaultInjector* inj = device_->faults(); inj != nullptr) {
+      LOGLOG_RETURN_IF_ERROR(inj->MaybeFail(fault::kLogForce));
+    }
+    return device_->Append(Slice(bytes), &base);
+  });
+  if (!st.ok()) {
+    if (!st.IsIoError()) {
+      // Aborted (torn or crashed append): some unknown prefix of the
+      // force is stable. Nothing is acked; the next recovery pass finds
+      // the tear via the framing CRC.
+      poisoned_ = true;
+    }
+    return st;
+  }
   for (const auto& [lsn, rel] : offsets) {
     stable_offsets_[lsn] = base + rel;
+    last_stable_lsn_ = std::max(last_stable_lsn_, lsn);
   }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<long>(count));
   return Status::OK();
 }
 

@@ -32,7 +32,12 @@ class LogManager {
   Lsn Append(LogRecord rec);
 
   /// Forces all buffered records with lsn <= upto to the stable device
-  /// (one device force). No-op if they are already stable.
+  /// (one device force). No-op if they are already stable. Records are
+  /// acknowledged (last_stable_lsn advances, the buffer drains) only when
+  /// the device confirms the append; transient device errors are retried
+  /// a bounded number of times, and a torn append (Aborted) poisons the
+  /// manager — the system must crash and recover, since the device tail
+  /// no longer matches the volatile state.
   Status Force(Lsn upto);
 
   /// Forces the entire volatile buffer.
@@ -66,6 +71,10 @@ class LogManager {
   std::deque<LogRecord> buffer_;  // volatile records, ascending lsn
   Lsn next_lsn_ = 1;
   Lsn last_stable_lsn_ = 0;
+  /// Set when a force tore or crashed mid-append: the stable tail is no
+  /// longer coherent with this manager's view, so every further Force is
+  /// refused until recovery rebuilds the log state.
+  bool poisoned_ = false;
   /// Byte offset on the device of each stable record, for truncation.
   std::map<Lsn, uint64_t> stable_offsets_;
 };

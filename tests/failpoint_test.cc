@@ -31,9 +31,10 @@ OperationDesc TwoOutOp(ObjectId src, ObjectId a, ObjectId b) {
 
 // Crash exactly between a flush transaction's commit and its in-place
 // writes, through the real PurgeCache path: recovery must complete the
-// transaction from the logged values.
+// transaction from the logged values. Armed through the fault-injector
+// registry (the modern spelling of the old FailPoint enum).
 class FlushTxnWindowTest
-    : public testing::TestWithParam<CacheManager::FailPoint> {};
+    : public testing::TestWithParam<std::string_view> {};
 
 TEST_P(FlushTxnWindowTest, RecoveryCompletesInterruptedFlush) {
   RegisterTwoOut();
@@ -45,9 +46,11 @@ TEST_P(FlushTxnWindowTest, RecoveryCompletesInterruptedFlush) {
   ASSERT_TRUE(harness.engine().FlushAll().ok());
   ASSERT_TRUE(harness.Execute(TwoOutOp(1, 2, 3)).ok());
 
-  harness.engine().cache().set_fail_point(GetParam());
+  harness.disk().fault_injector().Arm(GetParam(), FaultSpec::CrashOnce());
   Status st = harness.engine().PurgeOne();
   ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_EQ(harness.disk().fault_injector().site_stats(GetParam()).fires,
+            1u);
 
   harness.Crash();
   RecoveryStats stats;
@@ -62,15 +65,17 @@ TEST_P(FlushTxnWindowTest, RecoveryCompletesInterruptedFlush) {
 
 INSTANTIATE_TEST_SUITE_P(
     Windows, FlushTxnWindowTest,
-    testing::Values(CacheManager::FailPoint::kAfterFlushTxnCommit,
-                    CacheManager::FailPoint::kAfterFirstFlushTxnWrite),
-    [](const testing::TestParamInfo<CacheManager::FailPoint>& info) {
-      return info.param == CacheManager::FailPoint::kAfterFlushTxnCommit
+    testing::Values(fault::kCmAfterFlushTxnCommit,
+                    fault::kCmAfterFirstFlushTxnWrite),
+    [](const testing::TestParamInfo<std::string_view>& info) {
+      return info.param == fault::kCmAfterFlushTxnCommit
                  ? "AfterCommit"
                  : "AfterFirstWrite";
     });
 
 // Crash after the WAL force but before any flush: pure redo territory.
+// Armed through the legacy set_fail_point shim, which must keep working
+// (it maps onto the registry).
 TEST(FailPointTest, CrashAfterWalForceRedoesEverything) {
   EngineOptions opts;
   opts.purge_threshold_ops = 0;
@@ -78,6 +83,7 @@ TEST(FailPointTest, CrashAfterWalForceRedoesEverything) {
   ASSERT_TRUE(harness.Execute(MakeCreate(1, "payload")).ok());
   harness.engine().cache().set_fail_point(
       CacheManager::FailPoint::kAfterWalForce);
+  EXPECT_TRUE(harness.disk().fault_injector().armed(fault::kCmAfterWalForce));
   ASSERT_TRUE(harness.engine().PurgeOne().IsAborted());
   EXPECT_FALSE(harness.disk().store().Exists(1));
 
@@ -87,6 +93,27 @@ TEST(FailPointTest, CrashAfterWalForceRedoesEverything) {
   EXPECT_EQ(stats.ops_redone, 1u);
   ASSERT_TRUE(harness.VerifyAgainstReference().ok());
   EXPECT_TRUE(harness.disk().store().Exists(1));
+}
+
+// One-shot semantics live in the registry now: the site disarms itself
+// after firing, so the very next pass through the same window succeeds
+// without any manual reset (the old fail_point_ member had to self-clear;
+// the trigger policy subsumes it).
+TEST(FailPointTest, CrashWindowSelfClearsAfterFiring) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 0;
+  CrashHarness harness(opts, 79);
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "v1")).ok());
+  harness.disk().fault_injector().Arm(fault::kCmAfterWalForce,
+                                      FaultSpec::CrashOnce());
+  ASSERT_TRUE(harness.engine().PurgeOne().IsAborted());
+  EXPECT_FALSE(harness.disk().fault_injector().armed(fault::kCmAfterWalForce));
+  harness.Crash();
+  ASSERT_TRUE(harness.Recover().ok());
+  // The redo pass re-applied the operation; installing it now must not
+  // trip the (already fired) fault again.
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+
+namespace loglog {
+namespace {
+
+TEST(FaultInjectorTest, UnarmedSiteNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed(fault::kStoreWrite));
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kStoreWrite)));
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).ok());
+  EXPECT_EQ(inj.total_fires(), 0u);
+  EXPECT_EQ(inj.armed_count(), 0u);
+}
+
+TEST(FaultInjectorTest, OneShotFiresOnceThenDisarms) {
+  FaultInjector inj;
+  inj.Arm(fault::kStoreWrite, FaultSpec::TransientOnce());
+  EXPECT_TRUE(inj.armed(fault::kStoreWrite));
+  EXPECT_EQ(inj.armed_count(), 1u);
+  FaultFire fire = inj.Hit(fault::kStoreWrite);
+  EXPECT_EQ(fire.action, FaultAction::kTransientIoError);
+  EXPECT_FALSE(inj.armed(fault::kStoreWrite));
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kStoreWrite)));
+  EXPECT_EQ(inj.total_fires(), 1u);
+  FaultSiteStats s = inj.site_stats(fault::kStoreWrite);
+  EXPECT_EQ(s.fires, 1u);
+  EXPECT_EQ(s.hits, 1u);  // hits stop counting once disarmed
+}
+
+TEST(FaultInjectorTest, NthHitFiresExactlyOnTheNthHit) {
+  FaultInjector inj;
+  inj.Arm(fault::kLogForce, FaultSpec::CrashOnHit(3));
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kLogForce)));
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kLogForce)));
+  FaultFire fire = inj.Hit(fault::kLogForce);
+  EXPECT_EQ(fire.action, FaultAction::kCrashNow);
+  EXPECT_FALSE(inj.armed(fault::kLogForce));
+}
+
+TEST(FaultInjectorTest, EveryKWithMaxFires) {
+  FaultInjector inj;
+  FaultSpec spec;
+  spec.action = FaultAction::kTransientIoError;
+  spec.trigger = FaultTrigger::kEveryK;
+  spec.n = 2;
+  spec.max_fires = 2;
+  inj.Arm(fault::kStoreRead, spec);
+  // Fires on hits 2 and 4, then exhausts.
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kStoreRead)));
+  EXPECT_TRUE(static_cast<bool>(inj.Hit(fault::kStoreRead)));
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kStoreRead)));
+  EXPECT_TRUE(static_cast<bool>(inj.Hit(fault::kStoreRead)));
+  EXPECT_FALSE(inj.armed(fault::kStoreRead));
+  EXPECT_EQ(inj.site_stats(fault::kStoreRead).fires, 2u);
+}
+
+TEST(FaultInjectorTest, TransientTimesFailsThenSucceeds) {
+  FaultInjector inj;
+  inj.Arm(fault::kStoreWrite, FaultSpec::TransientTimes(2));
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).IsIoError());
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).IsIoError());
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).ok());
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).ok());
+}
+
+TEST(FaultInjectorTest, ProbabilisticIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector inj;
+    inj.Arm(fault::kStoreWrite,
+            FaultSpec::Probabilistic(FaultAction::kTransientIoError, 30,
+                                     seed));
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(static_cast<bool>(inj.Hit(fault::kStoreWrite)));
+    }
+    return fires;
+  };
+  EXPECT_EQ(run(7), run(7));        // same seed, same decisions
+  EXPECT_NE(run(7), run(8));        // different seed, different decisions
+  // ~30% of 64 hits should fire; accept a generous band.
+  std::vector<bool> fires = run(7);
+  int count = 0;
+  for (bool f : fires) count += f ? 1 : 0;
+  EXPECT_GT(count, 5);
+  EXPECT_LT(count, 40);
+}
+
+TEST(FaultInjectorTest, MaybeFailMapsActionsToStatuses) {
+  FaultInjector inj;
+  inj.Arm(fault::kLogAppend, FaultSpec::Permanent());
+  EXPECT_TRUE(inj.MaybeFail(fault::kLogAppend).IsIoError());
+  inj.Arm(fault::kLogAppend, FaultSpec::CrashOnce());
+  Status st = inj.MaybeFail(fault::kLogAppend);
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+  EXPECT_NE(st.message().find("log.append"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, CrashCallbackInvokedOnCrashFires) {
+  FaultInjector inj;
+  int crashes = 0;
+  std::string last_site;
+  inj.set_crash_callback([&](std::string_view site) {
+    ++crashes;
+    last_site = std::string(site);
+  });
+  inj.Arm(fault::kStoreWrite, FaultSpec::TransientOnce());
+  (void)inj.Hit(fault::kStoreWrite);
+  EXPECT_EQ(crashes, 0);  // error actions do not "crash"
+  inj.Arm(fault::kStoreWrite, FaultSpec::CrashOnce());
+  (void)inj.Hit(fault::kStoreWrite);
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(last_site, fault::kStoreWrite);
+  inj.Arm(fault::kLogAppend, FaultSpec::TornOnce(1));
+  (void)inj.Hit(fault::kLogAppend);
+  EXPECT_EQ(crashes, 2);  // torn writes imply a crash too
+}
+
+TEST(FaultInjectorTest, FlipBitChangesExactlyOneBit) {
+  std::vector<uint8_t> data = {0x00, 0xff, 0x5a, 0xa5};
+  std::vector<uint8_t> orig = data;
+  FaultInjector::FlipBit(12345, &data);
+  int diff_bits = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    uint8_t x = data[i] ^ orig[i];
+    while (x != 0) {
+      diff_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(diff_bits, 1);
+  // Empty payloads are a safe no-op.
+  std::vector<uint8_t> empty;
+  FaultInjector::FlipBit(12345, &empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjectorTest, DisarmAllSilencesEverySite) {
+  FaultInjector inj;
+  inj.Arm(fault::kStoreWrite, FaultSpec::Permanent());
+  inj.Arm(fault::kStoreRead, FaultSpec::Permanent());
+  inj.Arm(fault::kLogAppend, FaultSpec::CrashOnce());
+  EXPECT_EQ(inj.armed_count(), 3u);
+  inj.DisarmAll();
+  EXPECT_EQ(inj.armed_count(), 0u);
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreWrite).ok());
+  EXPECT_TRUE(inj.MaybeFail(fault::kStoreRead).ok());
+  EXPECT_TRUE(inj.MaybeFail(fault::kLogAppend).ok());
+}
+
+TEST(FaultInjectorTest, RearmResetsCounters) {
+  FaultInjector inj;
+  inj.Arm(fault::kStoreWrite, FaultSpec::CrashOnHit(2));
+  (void)inj.Hit(fault::kStoreWrite);
+  inj.Arm(fault::kStoreWrite, FaultSpec::CrashOnHit(2));  // re-arm
+  EXPECT_EQ(inj.site_stats(fault::kStoreWrite).hits, 0u);
+  EXPECT_FALSE(static_cast<bool>(inj.Hit(fault::kStoreWrite)));
+  EXPECT_TRUE(static_cast<bool>(inj.Hit(fault::kStoreWrite)));
+}
+
+}  // namespace
+}  // namespace loglog

@@ -73,8 +73,11 @@ TEST(StableLogDeviceTest, AppendTruncateTear) {
   SimulatedDisk disk;
   StableLogDevice& log = disk.log();
   std::vector<uint8_t> a(10, 1), b(20, 2);
-  EXPECT_EQ(log.Append(Slice(a)), 0u);
-  EXPECT_EQ(log.Append(Slice(b)), 10u);
+  uint64_t off = 99;
+  ASSERT_TRUE(log.Append(Slice(a), &off).ok());
+  EXPECT_EQ(off, 0u);
+  ASSERT_TRUE(log.Append(Slice(b), &off).ok());
+  EXPECT_EQ(off, 10u);
   EXPECT_EQ(log.end_offset(), 30u);
   EXPECT_EQ(log.last_append_size(), 20u);
   EXPECT_EQ(log.ArchiveContents().size(), 30u);
