@@ -87,8 +87,86 @@ void BM_LoggingCost(benchmark::State& state) {
                  (logical ? "logical" : "physiological"));
 }
 
+// E-next (group-commit WAL batching): device forces per 1k committed
+// operations under each ForcePolicy. Obligations accumulate while the
+// workload runs; every `cycle` operations a flush pass drains the dirty
+// set, and each flushed node forces the WAL up to its newest operation.
+// Under kImmediate every one of those forces is its own device append;
+// group commit coalesces the whole volatile buffer into the cycle's
+// first force, turning the rest into no-ops; kSizeThreshold does the
+// same up to a byte budget. Reported: forces_per_1k_ops (the
+// figure-of-merit in BENCH_recovery.json) and records coalesced per op.
+void BM_ForcePolicy(benchmark::State& state) {
+  const int64_t policy = state.range(0);
+  const int64_t cycle = state.range(1);
+
+  EngineOptions opts;
+  opts.flush_policy = FlushPolicy::kNativeAtomic;
+  opts.purge_threshold_ops = 0;      // no incremental purge:
+  opts.checkpoint_interval_ops = 0;  // the flush cycle drains instead
+  opts.wal_force_policy = static_cast<ForcePolicy>(policy);
+  opts.wal_group_bytes = 1 << 12;
+
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  MixedWorkloadOptions wopts;
+  wopts.seed = 4242;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    (void)engine.Execute(op);
+  }
+  if (Status st = engine.FlushAll(); !st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+  }
+
+  uint64_t ops = 0;
+  uint64_t forces_before = disk.stats().log_forces;
+  uint64_t coalesced_before = engine.log().records_coalesced();
+  for (auto _ : state) {
+    Status st = engine.Execute(workload.Next());
+    if (!st.ok() && !st.IsNotFound()) {
+      state.SkipWithError(st.ToString().c_str());
+    }
+    ++ops;
+    if (ops % static_cast<uint64_t>(cycle) == 0) {
+      st = engine.FlushAll();
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+  }
+  uint64_t forces = disk.stats().log_forces - forces_before;
+  uint64_t coalesced = engine.log().records_coalesced() - coalesced_before;
+  state.counters["forces_per_1k_ops"] =
+      ops == 0 ? 0
+               : 1000.0 * static_cast<double>(forces) /
+                     static_cast<double>(ops);
+  state.counters["coalesced_per_op"] =
+      ops == 0 ? 0
+               : static_cast<double>(coalesced) / static_cast<double>(ops);
+  const char* name = "?";
+  switch (opts.wal_force_policy) {
+    case ForcePolicy::kImmediate:
+      name = "immediate";
+      break;
+    case ForcePolicy::kGroup:
+      name = "group";
+      break;
+    case ForcePolicy::kSizeThreshold:
+      name = "size-threshold";
+      break;
+  }
+  state.SetLabel("force/" + std::string(name) + "/cycle" +
+                 std::to_string(cycle));
+}
+
 }  // namespace
 }  // namespace loglog
+
+BENCHMARK(loglog::BM_ForcePolicy)
+    ->ArgsProduct({{static_cast<int64_t>(loglog::ForcePolicy::kImmediate),
+                    static_cast<int64_t>(loglog::ForcePolicy::kGroup),
+                    static_cast<int64_t>(loglog::ForcePolicy::kSizeThreshold)},
+                   {16, 64}})
+    ->ArgNames({"policy", "cycle"});
 
 BENCHMARK(loglog::BM_LoggingCost)
     ->ArgsProduct({{256, 1024, 4096, 16384, 65536, 262144},

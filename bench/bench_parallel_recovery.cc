@@ -1,0 +1,96 @@
+// E-next (parallel partitioned REDO): recovery wall time as the redo
+// workload is replayed by a pool of workers, one connected component of
+// the write graph at a time.
+//
+// The redo workload is built as C disjoint object clusters (copy chains
+// that never cross clusters), so the union-find partition recovers
+// exactly C components. Simulated device latency is attached to the
+// stable store for the duration of recovery: on the simulator the win
+// comes from overlapping component I/O stalls, exactly as a real
+// recovery overlaps device reads — CPU-bound decode stays serial on a
+// single core either way. Reported: recovery wall time per (log length,
+// component count, thread count); the speedup column of BENCH_recovery
+// .json is serial time / parallel time at equal shape.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+/// Simulated device read latency during recovery, microseconds. High
+/// enough to dominate decode cost and OS timer slack, low enough to
+/// keep the sweep quick.
+constexpr uint32_t kReadLatencyUs = 100;
+
+/// Objects shared by every shape so component count only changes how
+/// they are clustered, not how much state there is.
+constexpr ObjectId kNumObjects = 256;
+
+void BM_ParallelRecovery(benchmark::State& state) {
+  const int log_ops = static_cast<int>(state.range(0));
+  const int components = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  const ObjectId cluster = kNumObjects / components;
+
+  RecoveryStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions opts;
+    opts.redo_test = RedoTestKind::kAlways;  // redo everything: worst case
+    opts.checkpoint_interval_ops = 0;        // nothing shortens the scan
+    opts.purge_threshold_ops = 0;            // nothing installs early
+    opts.recovery.redo_threads = threads;
+    CrashHarness harness(opts, 7);
+    Random rng(1234);
+    for (ObjectId id = 1; id <= kNumObjects; ++id) {
+      Status st = harness.Execute(MakeCreate(id, Slice(rng.Bytes(64))));
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+    // Copy chains strictly inside each cluster: op i advances cluster
+    // i % C one step, so components interleave in the log exactly as
+    // independent streams would.
+    for (int i = 0; i < log_ops; ++i) {
+      ObjectId c = static_cast<ObjectId>(i % components);
+      ObjectId step = static_cast<ObjectId>(i / components);
+      ObjectId src = c * cluster + step % cluster + 1;
+      ObjectId dst = c * cluster + (step + 1) % cluster + 1;
+      Status st = harness.Execute(MakeCopy(dst, src));
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+    (void)harness.engine().log().ForceAll();
+    harness.Crash();
+    harness.disk().store().set_sim_latency(kReadLatencyUs, kReadLatencyUs);
+    stats = RecoveryStats();
+    state.ResumeTiming();
+
+    Status st = harness.Recover(&stats);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.PauseTiming();
+    harness.disk().store().set_sim_latency(0, 0);
+    st = harness.VerifyAgainstReference();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    state.ResumeTiming();
+  }
+  state.counters["ops_redone"] = static_cast<double>(stats.ops_redone);
+  state.counters["components"] = static_cast<double>(components);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel("ops" + std::to_string(log_ops) + "/c" +
+                 std::to_string(components) + "/t" + std::to_string(threads));
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_ParallelRecovery)
+    ->ArgsProduct({{512, 2048}, {4, 16, 64}, {1, 2, 4, 8}})
+    ->ArgNames({"ops", "comps", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Runs the recovery-performance benchmarks and merges their JSON output
+# into BENCH_recovery.json at the repo root:
+#
+#   bench/run_benches.sh [build_dir] [min_time_seconds]
+#
+# The merged file holds the raw google-benchmark entries for the
+# parallel-REDO sweep and the ForcePolicy series, plus two derived
+# summaries: recovery speedup vs threads at every (ops, components)
+# shape, and device forces per 1k ops per ForcePolicy.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_TIME="${2:-0.2}"
+OUT=BENCH_recovery.json
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR"/bench/bench_parallel_recovery \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$TMP/parallel_recovery.json"
+
+"$BUILD_DIR"/bench/bench_logging_cost \
+  --benchmark_filter=ForcePolicy \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$TMP/force_policy.json"
+
+python3 - "$TMP/parallel_recovery.json" "$TMP/force_policy.json" "$OUT" \
+  <<'PYEOF'
+import json
+import sys
+
+parallel_path, force_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+parallel = json.load(open(parallel_path))
+force = json.load(open(force_path))
+
+# Speedup table: serial time / time at each thread count, per shape.
+times = {}
+for b in parallel["benchmarks"]:
+    # Parse "ops:512/comps:4/threads:1" from the run name.
+    parts = dict(
+        kv.split(":") for kv in b["run_name"].split("/") if kv.count(":") == 1
+    )
+    key = (int(parts["ops"]), int(parts["comps"]))
+    times.setdefault(key, {})[int(parts["threads"])] = b["real_time"]
+
+speedups = []
+for (ops, comps), by_threads in sorted(times.items()):
+    serial = by_threads.get(1)
+    if not serial:
+        continue
+    row = {"ops": ops, "components": comps, "serial_ms": serial}
+    for t, v in sorted(by_threads.items()):
+        if t == 1:
+            continue
+        row[f"speedup_t{t}"] = round(serial / v, 2)
+    speedups.append(row)
+
+forces = []
+for b in force["benchmarks"]:
+    parts = dict(
+        kv.split(":") for kv in b["run_name"].split("/") if kv.count(":") == 1
+    )
+    forces.append(
+        {
+            "policy": b.get("label", b["run_name"]),
+            "cycle": int(parts["cycle"]),
+            "forces_per_1k_ops": round(b["forces_per_1k_ops"], 2),
+            "coalesced_per_op": round(b["coalesced_per_op"], 3),
+        }
+    )
+
+merged = {
+    "context": parallel.get("context", {}),
+    "recovery_speedup": speedups,
+    "forces_per_policy": forces,
+    "raw": {
+        "parallel_recovery": parallel["benchmarks"],
+        "force_policy": force["benchmarks"],
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in speedups:
+    print("  ", row)
+for row in forces:
+    print("  ", row)
+PYEOF

@@ -2,6 +2,7 @@
 
 #include "engine/options.h"
 #include "ops/function_registry.h"
+#include "wal/log_cursor.h"
 #include "wal/log_record.h"
 
 namespace loglog {
@@ -30,11 +31,9 @@ Status MediaRecover(const BackupImage& image, Slice log_archive,
 Status RestoreToLsn(Slice log_archive, Lsn target,
                     SimulatedDisk* fresh_disk) {
   StableStore& store = fresh_disk->store();
-  while (true) {
-    LogRecord rec;
-    Status st = ReadFramedRecord(&log_archive, &rec);
-    if (st.IsNotFound()) break;
-    LOGLOG_RETURN_IF_ERROR(st);
+  LogCursor cursor(log_archive, /*start_offset=*/0);
+  LogRecord rec;
+  while (cursor.Next(&rec)) {
     if (rec.type != RecordType::kOperation || rec.lsn > target) continue;
     const OperationDesc& op = rec.op;
     if (op.op_class == OpClass::kDelete) {
@@ -63,6 +62,12 @@ Status RestoreToLsn(Slice log_archive, Lsn target,
       LOGLOG_RETURN_IF_ERROR(
           store.Write(op.writes[i], Slice(writes[i]), rec.lsn));
     }
+  }
+  LOGLOG_RETURN_IF_ERROR(cursor.status());
+  if (cursor.torn()) {
+    // The archive is not a crash-exposed device: a torn record there is
+    // damage, not an interrupted force.
+    return Status::Corruption("log archive ends in a torn record");
   }
   return Status::OK();
 }

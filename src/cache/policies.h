@@ -37,6 +37,21 @@ enum class LoggingMode {
   kPhysiological,
 };
 
+/// How LogManager::Force maps force obligations onto device appends.
+enum class ForcePolicy {
+  /// One device append per Force call, covering exactly the requested
+  /// prefix. Baseline; every caller pays its own force.
+  kImmediate,
+  /// Group commit: a Force appends the *entire* volatile buffer, so one
+  /// device append discharges every pending obligation — later Force
+  /// calls for already-stable LSNs are no-ops.
+  kGroup,
+  /// Like kGroup, but the append is extended past the requested LSN only
+  /// while the batch stays under a byte budget (bounds force latency on
+  /// a slow device while still coalescing small obligations).
+  kSizeThreshold,
+};
+
 /// REDO test variants of Section 5.
 enum class RedoTestKind {
   /// Redo every applicable operation (repeat all of history).

@@ -7,6 +7,14 @@
 
 namespace loglog {
 
+/// Recovery-pass tuning.
+struct RecoveryOptions {
+  /// Worker threads for the partitioned REDO pass. <= 1 keeps the serial
+  /// scan; higher values replay independent write-graph components of
+  /// the redo workload concurrently (see src/recovery/parallel_redo.h).
+  int redo_threads = 1;
+};
+
 /// \brief Configuration of a RecoveryEngine.
 ///
 /// The four enums select one point in the paper's design space; the
@@ -35,6 +43,13 @@ struct EngineOptions {
   /// identity-write logging at checkpoints instead of flushed by the
   /// automatic purge; Section 4). 0 disables; MarkHot remains manual.
   uint64_t auto_hot_write_threshold = 0;
+  /// Recovery-pass tuning (parallel partitioned REDO).
+  RecoveryOptions recovery;
+  /// How LogManager::Force maps force obligations onto device appends
+  /// (group commit when not kImmediate).
+  ForcePolicy wal_force_policy = ForcePolicy::kImmediate;
+  /// Batch byte budget for ForcePolicy::kSizeThreshold.
+  size_t wal_group_bytes = 1 << 16;
 };
 
 }  // namespace loglog

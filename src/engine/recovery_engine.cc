@@ -9,6 +9,7 @@ RecoveryEngine::RecoveryEngine(const EngineOptions& options,
                                SimulatedDisk* disk)
     : options_(options), disk_(disk) {
   log_ = std::make_unique<LogManager>(&disk_->log());
+  log_->set_force_policy(options_.wal_force_policy, options_.wal_group_bytes);
   cache_ = std::make_unique<CacheManager>(disk_, log_.get(),
                                           options_.graph_kind,
                                           options_.flush_policy,
@@ -20,7 +21,8 @@ RecoveryEngine::RecoveryEngine(const EngineOptions& options,
 Status RecoveryEngine::Recover(RecoveryStats* stats) {
   RecoveryStats local;
   RecoveryDriver driver(disk_, log_.get(), cache_.get(),
-                        options_.redo_test, repair_backup_);
+                        options_.redo_test, repair_backup_,
+                        options_.recovery.redo_threads);
   LOGLOG_RETURN_IF_ERROR(driver.Run(stats != nullptr ? stats : &local));
   recovered_ = true;
   needs_recovery_ = false;

@@ -3,6 +3,7 @@
 namespace loglog {
 
 void FaultInjector::Arm(std::string_view site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = sites_.try_emplace(std::string(site));
   Site& s = it->second;
   if (!inserted && s.armed) --armed_count_;
@@ -14,6 +15,7 @@ void FaultInjector::Arm(std::string_view site, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -21,50 +23,60 @@ void FaultInjector::Disarm(std::string_view site) {
 }
 
 void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, site] : sites_) site.armed = false;
   armed_count_ = 0;
 }
 
 bool FaultInjector::armed(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   return it != sites_.end() && it->second.armed;
 }
 
 FaultFire FaultInjector::Hit(std::string_view site) {
-  if (armed_count_ == 0) return {};
-  auto it = sites_.find(site);
-  if (it == sites_.end() || !it->second.armed) return {};
-  Site& s = it->second;
-  ++s.stats.hits;
-  bool fire = false;
-  bool disarm = false;
-  switch (s.spec.trigger) {
-    case FaultTrigger::kOneShot:
-      fire = true;
-      disarm = true;
-      break;
-    case FaultTrigger::kNthHit:
-      fire = s.stats.hits == s.spec.n;
-      disarm = fire;
-      break;
-    case FaultTrigger::kEveryK:
-      fire = s.spec.n > 0 && s.stats.hits % s.spec.n == 0;
-      break;
-    case FaultTrigger::kProbabilistic:
-      fire = s.rng.Uniform(100) < s.spec.percent;
-      break;
-  }
-  if (!fire) return {};
-  ++s.stats.fires;
-  ++total_fires_;
-  if (disarm ||
-      (s.spec.max_fires > 0 && s.stats.fires >= s.spec.max_fires)) {
-    s.armed = false;
-    --armed_count_;
-  }
+  // Fast path: no site anywhere is armed. A stale read here only delays
+  // a concurrent Arm by one hit, which is indistinguishable from the Arm
+  // landing a moment later.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return {};
   FaultFire out;
-  out.action = s.spec.action;
-  out.rng = s.rng.Next();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return {};
+    Site& s = it->second;
+    ++s.stats.hits;
+    bool fire = false;
+    bool disarm = false;
+    switch (s.spec.trigger) {
+      case FaultTrigger::kOneShot:
+        fire = true;
+        disarm = true;
+        break;
+      case FaultTrigger::kNthHit:
+        fire = s.stats.hits == s.spec.n;
+        disarm = fire;
+        break;
+      case FaultTrigger::kEveryK:
+        fire = s.spec.n > 0 && s.stats.hits % s.spec.n == 0;
+        break;
+      case FaultTrigger::kProbabilistic:
+        fire = s.rng.Uniform(100) < s.spec.percent;
+        break;
+    }
+    if (!fire) return {};
+    ++s.stats.fires;
+    ++total_fires_;
+    if (disarm ||
+        (s.spec.max_fires > 0 && s.stats.fires >= s.spec.max_fires)) {
+      s.armed = false;
+      --armed_count_;
+    }
+    out.action = s.spec.action;
+    out.rng = s.rng.Next();
+  }
+  // Outside the lock: the callback may inspect the injector (armed(),
+  // site_stats()) without deadlocking.
   if ((out.action == FaultAction::kCrashNow ||
        out.action == FaultAction::kTornWrite) &&
       crash_cb_) {
@@ -103,6 +115,7 @@ void FaultInjector::FlipBit(uint64_t rng, std::vector<uint8_t>* data) {
 }
 
 FaultSiteStats FaultInjector::site_stats(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
 }

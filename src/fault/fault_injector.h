@@ -1,9 +1,11 @@
 #ifndef LOGLOG_FAULT_FAULT_INJECTOR_H_
 #define LOGLOG_FAULT_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +50,12 @@ inline constexpr std::string_view kCmAfterFlushTxnCommit =
 /// complete the remainder idempotently.
 inline constexpr std::string_view kCmAfterFirstFlushTxnWrite =
     "cm.flush_txn.after_first_write";
+/// Parallel REDO worker — hit once per connected component, from the
+/// worker thread about to replay it (models a failure of the per-worker
+/// I/O path: thread-local buffers, queue links to the device). Error
+/// actions only; transient errors are retried by the worker, anything
+/// else aborts recovery (which is idempotent and simply reruns).
+inline constexpr std::string_view kRedoWorker = "redo.worker";
 }  // namespace fault
 
 /// What happens when an armed site triggers.
@@ -184,6 +192,12 @@ struct FaultSiteStats {
 /// decide when a hit becomes a fire; actions say what the layer does
 /// about it. All decisions are seeded and deterministic, so a
 /// (seed, workload, armed-spec) triple reproduces a failure exactly.
+///
+/// Thread-safe: parallel-REDO workers hit store/worker sites
+/// concurrently, so all site state is mutex-guarded (with a lock-free
+/// nothing-armed fast path). The crash callback is invoked *outside* the
+/// lock and must therefore tolerate concurrent invocations; it must not
+/// re-enter Arm/Disarm for the firing site.
 class FaultInjector {
  public:
   using CrashCallback = std::function<void(std::string_view site)>;
@@ -221,8 +235,12 @@ class FaultInjector {
   /// the teardown.
   void set_crash_callback(CrashCallback cb) { crash_cb_ = std::move(cb); }
 
-  uint64_t total_fires() const { return total_fires_; }
-  size_t armed_count() const { return armed_count_; }
+  uint64_t total_fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+  size_t armed_count() const {
+    return armed_count_.load(std::memory_order_relaxed);
+  }
   FaultSiteStats site_stats(std::string_view site) const;
 
  private:
@@ -233,10 +251,12 @@ class FaultInjector {
     bool armed = false;
   };
 
+  mutable std::mutex mu_;
   std::map<std::string, Site, std::less<>> sites_;
   CrashCallback crash_cb_;
-  uint64_t total_fires_ = 0;
-  size_t armed_count_ = 0;
+  std::atomic<uint64_t> total_fires_ = 0;
+  /// Atomic so Hit()'s nothing-armed fast path skips the lock.
+  std::atomic<size_t> armed_count_ = 0;
 };
 
 }  // namespace loglog

@@ -1,100 +1,90 @@
 #include "recovery/analysis.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 namespace loglog {
 
-AnalysisResult RunAnalysis(const std::vector<LogRecord>& records) {
-  AnalysisResult out;
-
-  // Locate the last checkpoint; its dirty object table is the baseline.
-  size_t ckpt_index = records.size();
-  for (size_t i = 0; i < records.size(); ++i) {
-    if (records[i].type == RecordType::kCheckpoint) {
-      out.last_checkpoint = records[i].lsn;
-      ckpt_index = i;
-    }
-  }
-  size_t dot_start = 0;
-  if (ckpt_index < records.size()) {
-    for (const DotEntry& e : records[ckpt_index].dot) {
-      out.dot[e.id] = e.rsi;
-      out.dot_classic[e.id] = e.rsi;
-    }
-    dot_start = ckpt_index + 1;
-  }
-
-  // Dirty-object-table evolution from the checkpoint onwards. The
-  // generalized table applies install records for vars(n) and Notx(n);
-  // the classic (ARIES-style) table honors only actual flushes.
-  for (size_t i = dot_start; i < records.size(); ++i) {
-    const LogRecord& rec = records[i];
-    switch (rec.type) {
-      case RecordType::kOperation:
-        for (ObjectId x : rec.op.writes) {
-          out.dot.try_emplace(x, rec.lsn);
-          out.dot_classic.try_emplace(x, rec.lsn);
-        }
-        break;
-      case RecordType::kInstall:
-        for (const InstallEntry& e : rec.installed_vars) {
-          if (e.rsi == kInvalidLsn) {
-            out.dot.erase(e.id);
-            out.dot_classic.erase(e.id);
-          } else {
-            out.dot[e.id] = e.rsi;
-            out.dot_classic[e.id] = e.rsi;
-          }
-        }
-        for (const InstallEntry& e : rec.installed_notx) {
-          if (e.rsi == kInvalidLsn) {
-            out.dot.erase(e.id);
-          } else {
-            out.dot[e.id] = e.rsi;
-          }
-        }
-        break;
-      default:
-        break;
-    }
-  }
-
-  // Full-retained-log scan: delete lifetimes, readers, writesets, and
-  // committed flush transactions. (Uninstalled deletes are always within
-  // the retained log because truncation never passes the minimum rSI.)
-  for (const LogRecord& rec : records) {
-    switch (rec.type) {
-      case RecordType::kOperation: {
-        for (ObjectId r : rec.op.reads) {
-          out.readers[r].push_back(rec.lsn);
-        }
-        out.op_writes[rec.lsn] = rec.op.writes;
-        for (ObjectId x : rec.op.writes) {
-          if (rec.op.op_class == OpClass::kDelete) {
-            out.deleted_at[x] = rec.lsn;
-          } else {
-            out.deleted_at.erase(x);
-          }
-        }
-        break;
+void AnalysisBuilder::Add(const LogRecord& rec) {
+  switch (rec.type) {
+    case RecordType::kCheckpoint:
+      // Reset the dirty-object tables to the checkpoint's snapshot:
+      // identical to replaying the evolution from the last checkpoint,
+      // without a second pass to find it first.
+      out_.last_checkpoint = rec.lsn;
+      out_.dot.clear();
+      out_.dot_classic.clear();
+      for (const DotEntry& e : rec.dot) {
+        out_.dot[e.id] = e.rsi;
+        out_.dot_classic[e.id] = e.rsi;
       }
-      case RecordType::kFlushTxnCommit:
-        out.committed_flush_txns.insert(rec.ref_lsn);
-        break;
-      default:
-        break;
-    }
+      break;
+    case RecordType::kOperation:
+      // Dirty-object-table evolution: first uninstalled writer pins the
+      // rSI.
+      for (ObjectId x : rec.op.writes) {
+        out_.dot.try_emplace(x, rec.lsn);
+        out_.dot_classic.try_emplace(x, rec.lsn);
+      }
+      // Full-log accumulators: readers, writesets, delete lifetimes.
+      for (ObjectId r : rec.op.reads) {
+        out_.readers[r].push_back(rec.lsn);
+      }
+      out_.op_writes[rec.lsn] = rec.op.writes;
+      for (ObjectId x : rec.op.writes) {
+        if (rec.op.op_class == OpClass::kDelete) {
+          out_.deleted_at[x] = rec.lsn;
+        } else {
+          out_.deleted_at.erase(x);
+        }
+      }
+      break;
+    case RecordType::kInstall:
+      // The generalized table applies install records for vars(n) and
+      // Notx(n); the classic (ARIES-style) table honors only actual
+      // flushes.
+      for (const InstallEntry& e : rec.installed_vars) {
+        if (e.rsi == kInvalidLsn) {
+          out_.dot.erase(e.id);
+          out_.dot_classic.erase(e.id);
+        } else {
+          out_.dot[e.id] = e.rsi;
+          out_.dot_classic[e.id] = e.rsi;
+        }
+      }
+      for (const InstallEntry& e : rec.installed_notx) {
+        if (e.rsi == kInvalidLsn) {
+          out_.dot.erase(e.id);
+        } else {
+          out_.dot[e.id] = e.rsi;
+        }
+      }
+      break;
+    case RecordType::kFlushTxnCommit:
+      out_.committed_flush_txns.insert(rec.ref_lsn);
+      break;
+    default:
+      break;
   }
+}
 
-  for (const auto& [id, rsi] : out.dot) {
-    if (rsi != kInvalidLsn) out.redo_start = std::min(out.redo_start, rsi);
+AnalysisResult AnalysisBuilder::Finish() {
+  for (const auto& [id, rsi] : out_.dot) {
+    if (rsi != kInvalidLsn) out_.redo_start = std::min(out_.redo_start, rsi);
   }
-  for (const auto& [id, rsi] : out.dot_classic) {
+  for (const auto& [id, rsi] : out_.dot_classic) {
     if (rsi != kInvalidLsn) {
-      out.redo_start_classic = std::min(out.redo_start_classic, rsi);
+      out_.redo_start_classic = std::min(out_.redo_start_classic, rsi);
     }
   }
-  return out;
+  return std::move(out_);
+}
+
+AnalysisResult RunAnalysis(const std::vector<LogRecord>& records) {
+  AnalysisBuilder builder;
+  for (const LogRecord& rec : records) builder.Add(rec);
+  return builder.Finish();
 }
 
 bool BasicRsiRedoable(const AnalysisResult& analysis, Lsn lsn,
@@ -107,16 +97,20 @@ bool BasicRsiRedoable(const AnalysisResult& analysis, Lsn lsn,
 }
 
 std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
-    const std::vector<LogRecord>& records, const AnalysisResult& analysis) {
+    const AnalysisResult& analysis) {
+  // analysis.op_writes holds every operation's lSI and writeset — all
+  // this pass needs — so reverse record order is just descending keys.
+  std::vector<Lsn> lsns;
+  lsns.reserve(analysis.op_writes.size());
+  for (const auto& [lsn, writes] : analysis.op_writes) lsns.push_back(lsn);
+  std::sort(lsns.begin(), lsns.end(), std::greater<Lsn>());
   std::unordered_map<Lsn, bool> redo;
   // Reverse LSN order: readers are strictly later than the writes they
   // gate, so their final decisions are available when needed.
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
-    if (it->type != RecordType::kOperation) continue;
-    const OperationDesc& op = it->op;
-    Lsn lsn = it->lsn;
+  for (Lsn lsn : lsns) {
+    const std::vector<ObjectId>& writes = analysis.op_writes.at(lsn);
     bool needed = false;
-    for (ObjectId x : op.writes) {
+    for (ObjectId x : writes) {
       auto dot_it = analysis.dot.find(x);
       if (dot_it == analysis.dot.end()) continue;  // clean: installed
       if (lsn < dot_it->second) continue;          // lSI < rSI: installed
@@ -143,6 +137,12 @@ std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
     redo[lsn] = needed;
   }
   return redo;
+}
+
+std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
+    const std::vector<LogRecord>& records, const AnalysisResult& analysis) {
+  (void)records;
+  return ComputeRedoFixpoint(analysis);
 }
 
 bool DeadSkipAllowed(const AnalysisResult& analysis, ObjectId x, Lsn lsn) {

@@ -53,7 +53,28 @@ struct AnalysisResult {
   std::unordered_map<Lsn, bool> fixpoint_redo;
 };
 
+/// \brief Streaming analysis: feed records in ascending LSN order (e.g.
+/// straight off a LogCursor), then Finish().
+///
+/// A checkpoint record *resets* the dirty-object tables to its snapshot,
+/// which is exactly equivalent to the old start-from-last-checkpoint
+/// replay — so one forward pass suffices and recovery never materializes
+/// the log. The full-log accumulators (readers, writesets, delete
+/// lifetimes, committed flush transactions) always span every retained
+/// record, as before.
+class AnalysisBuilder {
+ public:
+  void Add(const LogRecord& rec);
+  /// Computes the scan start points and yields the result. The builder
+  /// is spent afterwards.
+  AnalysisResult Finish();
+
+ private:
+  AnalysisResult out_;
+};
+
 /// Runs the analysis pass over the stable records (ascending LSN order).
+/// Materialized-log convenience over AnalysisBuilder.
 AnalysisResult RunAnalysis(const std::vector<LogRecord>& records);
 
 /// Conservative "could this operation be redone?" using only the static
@@ -73,6 +94,12 @@ bool DeadSkipAllowed(const AnalysisResult& analysis, ObjectId x, Lsn lsn);
 /// decision of every (strictly later) reader. Returns lSI -> would-redo;
 /// operations absent from the map are statically skippable. Conservative
 /// with respect to dynamic vSI skips (those only shrink the redone set).
+/// Needs only the analysis accumulators (op_writes carries every
+/// operation's lSI and writeset), so it composes with streaming analysis.
+std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
+    const AnalysisResult& analysis);
+
+/// Back-compat shim; `records` is unused.
 std::unordered_map<Lsn, bool> ComputeRedoFixpoint(
     const std::vector<LogRecord>& records, const AnalysisResult& analysis);
 

@@ -1,0 +1,64 @@
+#ifndef LOGLOG_RECOVERY_PARALLEL_REDO_H_
+#define LOGLOG_RECOVERY_PARALLEL_REDO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cache/policies.h"
+#include "common/status.h"
+#include "recovery/analysis.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// Merged outcome counters of a parallel redo pass (the driver folds them
+/// into RecoveryStats; records_scanned / ops_considered are counted by the
+/// driver's scan, which is what selects the work items).
+struct ParallelRedoResult {
+  uint64_t ops_redone = 0;
+  uint64_t ops_skipped_installed = 0;
+  uint64_t ops_skipped_unexposed = 0;
+  uint64_t ops_voided = 0;
+  uint64_t flush_txns_completed = 0;
+  uint64_t redo_value_bytes = 0;
+  uint64_t expensive_redos = 0;
+  uint64_t io_retries = 0;
+  /// Connected components the workload split into (1 = no parallelism
+  /// available).
+  uint64_t components = 0;
+};
+
+/// \brief Partitioned parallel REDO (the perf counterpart of Figure 2's
+/// serial Recover(D, I)).
+///
+/// The redo workload — operation records at or after the scan start plus
+/// committed flush-transaction begin records — is partitioned into
+/// connected components of the write graph restricted to those records:
+/// two records conflict when they share any object (reads, writes, or
+/// flush values). Components are object-disjoint by construction, so they
+/// can replay concurrently with no ordering constraints *between* them,
+/// while replay *within* a component follows LSN order — exactly the
+/// serial scan's order restricted to that component.
+///
+/// Each worker replays components against a private view of the objects
+/// the component touches, mirroring the cache manager's read/decision
+/// semantics (cached-else-stable vSIs, trial-execution voiding, no
+/// tombstone caching on a missing read). Flush-transaction completions
+/// write the stable store directly — their objects belong to the same
+/// component as any operation that could observe them, so the serial
+/// interleaving is preserved. After the workers join, the redone results
+/// are applied to the cache manager in global LSN order, rebuilding the
+/// cache and write graph exactly as the serial scan would have.
+///
+/// `work` must be in ascending LSN order. On any worker error the pass
+/// aborts with the error of the earliest affected component; the cache is
+/// not updated (recovery is idempotent — the caller simply reruns).
+Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
+                    RedoTestKind redo_test, const AnalysisResult& analysis,
+                    const std::vector<LogRecord>& work, int threads,
+                    ParallelRedoResult* result);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_RECOVERY_PARALLEL_REDO_H_

@@ -9,7 +9,9 @@
 #include "common/retry.h"
 #include "ops/function_registry.h"
 #include "recovery/analysis.h"
+#include "recovery/parallel_redo.h"
 #include "recovery/redo_test.h"
+#include "wal/log_cursor.h"
 
 namespace loglog {
 
@@ -37,10 +39,6 @@ std::string RecoveryStats::ToString() const {
   return buf;
 }
 
-namespace {
-
-/// A store write issued by recovery itself, verified by read-back.
-///
 /// Recovery is the last line of defense: a write silently damaged on the
 /// way down (bit rot in flight) would otherwise be labeled with a fresh
 /// vSI and survive as an installed-but-rotten object until the *next*
@@ -62,6 +60,8 @@ Status VerifiedStableWrite(StableStore* store, uint64_t* retry_counter,
   }
   return st;
 }
+
+namespace {
 
 /// Re-executes one logged operation against the recovering state through
 /// the normal cache path. Implements the "expanded REDO" trial execution
@@ -111,18 +111,27 @@ Status RedoOperation(CacheManager* cm, const OperationDesc& op, Lsn lsn,
 }  // namespace
 
 Status RecoveryDriver::Run(RecoveryStats* stats) {
-  std::vector<LogRecord> records;
-  bool torn = false;
+  // Pass 1 — streaming analysis: one cursor walk feeds the analysis
+  // builder record by record. Nothing is materialized, so recovery memory
+  // is bounded by the analysis tables (the dirty set and the retained
+  // readers/writesets), not the log length.
+  AnalysisBuilder builder;
   Lsn next_lsn = 1;
-  uint64_t valid_end = 0;
-  LOGLOG_RETURN_IF_ERROR(LogManager::ReadStable(disk_->log(), &records,
-                                                &torn, &next_lsn,
-                                                &valid_end));
-  stats->torn_tail = torn;
-  stats->log_records_total = records.size();
-  if (torn) {
-    // Discard the torn suffix so future appends resume at a clean point.
-    disk_->log().TearTail(disk_->log().end_offset() - valid_end);
+  {
+    LogCursor cursor(disk_->log());
+    LogRecord rec;
+    while (cursor.Next(&rec)) {
+      ++stats->log_records_total;
+      builder.Add(rec);
+    }
+    LOGLOG_RETURN_IF_ERROR(cursor.status());
+    stats->torn_tail = cursor.torn();
+    next_lsn = cursor.next_lsn();
+    if (cursor.torn()) {
+      // Discard the torn suffix so future appends resume at a clean
+      // point.
+      disk_->log().TearTail(disk_->log().end_offset() - cursor.valid_end());
+    }
   }
 
   // Media scrub: checksum-sweep the stable store before trusting it as
@@ -142,7 +151,7 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
     return Status::OK();
   }
 
-  AnalysisResult analysis = RunAnalysis(records);
+  AnalysisResult analysis = builder.Finish();
   // Scan start: the generalized test uses the minimum generalized rSI,
   // the classic vSI test its classic recLSN minimum; the repeat-all
   // baseline replays the full retained log.
@@ -154,16 +163,30 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
     start = analysis.redo_start_classic;
   }
   if (redo_test_ == RedoTestKind::kRsiFixpoint) {
-    analysis.fixpoint_redo = ComputeRedoFixpoint(records, analysis);
+    analysis.fixpoint_redo = ComputeRedoFixpoint(analysis);
   }
   stats->redo_start = start == kMaxLsn ? next_lsn : start;
 
-  for (const LogRecord& rec : records) {
+  // Pass 2 — redo scan: a second cursor walk (the tail, if torn, was
+  // already cut by pass 1). The serial path decides and replays in
+  // place; the parallel path collects the workload — operations at or
+  // after the start plus committed flush transactions — and hands it to
+  // the partitioned worker pool. The scan-order counters are identical
+  // either way because they are decided here, before dispatch.
+  const bool parallel = redo_threads_ > 1;
+  std::vector<LogRecord> parallel_work;
+  LogCursor cursor(disk_->log());
+  LogRecord rec;
+  while (cursor.Next(&rec)) {
     switch (rec.type) {
       case RecordType::kOperation: {
         if (rec.lsn < start) break;
         ++stats->records_scanned;
         ++stats->ops_considered;
+        if (parallel) {
+          parallel_work.push_back(rec);
+          break;
+        }
         RedoDecision decision =
             TestRedo(redo_test_, rec.op, rec.lsn, analysis, *cm_);
         if (decision == RedoDecision::kSkipInstalled) {
@@ -194,6 +217,10 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
         // stable store wherever it is behind. Uncommitted transactions
         // never touched the stable store and are ignored.
         if (!analysis.committed_flush_txns.contains(rec.lsn)) break;
+        if (parallel) {
+          parallel_work.push_back(rec);
+          break;
+        }
         bool applied = false;
         for (const FlushValue& fv : rec.flush_values) {
           if (fv.erase) {
@@ -219,6 +246,20 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
       case RecordType::kFlushTxnCommit:
         break;  // consumed by analysis
     }
+  }
+  LOGLOG_RETURN_IF_ERROR(cursor.status());
+
+  if (parallel) {
+    ParallelRedoResult pr;
+    LOGLOG_RETURN_IF_ERROR(ParallelRedo(disk_, cm_, redo_test_, analysis,
+                                        parallel_work, redo_threads_, &pr));
+    stats->ops_redone += pr.ops_redone;
+    stats->ops_skipped_installed += pr.ops_skipped_installed;
+    stats->ops_skipped_unexposed += pr.ops_skipped_unexposed;
+    stats->ops_voided += pr.ops_voided;
+    stats->flush_txns_completed += pr.flush_txns_completed;
+    stats->redo_value_bytes += pr.redo_value_bytes;
+    stats->expensive_redos += pr.expensive_redos;
   }
 
   log_->SetNextLsn(next_lsn);

@@ -14,6 +14,13 @@ namespace loglog {
 
 struct BackupImage;
 
+/// A store write issued by recovery itself, verified by read-back through
+/// the checksum and re-issued a bounded number of times on damage (shared
+/// by the serial driver, media repair, and parallel-REDO workers —
+/// `retry_counter` may be a worker-local counter merged later).
+Status VerifiedStableWrite(StableStore* store, uint64_t* retry_counter,
+                           ObjectId id, Slice value, Lsn vsi);
+
 /// Outcome counters of a recovery run — the quantities the Section 5
 /// experiments report.
 struct RecoveryStats {
@@ -64,14 +71,19 @@ struct RecoveryStats {
 /// state. Nothing is left to redo afterwards, so recovery returns early.
 class RecoveryDriver {
  public:
+  /// `redo_threads` > 1 replays independent components of the redo
+  /// workload on that many workers (see parallel_redo.h); <= 1 keeps the
+  /// serial scan. Either way the recovered state is identical.
   RecoveryDriver(SimulatedDisk* disk, LogManager* log, CacheManager* cm,
                  RedoTestKind redo_test,
-                 const BackupImage* repair_backup = nullptr)
+                 const BackupImage* repair_backup = nullptr,
+                 int redo_threads = 1)
       : disk_(disk),
         log_(log),
         cm_(cm),
         redo_test_(redo_test),
-        repair_backup_(repair_backup) {}
+        repair_backup_(repair_backup),
+        redo_threads_(redo_threads) {}
 
   Status Run(RecoveryStats* stats);
 
@@ -84,6 +96,7 @@ class RecoveryDriver {
   CacheManager* cm_;
   RedoTestKind redo_test_;
   const BackupImage* repair_backup_;
+  int redo_threads_;
 };
 
 }  // namespace loglog

@@ -2,15 +2,34 @@
 
 namespace loglog {
 
+namespace {
+
+/// Adapts the cache manager to the VsiView seam.
+class CmVsiView final : public VsiView {
+ public:
+  explicit CmVsiView(const CacheManager& cm) : cm_(cm) {}
+  Lsn CurrentVsi(ObjectId x) const override { return cm_.CurrentVsi(x); }
+
+ private:
+  const CacheManager& cm_;
+};
+
+}  // namespace
+
 RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
                       const AnalysisResult& analysis,
                       const CacheManager& cm) {
+  return TestRedo(kind, op, lsn, analysis, CmVsiView(cm));
+}
+
+RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
+                      const AnalysisResult& analysis, const VsiView& vsis) {
   // Manifestly-installed check (all variants): if any written object
   // carries a vSI at or past this operation, the operation was installed
   // — under rW installation is atomic over the writeset even when only
   // part of it was flushed, so a single object suffices (Section 5).
   for (ObjectId x : op.writes) {
-    if (cm.CurrentVsi(x) >= lsn) return RedoDecision::kSkipInstalled;
+    if (vsis.CurrentVsi(x) >= lsn) return RedoDecision::kSkipInstalled;
   }
   if (kind == RedoTestKind::kAlways) return RedoDecision::kRedo;
 

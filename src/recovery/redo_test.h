@@ -9,6 +9,18 @@
 
 namespace loglog {
 
+/// Minimal view of current (cached-else-stable) vSIs — the only dynamic
+/// state the REDO test consults. CacheManager provides the serial view;
+/// parallel REDO workers provide per-component private views with the
+/// same semantics.
+class VsiView {
+ public:
+  virtual ~VsiView() = default;
+  /// Current vSI of `x`: the cached value if the view holds one, the
+  /// stable store's otherwise (kInvalidLsn for an absent object).
+  virtual Lsn CurrentVsi(ObjectId x) const = 0;
+};
+
 /// Why a REDO test decided not to replay an operation (for stats).
 enum class RedoDecision {
   /// Replay the operation.
@@ -34,6 +46,11 @@ enum class RedoDecision {
 RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
                       const AnalysisResult& analysis,
                       const CacheManager& cm);
+
+/// Same test against any vSI provider (parallel REDO passes a worker's
+/// component-private view).
+RedoDecision TestRedo(RedoTestKind kind, const OperationDesc& op, Lsn lsn,
+                      const AnalysisResult& analysis, const VsiView& vsis);
 
 }  // namespace loglog
 

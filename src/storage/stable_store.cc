@@ -1,6 +1,9 @@
 #include "storage/stable_store.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
 
 #include "common/crc32.h"
 
@@ -15,6 +18,11 @@ bool IsErrorAction(FaultAction a) {
 
 }  // namespace
 
+void StableStore::SimSleep(uint32_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
 Status StableStore::Read(ObjectId id, StoredObject* out) const {
   FaultFire fire =
       faults_ != nullptr ? faults_->Hit(fault::kStoreRead) : FaultFire{};
@@ -22,6 +30,8 @@ Status StableStore::Read(ObjectId id, StoredObject* out) const {
       fire.action == FaultAction::kLostWrite) {
     return FaultInjector::ErrorStatus(fire.action, fault::kStoreRead);
   }
+  SimSleep(sim_read_us_.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::NotFound("object not in stable store");
@@ -40,6 +50,7 @@ Status StableStore::Read(ObjectId id, StoredObject* out) const {
 }
 
 Lsn StableStore::StableVsi(ObjectId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(id);
   return it == objects_.end() ? kInvalidLsn : it->second.vsi;
 }
@@ -64,6 +75,8 @@ Status StableStore::Write(ObjectId id, Slice value, Lsn vsi) {
   if (IsErrorAction(fire.action)) {
     return FaultInjector::ErrorStatus(fire.action, fault::kStoreWrite);
   }
+  SimSleep(sim_write_us_.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(mu_);
   if (fire.action == FaultAction::kLostWrite) {
     // Acknowledged and billed like a normal write, but nothing persists.
     ++stats_->object_writes;
@@ -96,6 +109,9 @@ Status StableStore::WriteAtomic(const std::vector<ObjectWrite>& writes) {
   if (IsErrorAction(fire.action)) {
     return FaultInjector::ErrorStatus(fire.action, fault::kStoreWriteAtomic);
   }
+  SimSleep(sim_write_us_.load(std::memory_order_relaxed) *
+           static_cast<uint32_t>(writes.size()));
+  std::lock_guard<std::mutex> lock(mu_);
   if (fire.action == FaultAction::kLostWrite) {
     return Status::OK();  // the whole set is acknowledged but never lands
   }
@@ -160,6 +176,8 @@ Status StableStore::Erase(ObjectId id) {
   if (IsErrorAction(fire.action)) {
     return FaultInjector::ErrorStatus(fire.action, fault::kStoreWrite);
   }
+  SimSleep(sim_write_us_.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(mu_);
   if (fire.action == FaultAction::kLostWrite) {
     ++stats_->object_writes;
     return Status::OK();
@@ -175,6 +193,7 @@ Status StableStore::Erase(ObjectId id) {
 }
 
 std::vector<ObjectId> StableStore::CorruptObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& [id, obj] : objects_) {
     if (Crc32c(Slice(obj.value)) != obj.crc) out.push_back(id);
@@ -185,7 +204,15 @@ std::vector<ObjectId> StableStore::CorruptObjects() const {
 
 void StableStore::ForEach(
     const std::function<void(ObjectId, const StoredObject&)>& fn) const {
-  for (const auto& [id, obj] : objects_) {
+  // Snapshot under the lock, call back outside it: the callback is free
+  // to re-enter the store.
+  std::vector<std::pair<ObjectId, StoredObject>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(objects_.size());
+    for (const auto& [id, obj] : objects_) snapshot.emplace_back(id, obj);
+  }
+  for (const auto& [id, obj] : snapshot) {
     fn(id, obj);
   }
 }

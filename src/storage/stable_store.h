@@ -1,7 +1,10 @@
 #ifndef LOGLOG_STORAGE_STABLE_STORE_H_
 #define LOGLOG_STORAGE_STABLE_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +53,14 @@ struct ObjectWrite {
 /// store is exactly as if the write never happened (except kBitFlip and
 /// kTornWrite, which deliberately persist damage for the recovery layers
 /// to detect).
+///
+/// Thread-safe: parallel-REDO workers read and write disjoint objects
+/// concurrently, so the map and the stats are guarded by an internal
+/// mutex. The optional simulated device latency is slept *outside* that
+/// mutex — concurrent callers overlap their waits exactly as independent
+/// I/Os overlap on a real device, which is what parallel recovery's
+/// wall-clock win models. ForEach snapshots under the lock and invokes
+/// the callback outside it, so the callback may re-enter the store.
 class StableStore {
  public:
   /// Audits every object write before it lands. Installed by test
@@ -69,7 +80,10 @@ class StableStore {
   /// mistakes damaged media for good data.
   Status Read(ObjectId id, StoredObject* out) const;
 
-  bool Exists(ObjectId id) const { return objects_.contains(id); }
+  bool Exists(ObjectId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return objects_.contains(id);
+  }
 
   /// Stable vSI of an object, or kInvalidLsn if absent. Does not count as
   /// a device read (SIs live in the object header the CM already holds).
@@ -102,7 +116,20 @@ class StableStore {
   }
   const Status& audit_status() const { return audit_status_; }
 
-  size_t object_count() const { return objects_.size(); }
+  size_t object_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return objects_.size();
+  }
+
+  /// Simulated per-I/O device latency in microseconds (0 = none, the
+  /// default — no behavior change). Reads sleep `read_us`, single-object
+  /// writes/erases sleep `write_us`, multi-object installs sleep
+  /// `write_us` per object landed. The sleep happens outside the internal
+  /// lock, so concurrent I/Os overlap.
+  void set_sim_latency(uint32_t read_us, uint32_t write_us) {
+    sim_read_us_ = read_us;
+    sim_write_us_ = write_us;
+  }
 
   /// Iterates all stable objects (verification only; no I/O billed, no
   /// checksum verification — raw bytes as the media holds them).
@@ -117,12 +144,18 @@ class StableStore {
     }
   }
   /// Stores value/vsi/crc for one object, applying a pending bit-flip.
+  /// Caller holds mu_.
   void Install(ObjectId id, Slice value, Lsn vsi, const FaultFire& fire);
+  /// Sleeps the simulated device latency; called outside mu_.
+  static void SimSleep(uint32_t micros);
 
+  mutable std::mutex mu_;
   std::unordered_map<ObjectId, StoredObject> objects_;
   IoStats* stats_;
   FaultInjector* faults_;
   bool shadow_mode_ = false;
+  std::atomic<uint32_t> sim_read_us_ = 0;
+  std::atomic<uint32_t> sim_write_us_ = 0;
   WriteValidator validator_;
   Status audit_status_;
 };

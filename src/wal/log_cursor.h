@@ -1,0 +1,98 @@
+#ifndef LOGLOG_WAL_LOG_CURSOR_H_
+#define LOGLOG_WAL_LOG_CURSOR_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// \brief Incremental decoder over a framed log: the one walk every log
+/// consumer shares.
+///
+/// LogManager's constructor, the recovery driver's analysis and redo
+/// passes, and media recovery all need the same loop — decode framed
+/// records in order, stop cleanly at a torn tail, and keep the
+/// next-LSN / valid-byte bookkeeping consistent. Before this class each
+/// of them hand-rolled the walk (and the constructor and ReadStable
+/// disagreed in subtle ways on torn tails); now they all advance one
+/// cursor, one record at a time, so recovery memory stays O(1) records
+/// instead of materializing the whole log.
+class LogCursor {
+ public:
+  /// Cursor over raw framed bytes whose first byte sits at absolute
+  /// device offset `start_offset`.
+  LogCursor(Slice contents, uint64_t start_offset)
+      : contents_(contents),
+        offset_(start_offset),
+        record_offset_(start_offset) {}
+
+  /// Cursor over a device's retained log.
+  explicit LogCursor(const StableLogDevice& device)
+      : LogCursor(device.Contents(), device.start_offset()) {}
+
+  /// Decodes the next record into *rec. Returns false at the clean end
+  /// of the log, at a torn tail (torn() becomes true), or on a decode
+  /// error (status() becomes non-OK); the cursor never advances past the
+  /// failure point, so valid_end() is the offset where trust ends.
+  bool Next(LogRecord* rec) {
+    if (done_) return false;
+    Slice before = contents_;
+    Status st = ReadFramedRecord(&contents_, rec);
+    if (!st.ok()) {
+      done_ = true;
+      if (st.IsCorruption()) {
+        // Torn tail: the final force did not complete. Everything before
+        // it is valid; consumers proceed from what they have.
+        torn_ = true;
+      } else if (!st.IsNotFound()) {
+        status_ = st;
+      }
+      return false;
+    }
+    record_offset_ = offset_;
+    offset_ += before.size() - contents_.size();
+    if (rec->lsn > max_lsn_) max_lsn_ = rec->lsn;
+    ++records_read_;
+    return true;
+  }
+
+  /// True once the cursor stopped because bytes remained but did not
+  /// form a whole valid record (a torn final force).
+  bool torn() const { return torn_; }
+
+  /// Non-torn decode failure, if any (OK otherwise).
+  const Status& status() const { return status_; }
+
+  /// 1 + the highest LSN decoded so far (1 for an empty log): what the
+  /// LSN counter must resume from.
+  Lsn next_lsn() const { return max_lsn_ + 1; }
+
+  /// Absolute device offset just past the last valid record (torn bytes,
+  /// if any, begin here).
+  uint64_t valid_end() const { return offset_; }
+
+  /// Absolute device offset of the record most recently returned by
+  /// Next().
+  uint64_t record_offset() const { return record_offset_; }
+
+  uint64_t records_read() const { return records_read_; }
+
+ private:
+  Slice contents_;
+  uint64_t offset_;
+  uint64_t record_offset_;
+  Lsn max_lsn_ = 0;
+  uint64_t records_read_ = 0;
+  bool done_ = false;
+  bool torn_ = false;
+  Status status_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_WAL_LOG_CURSOR_H_

@@ -5,26 +5,29 @@
 
 #include "common/retry.h"
 #include "fault/fault_injector.h"
+#include "wal/log_cursor.h"
 
 namespace loglog {
+
+namespace {
+
+/// Framing overhead per record: fixed32 length + fixed32 CRC32C.
+constexpr size_t kFrameOverhead = 8;
+
+}  // namespace
 
 LogManager::LogManager(StableLogDevice* device) : device_(device) {
   // Index whatever valid records already sit on the device (recovery
   // case): record their offsets for truncation and continue the LSN
   // sequence past them. A torn tail is ignored here; the recovery driver
   // deals with it.
-  Slice contents = device_->Contents();
-  uint64_t offset = device_->start_offset();
-  while (true) {
-    Slice before = contents;
-    LogRecord rec;
-    Status st = ReadFramedRecord(&contents, &rec);
-    if (!st.ok()) break;
-    stable_offsets_[rec.lsn] = offset;
-    offset += before.size() - contents.size();
-    last_stable_lsn_ = std::max(last_stable_lsn_, rec.lsn);
-    next_lsn_ = std::max(next_lsn_, rec.lsn + 1);
+  LogCursor cursor(*device_);
+  LogRecord rec;
+  while (cursor.Next(&rec)) {
+    stable_offsets_.emplace_back(rec.lsn, cursor.record_offset());
+    if (rec.lsn > last_stable_lsn_) last_stable_lsn_ = rec.lsn;
   }
+  next_lsn_ = std::max(next_lsn_, cursor.next_lsn());
 }
 
 Lsn LogManager::Append(LogRecord rec) {
@@ -39,17 +42,38 @@ Status LogManager::Force(Lsn upto) {
         "log manager poisoned by an earlier torn force; recovery required");
   }
   if (buffer_.empty() || buffer_.front().lsn > upto) return Status::OK();
+  // Decide how far this force reaches: at least through `upto`, extended
+  // by the policy to coalesce pending obligations into one append.
+  size_t count = 0;
+  size_t batch_bytes = 0;
+  uint64_t coalesced = 0;
+  for (const LogRecord& rec : buffer_) {
+    size_t framed = rec.EncodedSize() + kFrameOverhead;
+    if (rec.lsn > upto) {
+      if (force_policy_ == ForcePolicy::kImmediate) break;
+      if (force_policy_ == ForcePolicy::kSizeThreshold &&
+          batch_bytes + framed > group_bytes_) {
+        break;
+      }
+      ++coalesced;
+    }
+    batch_bytes += framed;
+    ++count;
+  }
   // Frame without acknowledging: records stay buffered until the device
   // confirms the append, so a failed force leaves the WAL obligation
-  // intact (nothing claims to be stable that is not).
+  // intact (nothing claims to be stable that is not). Offsets go straight
+  // into the index (relative to the batch for now); a failed append rolls
+  // them back below.
   std::vector<uint8_t> bytes;
-  std::vector<std::pair<Lsn, uint64_t>> offsets;
-  size_t count = 0;
+  bytes.reserve(batch_bytes);
+  const size_t index_base = stable_offsets_.size();
+  size_t framed_count = 0;
   for (const LogRecord& rec : buffer_) {
-    if (rec.lsn > upto) break;
-    offsets.emplace_back(rec.lsn, bytes.size());
+    if (framed_count == count) break;
+    stable_offsets_.emplace_back(rec.lsn, bytes.size());
     FrameRecord(rec, &bytes);
-    ++count;
+    ++framed_count;
   }
   uint64_t base = 0;
   Status st = RetryTransientIo(&device_->stats()->io_retries, [&] {
@@ -59,6 +83,7 @@ Status LogManager::Force(Lsn upto) {
     return device_->Append(Slice(bytes), &base);
   });
   if (!st.ok()) {
+    stable_offsets_.resize(index_base);  // nothing became stable
     if (!st.IsIoError()) {
       // Aborted (torn or crashed append): some unknown prefix of the
       // force is stable. Nothing is acked; the next recovery pass finds
@@ -67,12 +92,12 @@ Status LogManager::Force(Lsn upto) {
     }
     return st;
   }
-  for (const auto& [lsn, rel] : offsets) {
-    stable_offsets_[lsn] = base + rel;
-    last_stable_lsn_ = std::max(last_stable_lsn_, lsn);
+  for (size_t i = index_base; i < stable_offsets_.size(); ++i) {
+    stable_offsets_[i].second += base;
   }
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<long>(count));
+  last_stable_lsn_ = std::max(last_stable_lsn_, stable_offsets_.back().first);
+  records_coalesced_ += coalesced;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(count));
   return Status::OK();
 }
 
@@ -82,7 +107,9 @@ Status LogManager::ForceAll() {
 }
 
 void LogManager::TruncateBefore(Lsn lsn) {
-  auto it = stable_offsets_.lower_bound(lsn);
+  auto it = std::lower_bound(
+      stable_offsets_.begin(), stable_offsets_.end(), lsn,
+      [](const std::pair<Lsn, uint64_t>& e, Lsn l) { return e.first < l; });
   if (it == stable_offsets_.begin()) return;
   uint64_t offset;
   if (it == stable_offsets_.end()) {
@@ -99,29 +126,15 @@ Status LogManager::ReadStable(const StableLogDevice& device,
                               std::vector<LogRecord>* out, bool* torn,
                               Lsn* next_lsn, uint64_t* valid_end) {
   out->clear();
-  *torn = false;
-  Lsn max_lsn = 0;
-  Slice contents = device.Contents();
-  uint64_t offset = device.start_offset();
-  while (true) {
-    Slice before = contents;
-    LogRecord rec;
-    Status st = ReadFramedRecord(&contents, &rec);
-    if (st.IsNotFound()) break;  // clean end of log
-    if (st.IsCorruption()) {
-      // Torn tail: the final force did not complete. Everything before it
-      // is valid; recovery proceeds from what we have.
-      *torn = true;
-      break;
-    }
-    LOGLOG_RETURN_IF_ERROR(st);
-    offset += before.size() - contents.size();
-    max_lsn = std::max(max_lsn, rec.lsn);
+  LogCursor cursor(device);
+  LogRecord rec;
+  while (cursor.Next(&rec)) {
     out->push_back(std::move(rec));
   }
-  *next_lsn = max_lsn + 1;
-  *valid_end = offset;
-  return Status::OK();
+  *torn = cursor.torn();
+  *next_lsn = cursor.next_lsn();
+  *valid_end = cursor.valid_end();
+  return cursor.status();
 }
 
 }  // namespace loglog

@@ -2,9 +2,10 @@
 #define LOGLOG_WAL_LOG_MANAGER_H_
 
 #include <deque>
-#include <map>
+#include <utility>
 #include <vector>
 
+#include "cache/policies.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/simulated_disk.h"
@@ -20,6 +21,14 @@ namespace loglog {
 /// discharges before flushing objects. LSNs are assigned densely starting
 /// from 1 (or from wherever a recovered log left off) and double as state
 /// identifiers (lSI / vSI / rSI).
+///
+/// The ForcePolicy decides how much of the buffer one Force call pushes:
+/// kImmediate appends exactly the requested prefix; kGroup appends the
+/// whole buffer so one device append discharges every pending obligation
+/// (group commit — later forces for the coalesced records are no-ops);
+/// kSizeThreshold extends past the request only while the batch stays
+/// under a byte budget. Forcing more than asked is always WAL-safe:
+/// stability is monotone.
 class LogManager {
  public:
   explicit LogManager(StableLogDevice* device);
@@ -32,16 +41,30 @@ class LogManager {
   Lsn Append(LogRecord rec);
 
   /// Forces all buffered records with lsn <= upto to the stable device
-  /// (one device force). No-op if they are already stable. Records are
-  /// acknowledged (last_stable_lsn advances, the buffer drains) only when
-  /// the device confirms the append; transient device errors are retried
-  /// a bounded number of times, and a torn append (Aborted) poisons the
-  /// manager — the system must crash and recover, since the device tail
-  /// no longer matches the volatile state.
+  /// (one device force), plus whatever extra the ForcePolicy coalesces
+  /// in. No-op if they are already stable. Records are acknowledged
+  /// (last_stable_lsn advances, the buffer drains) only when the device
+  /// confirms the append; transient device errors are retried a bounded
+  /// number of times, and a torn append (Aborted) poisons the manager —
+  /// the system must crash and recover, since the device tail no longer
+  /// matches the volatile state.
   Status Force(Lsn upto);
 
   /// Forces the entire volatile buffer.
   Status ForceAll();
+
+  /// Selects how Force batches obligations onto device appends.
+  /// `group_bytes` is the batch budget for kSizeThreshold (ignored by
+  /// the other policies).
+  void set_force_policy(ForcePolicy policy, size_t group_bytes = 1 << 16) {
+    force_policy_ = policy;
+    group_bytes_ = group_bytes;
+  }
+  ForcePolicy force_policy() const { return force_policy_; }
+
+  /// Records made stable beyond what their Force call asked for (the
+  /// group-commit coalescing win; 0 under kImmediate).
+  uint64_t records_coalesced() const { return records_coalesced_; }
 
   /// Highest LSN that is stable (0 if none).
   Lsn last_stable_lsn() const { return last_stable_lsn_; }
@@ -58,10 +81,12 @@ class LogManager {
   /// Re-seeds the LSN counter after recovery scanned an existing log.
   void SetNextLsn(Lsn next) { next_lsn_ = next; }
 
-  /// Decodes every stable record in order. Stops cleanly at a torn tail
-  /// (sets *torn). Returns the records, via *next_lsn 1 + the highest LSN
-  /// seen (or 1 for an empty log), and via *valid_end the absolute device
-  /// offset just past the last valid record (torn bytes begin there).
+  /// Decodes every stable record in order (via LogCursor — prefer the
+  /// cursor directly when the log may be large; this materializes it).
+  /// Stops cleanly at a torn tail (sets *torn). Returns the records, via
+  /// *next_lsn 1 + the highest LSN seen (or 1 for an empty log), and via
+  /// *valid_end the absolute device offset just past the last valid
+  /// record (torn bytes begin there).
   static Status ReadStable(const StableLogDevice& device,
                            std::vector<LogRecord>* out, bool* torn,
                            Lsn* next_lsn, uint64_t* valid_end);
@@ -71,12 +96,18 @@ class LogManager {
   std::deque<LogRecord> buffer_;  // volatile records, ascending lsn
   Lsn next_lsn_ = 1;
   Lsn last_stable_lsn_ = 0;
+  ForcePolicy force_policy_ = ForcePolicy::kImmediate;
+  size_t group_bytes_ = 1 << 16;
+  uint64_t records_coalesced_ = 0;
   /// Set when a force tore or crashed mid-append: the stable tail is no
   /// longer coherent with this manager's view, so every further Force is
   /// refused until recovery rebuilds the log state.
   bool poisoned_ = false;
-  /// Byte offset on the device of each stable record, for truncation.
-  std::map<Lsn, uint64_t> stable_offsets_;
+  /// Byte offset on the device of each stable record. Appends arrive in
+  /// ascending LSN order and truncation only drops a prefix, so the
+  /// vector is always sorted by LSN — binary search replaces the old
+  /// std::map without its per-node allocations.
+  std::vector<std::pair<Lsn, uint64_t>> stable_offsets_;
 };
 
 }  // namespace loglog

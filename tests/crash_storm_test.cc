@@ -27,28 +27,40 @@ struct StormConfig {
   FlushPolicy flush;
   RedoTestKind redo;
   uint64_t seed;
+  /// Redo worker threads during every recovery of the storm (1 = serial).
+  int redo_threads = 1;
+  /// WAL batching policy under fire (group commit coalesces forces).
+  ForcePolicy force_policy = ForcePolicy::kImmediate;
 };
 
-// Two logging modes x all four flush policies, with graph kinds and redo
-// tests varied across the grid so every enum value is under fire.
+// Two logging modes x all four flush policies, with graph kinds, redo
+// tests, redo parallelism and force policies varied across the grid so
+// every enum value is under fire. The parallel-redo configs soak the
+// worker pool against crash faults, torn tails, bit rot and re-crashed
+// recoveries — anything that diverges from the serial path fails the
+// post-recovery verification.
 constexpr StormConfig kConfigs[] = {
     {"LogicalNativeAtomic", LoggingMode::kLogical, GraphKind::kRefined,
      FlushPolicy::kNativeAtomic, RedoTestKind::kRsiGeneralized, 1001},
     {"LogicalIdentityWrites", LoggingMode::kLogical, GraphKind::kRefined,
-     FlushPolicy::kIdentityWrites, RedoTestKind::kRsiFixpoint, 1002},
+     FlushPolicy::kIdentityWrites, RedoTestKind::kRsiFixpoint, 1002,
+     /*redo_threads=*/4},
     {"LogicalFlushTransaction", LoggingMode::kLogical, GraphKind::kW,
-     FlushPolicy::kFlushTransaction, RedoTestKind::kRsiGeneralized, 1003},
+     FlushPolicy::kFlushTransaction, RedoTestKind::kRsiGeneralized, 1003,
+     /*redo_threads=*/4, ForcePolicy::kGroup},
     {"LogicalShadow", LoggingMode::kLogical, GraphKind::kRefined,
      FlushPolicy::kShadow, RedoTestKind::kVsi, 1004},
     {"PhysiologicalNativeAtomic", LoggingMode::kPhysiological,
      GraphKind::kRefined, FlushPolicy::kNativeAtomic,
-     RedoTestKind::kRsiGeneralized, 1005},
+     RedoTestKind::kRsiGeneralized, 1005, /*redo_threads=*/1,
+     ForcePolicy::kSizeThreshold},
     {"PhysiologicalIdentityWrites", LoggingMode::kPhysiological,
      GraphKind::kW, FlushPolicy::kIdentityWrites, RedoTestKind::kVsi,
-     1006},
+     1006, /*redo_threads=*/2},
     {"PhysiologicalFlushTransaction", LoggingMode::kPhysiological,
      GraphKind::kRefined, FlushPolicy::kFlushTransaction,
-     RedoTestKind::kRsiFixpoint, 1007},
+     RedoTestKind::kRsiFixpoint, 1007, /*redo_threads=*/4,
+     ForcePolicy::kGroup},
     {"PhysiologicalShadow", LoggingMode::kPhysiological,
      GraphKind::kRefined, FlushPolicy::kShadow,
      RedoTestKind::kRsiGeneralized, 1008},
@@ -63,6 +75,8 @@ TEST_P(CrashStormTest, SurvivesTheStorm) {
   options.engine.graph_kind = cfg.graph;
   options.engine.flush_policy = cfg.flush;
   options.engine.redo_test = cfg.redo;
+  options.engine.recovery.redo_threads = cfg.redo_threads;
+  options.engine.wal_force_policy = cfg.force_policy;
   // Purge aggressively so flushes (and their fault sites) happen inside
   // the fault-armed bursts, not only in the post-disarm verification.
   options.engine.purge_threshold_ops = 12;

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+#include "sim/workload.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+namespace {
+
+LogRecord OpRecord(OperationDesc op) {
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.op = std::move(op);
+  return rec;
+}
+
+// Group-commit batching: the ForcePolicy decides how much of the
+// volatile buffer one Force pushes to the device. Forcing more than
+// requested is always WAL-safe (stability is monotone), and coalescing
+// turns later forces into no-ops — fewer device forces per committed
+// obligation, the metric bench_logging_cost reports.
+
+TEST(ForcePolicyTest, ImmediateForcesExactPrefix) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  for (int i = 0; i < 6; ++i) {
+    log.Append(OpRecord(MakePhysicalWrite(1, "x")));
+  }
+  ASSERT_TRUE(log.Force(2).ok());
+  EXPECT_EQ(log.last_stable_lsn(), 2u);
+  EXPECT_EQ(log.volatile_record_count(), 4u);
+  EXPECT_EQ(log.records_coalesced(), 0u);
+  EXPECT_EQ(disk.stats().log_forces, 1u);
+}
+
+TEST(ForcePolicyTest, GroupForcesWholeBuffer) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  log.set_force_policy(ForcePolicy::kGroup);
+  for (int i = 0; i < 6; ++i) {
+    log.Append(OpRecord(MakePhysicalWrite(1, "x")));
+  }
+  // Forcing through LSN 2 drags the other four along in the same device
+  // append.
+  ASSERT_TRUE(log.Force(2).ok());
+  EXPECT_EQ(log.last_stable_lsn(), 6u);
+  EXPECT_EQ(log.volatile_record_count(), 0u);
+  EXPECT_EQ(log.records_coalesced(), 4u);
+  EXPECT_EQ(disk.stats().log_forces, 1u);
+
+  // Later forces for the coalesced records are satisfied already.
+  ASSERT_TRUE(log.Force(5).ok());
+  ASSERT_TRUE(log.Force(6).ok());
+  EXPECT_EQ(disk.stats().log_forces, 1u);
+
+  // The batched append framed every record readably.
+  std::vector<LogRecord> records;
+  bool torn;
+  Lsn next;
+  uint64_t valid_end;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next,
+                                     &valid_end)
+                  .ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records.back().lsn, 6u);
+  EXPECT_EQ(next, 7u);
+}
+
+TEST(ForcePolicyTest, SizeThresholdBoundsTheBatch) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  LogRecord sample = OpRecord(MakePhysicalWrite(1, "payload"));
+  const size_t framed = sample.EncodedSize() + 8;  // frame = len + crc
+  // Budget fits the two requested records plus exactly one extra.
+  log.set_force_policy(ForcePolicy::kSizeThreshold, 3 * framed);
+  for (int i = 0; i < 6; ++i) {
+    log.Append(OpRecord(MakePhysicalWrite(1, "payload")));
+  }
+  ASSERT_TRUE(log.Force(2).ok());
+  EXPECT_EQ(log.last_stable_lsn(), 3u);
+  EXPECT_EQ(log.volatile_record_count(), 3u);
+  EXPECT_EQ(log.records_coalesced(), 1u);
+  EXPECT_EQ(disk.stats().log_forces, 1u);
+
+  // The budget never shrinks a force below what was asked for: a request
+  // bigger than the budget still goes out whole (in one append).
+  ASSERT_TRUE(log.Force(6).ok());
+  EXPECT_EQ(log.last_stable_lsn(), 6u);
+  EXPECT_EQ(disk.stats().log_forces, 2u);
+}
+
+TEST(ForcePolicyTest, GroupCutsDeviceForcesEndToEnd) {
+  // Same workload twice; group commit must reach the same recovered
+  // state with strictly fewer device forces.
+  uint64_t forces[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    EngineOptions opts;
+    opts.flush_policy = FlushPolicy::kFlushTransaction;
+    opts.purge_threshold_ops = 8;  // frequent flushes -> frequent forces
+    opts.checkpoint_interval_ops = 40;
+    opts.wal_force_policy =
+        mode == 0 ? ForcePolicy::kImmediate : ForcePolicy::kGroup;
+    CrashHarness harness(opts, /*seed=*/7);
+
+    MixedWorkloadOptions wopts;
+    wopts.seed = 1234;
+    MixedWorkload workload(wopts);
+    for (const OperationDesc& op : workload.SetupOps()) {
+      ASSERT_TRUE(harness.Execute(op).ok());
+    }
+    for (int i = 0; i < 150; ++i) {
+      Status st = harness.Execute(workload.Next());
+      ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    forces[mode] = harness.disk().stats().log_forces;
+
+    harness.Crash(/*tear_tail=*/false);
+    ASSERT_TRUE(harness.Recover().ok());
+    Status st = harness.VerifyAgainstReference();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(harness.engine().cache().CheckInvariants().ok());
+  }
+  EXPECT_LT(forces[1], forces[0])
+      << "group commit should need fewer device forces";
+}
+
+TEST(ForcePolicyTest, GroupCommitSurvivesTornTail) {
+  EngineOptions opts;
+  opts.wal_force_policy = ForcePolicy::kGroup;
+  opts.purge_threshold_ops = 8;
+  CrashHarness harness(opts, /*seed=*/11);
+  MixedWorkloadOptions wopts;
+  wopts.seed = 99;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    ASSERT_TRUE(harness.Execute(op).ok());
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 60; ++i) {
+      Status st = harness.Execute(workload.Next());
+      ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+    }
+    harness.Crash(/*tear_tail=*/true);
+    ASSERT_TRUE(harness.Recover().ok());
+    Status st = harness.VerifyAgainstReference();
+    ASSERT_TRUE(st.ok()) << st.ToString() << " round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace loglog

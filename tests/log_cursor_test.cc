@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_cursor.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+namespace {
+
+LogRecord OpRecord(Lsn lsn, OperationDesc op) {
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.lsn = lsn;
+  rec.op = std::move(op);
+  return rec;
+}
+
+// Every log consumer (LogManager's constructor, the recovery passes,
+// media recovery, ReadStable) now advances the same LogCursor, so their
+// next-LSN / valid-byte bookkeeping must agree by construction — these
+// tests pin that down, especially on torn tails where the hand-rolled
+// walks used to diverge.
+
+TEST(LogCursorTest, WalksCleanLog) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  for (int i = 0; i < 4; ++i) {
+    log.Append(OpRecord(0, MakePhysicalWrite(1, "abcdefgh")));
+  }
+  ASSERT_TRUE(log.ForceAll().ok());
+
+  LogCursor cursor(disk.log());
+  LogRecord rec;
+  std::vector<Lsn> lsns;
+  std::vector<uint64_t> offsets;
+  while (cursor.Next(&rec)) {
+    lsns.push_back(rec.lsn);
+    offsets.push_back(cursor.record_offset());
+  }
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_FALSE(cursor.torn());
+  EXPECT_EQ(lsns, (std::vector<Lsn>{1, 2, 3, 4}));
+  EXPECT_EQ(cursor.records_read(), 4u);
+  EXPECT_EQ(cursor.next_lsn(), 5u);
+  EXPECT_EQ(cursor.valid_end(), disk.log().end_offset());
+  // Offsets are strictly increasing and start at the device start.
+  EXPECT_EQ(offsets.front(), disk.log().start_offset());
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_LT(offsets[i - 1], offsets[i]);
+  }
+}
+
+TEST(LogCursorTest, EmptyLogIsCleanEnd) {
+  SimulatedDisk disk;
+  LogCursor cursor(disk.log());
+  LogRecord rec;
+  EXPECT_FALSE(cursor.Next(&rec));
+  EXPECT_FALSE(cursor.torn());
+  EXPECT_TRUE(cursor.status().ok());
+  EXPECT_EQ(cursor.next_lsn(), 1u);
+  EXPECT_EQ(cursor.records_read(), 0u);
+}
+
+TEST(LogCursorTest, TornTailAgreesWithReadStable) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    for (int i = 0; i < 5; ++i) {
+      log.Append(OpRecord(0, MakePhysicalWrite(1, "payload-bytes")));
+    }
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+
+  // Tear progressively more off the tail, staying strictly inside the
+  // final record so every tear leaves a torn (not clean) end; at every
+  // tear size the cursor and ReadStable must agree exactly on next_lsn,
+  // valid_end, torn-ness and record count — this is the bookkeeping that
+  // used to be duplicated (and to drift) between the constructor scan
+  // and the recovery scan.
+  uint64_t full = disk.log().end_offset();
+  uint64_t last_record_offset = 0;
+  {
+    LogCursor scan(disk.log());
+    LogRecord r;
+    while (scan.Next(&r)) last_record_offset = scan.record_offset();
+  }
+  uint64_t last_size = full - last_record_offset;
+  ASSERT_GT(last_size, 8u);
+  for (uint64_t tear = 1; tear < last_size; tear += 5) {
+    SimulatedDisk copy;
+    ASSERT_TRUE(copy.log().Append(disk.log().Contents()).ok());
+    copy.log().TearTail(tear);
+
+    LogCursor cursor(copy.log());
+    LogRecord rec;
+    uint64_t cursor_count = 0;
+    while (cursor.Next(&rec)) ++cursor_count;
+    ASSERT_TRUE(cursor.status().ok());
+
+    std::vector<LogRecord> records;
+    bool torn;
+    Lsn next;
+    uint64_t valid_end;
+    ASSERT_TRUE(LogManager::ReadStable(copy.log(), &records, &torn, &next,
+                                       &valid_end)
+                    .ok());
+
+    EXPECT_EQ(cursor.torn(), torn) << "tear=" << tear;
+    EXPECT_TRUE(cursor.torn());  // every tear size here cuts a record
+    EXPECT_EQ(cursor_count, records.size()) << "tear=" << tear;
+    EXPECT_EQ(cursor.next_lsn(), next) << "tear=" << tear;
+    EXPECT_EQ(cursor.valid_end(), valid_end) << "tear=" << tear;
+    EXPECT_LT(valid_end, copy.log().end_offset());
+    EXPECT_EQ(cursor.next_lsn(), records.size() + 1) << "tear=" << tear;
+
+    // A LogManager revived over the torn device must come to the same
+    // conclusion: it resumes LSNs right after the last whole record.
+    LogManager revived(&copy.log());
+    EXPECT_EQ(revived.last_stable_lsn(), records.size());
+    EXPECT_EQ(revived.Append(OpRecord(0, MakePhysicalWrite(2, "y"))),
+              next);
+  }
+  EXPECT_EQ(full, disk.log().end_offset());  // original untouched
+}
+
+TEST(LogCursorTest, ResumeAfterTearTrim) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    for (int i = 0; i < 3; ++i) {
+      log.Append(OpRecord(0, MakePhysicalWrite(1, "abcdefgh")));
+    }
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  disk.log().TearTail(5);
+
+  // Recovery's trim: drop exactly the torn bytes (end - valid_end), then
+  // a revived manager appends cleanly and the log reads back whole.
+  LogCursor scan(disk.log());
+  LogRecord rec;
+  while (scan.Next(&rec)) {
+  }
+  ASSERT_TRUE(scan.torn());
+  disk.log().TearTail(disk.log().end_offset() - scan.valid_end());
+
+  LogManager revived(&disk.log());
+  EXPECT_EQ(revived.last_stable_lsn(), 2u);
+  EXPECT_EQ(revived.Append(OpRecord(0, MakePhysicalWrite(1, "zz"))), 3u);
+  ASSERT_TRUE(revived.ForceAll().ok());
+
+  LogCursor reread(disk.log());
+  std::vector<Lsn> lsns;
+  while (reread.Next(&rec)) lsns.push_back(rec.lsn);
+  EXPECT_FALSE(reread.torn());
+  EXPECT_TRUE(reread.status().ok());
+  EXPECT_EQ(lsns, (std::vector<Lsn>{1, 2, 3}));
+}
+
+TEST(LogCursorTest, RevivedManagerOffsetIndexSupportsTruncation) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    for (int i = 0; i < 4; ++i) {
+      log.Append(OpRecord(0, MakePhysicalWrite(1, "x")));
+      ASSERT_TRUE(log.ForceAll().ok());
+    }
+  }
+  // The revived manager's constructor built its offset index through the
+  // cursor; truncation through that index must drop exactly the records
+  // before the cut.
+  LogManager revived(&disk.log());
+  revived.TruncateBefore(3);
+
+  std::vector<LogRecord> records;
+  bool torn;
+  Lsn next;
+  uint64_t valid_end;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next,
+                                     &valid_end)
+                  .ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].lsn, 3u);
+  EXPECT_EQ(records[1].lsn, 4u);
+  EXPECT_EQ(next, 5u);
+}
+
+TEST(LogCursorTest, SliceCursorTracksAbsoluteOffsets) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  for (int i = 0; i < 3; ++i) {
+    log.Append(OpRecord(0, MakePhysicalWrite(1, "abc")));
+  }
+  ASSERT_TRUE(log.ForceAll().ok());
+
+  // A slice cursor given the device's start offset reports the same
+  // absolute offsets as the device cursor (media recovery walks the
+  // archive slice this way).
+  LogCursor dev_cursor(disk.log());
+  LogCursor slice_cursor(disk.log().Contents(), disk.log().start_offset());
+  LogRecord a, b;
+  while (dev_cursor.Next(&a)) {
+    ASSERT_TRUE(slice_cursor.Next(&b));
+    EXPECT_EQ(a.lsn, b.lsn);
+    EXPECT_EQ(dev_cursor.record_offset(), slice_cursor.record_offset());
+  }
+  EXPECT_FALSE(slice_cursor.Next(&b));
+  EXPECT_EQ(dev_cursor.valid_end(), slice_cursor.valid_end());
+  EXPECT_EQ(dev_cursor.next_lsn(), slice_cursor.next_lsn());
+}
+
+}  // namespace
+}  // namespace loglog
