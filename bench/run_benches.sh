@@ -2,18 +2,41 @@
 # Runs the recovery-performance benchmarks and merges their JSON output
 # into BENCH_recovery.json at the repo root:
 #
-#   bench/run_benches.sh [build_dir] [min_time_seconds]
+#   bench/run_benches.sh [--smoke] [--out FILE] [build_dir] [min_time_seconds]
 #
 # The merged file holds the raw google-benchmark entries for the
-# parallel-REDO sweep and the ForcePolicy series, plus two derived
-# summaries: recovery speedup vs threads at every (ops, components)
-# shape, and device forces per 1k ops per ForcePolicy.
+# parallel-REDO sweep and the ForcePolicy series, two derived summaries
+# (recovery speedup vs threads at every (ops, components) shape, and
+# device forces per 1k ops per ForcePolicy), and a metrics snapshot from
+# a traced `loglog_inspect` crash-recovery run so the numbers carry
+# their cost decomposition (see EXPERIMENTS.md E14).
+#
+# --smoke runs every stage at minimum duration and writes into the build
+# directory instead of the repo root — a pipeline check (wired up as the
+# `bench_smoke` ctest entry), not a measurement.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
-MIN_TIME="${2:-0.2}"
-OUT=BENCH_recovery.json
+
+SMOKE=0
+OUT=""
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) POSITIONAL+=("$1"); shift ;;
+  esac
+done
+BUILD_DIR="${POSITIONAL[0]:-build}"
+if [[ $SMOKE -eq 1 ]]; then
+  MIN_TIME="${POSITIONAL[1]:-0.01}"
+  : "${OUT:=$BUILD_DIR/BENCH_recovery.smoke.json}"
+else
+  MIN_TIME="${POSITIONAL[1]:-0.2}"
+  : "${OUT:=BENCH_recovery.json}"
+fi
+
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -30,14 +53,21 @@ trap 'rm -rf "$TMP"' EXIT
   --benchmark_out_format=json \
   --benchmark_out="$TMP/force_policy.json"
 
-python3 - "$TMP/parallel_recovery.json" "$TMP/force_policy.json" "$OUT" \
-  <<'PYEOF'
+# Crash a demo workload and dry-run its recovery under tracing: the
+# inspect document carries the log/recovery summaries, the recovery-only
+# metric delta, and the full metrics snapshot.
+"$BUILD_DIR"/tools/loglog_inspect --demo --crash --json \
+  > "$TMP/inspect.json"
+
+python3 - "$TMP/parallel_recovery.json" "$TMP/force_policy.json" \
+  "$TMP/inspect.json" "$OUT" <<'PYEOF'
 import json
 import sys
 
-parallel_path, force_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+parallel_path, force_path, inspect_path, out_path = sys.argv[1:5]
 parallel = json.load(open(parallel_path))
 force = json.load(open(force_path))
+inspect = json.load(open(inspect_path))
 
 # Speedup table: serial time / time at each thread count, per shape.
 times = {}
@@ -79,6 +109,7 @@ merged = {
     "context": parallel.get("context", {}),
     "recovery_speedup": speedups,
     "forces_per_policy": forces,
+    "metrics_snapshot": inspect,
     "raw": {
         "parallel_recovery": parallel["benchmarks"],
         "force_policy": force["benchmarks"],

@@ -1,6 +1,7 @@
 #include "backup/media_recovery.h"
 
 #include "engine/options.h"
+#include "obs/trace.h"
 #include "ops/function_registry.h"
 #include "wal/log_cursor.h"
 #include "wal/log_record.h"
@@ -11,6 +12,9 @@ Status MediaRecover(const BackupImage& image, Slice log_archive,
                     SimulatedDisk* fresh_disk,
                     std::unique_ptr<RecoveryEngine>* engine_out,
                     RecoveryStats* stats) {
+  TraceSpan span("media.recover", "media",
+                 {{"backup_objects", std::to_string(image.entries.size())},
+                  {"archive_bytes", std::to_string(log_archive.size())}});
   // Restore the image as the stable store (restoration I/O is not part
   // of the experiment counters; it happens before the disk is live).
   for (const auto& [id, entry] : image.entries) {

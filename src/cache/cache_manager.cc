@@ -7,6 +7,7 @@
 #include "fault/fault_injector.h"
 #include "graph/refined_write_graph.h"
 #include "graph/write_graph_w.h"
+#include "obs/trace.h"
 #include "ops/op_builder.h"
 
 namespace loglog {
@@ -30,6 +31,16 @@ CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
       graph_(MakeGraph(graph_kind)),
       flush_policy_(flush_policy),
       log_installs_(log_installs) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  metrics_.purges = reg.GetCounter(metric::kCmPurges);
+  metrics_.nodes_installed = reg.GetCounter(metric::kCmNodesInstalled);
+  metrics_.ops_installed = reg.GetCounter(metric::kCmOpsInstalled);
+  metrics_.identity_writes = reg.GetCounter(metric::kCmIdentityWrites);
+  metrics_.identity_bytes = reg.GetCounter(metric::kCmIdentityBytes);
+  metrics_.flush_txns = reg.GetCounter(metric::kCmFlushTxns);
+  metrics_.evictions = reg.GetCounter(metric::kCmEvictions);
+  metrics_.checkpoints = reg.GetCounter(metric::kCmCheckpoints);
+  metrics_.flush_set_size = reg.GetHistogram(metric::kCmFlushSetSize);
   if (flush_policy_ == FlushPolicy::kIdentityWrites &&
       graph_kind == GraphKind::kW) {
     // Identity writes cannot break W's flush sets apart: a blind write
@@ -164,6 +175,8 @@ Status CacheManager::InjectIdentityWrite(ObjectId id) {
   Lsn lsn = log_->Append(std::move(rec));
   ++stats_.identity_writes;
   stats_.identity_bytes_logged += obj->value.size();
+  metrics_.identity_writes->Inc();
+  metrics_.identity_bytes->Inc(obj->value.size());
   // Update cache version and graph exactly like a normal blind write; the
   // value is unchanged.
   obj->vsi = lsn;
@@ -183,6 +196,7 @@ void CacheManager::MarkHot(ObjectId id, bool hot) {
 Status CacheManager::PurgeOne(bool allow_hot_flush) {
   if (graph_->empty()) return Status::NotFound("nothing to install");
   ++stats_.purges;
+  metrics_.purges->Inc();
   // Under kIdentityWrites, peel multi-object flush sets apart first. Each
   // round either installs a minimal node (|vars| <= 1) or injects one
   // identity write; injections can add predecessors or collapse cycles,
@@ -269,6 +283,10 @@ Status CacheManager::InstallNode(NodeId v) {
 
   stats_.flush_set_sizes.Add(node->vars.size());
   stats_.node_writes_sizes.Add(node->vars.size() + node->notx.size());
+  metrics_.flush_set_size->Observe(node->vars.size());
+  TraceSpan install_span("cm.install_node", "cache");
+  install_span.AddArg("vars", static_cast<uint64_t>(node->vars.size()));
+  install_span.AddArg("notx", static_cast<uint64_t>(node->notx.size()));
 
   // Gather the current cached versions of vars(n).
   std::vector<ObjectWrite> writes;
@@ -318,6 +336,7 @@ Status CacheManager::InstallNode(NodeId v) {
       // force, then overwrite in place (each its own device write).
       ++disk_->stats().quiesce_events;
       ++stats_.flush_txns;
+      metrics_.flush_txns->Inc();
       LogRecord begin;
       begin.type = RecordType::kFlushTxnBegin;
       for (const ObjectWrite& w : writes) {
@@ -360,6 +379,8 @@ Status CacheManager::InstallNode(NodeId v) {
   LOGLOG_RETURN_IF_ERROR(graph_->RemoveNode(v, &result));
   ++stats_.nodes_installed;
   stats_.ops_installed += result.installed_ops.size();
+  metrics_.nodes_installed->Inc();
+  metrics_.ops_installed->Inc(result.installed_ops.size());
   stats_.installed_without_flush += result.unflushed_objects.size();
 
   // Advance rSIs for all of Writes(n) = vars ∪ notx (Section 5): an
@@ -498,6 +519,8 @@ Status CacheManager::Checkpoint() {
   // flushing them immediately").
   LOGLOG_RETURN_IF_ERROR(InstallHotNodesByLogging());
   ++stats_.checkpoints;
+  metrics_.checkpoints->Inc();
+  TraceSpan span("cm.checkpoint", "cache");
   LogRecord rec;
   rec.type = RecordType::kCheckpoint;
   rec.dot = table_.DirtySnapshot();
@@ -519,6 +542,7 @@ void CacheManager::EvictTo(size_t capacity) {
     if (victim == kInvalidObjectId) return;  // everything dirty
     table_.Erase(victim);
     ++stats_.evictions;
+    metrics_.evictions->Inc();
   }
 }
 

@@ -8,7 +8,8 @@
 
 #include "cache/object_table.h"
 #include "cache/policies.h"
-#include "common/histogram.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "graph/write_graph.h"
@@ -157,10 +158,26 @@ class CacheManager {
   /// with the largest cached value, maximizing saved log volume.
   ObjectId LargestVarsObject(NodeId v) const;
 
+  /// Global-registry twins of the hot CacheStats counters (fetched once
+  /// in the constructor; incremented beside the struct fields so metrics
+  /// snapshots see the same quantities without touching CacheStats).
+  struct Instruments {
+    Counter* purges;
+    Counter* nodes_installed;
+    Counter* ops_installed;
+    Counter* identity_writes;
+    Counter* identity_bytes;
+    Counter* flush_txns;
+    Counter* evictions;
+    Counter* checkpoints;
+    HistogramMetric* flush_set_size;
+  };
+
   SimulatedDisk* disk_;
   LogManager* log_;
   std::unique_ptr<WriteGraph> graph_;
   ObjectTable table_;
+  Instruments metrics_;
   FlushPolicy flush_policy_;
   bool log_installs_;
   CacheStats stats_;

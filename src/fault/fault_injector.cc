@@ -1,6 +1,33 @@
 #include "fault/fault_injector.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace loglog {
+
+namespace {
+
+const char* ActionLabel(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kTransientIoError:
+      return "transient_io_error";
+    case FaultAction::kPermanentIoError:
+      return "permanent_io_error";
+    case FaultAction::kCrashNow:
+      return "crash_now";
+    case FaultAction::kBitFlip:
+      return "bit_flip";
+    case FaultAction::kTornWrite:
+      return "torn_write";
+    case FaultAction::kLostWrite:
+      return "lost_write";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 void FaultInjector::Arm(std::string_view site, FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -75,6 +102,13 @@ FaultFire FaultInjector::Hit(std::string_view site) {
     out.action = s.spec.action;
     out.rng = s.rng.Next();
   }
+  // Outside the lock (both may take their own locks): mark the fire for
+  // observers — a trace instant pins it to the moment in the timeline,
+  // the counter to the run totals.
+  MetricsRegistry::Global().GetCounter(metric::kFaultFires)->Inc();
+  TraceRecorder::Global().AddInstant(
+      "fault.fire", "fault",
+      {{"site", std::string(site)}, {"action", ActionLabel(out.action)}});
   // Outside the lock: the callback may inspect the injector (armed(),
   // site_stats()) without deadlocking.
   if ((out.action == FaultAction::kCrashNow ||

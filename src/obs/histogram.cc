@@ -1,6 +1,8 @@
-#include "common/histogram.h"
+#include "obs/histogram.h"
 
 #include <cstdio>
+
+#include "obs/json.h"
 
 namespace loglog {
 
@@ -25,6 +27,19 @@ std::string Histogram::ToString() const {
                 static_cast<unsigned long long>(Percentile(0.5)),
                 static_cast<unsigned long long>(Percentile(0.99)));
   return buf;
+}
+
+std::string Histogram::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("n").Uint(n_);
+  w.Key("mean").Double(mean());
+  w.Key("max").Uint(max_);
+  w.Key("p50").Uint(Percentile(0.5));
+  w.Key("p90").Uint(Percentile(0.9));
+  w.Key("p99").Uint(Percentile(0.99));
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace loglog

@@ -1,0 +1,80 @@
+#ifndef LOGLOG_OBS_HISTOGRAM_H_
+#define LOGLOG_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace loglog {
+
+/// \brief Exact small-domain histogram for experiment metrics.
+///
+/// The quantities we histogram (atomic flush set sizes, write graph node
+/// counts, ops redone, force latencies in microseconds) have small integer
+/// domains, so an exact map-based histogram is simpler and more faithful
+/// than bucketing. Absorbed into the observability layer: this is the
+/// value type behind MetricsRegistry histograms, and the exact counts map
+/// is what makes histogram snapshots *subtractable* (see
+/// MetricsSnapshot::Delta).
+///
+/// Not thread-safe; MetricsRegistry wraps it in a locked HistogramMetric
+/// for concurrent recording.
+class Histogram {
+ public:
+  void Add(uint64_t value) { Add(value, 1); }
+
+  /// Records `count` samples of `value` at once (snapshot subtraction and
+  /// merge rebuild histograms through this path).
+  void Add(uint64_t value, uint64_t count) {
+    if (count == 0) return;
+    counts_[value] += count;
+    n_ += count;
+    sum_ += value * count;
+    if (value > max_) max_ = value;
+  }
+
+  /// Adds every sample of `other` into this histogram.
+  void Merge(const Histogram& other) {
+    for (const auto& [value, count] : other.counts_) Add(value, count);
+  }
+
+  uint64_t count() const { return n_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return n_ == 0 ? 0.0 : static_cast<double>(sum_) / n_; }
+
+  /// Smallest value v such that at least q*count() samples are <= v.
+  uint64_t Percentile(double q) const;
+
+  /// Number of samples equal to `value`.
+  uint64_t CountOf(uint64_t value) const {
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// The exact value -> sample-count map.
+  const std::map<uint64_t, uint64_t>& counts() const { return counts_; }
+
+  /// "n=<N> mean=<M> max=<X> p50=<..> p99=<..>" for bench output.
+  std::string ToString() const;
+
+  /// {"n":..,"mean":..,"max":..,"p50":..,"p90":..,"p99":..} summary.
+  std::string ToJson() const;
+
+  void Clear() {
+    counts_.clear();
+    n_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::map<uint64_t, uint64_t> counts_;
+  uint64_t n_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_HISTOGRAM_H_

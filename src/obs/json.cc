@@ -1,0 +1,239 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace loglog {
+
+JsonWriter& JsonWriter::Double(double v) {
+  Separator();
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    out_.append("null");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_.append(buf);
+  }
+  fresh_ = false;
+  return *this;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\r':
+        out_.append("\\r");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+std::string JsonEscape(std::string_view s) {
+  JsonWriter w;
+  w.String(s);
+  return w.Take();
+}
+
+namespace {
+
+/// Byte-wise recursive-descent JSON validator.
+class JsonChecker {
+ public:
+  explicit JsonChecker(Slice doc) : data_(doc.data()), size_(doc.size()) {}
+
+  Status Check() {
+    SkipWs();
+    LOGLOG_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != size_) return Fail("trailing bytes after document");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Fail(const char* what) const {
+    return Status::Corruption("json syntax error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  bool Eof() const { return pos_ >= size_; }
+  char Peek() const { return static_cast<char>(data_[pos_]); }
+
+  void SkipWs() {
+    while (!Eof()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Eof() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (size_ - pos_ < lit.size()) return false;
+    for (size_t i = 0; i < lit.size(); ++i) {
+      if (static_cast<char>(data_[pos_ + i]) != lit[i]) return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (Eof()) return Fail("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return ConsumeLiteral("true") ? Status::OK() : Fail("bad literal");
+      case 'f':
+        return ConsumeLiteral("false") ? Status::OK() : Fail("bad literal");
+      case 'n':
+        return ConsumeLiteral("null") ? Status::OK() : Fail("bad literal");
+      default:
+        return Number();
+    }
+  }
+
+  Status Object(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (Eof() || Peek() != '"') return Fail("expected object key");
+      LOGLOG_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWs();
+      LOGLOG_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      LOGLOG_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status String() {
+    ++pos_;  // '"'
+    while (true) {
+      if (Eof()) return Fail("unterminated string");
+      char c = static_cast<char>(data_[pos_++]);
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        if (Eof()) return Fail("unterminated escape");
+        char e = static_cast<char>(data_[pos_++]);
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          --pos_;
+          return Fail("bad escape character");
+        }
+      }
+    }
+  }
+
+  Status Number() {
+    size_t start = pos_;
+    Consume('-');
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      pos_ = start;
+      return Fail("expected value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digits required after '.'");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digits required in exponent");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status JsonSyntaxCheck(Slice doc) {
+  if (doc.empty()) return Status::Corruption("empty json document");
+  return JsonChecker(doc).Check();
+}
+
+}  // namespace loglog

@@ -1,0 +1,116 @@
+#ifndef LOGLOG_OBS_JSON_H_
+#define LOGLOG_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace loglog {
+
+/// \brief Minimal streaming JSON writer shared by every observability
+/// export (metrics snapshots, trace events, stats ToJson methods).
+///
+/// Emits compact (no-whitespace) JSON into an owned string. The caller
+/// drives structure explicitly — BeginObject/Key/EndObject — and the
+/// writer handles comma placement and string escaping. No validation of
+/// caller mistakes (unbalanced Begin/End) beyond what JsonSyntaxCheck
+/// catches on the output; this is an internal tool, not a parser.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Separator();
+    out_.push_back('{');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_.push_back('}');
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separator();
+    out_.push_back('[');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_.push_back(']');
+    fresh_ = false;
+    return *this;
+  }
+  /// Object key; the next value belongs to it.
+  JsonWriter& Key(std::string_view k) {
+    Separator();
+    AppendEscaped(k);
+    out_.push_back(':');
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& String(std::string_view v) {
+    Separator();
+    AppendEscaped(v);
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& Uint(uint64_t v) {
+    Separator();
+    out_.append(std::to_string(v));
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& Int(int64_t v) {
+    Separator();
+    out_.append(std::to_string(v));
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v) {
+    Separator();
+    out_.append(v ? "true" : "false");
+    fresh_ = false;
+    return *this;
+  }
+  /// Splices a pre-serialized JSON value verbatim (for embedding one
+  /// document inside another).
+  JsonWriter& Raw(std::string_view json) {
+    Separator();
+    out_.append(json);
+    fresh_ = false;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separator() {
+    if (!fresh_ && !out_.empty()) {
+      char last = out_.back();
+      if (last != '{' && last != '[' && last != ':') out_.push_back(',');
+    }
+  }
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+/// \brief Strict syntax check of a complete JSON document.
+///
+/// A recursive-descent validator (objects, arrays, strings with escapes,
+/// numbers, true/false/null) used by tests and by `loglog_inspect` to
+/// assert that every export is loadable before it leaves the process.
+/// Returns OK or Corruption with the byte offset of the first error.
+Status JsonSyntaxCheck(Slice doc);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_JSON_H_

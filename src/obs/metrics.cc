@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace loglog {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+std::string MetricsRegistry::FullName(std::string_view name,
+                                      const MetricLabels& labels) {
+  std::string out(name);
+  if (labels.empty()) return out;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  out.push_back('{');
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(sorted[i].first);
+    out.push_back('=');
+    out.append(sorted[i].second);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const MetricLabels& labels) {
+  std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(std::move(key));
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const MetricLabels& labels) {
+  std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(std::move(key));
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name,
+                                               const MetricLabels& labels) {
+  std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(std::move(key));
+  if (inserted) it->second = std::make_unique<HistogramMetric>();
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    d.counters[name] = value >= base ? value - base : 0;
+  }
+  d.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      d.histograms[name] = hist;
+      continue;
+    }
+    // Exact subtraction: per-value count difference, re-accumulated so
+    // n/sum/max describe only the in-between samples.
+    Histogram diff;
+    for (const auto& [value, count] : hist.counts()) {
+      uint64_t base = it->second.CountOf(value);
+      if (count > base) diff.Add(value, count - base);
+    }
+    d.histograms[name] = std::move(diff);
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) w.Key(name).Uint(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : histograms) {
+    w.Key(name).Raw(hist.ToJson());
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += name + " = " + hist.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace loglog

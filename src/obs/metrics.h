@@ -1,0 +1,178 @@
+#ifndef LOGLOG_OBS_METRICS_H_
+#define LOGLOG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace loglog {
+
+/// Label set of a metric instance, e.g. {{"policy", "group"}}. Labels are
+/// folded into the instance's full name as `name{k=v,...}` with keys
+/// sorted, so the same (name, labels) pair always resolves to the same
+/// instance.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical metric names used by the instrumented layers, so call sites,
+/// tests, and DESIGN.md's naming-scheme table stay in sync. Scheme:
+/// `<layer>.<subject>.<measure>` (+ `{label=value}` dimensions).
+namespace metric {
+// WAL (src/wal/log_manager.cc).
+inline constexpr std::string_view kWalForceLatencyUs = "wal.force.latency_us";
+inline constexpr std::string_view kWalForceBatchRecords =
+    "wal.force.batch_records";
+inline constexpr std::string_view kWalForceCalls = "wal.force.calls";
+inline constexpr std::string_view kWalForceNoops = "wal.force.noops";
+inline constexpr std::string_view kWalRecordsCoalesced =
+    "wal.force.records_coalesced";
+inline constexpr std::string_view kWalAppendRecords = "wal.append.records";
+// Cache manager (src/cache/cache_manager.cc).
+inline constexpr std::string_view kCmPurges = "cm.purge.calls";
+inline constexpr std::string_view kCmNodesInstalled = "cm.install.nodes";
+inline constexpr std::string_view kCmOpsInstalled = "cm.install.ops";
+inline constexpr std::string_view kCmIdentityWrites = "cm.identity.writes";
+inline constexpr std::string_view kCmIdentityBytes = "cm.identity.bytes";
+inline constexpr std::string_view kCmFlushTxns = "cm.flush_txn.count";
+inline constexpr std::string_view kCmEvictions = "cm.evict.objects";
+inline constexpr std::string_view kCmCheckpoints = "cm.checkpoint.count";
+inline constexpr std::string_view kCmFlushSetSize = "cm.flush.set_size";
+// Recovery (src/recovery/).
+inline constexpr std::string_view kRecoveryRuns = "recovery.runs";
+inline constexpr std::string_view kRecoveryDurationUs =
+    "recovery.run.duration_us";
+inline constexpr std::string_view kRecoveryOpsRedone = "recovery.ops.redone";
+inline constexpr std::string_view kRecoveryOpsSkipped =
+    "recovery.ops.skipped";
+inline constexpr std::string_view kRecoveryOpsVoided = "recovery.ops.voided";
+inline constexpr std::string_view kRecoveryComponents =
+    "recovery.redo.components";
+inline constexpr std::string_view kMediaRecoveries = "media.recoveries";
+inline constexpr std::string_view kMediaRepairs = "media.repairs";
+// Faults (src/fault/fault_injector.cc).
+inline constexpr std::string_view kFaultFires = "fault.fires";
+}  // namespace metric
+
+/// Monotonically increasing counter. Relaxed atomics: counters are
+/// statistical, and every reader snapshots through the registry.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins signed gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Mutex-guarded exact histogram (see obs/histogram.h). Observe() is the
+/// hot call; everything else copies under the lock.
+class HistogramMetric {
+ public:
+  void Observe(uint64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(value);
+  }
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// \brief Point-in-time copy of every metric in a registry.
+///
+/// Counters and gauges are plain values; histograms carry their exact
+/// value->count maps, which makes snapshots subtractable: Delta()
+/// reconstructs the histogram of *only* the samples recorded between the
+/// two snapshots. This is how benches and `loglog_inspect` report the
+/// cost of one phase out of a shared registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// This snapshot minus `earlier`: counters and histogram counts
+  /// subtract (entries absent from `earlier` count from zero); gauges
+  /// keep this snapshot's value (a gauge is a level, not a flow).
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{n,mean,...}}}
+  std::string ToJson() const;
+
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe registry of named counters, gauges and histograms.
+///
+/// Get* registers on first use and returns a stable pointer — instruments
+/// cache the pointer once and update it lock-free (counters/gauges) or
+/// under a per-histogram lock. Snapshot() copies everything at once.
+/// The process-wide instance is Global(); tests may create private
+/// registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrument reports to.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. The pointer is valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name, const MetricLabels& labels = {});
+  Gauge* GetGauge(std::string_view name, const MetricLabels& labels = {});
+  HistogramMetric* GetHistogram(std::string_view name,
+                                const MetricLabels& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value. Registered instances (and outstanding pointers)
+  /// stay valid — only the recorded data is discarded.
+  void ResetAll();
+
+  /// `name{k1=v1,k2=v2}` with label keys sorted (the snapshot map key).
+  static std::string FullName(std::string_view name,
+                              const MetricLabels& labels);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_METRICS_H_

@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace loglog {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+uint32_t TraceRecorder::TidOfCurrentThread() {
+  auto [it, inserted] =
+      tids_.try_emplace(std::this_thread::get_id(),
+                        static_cast<uint32_t>(tids_.size()));
+  return it->second;
+}
+
+void TraceRecorder::AddComplete(std::string_view name, std::string_view cat,
+                                uint64_t start_us, uint64_t dur_us,
+                                TraceArgs args) {
+  // Unconditional: TraceSpan gates on the enabled flag at *construction*,
+  // so a span that began while tracing was on must land even if tracing
+  // was switched off before it ended (End() runs after the disable).
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = TraceEvent::Phase::kComplete;
+  ev.ts_us = start_us;
+  ev.dur_us = dur_us;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = TidOfCurrentThread();
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::AddInstant(std::string_view name, std::string_view cat,
+                               TraceArgs args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.phase = TraceEvent::Phase::kInstant;
+  ev.ts_us = NowUs();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.tid = TidOfCurrentThread();
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tids_.clear();
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::vector<TraceEvent> events = Events();
+  // Chrome's importer tolerates any order, but ts-sorted output diffs
+  // cleanly and reads linearly in a text editor.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginObject();
+    w.Key("name").String(ev.name);
+    if (!ev.cat.empty()) w.Key("cat").String(ev.cat);
+    w.Key("ph").String(ev.phase == TraceEvent::Phase::kComplete ? "X" : "i");
+    w.Key("ts").Uint(ev.ts_us);
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      w.Key("dur").Uint(ev.dur_us);
+    } else {
+      w.Key("s").String("t");  // instant scope: thread
+    }
+    w.Key("pid").Uint(1);
+    w.Key("tid").Uint(ev.tid);
+    if (!ev.args.empty()) {
+      w.Key("args").BeginObject();
+      for (const auto& [key, value] : ev.args) w.Key(key).String(value);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.Take();
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::string doc = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != doc.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+Status ValidateSpanNesting(const std::vector<TraceEvent>& events) {
+  // Group complete events per thread, sort by (start asc, duration desc)
+  // so a parent precedes its children, then sweep with a stack of open
+  // intervals. A span must end at or before its innermost enclosing
+  // span's end — anything else is a partial overlap.
+  std::unordered_map<uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& ev : events) {
+    if (ev.phase == TraceEvent::Phase::kComplete) {
+      by_tid[ev.tid].push_back(&ev);
+    }
+  }
+  for (auto& [tid, spans] : by_tid) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+    std::vector<const TraceEvent*> open;
+    for (const TraceEvent* ev : spans) {
+      uint64_t end = ev->ts_us + ev->dur_us;
+      while (!open.empty() &&
+             open.back()->ts_us + open.back()->dur_us <= ev->ts_us) {
+        open.pop_back();
+      }
+      if (!open.empty() &&
+          end > open.back()->ts_us + open.back()->dur_us) {
+        return Status::Corruption(
+            "span \"" + ev->name + "\" [" + std::to_string(ev->ts_us) + "," +
+            std::to_string(end) + ") on tid " + std::to_string(tid) +
+            " partially overlaps \"" + open.back()->name + "\"");
+      }
+      open.push_back(ev);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace loglog

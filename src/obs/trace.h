@@ -1,0 +1,164 @@
+#ifndef LOGLOG_OBS_TRACE_H_
+#define LOGLOG_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace loglog {
+
+/// One key/value annotation on a trace event. Values are strings; numeric
+/// annotations are rendered with std::to_string at the call site.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One recorded event, in Chrome trace-event terms: a complete span
+/// ("ph":"X", with ts + dur) or an instant event ("ph":"i").
+struct TraceEvent {
+  enum class Phase : uint8_t { kComplete, kInstant };
+
+  std::string name;
+  std::string cat;
+  Phase phase = Phase::kComplete;
+  /// Microseconds since the recorder's epoch (monotonic clock).
+  uint64_t ts_us = 0;
+  /// Span duration in microseconds (kComplete only).
+  uint64_t dur_us = 0;
+  /// Dense per-recorder thread id (0 for the first thread seen).
+  uint32_t tid = 0;
+  TraceArgs args;
+};
+
+/// \brief Structured span/event recorder with Chrome trace-event export.
+///
+/// Disabled by default: a disabled recorder costs one relaxed atomic load
+/// per instrumentation site, so tracing can stay compiled into the hot
+/// paths (WAL force, redo workers) permanently. When enabled, events are
+/// appended under a mutex with timestamps from a monotonic clock and
+/// dense thread ids, and ToChromeJson() emits a document loadable in
+/// `about:tracing` / Perfetto (the `traceEvents` array form, complete "X"
+/// events for spans and "i" events for instants).
+///
+/// Thread-safe; parallel-REDO workers record concurrently.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder every built-in span reports to.
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the recorder epoch (monotonic).
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records a completed span [start_us, start_us + dur_us) on the
+  /// calling thread. Records unconditionally: the enabled gate lives in
+  /// TraceSpan's constructor, so a span that began while tracing was on
+  /// is kept even if tracing was disabled before the span ended.
+  void AddComplete(std::string_view name, std::string_view cat,
+                   uint64_t start_us, uint64_t dur_us, TraceArgs args = {});
+
+  /// Records an instant event at now() on the calling thread. No-op
+  /// while disabled.
+  void AddInstant(std::string_view name, std::string_view cat,
+                  TraceArgs args = {});
+
+  /// Copy of everything recorded so far.
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const;
+  void Clear();
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace
+  /// JSON document.
+  std::string ToChromeJson() const;
+
+  /// Writes ToChromeJson() to `path` (overwriting).
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  uint32_t TidOfCurrentThread();  // caller holds mu_
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, uint32_t> tids_;
+};
+
+/// \brief RAII span: records one complete event on the recorder that was
+/// enabled at construction, covering construction to destruction.
+///
+/// Captures the enabled flag once, so a span that began while tracing was
+/// on is recorded even if tracing is switched off mid-span (and vice
+/// versa nothing half-recorded appears).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view cat = "",
+                     TraceArgs args = {},
+                     TraceRecorder* rec = &TraceRecorder::Global())
+      : rec_(rec), active_(rec->enabled()) {
+    if (!active_) return;
+    name_ = name;
+    cat_ = cat;
+    args_ = std::move(args);
+    start_us_ = rec_->NowUs();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an annotation (e.g. a counter known only at span end).
+  void AddArg(std::string_view key, std::string_view value) {
+    if (active_) args_.emplace_back(key, value);
+  }
+  void AddArg(std::string_view key, uint64_t value) {
+    if (active_) args_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Ends the span now (idempotent; the destructor is then a no-op).
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    rec_->AddComplete(name_, cat_, start_us_, rec_->NowUs() - start_us_,
+                      std::move(args_));
+  }
+
+  ~TraceSpan() { End(); }
+
+ private:
+  TraceRecorder* rec_;
+  bool active_;
+  uint64_t start_us_ = 0;
+  std::string name_;
+  std::string cat_;
+  TraceArgs args_;
+};
+
+/// \brief Structural audit of recorded spans: on every thread, complete
+/// events must either nest fully or be disjoint (no partial overlap), the
+/// invariant Perfetto's flame view assumes. Instants are ignored.
+/// Returns OK or Corruption naming the first offending pair.
+Status ValidateSpanNesting(const std::vector<TraceEvent>& events);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_TRACE_H_

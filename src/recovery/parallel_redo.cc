@@ -8,6 +8,8 @@
 
 #include "common/retry.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/function_registry.h"
 #include "recovery/recovery_driver.h"
 #include "recovery/redo_test.h"
@@ -238,6 +240,7 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
 
   // Partition the workload into connected components: two records
   // conflict when they share any object.
+  TraceSpan partition_span("redo.partition", "recovery");
   UnionFind uf;
   std::unordered_map<ObjectId, int> node_of;
   std::vector<ObjectId> ids;
@@ -268,6 +271,13 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
     components[it->second].push_back(&work[i]);
   }
   result->components = components.size();
+  MetricsRegistry::Global()
+      .GetCounter(metric::kRecoveryComponents)
+      ->Inc(result->components);
+  partition_span.AddArg("records", static_cast<uint64_t>(work.size()));
+  partition_span.AddArg("components",
+                        static_cast<uint64_t>(components.size()));
+  partition_span.End();
 
   // Largest components first for load balance on the shared queue; ties
   // keep first-appearance (ascending min-LSN) order.
@@ -285,12 +295,19 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
   FaultInjector* inj = &disk->fault_injector();
   StableStore* store = &disk->store();
 
-  auto run_worker = [&](WorkerLocal* local) {
+  auto run_worker = [&](WorkerLocal* local, size_t worker_index) {
+    TraceSpan worker_span("redo.worker", "recovery",
+                          {{"worker", std::to_string(worker_index)}});
+    uint64_t claimed = 0;
     while (!abort.load(std::memory_order_relaxed)) {
       const size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= order.size()) break;
       const std::vector<const LogRecord*>& comp = components[order[k]];
       const Lsn min_lsn = comp.front()->lsn;
+      ++claimed;
+      TraceSpan comp_span("redo.component", "recovery",
+                          {{"min_lsn", std::to_string(min_lsn)},
+                           {"records", std::to_string(comp.size())}});
       Status st = RetryTransientIo(&local->counters.io_retries, [&] {
         return inj->MaybeFail(fault::kRedoWorker);
       });
@@ -309,15 +326,16 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
         break;
       }
     }
+    worker_span.AddArg("components", claimed);
   };
 
   if (worker_count <= 1) {
-    run_worker(&locals[0]);
+    run_worker(&locals[0], 0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(worker_count);
     for (size_t w = 0; w < worker_count; ++w) {
-      pool.emplace_back(run_worker, &locals[w]);
+      pool.emplace_back(run_worker, &locals[w], w);
     }
     for (std::thread& t : pool) t.join();
   }
@@ -337,6 +355,7 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
   }
   if (!error.ok()) return error;
 
+  TraceSpan apply_span("redo.apply", "recovery");
   std::vector<AppliedOp> applied;
   for (WorkerLocal& local : locals) {
     result->ops_redone += local.counters.ops_redone;
@@ -358,6 +377,7 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
     LOGLOG_RETURN_IF_ERROR(
         cm->ApplyResults(a.rec->op, a.lsn, std::move(a.values)));
   }
+  apply_span.AddArg("ops", static_cast<uint64_t>(applied.size()));
   return Status::OK();
 }
 

@@ -1,12 +1,16 @@
 #include "recovery/recovery_driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <unordered_set>
 
 #include "backup/media_recovery.h"
 #include "common/retry.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/function_registry.h"
 #include "recovery/analysis.h"
 #include "recovery/parallel_redo.h"
@@ -14,6 +18,24 @@
 #include "wal/log_cursor.h"
 
 namespace loglog {
+
+namespace {
+
+const char* RedoTestLabel(RedoTestKind kind) {
+  switch (kind) {
+    case RedoTestKind::kAlways:
+      return "always";
+    case RedoTestKind::kVsi:
+      return "vsi";
+    case RedoTestKind::kRsiGeneralized:
+      return "rsi_generalized";
+    case RedoTestKind::kRsiFixpoint:
+      return "rsi_fixpoint";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 std::string RecoveryStats::ToString() const {
   char buf[512];
@@ -37,6 +59,28 @@ std::string RecoveryStats::ToString() const {
       static_cast<unsigned long long>(media_repairs),
       media_recovery ? 1 : 0);
   return buf;
+}
+
+std::string RecoveryStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("records").Uint(log_records_total);
+  w.Key("scanned").Uint(records_scanned);
+  w.Key("considered").Uint(ops_considered);
+  w.Key("redone").Uint(ops_redone);
+  w.Key("skip_installed").Uint(ops_skipped_installed);
+  w.Key("skip_unexposed").Uint(ops_skipped_unexposed);
+  w.Key("voided").Uint(ops_voided);
+  w.Key("flush_txns_completed").Uint(flush_txns_completed);
+  w.Key("expensive_redos").Uint(expensive_redos);
+  w.Key("redo_bytes").Uint(redo_value_bytes);
+  w.Key("redo_start").Uint(redo_start);
+  w.Key("torn").Bool(torn_tail);
+  w.Key("corrupt").Uint(corrupt_objects);
+  w.Key("media_repairs").Uint(media_repairs);
+  w.Key("media_recovery").Bool(media_recovery);
+  w.EndObject();
+  return w.Take();
 }
 
 /// Recovery is the last line of defense: a write silently damaged on the
@@ -111,6 +155,38 @@ Status RedoOperation(CacheManager* cm, const OperationDesc& op, Lsn lsn,
 }  // namespace
 
 Status RecoveryDriver::Run(RecoveryStats* stats) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter(metric::kRecoveryRuns)->Inc();
+  const auto run_start = std::chrono::steady_clock::now();
+  Status st;
+  {
+    TraceSpan run_span("recovery.run", "recovery",
+                       {{"redo_test", RedoTestLabel(redo_test_)},
+                        {"threads", std::to_string(redo_threads_)}});
+    st = RunPhases(stats);
+    run_span.AddArg("redone", stats->ops_redone);
+    run_span.AddArg("voided", stats->ops_voided);
+    if (!st.ok()) run_span.AddArg("error", st.ToString());
+  }
+  reg.GetHistogram(metric::kRecoveryDurationUs)
+      ->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - run_start)
+              .count()));
+  reg.GetCounter(metric::kRecoveryOpsRedone)->Inc(stats->ops_redone);
+  reg.GetCounter(metric::kRecoveryOpsSkipped)
+      ->Inc(stats->ops_skipped_installed + stats->ops_skipped_unexposed);
+  reg.GetCounter(metric::kRecoveryOpsVoided)->Inc(stats->ops_voided);
+  if (stats->media_recovery) {
+    reg.GetCounter(metric::kMediaRecoveries)->Inc();
+  }
+  if (stats->media_repairs > 0) {
+    reg.GetCounter(metric::kMediaRepairs)->Inc(stats->media_repairs);
+  }
+  return st;
+}
+
+Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
   // Pass 1 — streaming analysis: one cursor walk feeds the analysis
   // builder record by record. Nothing is materialized, so recovery memory
   // is bounded by the analysis tables (the dirty set and the retained
@@ -118,6 +194,7 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
   AnalysisBuilder builder;
   Lsn next_lsn = 1;
   {
+    TraceSpan span("recovery.log_scan", "recovery");
     LogCursor cursor(disk_->log());
     LogRecord rec;
     while (cursor.Next(&rec)) {
@@ -132,6 +209,8 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
       // point.
       disk_->log().TearTail(disk_->log().end_offset() - cursor.valid_end());
     }
+    span.AddArg("records", stats->log_records_total);
+    span.AddArg("torn", cursor.torn() ? "true" : "false");
   }
 
   // Media scrub: checksum-sweep the stable store before trusting it as
@@ -140,9 +219,16 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
   // damaged value (Corruption on every access) or, worse, skip the
   // object as "installed" on the strength of a vSI attached to rotten
   // bytes.
-  stats->corrupt_objects = disk_->store().CorruptObjects().size();
+  {
+    TraceSpan span("recovery.media_scrub", "recovery");
+    stats->corrupt_objects = disk_->store().CorruptObjects().size();
+    span.AddArg("corrupt", stats->corrupt_objects);
+  }
   if (stats->corrupt_objects > 0) {
+    TraceSpan span("recovery.media_repair", "recovery",
+                   {{"corrupt", std::to_string(stats->corrupt_objects)}});
     LOGLOG_RETURN_IF_ERROR(RepairFromMedia(next_lsn - 1, stats));
+    span.AddArg("repairs", stats->media_repairs);
     stats->media_recovery = true;
     // The rebuilt store is the fully-installed final state: every logged
     // operation's writes already carry their vSIs, so the redo pass
@@ -151,21 +237,26 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
     return Status::OK();
   }
 
-  AnalysisResult analysis = builder.Finish();
-  // Scan start: the generalized test uses the minimum generalized rSI,
-  // the classic vSI test its classic recLSN minimum; the repeat-all
-  // baseline replays the full retained log.
+  AnalysisResult analysis;
   Lsn start = kInvalidLsn;
-  if (redo_test_ == RedoTestKind::kRsiGeneralized ||
-      redo_test_ == RedoTestKind::kRsiFixpoint) {
-    start = analysis.redo_start;
-  } else if (redo_test_ == RedoTestKind::kVsi) {
-    start = analysis.redo_start_classic;
+  {
+    TraceSpan span("recovery.analysis", "recovery");
+    analysis = builder.Finish();
+    // Scan start: the generalized test uses the minimum generalized rSI,
+    // the classic vSI test its classic recLSN minimum; the repeat-all
+    // baseline replays the full retained log.
+    if (redo_test_ == RedoTestKind::kRsiGeneralized ||
+        redo_test_ == RedoTestKind::kRsiFixpoint) {
+      start = analysis.redo_start;
+    } else if (redo_test_ == RedoTestKind::kVsi) {
+      start = analysis.redo_start_classic;
+    }
+    if (redo_test_ == RedoTestKind::kRsiFixpoint) {
+      analysis.fixpoint_redo = ComputeRedoFixpoint(analysis);
+    }
+    stats->redo_start = start == kMaxLsn ? next_lsn : start;
+    span.AddArg("redo_start", stats->redo_start);
   }
-  if (redo_test_ == RedoTestKind::kRsiFixpoint) {
-    analysis.fixpoint_redo = ComputeRedoFixpoint(analysis);
-  }
-  stats->redo_start = start == kMaxLsn ? next_lsn : start;
 
   // Pass 2 — redo scan: a second cursor walk (the tail, if torn, was
   // already cut by pass 1). The serial path decides and replays in
@@ -174,6 +265,8 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
   // the partitioned worker pool. The scan-order counters are identical
   // either way because they are decided here, before dispatch.
   const bool parallel = redo_threads_ > 1;
+  TraceSpan redo_span("recovery.redo", "recovery",
+                      {{"mode", parallel ? "parallel" : "serial"}});
   std::vector<LogRecord> parallel_work;
   LogCursor cursor(disk_->log());
   LogRecord rec;
@@ -261,6 +354,8 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
     stats->redo_value_bytes += pr.redo_value_bytes;
     stats->expensive_redos += pr.expensive_redos;
   }
+  redo_span.AddArg("redone", stats->ops_redone);
+  redo_span.End();
 
   log_->SetNextLsn(next_lsn);
   return Status::OK();

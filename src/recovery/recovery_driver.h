@@ -47,6 +47,8 @@ struct RecoveryStats {
   bool media_recovery = false;
 
   std::string ToString() const;
+  /// One flat JSON object, keys matching the ToString() fields.
+  std::string ToJson() const;
 };
 
 /// \brief Drives crash recovery: read the stable log (tolerating a torn
@@ -88,6 +90,9 @@ class RecoveryDriver {
   Status Run(RecoveryStats* stats);
 
  private:
+  /// The phases themselves; Run wraps this with the "recovery.run" trace
+  /// span and the recovery.* metric updates.
+  Status RunPhases(RecoveryStats* stats);
   /// Wholesale media resync of the live stable store (see class comment).
   Status RepairFromMedia(Lsn max_valid_lsn, RecoveryStats* stats);
 

@@ -1,0 +1,171 @@
+#include "storage/disk_image.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace loglog {
+
+namespace {
+
+constexpr char kMagic[] = "LLIMG001";
+constexpr size_t kMagicSize = 8;
+constexpr size_t kTrailerSize = 4;  // trailing CRC32C
+
+void PutStats(std::vector<uint8_t>* out, const IoStats& s) {
+  PutFixed64(out, s.object_writes);
+  PutFixed64(out, s.atomic_multi_writes);
+  PutFixed64(out, s.objects_in_atomic_writes);
+  PutFixed64(out, s.object_reads);
+  PutFixed64(out, s.object_bytes_written);
+  PutFixed64(out, s.log_forces);
+  PutFixed64(out, s.log_bytes);
+  PutFixed64(out, s.shadow_pointer_swings);
+  PutFixed64(out, s.shadow_relocations);
+  PutFixed64(out, s.quiesce_events);
+  PutFixed64(out, s.io_retries);
+}
+
+Status GetStats(Slice* src, IoStats* s) {
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->object_writes));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->atomic_multi_writes));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->objects_in_atomic_writes));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->object_reads));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->object_bytes_written));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->log_forces));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->log_bytes));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->shadow_pointer_swings));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->shadow_relocations));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->quiesce_events));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(src, &s->io_retries));
+  return Status::OK();
+}
+
+}  // namespace
+
+void SaveDiskImage(const SimulatedDisk& disk, std::vector<uint8_t>* out) {
+  out->clear();
+  out->insert(out->end(), kMagic, kMagic + kMagicSize);
+
+  // Stable store, ascending id so identical disks produce identical
+  // images. ForEach hands out raw bytes and the stored CRC — corruption
+  // on the saved media survives the round trip.
+  std::vector<std::pair<ObjectId, StoredObject>> objects;
+  disk.store().ForEach([&](ObjectId id, const StoredObject& obj) {
+    objects.emplace_back(id, obj);
+  });
+  std::sort(objects.begin(), objects.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PutFixed64(out, objects.size());
+  for (const auto& [id, obj] : objects) {
+    PutFixed64(out, id);
+    PutFixed64(out, obj.vsi);
+    PutFixed32(out, obj.crc);
+    PutLengthPrefixed(out, Slice(obj.value));
+  }
+
+  // Stable log. The archive holds every stable byte ever appended
+  // (trimmed of torn tails), so archive + start_offset reconstructs both
+  // the retained window and the verification archive.
+  PutFixed64(out, disk.log().start_offset());
+  PutLengthPrefixed(out, disk.log().ArchiveContents());
+
+  PutStats(out, disk.stats());
+
+  PutFixed32(out, Crc32c(Slice(*out)));
+}
+
+Status LoadDiskImage(Slice image, SimulatedDisk* disk) {
+  if (image.size() < kMagicSize + kTrailerSize) {
+    return Status::Corruption("disk image truncated");
+  }
+  if (std::memcmp(image.data(), kMagic, kMagicSize) != 0) {
+    return Status::Corruption("bad disk image magic");
+  }
+  Slice body(image.data(), image.size() - kTrailerSize);
+  Slice trailer(image.data() + image.size() - kTrailerSize, kTrailerSize);
+  uint32_t stored_crc = 0;
+  LOGLOG_RETURN_IF_ERROR(GetFixed32(&trailer, &stored_crc));
+  if (Crc32c(body) != stored_crc) {
+    return Status::Corruption("disk image checksum mismatch");
+  }
+
+  Slice src(image.data() + kMagicSize,
+            image.size() - kMagicSize - kTrailerSize);
+  uint64_t object_count = 0;
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&src, &object_count));
+  for (uint64_t i = 0; i < object_count; ++i) {
+    uint64_t id = 0, vsi = 0;
+    uint32_t crc = 0;
+    Slice value;
+    LOGLOG_RETURN_IF_ERROR(GetFixed64(&src, &id));
+    LOGLOG_RETURN_IF_ERROR(GetFixed64(&src, &vsi));
+    LOGLOG_RETURN_IF_ERROR(GetFixed32(&src, &crc));
+    LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&src, &value));
+    disk->store().RestoreRaw(id, value.ToBytes(), vsi, crc);
+  }
+
+  uint64_t start_offset = 0;
+  Slice archive;
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&src, &start_offset));
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&src, &archive));
+  // One append reconstructs both the device bytes and its archive (the
+  // device invariant archive == [0, start_offset) + retained makes the
+  // prefix truncation exact); the saved IoStats below erase the append's
+  // billing.
+  if (!archive.empty()) {
+    LOGLOG_RETURN_IF_ERROR(disk->log().Append(archive));
+  }
+  if (start_offset > disk->log().end_offset()) {
+    return Status::Corruption("disk image log start beyond archive end");
+  }
+  disk->log().TruncatePrefix(start_offset);
+
+  IoStats saved;
+  LOGLOG_RETURN_IF_ERROR(GetStats(&src, &saved));
+  if (!src.empty()) {
+    return Status::Corruption("trailing bytes in disk image");
+  }
+  disk->stats() = saved;
+  return Status::OK();
+}
+
+Status WriteDiskImageFile(const SimulatedDisk& disk,
+                          const std::string& path) {
+  std::vector<uint8_t> image;
+  SaveDiskImage(disk, &image);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open disk image file: " + path);
+  }
+  size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != image.size() || close_rc != 0) {
+    return Status::IoError("short write to disk image file: " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadDiskImageFile(const std::string& path, SimulatedDisk* disk) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open disk image file: " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("error reading disk image file: " + path);
+  }
+  return LoadDiskImage(Slice(bytes), disk);
+}
+
+}  // namespace loglog

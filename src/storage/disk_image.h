@@ -1,0 +1,45 @@
+#ifndef LOGLOG_STORAGE_DISK_IMAGE_H_
+#define LOGLOG_STORAGE_DISK_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+
+/// \brief Byte-exact serialization of a SimulatedDisk's crash-surviving
+/// state: stable store (including stored CRCs, so saved media corruption
+/// round-trips), stable log with its archive and truncation point, and
+/// the I/O counters.
+///
+/// This is what `loglog_inspect` operates on: a workload run can save its
+/// disk at the crash point, and the tool later re-opens exactly that disk
+/// to dump the log, replay recovery under tracing, or diff metrics —
+/// without re-running the workload.
+///
+/// Format (all integers little-endian):
+///   magic "LLIMG001"
+///   fixed64 object_count, then per object (ascending id):
+///     fixed64 id, fixed64 vsi, fixed32 crc, varint len + value bytes
+///   fixed64 log_start_offset, varint len + log archive bytes
+///   fixed64 x11 IoStats fields
+///   fixed32 CRC32C over everything above
+
+/// Serializes the disk into `out` (replacing its contents).
+void SaveDiskImage(const SimulatedDisk& disk, std::vector<uint8_t>* out);
+
+/// Rebuilds `disk` (which must be freshly constructed: empty store and
+/// log) from a saved image. Corruption on bad magic, a truncated section,
+/// or a trailing-CRC mismatch.
+Status LoadDiskImage(Slice image, SimulatedDisk* disk);
+
+/// File convenience wrappers around Save/LoadDiskImage.
+Status WriteDiskImageFile(const SimulatedDisk& disk, const std::string& path);
+Status ReadDiskImageFile(const std::string& path, SimulatedDisk* disk);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_STORAGE_DISK_IMAGE_H_

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace loglog {
 
 std::string IoStats::ToString() const {
@@ -22,6 +24,24 @@ std::string IoStats::ToString() const {
       static_cast<unsigned long long>(quiesce_events),
       static_cast<unsigned long long>(io_retries));
   return buf;
+}
+
+std::string IoStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("obj_writes").Uint(object_writes);
+  w.Key("atomic_multi").Uint(atomic_multi_writes);
+  w.Key("atomic_objs").Uint(objects_in_atomic_writes);
+  w.Key("obj_reads").Uint(object_reads);
+  w.Key("obj_bytes").Uint(object_bytes_written);
+  w.Key("log_forces").Uint(log_forces);
+  w.Key("log_bytes").Uint(log_bytes);
+  w.Key("shadow_swings").Uint(shadow_pointer_swings);
+  w.Key("shadow_relocations").Uint(shadow_relocations);
+  w.Key("quiesce").Uint(quiesce_events);
+  w.Key("io_retries").Uint(io_retries);
+  w.EndObject();
+  return w.Take();
 }
 
 IoStats IoStats::Delta(const IoStats& earlier) const {

@@ -44,6 +44,9 @@ struct IoStats {
 
   std::string ToString() const;
 
+  /// One flat JSON object, keys matching the ToString() fields.
+  std::string ToJson() const;
+
   IoStats Delta(const IoStats& earlier) const;
 };
 

@@ -217,4 +217,13 @@ void StableStore::ForEach(
   }
 }
 
+void StableStore::RestoreRaw(ObjectId id, ObjectValue value, Lsn vsi,
+                             uint32_t crc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoredObject& obj = objects_[id];
+  obj.value = std::move(value);
+  obj.vsi = vsi;
+  obj.crc = crc;
+}
+
 }  // namespace loglog

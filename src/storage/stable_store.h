@@ -136,6 +136,12 @@ class StableStore {
   void ForEach(
       const std::function<void(ObjectId, const StoredObject&)>& fn) const;
 
+  /// Installs an object byte-for-byte as a saved disk image holds it —
+  /// including its stored CRC, which may legitimately mismatch the value
+  /// (saved media corruption must round-trip). Restoration only: bills no
+  /// I/O, bypasses fault sites, validator and checksum computation.
+  void RestoreRaw(ObjectId id, ObjectValue value, Lsn vsi, uint32_t crc);
+
  private:
   void Audit(ObjectId id, Lsn vsi) {
     if (validator_ && audit_status_.ok()) {

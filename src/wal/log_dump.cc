@@ -1,38 +1,119 @@
 #include "wal/log_dump.h"
 
+#include <cstdio>
+
+#include "obs/json.h"
 #include "wal/log_record.h"
 
 namespace loglog {
 
+std::string LogDumpSummary::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "records=%llu ops=%llu(%llub) identity=%llu(%llub) ckpt=%llu(%llub) "
+      "install=%llu(%llub) flush_txn=%llu+%llu(%llub) bytes=%llu",
+      static_cast<unsigned long long>(total()),
+      static_cast<unsigned long long>(operations),
+      static_cast<unsigned long long>(operation_bytes),
+      static_cast<unsigned long long>(identity_writes),
+      static_cast<unsigned long long>(identity_write_bytes),
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(checkpoint_bytes),
+      static_cast<unsigned long long>(installs),
+      static_cast<unsigned long long>(install_bytes),
+      static_cast<unsigned long long>(flush_txn_begins),
+      static_cast<unsigned long long>(flush_txn_commits),
+      static_cast<unsigned long long>(flush_txn_bytes),
+      static_cast<unsigned long long>(payload_bytes));
+  std::string out = buf;
+  if (torn_tail) {
+    std::snprintf(buf, sizeof(buf), " torn_tail(after_lsn=%llu offset=%llu)",
+                  static_cast<unsigned long long>(torn_tail_lsn),
+                  static_cast<unsigned long long>(torn_tail_offset));
+    out += buf;
+  }
+  return out;
+}
+
+std::string LogDumpSummary::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("records").Uint(total());
+  w.Key("operations").Uint(operations);
+  w.Key("operation_bytes").Uint(operation_bytes);
+  w.Key("identity_writes").Uint(identity_writes);
+  w.Key("identity_write_bytes").Uint(identity_write_bytes);
+  w.Key("checkpoints").Uint(checkpoints);
+  w.Key("checkpoint_bytes").Uint(checkpoint_bytes);
+  w.Key("installs").Uint(installs);
+  w.Key("install_bytes").Uint(install_bytes);
+  w.Key("flush_txn_begins").Uint(flush_txn_begins);
+  w.Key("flush_txn_commits").Uint(flush_txn_commits);
+  w.Key("flush_txn_bytes").Uint(flush_txn_bytes);
+  w.Key("payload_bytes").Uint(payload_bytes);
+  w.Key("torn_tail").Bool(torn_tail);
+  if (torn_tail) {
+    w.Key("torn_tail_lsn").Uint(torn_tail_lsn);
+    w.Key("torn_tail_offset").Uint(torn_tail_offset);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
 Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
   *summary = LogDumpSummary();
+  const size_t total_bytes = log_bytes.size();
+  Lsn last_valid_lsn = 0;
   while (true) {
+    const uint64_t record_offset = total_bytes - log_bytes.size();
     LogRecord rec;
     Status st = ReadFramedRecord(&log_bytes, &rec);
     if (st.IsNotFound()) break;
     if (st.IsCorruption()) {
       summary->torn_tail = true;
+      summary->torn_tail_lsn = last_valid_lsn;
+      summary->torn_tail_offset = record_offset;
+      if (out != nullptr) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "-- torn tail after lsn=%llu at offset=%llu\n",
+                      static_cast<unsigned long long>(last_valid_lsn),
+                      static_cast<unsigned long long>(record_offset));
+        out->append(buf);
+      }
       break;
     }
     LOGLOG_RETURN_IF_ERROR(st);
+    const uint64_t encoded = rec.EncodedSize();
     switch (rec.type) {
       case RecordType::kOperation:
         ++summary->operations;
+        summary->operation_bytes += encoded;
+        if (rec.op.op_class == OpClass::kIdentityWrite) {
+          ++summary->identity_writes;
+          summary->identity_write_bytes += encoded;
+        }
         break;
       case RecordType::kCheckpoint:
         ++summary->checkpoints;
+        summary->checkpoint_bytes += encoded;
         break;
       case RecordType::kInstall:
         ++summary->installs;
+        summary->install_bytes += encoded;
         break;
       case RecordType::kFlushTxnBegin:
         ++summary->flush_txn_begins;
+        summary->flush_txn_bytes += encoded;
         break;
       case RecordType::kFlushTxnCommit:
         ++summary->flush_txn_commits;
+        summary->flush_txn_bytes += encoded;
         break;
     }
-    summary->payload_bytes += rec.EncodedSize();
+    summary->payload_bytes += encoded;
+    last_valid_lsn = rec.lsn;
     if (out != nullptr) {
       out->append(rec.DebugString());
       out->push_back('\n');

@@ -5,6 +5,7 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/types.h"
 
 namespace loglog {
 
@@ -16,12 +17,33 @@ struct LogDumpSummary {
   uint64_t flush_txn_begins = 0;
   uint64_t flush_txn_commits = 0;
   uint64_t payload_bytes = 0;
+  /// W_IP records among `operations` (Section 4's cache-management log
+  /// traffic) and their payload bytes — the log volume the identity-write
+  /// policy pays to avoid atomic flushes.
+  uint64_t identity_writes = 0;
+  uint64_t identity_write_bytes = 0;
+  /// Encoded payload bytes by record type (same order of magnitude
+  /// question as Section 4's "Comparing Costs": where does log volume go?).
+  uint64_t operation_bytes = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t install_bytes = 0;
+  uint64_t flush_txn_bytes = 0;
   bool torn_tail = false;
+  /// LSN of the last fully-valid record before the tear (0 when the tear
+  /// precedes any valid record; meaningless unless torn_tail).
+  Lsn torn_tail_lsn = 0;
+  /// Byte offset into the dumped stream where the torn bytes begin
+  /// (meaningless unless torn_tail).
+  uint64_t torn_tail_offset = 0;
 
   uint64_t total() const {
     return operations + checkpoints + installs + flush_txn_begins +
            flush_txn_commits;
   }
+
+  std::string ToString() const;
+  /// One flat JSON object, keys matching the ToString() fields.
+  std::string ToJson() const;
 };
 
 /// \brief Human-readable dump of a framed log byte stream — the
@@ -29,7 +51,9 @@ struct LogDumpSummary {
 ///
 /// Appends one line per record to `out` (skipped when out == nullptr, so
 /// the function doubles as a validating scan) and tallies a summary.
-/// Stops cleanly at a torn tail.
+/// Stops cleanly at a torn tail, reporting where (offset) and after what
+/// (LSN) the tear begins — both in the summary and, when out != nullptr,
+/// as a trailing `-- torn tail ...` line.
 Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary);
 
 }  // namespace loglog

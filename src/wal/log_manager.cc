@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/retry.h"
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 #include "wal/log_cursor.h"
 
 namespace loglog {
@@ -14,7 +16,42 @@ namespace {
 /// Framing overhead per record: fixed32 length + fixed32 CRC32C.
 constexpr size_t kFrameOverhead = 8;
 
+const char* PolicyLabel(ForcePolicy policy) {
+  switch (policy) {
+    case ForcePolicy::kImmediate:
+      return "immediate";
+    case ForcePolicy::kGroup:
+      return "group";
+    case ForcePolicy::kSizeThreshold:
+      return "size_threshold";
+  }
+  return "unknown";
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 }  // namespace
+
+LogManager::ForceInstruments& LogManager::instruments() {
+  auto idx = static_cast<size_t>(force_policy_);
+  assert(idx < 3);
+  ForceInstruments& ins = force_instruments_[idx];
+  if (ins.latency_us == nullptr) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    MetricLabels labels{{"policy", PolicyLabel(force_policy_)}};
+    ins.latency_us = reg.GetHistogram(metric::kWalForceLatencyUs, labels);
+    ins.batch_records =
+        reg.GetHistogram(metric::kWalForceBatchRecords, labels);
+    ins.records_coalesced =
+        reg.GetCounter(metric::kWalRecordsCoalesced, labels);
+  }
+  return ins;
+}
 
 LogManager::LogManager(StableLogDevice* device) : device_(device) {
   // Index whatever valid records already sit on the device (recovery
@@ -33,6 +70,11 @@ LogManager::LogManager(StableLogDevice* device) : device_(device) {
 Lsn LogManager::Append(LogRecord rec) {
   rec.lsn = next_lsn_++;
   buffer_.push_back(std::move(rec));
+  if (append_records_ == nullptr) {
+    append_records_ =
+        MetricsRegistry::Global().GetCounter(metric::kWalAppendRecords);
+  }
+  append_records_->Inc();
   return buffer_.back().lsn;
 }
 
@@ -41,7 +83,18 @@ Status LogManager::Force(Lsn upto) {
     return Status::FailedPrecondition(
         "log manager poisoned by an earlier torn force; recovery required");
   }
-  if (buffer_.empty() || buffer_.front().lsn > upto) return Status::OK();
+  if (force_calls_ == nullptr) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    force_calls_ = reg.GetCounter(metric::kWalForceCalls);
+    force_noops_ = reg.GetCounter(metric::kWalForceNoops);
+  }
+  force_calls_->Inc();
+  if (buffer_.empty() || buffer_.front().lsn > upto) {
+    force_noops_->Inc();
+    return Status::OK();
+  }
+  const auto force_start = std::chrono::steady_clock::now();
+  TraceSpan span("wal.force", "wal");
   // Decide how far this force reaches: at least through `upto`, extended
   // by the policy to coalesce pending obligations into one append.
   size_t count = 0;
@@ -98,6 +151,12 @@ Status LogManager::Force(Lsn upto) {
   last_stable_lsn_ = std::max(last_stable_lsn_, stable_offsets_.back().first);
   records_coalesced_ += coalesced;
   buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(count));
+  ForceInstruments& ins = instruments();
+  ins.latency_us->Observe(ElapsedUs(force_start));
+  ins.batch_records->Observe(count);
+  if (coalesced > 0) ins.records_coalesced->Inc(coalesced);
+  span.AddArg("records", static_cast<uint64_t>(count));
+  span.AddArg("bytes", static_cast<uint64_t>(batch_bytes));
   return Status::OK();
 }
 

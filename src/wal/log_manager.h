@@ -8,6 +8,7 @@
 #include "cache/policies.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "storage/simulated_disk.h"
 #include "wal/log_record.h"
 
@@ -92,6 +93,17 @@ class LogManager {
                            Lsn* next_lsn, uint64_t* valid_end);
 
  private:
+  /// Per-ForcePolicy instruments (latency + batch-size histograms carry a
+  /// policy label so group-commit shapes stay separable in one snapshot).
+  /// Registry pointers are fetched once per policy and cached, keeping
+  /// the per-Force cost to two clock reads and two histogram locks.
+  struct ForceInstruments {
+    HistogramMetric* latency_us = nullptr;
+    HistogramMetric* batch_records = nullptr;
+    Counter* records_coalesced = nullptr;
+  };
+  ForceInstruments& instruments();
+
   StableLogDevice* device_;
   std::deque<LogRecord> buffer_;  // volatile records, ascending lsn
   Lsn next_lsn_ = 1;
@@ -103,6 +115,11 @@ class LogManager {
   /// longer coherent with this manager's view, so every further Force is
   /// refused until recovery rebuilds the log state.
   bool poisoned_ = false;
+  /// Lazily-filled instrument cache, one slot per ForcePolicy value.
+  ForceInstruments force_instruments_[3];
+  Counter* force_calls_ = nullptr;
+  Counter* force_noops_ = nullptr;
+  Counter* append_records_ = nullptr;
   /// Byte offset on the device of each stable record. Appends arrive in
   /// ascending LSN order and truncation only drops a prefix, so the
   /// vector is always sorted by LSN — binary search replaces the old

@@ -4,7 +4,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
-#include "common/histogram.h"
+#include "obs/histogram.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/slice.h"

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
+#include "storage/disk_image.h"
 #include "storage/simulated_disk.h"
 
 namespace loglog {
@@ -103,6 +105,116 @@ TEST(IoStatsTest, DeltaSubtracts) {
   EXPECT_EQ(d.object_writes, 5u);
   EXPECT_EQ(d.log_bytes, 80u);
   EXPECT_FALSE(a.ToString().empty());
+}
+
+TEST(IoStatsTest, DeltaToStringRoundTripAllFields) {
+  // Every field participates in Delta and shows up in ToString/ToJson:
+  // stats.Delta(zero) must reproduce stats exactly, field for field, and
+  // the two renderings of equal stats must match byte for byte. A field
+  // added to the struct but forgotten in Delta or the renderings breaks
+  // one of these.
+  IoStats stats;
+  stats.object_writes = 1;
+  stats.atomic_multi_writes = 2;
+  stats.objects_in_atomic_writes = 3;
+  stats.object_reads = 4;
+  stats.object_bytes_written = 5;
+  stats.log_forces = 6;
+  stats.log_bytes = 7;
+  stats.shadow_pointer_swings = 8;
+  stats.shadow_relocations = 9;
+  stats.quiesce_events = 10;
+  stats.io_retries = 11;
+
+  IoStats round = stats.Delta(IoStats{});
+  EXPECT_EQ(round.object_writes, stats.object_writes);
+  EXPECT_EQ(round.atomic_multi_writes, stats.atomic_multi_writes);
+  EXPECT_EQ(round.objects_in_atomic_writes, stats.objects_in_atomic_writes);
+  EXPECT_EQ(round.object_reads, stats.object_reads);
+  EXPECT_EQ(round.object_bytes_written, stats.object_bytes_written);
+  EXPECT_EQ(round.log_forces, stats.log_forces);
+  EXPECT_EQ(round.log_bytes, stats.log_bytes);
+  EXPECT_EQ(round.shadow_pointer_swings, stats.shadow_pointer_swings);
+  EXPECT_EQ(round.shadow_relocations, stats.shadow_relocations);
+  EXPECT_EQ(round.quiesce_events, stats.quiesce_events);
+  EXPECT_EQ(round.io_retries, stats.io_retries);
+  EXPECT_EQ(round.ToString(), stats.ToString());
+  EXPECT_EQ(round.ToJson(), stats.ToJson());
+
+  // Delta of a snapshot against itself is all-zero in both renderings.
+  EXPECT_EQ(stats.Delta(stats).ToString(), IoStats{}.ToString());
+  EXPECT_TRUE(JsonSyntaxCheck(Slice(stats.ToJson())).ok());
+}
+
+TEST(DiskImageTest, RoundTripsStoreLogAndStats) {
+  SimulatedDisk disk;
+  ASSERT_TRUE(disk.store().Write(1, "alpha", 3).ok());
+  ASSERT_TRUE(disk.store().Write(2, "beta", 7).ok());
+  std::vector<uint8_t> a(40, 1), b(24, 2);
+  ASSERT_TRUE(disk.log().Append(Slice(a)).ok());
+  ASSERT_TRUE(disk.log().Append(Slice(b)).ok());
+  disk.log().TruncatePrefix(40);
+  StoredObject read_back;
+  ASSERT_TRUE(disk.store().Read(1, &read_back).ok());  // bills a read
+
+  std::vector<uint8_t> image;
+  SaveDiskImage(disk, &image);
+
+  SimulatedDisk restored;
+  ASSERT_TRUE(LoadDiskImage(Slice(image), &restored).ok());
+
+  // Before touching the restored disk (every Read bills I/O): the saved
+  // counters replaced the restore traffic's billing exactly, and a second
+  // save is byte-identical.
+  EXPECT_EQ(restored.stats().ToString(), disk.stats().ToString());
+  std::vector<uint8_t> image2;
+  SaveDiskImage(restored, &image2);
+  EXPECT_EQ(Slice(image2), Slice(image));
+
+  EXPECT_EQ(restored.store().object_count(), 2u);
+  ASSERT_TRUE(restored.store().Read(1, &read_back).ok());
+  EXPECT_EQ(Slice(read_back.value).ToString(), "alpha");
+  EXPECT_EQ(read_back.vsi, 3u);
+  EXPECT_EQ(restored.log().start_offset(), 40u);
+  EXPECT_EQ(restored.log().retained_bytes(), 24u);
+  EXPECT_EQ(restored.log().ArchiveContents(), disk.log().ArchiveContents());
+}
+
+TEST(DiskImageTest, PreservesStoredCorruption) {
+  // A saved image must reproduce the media exactly — including an object
+  // whose stored CRC no longer matches its bytes.
+  SimulatedDisk disk;
+  ASSERT_TRUE(disk.store().Write(9, "fragile", 2).ok());
+  disk.fault_injector().Arm(fault::kStoreWrite,
+                            FaultSpec::BitFlipOnce(/*seed=*/7));
+  ASSERT_TRUE(disk.store().Write(10, "rotten", 4).ok());
+  ASSERT_EQ(disk.store().CorruptObjects(), std::vector<ObjectId>{10});
+
+  std::vector<uint8_t> image;
+  SaveDiskImage(disk, &image);
+  SimulatedDisk restored;
+  ASSERT_TRUE(LoadDiskImage(Slice(image), &restored).ok());
+  EXPECT_EQ(restored.store().CorruptObjects(), std::vector<ObjectId>{10});
+  StoredObject obj;
+  EXPECT_TRUE(restored.store().Read(10, &obj).IsCorruption());
+}
+
+TEST(DiskImageTest, RejectsDamage) {
+  SimulatedDisk disk;
+  ASSERT_TRUE(disk.store().Write(1, "x", 1).ok());
+  std::vector<uint8_t> image;
+  SaveDiskImage(disk, &image);
+
+  SimulatedDisk fresh;
+  EXPECT_TRUE(LoadDiskImage(Slice(image.data(), 5), &fresh).IsCorruption());
+
+  std::vector<uint8_t> bad_magic = image;
+  bad_magic[0] ^= 0xff;
+  EXPECT_TRUE(LoadDiskImage(Slice(bad_magic), &fresh).IsCorruption());
+
+  std::vector<uint8_t> bit_flip = image;
+  bit_flip[image.size() / 2] ^= 0x10;
+  EXPECT_TRUE(LoadDiskImage(Slice(bit_flip), &fresh).IsCorruption());
 }
 
 }  // namespace

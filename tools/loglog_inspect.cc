@@ -1,0 +1,309 @@
+// loglog_inspect: operational inspection of a loglog disk.
+//
+// Modes:
+//   loglog_inspect --demo [--crash] [--save FILE]   run a built-in workload
+//   loglog_inspect FILE                             open a saved disk image
+//
+// Either way the tool dumps the retained log (DumpLog listing + summary),
+// replays recovery as a dry run with tracing enabled (the on-disk image
+// file is never modified), and reports the metrics snapshot. Output is
+// text by default, one JSON document with --json; --trace FILE writes the
+// recovery timeline as Chrome trace-event JSON (load in about:tracing or
+// https://ui.perfetto.dev).
+//
+// Flags:
+//   --demo          populate a fresh disk with the mixed workload
+//   --crash         (with --demo) stop without flushing: recovery has work
+//   --save FILE     save the disk image (then continue inspecting)
+//   --json          emit one JSON document instead of text
+//   --trace FILE    write the recovery timeline as Chrome trace JSON
+//   --threads N     redo worker threads for the dry-run recovery (default 4)
+//   --no-recover    skip the dry-run recovery (log listing + metrics only)
+//   --seed N        demo workload seed (default 321)
+//   --ops N         demo workload operation count (default 400)
+//   --quiet         suppress the per-record listing in text mode
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/recovery_engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/workload.h"
+#include "storage/disk_image.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_dump.h"
+
+namespace loglog {
+namespace {
+
+struct InspectOptions {
+  bool demo = false;
+  bool crash = false;
+  bool json = false;
+  bool recover = true;
+  bool quiet = false;
+  int threads = 4;
+  uint64_t seed = 321;
+  uint64_t ops = 400;
+  std::string save_path;
+  std::string trace_path;
+  std::string image_path;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [IMAGE] [--demo] [--crash] [--save FILE] [--json] "
+               "[--trace FILE] [--threads N] [--no-recover] [--seed N] "
+               "[--ops N] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, InspectOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](std::string* v) {
+      if (i + 1 >= argc) return false;
+      *v = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--demo") {
+      out->demo = true;
+    } else if (arg == "--crash") {
+      out->crash = true;
+    } else if (arg == "--json") {
+      out->json = true;
+    } else if (arg == "--no-recover") {
+      out->recover = false;
+    } else if (arg == "--quiet") {
+      out->quiet = true;
+    } else if (arg == "--save") {
+      if (!next_value(&out->save_path)) return false;
+    } else if (arg == "--trace") {
+      if (!next_value(&out->trace_path)) return false;
+    } else if (arg == "--threads") {
+      if (!next_value(&value)) return false;
+      out->threads = std::atoi(value.c_str());
+    } else if (arg == "--seed") {
+      if (!next_value(&value)) return false;
+      out->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--ops") {
+      if (!next_value(&value)) return false;
+      out->ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else if (out->image_path.empty()) {
+      out->image_path = arg;
+    } else {
+      std::fprintf(stderr, "extra positional argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->demo == !out->image_path.empty()) {
+    std::fprintf(stderr, "pass exactly one of --demo or an IMAGE file\n");
+    return false;
+  }
+  return true;
+}
+
+EngineOptions DemoEngineOptions(const InspectOptions& opts) {
+  EngineOptions eo;
+  eo.purge_threshold_ops = 12;
+  eo.wal_force_policy = ForcePolicy::kGroup;  // exercise group commit
+  eo.recovery.redo_threads = opts.threads;
+  return eo;
+}
+
+/// Runs the mixed workload on a fresh engine over `disk`. With crash, the
+/// engine is simply dropped afterwards — all volatile state (cache, write
+/// graph, unforced log buffer) dies, so the stable disk is exactly what a
+/// power loss would leave, and recovery has real work. Without crash the
+/// state is flushed clean first.
+Status RunDemo(const InspectOptions& opts, SimulatedDisk* disk) {
+  auto engine =
+      std::make_unique<RecoveryEngine>(DemoEngineOptions(opts), disk);
+  MixedWorkloadOptions wopts;
+  wopts.seed = opts.seed;
+  MixedWorkload workload(wopts);
+  for (const OperationDesc& op : workload.SetupOps()) {
+    LOGLOG_RETURN_IF_ERROR(engine->Execute(op));
+  }
+  for (uint64_t i = 0; i < opts.ops; ++i) {
+    Status st = engine->Execute(workload.Next());
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  if (!opts.crash) {
+    LOGLOG_RETURN_IF_ERROR(engine->FlushAll());
+    LOGLOG_RETURN_IF_ERROR(engine->Checkpoint());
+  }
+  LOGLOG_RETURN_IF_ERROR(engine->log().ForceAll());
+  return Status::OK();
+}
+
+/// Renders the recorded spans as an indented per-thread tree with
+/// durations — the text-mode recovery timeline.
+void PrintTimeline(const std::vector<TraceEvent>& events, FILE* out) {
+  std::map<uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& ev : events) by_tid[ev.tid].push_back(&ev);
+  for (auto& [tid, evs] : by_tid) {
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+    std::fprintf(out, "  thread %u:\n", tid);
+    std::vector<const TraceEvent*> open;
+    for (const TraceEvent* ev : evs) {
+      while (!open.empty() &&
+             open.back()->ts_us + open.back()->dur_us <= ev->ts_us) {
+        open.pop_back();
+      }
+      std::string indent(4 + 2 * open.size(), ' ');
+      std::string args;
+      for (const auto& [k, v] : ev->args) {
+        args += args.empty() ? " {" : ", ";
+        args += k + "=" + v;
+      }
+      if (!args.empty()) args += "}";
+      if (ev->phase == TraceEvent::Phase::kInstant) {
+        std::fprintf(out, "%s* %s%s\n", indent.c_str(), ev->name.c_str(),
+                     args.c_str());
+      } else {
+        std::fprintf(out, "%s%s %llu us%s\n", indent.c_str(),
+                     ev->name.c_str(),
+                     static_cast<unsigned long long>(ev->dur_us),
+                     args.c_str());
+        open.push_back(ev);
+      }
+    }
+  }
+}
+
+int Run(const InspectOptions& opts) {
+  SimulatedDisk disk;
+  if (opts.demo) {
+    Status st = RunDemo(opts, &disk);
+    if (!st.ok()) {
+      std::fprintf(stderr, "demo workload: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    Status st = ReadDiskImageFile(opts.image_path, &disk);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open image: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!opts.save_path.empty()) {
+    Status st = WriteDiskImageFile(disk, opts.save_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save image: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!opts.json) {
+      std::printf("saved disk image: %s\n", opts.save_path.c_str());
+    }
+  }
+
+  // The log listing, before recovery touches the disk (recovery trims a
+  // torn tail in memory; the listing should show what is actually there).
+  std::string listing;
+  LogDumpSummary summary;
+  Status st = DumpLog(disk.log().Contents(),
+                      opts.quiet || opts.json ? nullptr : &listing, &summary);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dump log: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  LogDumpSummary archive;
+  st = DumpLog(disk.log().ArchiveContents(), nullptr, &archive);
+  if (!st.ok()) {
+    std::fprintf(stderr, "dump archive: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Dry-run recovery under tracing. "Dry" relative to the image file:
+  // the in-memory disk absorbs the recovery side effects (torn-tail trim,
+  // flush-transaction completion) but nothing is written back.
+  TraceRecorder& tracer = TraceRecorder::Global();
+  RecoveryStats rstats;
+  MetricsSnapshot before_recovery = MetricsRegistry::Global().Snapshot();
+  bool recovered = false;
+  if (opts.recover) {
+    tracer.Clear();
+    tracer.Enable();
+    EngineOptions eo;
+    eo.recovery.redo_threads = opts.threads;
+    RecoveryEngine engine(eo, &disk);
+    st = engine.Recover(&rstats);
+    tracer.Disable();
+    if (!st.ok()) {
+      std::fprintf(stderr, "recovery: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    recovered = true;
+  }
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  std::vector<TraceEvent> events = tracer.Events();
+
+  if (!opts.trace_path.empty()) {
+    st = tracer.WriteChromeJson(opts.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "write trace: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!opts.json) {
+      std::printf("wrote recovery trace: %s\n", opts.trace_path.c_str());
+    }
+  }
+
+  if (opts.json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("log").Raw(summary.ToJson());
+    w.Key("archive").Raw(archive.ToJson());
+    if (recovered) {
+      w.Key("recovery").Raw(rstats.ToJson());
+      w.Key("recovery_metrics").Raw(after.Delta(before_recovery).ToJson());
+    }
+    w.Key("io").Raw(disk.stats().ToJson());
+    w.Key("metrics").Raw(after.ToJson());
+    w.Key("trace_event_count").Uint(events.size());
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+    return 0;
+  }
+
+  if (!opts.quiet) std::printf("%s", listing.c_str());
+  std::printf("---\nretained log: %s\n", summary.ToString().c_str());
+  std::printf("full history:  %s\n", archive.ToString().c_str());
+  std::printf("io:            %s\n", disk.stats().ToString().c_str());
+  if (recovered) {
+    std::printf("recovery:      %s\n", rstats.ToString().c_str());
+    std::printf("recovery timeline (%zu events):\n", events.size());
+    PrintTimeline(events, stdout);
+  }
+  std::printf("metrics:\n%s", after.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace loglog
+
+int main(int argc, char** argv) {
+  loglog::InspectOptions opts;
+  if (!loglog::ParseArgs(argc, argv, &opts)) return loglog::Usage(argv[0]);
+  return loglog::Run(opts);
+}
