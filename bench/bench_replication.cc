@@ -1,0 +1,237 @@
+// E15 (log-shipping replication): the three headline series of the
+// replication subsystem.
+//
+//  - ShipSteadyLag: primary executes a workload while shipping every
+//    `poll` operations; reported counters are the worst and final
+//    replication lag (records the standby is behind) at that cadence.
+//    Higher poll spacing = more load per ship opportunity = more lag.
+//  - ShipCatchup: a cold standby drains a prebuilt primary archive of
+//    `ops` operations in large batches; wall time per drain and the
+//    records/second throughput as `threads` turns the installation-graph
+//    worker pool on for burst apply.
+//  - FailoverRto: a fully caught-up standby is promoted (drain + install
+//    + ordinary recovery); the timed region is the promotion itself, the
+//    `rto_us` counter the measured recovery-time objective.
+//
+// run_benches.sh merges the JSON output (plus an obs metrics snapshot)
+// into BENCH_replication.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "engine/recovery_engine.h"
+#include "ship/log_shipper.h"
+#include "ship/replication_channel.h"
+#include "ship/standby_applier.h"
+#include "sim/workload.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+MixedWorkloadOptions BenchWorkload(uint64_t seed) {
+  MixedWorkloadOptions w;
+  w.seed = seed;
+  return w;
+}
+
+/// Polls/pumps until the standby has everything durable and the channel
+/// is empty. Returns false if the pipeline wedged (bench then skips).
+bool Drain(LogShipper* shipper, StandbyApplier* standby,
+           ReplicationChannel* channel) {
+  for (int i = 0; i < 1000; ++i) {
+    if (!shipper->Poll().ok() || !standby->Pump().ok()) return false;
+    if (standby->applied_lsn() >= shipper->durable_lsn() &&
+        channel->pending_frames() == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A quiesced primary whose archive holds `ops` workload operations.
+/// Built once per shape and reused: shipping only reads the archive.
+struct PrebuiltPrimary {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<RecoveryEngine> engine;
+
+  static PrebuiltPrimary Build(int ops, uint64_t seed, std::string* error) {
+    PrebuiltPrimary p;
+    p.disk = std::make_unique<SimulatedDisk>();
+    EngineOptions opts;
+    p.engine = std::make_unique<RecoveryEngine>(opts, p.disk.get());
+    MixedWorkload workload(BenchWorkload(seed));
+    for (const OperationDesc& op : workload.SetupOps()) {
+      Status st = p.engine->Execute(op);
+      if (!st.ok()) { *error = st.ToString(); return p; }
+    }
+    for (int i = 0; i < ops; ++i) {
+      Status st = p.engine->Execute(workload.Next());
+      if (!st.ok() && !st.IsNotFound()) { *error = st.ToString(); return p; }
+    }
+    Status st = p.engine->FlushAll();
+    if (st.ok()) st = p.engine->log().ForceAll();
+    if (!st.ok()) *error = st.ToString();
+    return p;
+  }
+};
+
+void BM_ShipSteadyLag(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const int poll_every = static_cast<int>(state.range(1));
+
+  uint64_t max_lag = 0, final_lag = 0, batches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto disk = std::make_unique<SimulatedDisk>();
+    EngineOptions opts;
+    auto engine = std::make_unique<RecoveryEngine>(opts, disk.get());
+    MixedWorkload workload(BenchWorkload(7));
+    for (const OperationDesc& op : workload.SetupOps()) {
+      Status st = engine->Execute(op);
+      if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    }
+    ReplicationChannel channel;
+    StandbyApplier standby(&channel);
+    LogShipper shipper(&disk->log(), &channel);
+    max_lag = final_lag = 0;
+    state.ResumeTiming();
+
+    for (int i = 0; i < ops; ++i) {
+      Status st = engine->Execute(workload.Next());
+      if (!st.ok() && !st.IsNotFound()) {
+        state.SkipWithError(st.ToString().c_str());
+        break;
+      }
+      if (i % poll_every == 0) {
+        // Shipping moves stable bytes only; force so the poll sees the
+        // burst accumulated since the last one. Lag is sampled at its
+        // peak: everything durable but not yet applied, i.e. the backlog
+        // this ship/apply round is about to clear.
+        (void)engine->log().ForceAll();
+        const uint64_t durable = engine->log().last_stable_lsn();
+        const uint64_t lag =
+            durable - std::min<uint64_t>(durable, standby.applied_lsn());
+        max_lag = std::max(max_lag, lag);
+        (void)shipper.Poll();
+        (void)standby.Pump();
+      }
+    }
+    (void)engine->log().ForceAll();
+    const uint64_t end_durable = engine->log().last_stable_lsn();
+    final_lag = end_durable -
+                std::min<uint64_t>(end_durable, standby.applied_lsn());
+    if (!Drain(&shipper, &standby, &channel)) {
+      state.SkipWithError("pipeline failed to drain");
+    }
+    batches = shipper.stats().batches_sent;
+  }
+  state.counters["max_lag_records"] = static_cast<double>(max_lag);
+  state.counters["final_lag_records"] = static_cast<double>(final_lag);
+  state.counters["batches"] = static_cast<double>(batches);
+  state.SetItemsProcessed(state.iterations() * ops);
+}
+
+void BM_ShipCatchup(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+
+  std::string error;
+  PrebuiltPrimary primary = PrebuiltPrimary::Build(ops, 21, &error);
+  if (!error.empty()) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+
+  uint64_t records = 0, bursts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicationChannel channel;
+    StandbyOptions sopts;
+    sopts.redo_threads = threads;
+    sopts.parallel_apply_threshold = 64;
+    StandbyApplier standby(&channel, sopts);
+    LogShipperOptions shipopts;
+    shipopts.max_batch_records = 256;
+    shipopts.max_batch_bytes = 1 << 20;
+    LogShipper shipper(&primary.disk->log(), &channel, shipopts);
+    state.ResumeTiming();
+
+    if (!Drain(&shipper, &standby, &channel)) {
+      state.SkipWithError("catch-up failed to drain");
+    }
+    records = standby.stats().records_applied;
+    bursts = standby.stats().parallel_bursts;
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["parallel_bursts"] = static_cast<double>(bursts);
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(records * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * records);
+}
+
+void BM_FailoverRto(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+
+  uint64_t rto_us = 0, applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string error;
+    PrebuiltPrimary primary = PrebuiltPrimary::Build(ops, 11, &error);
+    if (!error.empty()) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    ReplicationChannel channel;
+    StandbyOptions sopts;
+    sopts.redo_threads = 2;
+    sopts.parallel_apply_threshold = 64;
+    StandbyApplier standby(&channel, sopts);
+    LogShipper shipper(&primary.disk->log(), &channel);
+    if (!Drain(&shipper, &standby, &channel)) {
+      state.SkipWithError("standby failed to catch up");
+      break;
+    }
+    primary.engine.reset();  // the primary dies
+    EngineOptions promoted_opts;
+    state.ResumeTiming();
+
+    PromotionResult promo;
+    Status st = standby.Promote(promoted_opts, &promo);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+
+    state.PauseTiming();
+    rto_us = promo.rto_us;
+    applied = promo.applied_lsn;
+    state.ResumeTiming();
+  }
+  state.counters["rto_us"] = static_cast<double>(rto_us);
+  state.counters["applied_lsn"] = static_cast<double>(applied);
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_ShipSteadyLag)
+    ->ArgsProduct({{256, 1024}, {4, 16, 64}})
+    ->ArgNames({"ops", "poll"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(loglog::BM_ShipCatchup)
+    ->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}})
+    ->ArgNames({"ops", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(loglog::BM_FailoverRto)
+    ->ArgsProduct({{512, 2048}})
+    ->ArgNames({"ops"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Runs the recovery-performance benchmarks and merges their JSON output
-# into BENCH_recovery.json at the repo root:
+# Runs the recovery-performance and replication benchmarks and merges
+# their JSON output into two documents at the repo root:
 #
 #   bench/run_benches.sh [--smoke] [--out FILE] [build_dir] [min_time_seconds]
 #
-# The merged file holds the raw google-benchmark entries for the
+# BENCH_recovery.json holds the raw google-benchmark entries for the
 # parallel-REDO sweep and the ForcePolicy series, two derived summaries
 # (recovery speedup vs threads at every (ops, components) shape, and
 # device forces per 1k ops per ForcePolicy), and a metrics snapshot from
 # a traced `loglog_inspect` crash-recovery run so the numbers carry
 # their cost decomposition (see EXPERIMENTS.md E14).
+#
+# BENCH_replication.json holds the log-shipping series (steady-state lag
+# vs poll spacing, cold catch-up throughput vs redo_threads, failover
+# RTO) plus the `loglog_inspect --ship-status` snapshot with the ship.*
+# lag gauges embedded (see EXPERIMENTS.md E15). With --out FILE the
+# replication document lands next to it, `recovery` -> `replication` in
+# the name (or FILE.replication.json when the name has no `recovery`).
+#
+# Every bench binary failure aborts the run with a pointed message, and
+# each emitted JSON file is validated before anything is merged — a
+# crashed or truncated benchmark can't silently produce an empty report.
 #
 # --smoke runs every stage at minimum duration and writes into the build
 # directory instead of the repo root — a pipeline check (wired up as the
@@ -36,28 +47,79 @@ else
   MIN_TIME="${POSITIONAL[1]:-0.2}"
   : "${OUT:=BENCH_recovery.json}"
 fi
+# The replication document mirrors the recovery one's name.
+if [[ "$OUT" == *recovery* ]]; then
+  REPL_OUT="${OUT/recovery/replication}"
+else
+  REPL_OUT="$OUT.replication.json"
+fi
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-"$BUILD_DIR"/bench/bench_parallel_recovery \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=console \
-  --benchmark_out_format=json \
-  --benchmark_out="$TMP/parallel_recovery.json"
+# Runs one bench binary with JSON output capture; any non-zero exit
+# (crash, SkipWithError at exit, bad filter) aborts the whole script
+# with the binary named, and the emitted JSON must parse and contain a
+# non-empty "benchmarks" array.
+run_bench() {
+  local name="$1" out_json="$2"
+  shift 2
+  if ! "$BUILD_DIR/bench/$name" \
+      --benchmark_min_time="$MIN_TIME" \
+      --benchmark_format=console \
+      --benchmark_out_format=json \
+      --benchmark_out="$out_json" "$@"; then
+    echo "error: $name exited non-zero; aborting" >&2
+    exit 1
+  fi
+  validate_json "$out_json" "$name" --bench
+}
 
-"$BUILD_DIR"/bench/bench_logging_cost \
-  --benchmark_filter=ForcePolicy \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=console \
-  --benchmark_out_format=json \
-  --benchmark_out="$TMP/force_policy.json"
+# validate_json FILE WHAT [--bench]: FILE must parse as JSON; with
+# --bench it must also hold a non-empty "benchmarks" array.
+validate_json() {
+  local file="$1" what="$2" mode="${3:-}"
+  if ! python3 - "$file" "$mode" <<'PYEOF'
+import json
+import sys
+
+path, mode = sys.argv[1], sys.argv[2]
+try:
+    doc = json.load(open(path))
+except (OSError, ValueError) as e:
+    sys.exit(f"{path}: {e}")
+if mode == "--bench" and not doc.get("benchmarks"):
+    sys.exit(f"{path}: no benchmark entries (all skipped or filtered out?)")
+PYEOF
+  then
+    echo "error: $what produced invalid output; aborting" >&2
+    exit 1
+  fi
+}
+
+run_bench bench_parallel_recovery "$TMP/parallel_recovery.json"
+run_bench bench_logging_cost "$TMP/force_policy.json" \
+  --benchmark_filter=ForcePolicy
+run_bench bench_replication "$TMP/replication.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
 # metric delta, and the full metrics snapshot.
-"$BUILD_DIR"/tools/loglog_inspect --demo --crash --json \
-  > "$TMP/inspect.json"
+if ! "$BUILD_DIR"/tools/loglog_inspect --demo --crash --json \
+    > "$TMP/inspect.json"; then
+  echo "error: loglog_inspect --demo --crash failed; aborting" >&2
+  exit 1
+fi
+validate_json "$TMP/inspect.json" "loglog_inspect --demo"
+
+# Two-node replication demo: primary durable vs standby applied LSN and
+# the ship.* lag gauges, embedded in the replication document.
+if ! "$BUILD_DIR"/tools/loglog_inspect --ship-status --json \
+    > "$TMP/ship_status.json"; then
+  echo "error: loglog_inspect --ship-status failed; aborting" >&2
+  exit 1
+fi
+validate_json "$TMP/ship_status.json" "loglog_inspect --ship-status"
 
 python3 - "$TMP/parallel_recovery.json" "$TMP/force_policy.json" \
   "$TMP/inspect.json" "$OUT" <<'PYEOF'
@@ -124,3 +186,94 @@ for row in speedups:
 for row in forces:
     print("  ", row)
 PYEOF
+validate_json "$OUT" "recovery merge"
+
+python3 - "$TMP/replication.json" "$TMP/ship_status.json" \
+  "$REPL_OUT" <<'PYEOF'
+import json
+import sys
+
+repl_path, ship_path, out_path = sys.argv[1:4]
+repl = json.load(open(repl_path))
+ship = json.load(open(ship_path))
+
+
+def argmap(run_name):
+    return dict(
+        kv.split(":") for kv in run_name.split("/") if kv.count(":") == 1
+    )
+
+
+# Steady-state lag vs poll spacing (load per ship opportunity).
+lag = []
+for b in repl["benchmarks"]:
+    if "ShipSteadyLag" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    lag.append(
+        {
+            "ops": int(parts["ops"]),
+            "poll_every": int(parts["poll"]),
+            "max_lag_records": int(b["max_lag_records"]),
+            "final_lag_records": int(b["final_lag_records"]),
+        }
+    )
+
+# Catch-up throughput and speedup vs redo_threads, per archive size.
+catchup_times = {}
+catchup = []
+for b in repl["benchmarks"]:
+    if "ShipCatchup" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    ops, threads = int(parts["ops"]), int(parts["threads"])
+    catchup_times.setdefault(ops, {})[threads] = b["real_time"]
+    catchup.append(
+        {
+            "ops": ops,
+            "threads": threads,
+            "catchup_ms": round(b["real_time"], 3),
+            "records_per_s": round(b.get("records_per_s", 0.0)),
+            "parallel_bursts": int(b.get("parallel_bursts", 0)),
+        }
+    )
+for row in catchup:
+    serial = catchup_times[row["ops"]].get(1)
+    if serial and row["threads"] != 1:
+        row["speedup"] = round(serial / row["catchup_ms"], 2)
+
+# Failover RTO per archive size.
+rto = []
+for b in repl["benchmarks"]:
+    if "FailoverRto" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    rto.append(
+        {
+            "ops": int(parts["ops"]),
+            "promote_ms": round(b["real_time"], 3),
+            "rto_us": int(b["rto_us"]),
+            "applied_lsn": int(b["applied_lsn"]),
+        }
+    )
+
+merged = {
+    "context": repl.get("context", {}),
+    "steady_state_lag": lag,
+    "catchup_throughput": catchup,
+    "failover_rto": rto,
+    "ship_status_snapshot": ship,
+    "raw": {"replication": repl["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in lag:
+    print("  ", row)
+for row in catchup:
+    print("  ", row)
+for row in rto:
+    print("  ", row)
+PYEOF
+validate_json "$REPL_OUT" "replication merge"

@@ -56,6 +56,19 @@ inline constexpr std::string_view kCmAfterFirstFlushTxnWrite =
 /// actions only; transient errors are retried by the worker, anything
 /// else aborts recovery (which is idempotent and simply reruns).
 inline constexpr std::string_view kRedoWorker = "redo.worker";
+/// ReplicationChannel::Send — the frame path of the simulated replication
+/// network. Error actions make the send fail visibly (the shipper treats
+/// the connection as broken and resyncs from the acked watermark);
+/// kLostWrite drops the frame silently (the standby detects the LSN gap
+/// and NAKs); kBitFlip / kTornWrite deliver the frame damaged (the frame
+/// CRC rejects it and the standby NAKs).
+inline constexpr std::string_view kShipSend = "ship.channel.send";
+/// ReplicationChannel::Send — delivery latency: any fire sleeps a
+/// bounded, rng-drawn delay before the frame is queued.
+inline constexpr std::string_view kShipDelay = "ship.channel.delay";
+/// ReplicationChannel::Send — any fire delivers the frame twice; the
+/// standby's applied-LSN watermark must make the duplicate a no-op.
+inline constexpr std::string_view kShipDuplicate = "ship.channel.duplicate";
 }  // namespace fault
 
 /// What happens when an armed site triggers.

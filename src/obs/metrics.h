@@ -58,6 +58,35 @@ inline constexpr std::string_view kMediaRecoveries = "media.recoveries";
 inline constexpr std::string_view kMediaRepairs = "media.repairs";
 // Faults (src/fault/fault_injector.cc).
 inline constexpr std::string_view kFaultFires = "fault.fires";
+// Replication (src/ship/). Lag gauges: `lsn` is total staleness (primary
+// durable LSN minus standby applied LSN); `records`/`bytes` measure the
+// in-flight window (first-time-shipped minus standby-acknowledged).
+inline constexpr std::string_view kShipBatchesSent = "ship.batches.sent";
+inline constexpr std::string_view kShipRecordsShipped =
+    "ship.records.shipped";
+inline constexpr std::string_view kShipBytesShipped = "ship.bytes.shipped";
+inline constexpr std::string_view kShipReconnects = "ship.reconnects";
+inline constexpr std::string_view kShipResyncs = "ship.resyncs";
+inline constexpr std::string_view kShipPrimaryDurableLsn =
+    "ship.primary.durable_lsn";
+inline constexpr std::string_view kShipLagLsn = "ship.lag.lsn";
+inline constexpr std::string_view kShipLagRecords = "ship.lag.records";
+inline constexpr std::string_view kShipLagBytes = "ship.lag.bytes";
+inline constexpr std::string_view kShipBatchRecords = "ship.batch.records";
+inline constexpr std::string_view kShipApplyLatencyUs =
+    "ship.apply.latency_us";
+inline constexpr std::string_view kShipStandbyAppliedLsn =
+    "ship.standby.applied_lsn";
+inline constexpr std::string_view kShipStandbyRecordsApplied =
+    "ship.standby.records_applied";
+inline constexpr std::string_view kShipBatchesDuplicate =
+    "ship.batches.duplicate";
+inline constexpr std::string_view kShipBatchesGap = "ship.batches.gap";
+inline constexpr std::string_view kShipFramesCorrupt =
+    "ship.frames.corrupt";
+inline constexpr std::string_view kShipPromotions = "ship.promotions";
+inline constexpr std::string_view kShipPromoteRtoUs =
+    "ship.promote.rto_us";
 }  // namespace metric
 
 /// Monotonically increasing counter. Relaxed atomics: counters are

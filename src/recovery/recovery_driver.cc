@@ -105,14 +105,11 @@ Status VerifiedStableWrite(StableStore* store, uint64_t* retry_counter,
   return st;
 }
 
-namespace {
-
-/// Re-executes one logged operation against the recovering state through
-/// the normal cache path. Implements the "expanded REDO" trial execution
-/// of Section 5: an inapplicable replay (missing or newer-than-lSI read
-/// state, failing transform) is voided without touching exposed objects.
-Status RedoOperation(CacheManager* cm, const OperationDesc& op, Lsn lsn,
-                     bool* voided, uint64_t* value_bytes) {
+/// Implements the "expanded REDO" trial execution of Section 5 (see the
+/// header): shared by the serial redo scan below and the log-shipping
+/// standby applier, which runs the same replay continuously.
+Status RedoApplyOperation(CacheManager* cm, const OperationDesc& op,
+                          Lsn lsn, bool* voided, uint64_t* value_bytes) {
   *voided = false;
   if (op.op_class == OpClass::kDelete) {
     return cm->ApplyResults(op, lsn, {});
@@ -151,8 +148,6 @@ Status RedoOperation(CacheManager* cm, const OperationDesc& op, Lsn lsn,
   for (const ObjectValue& v : write_values) *value_bytes += v.size();
   return cm->ApplyResults(op, lsn, std::move(write_values));
 }
-
-}  // namespace
 
 Status RecoveryDriver::Run(RecoveryStats* stats) {
   MetricsRegistry& reg = MetricsRegistry::Global();
@@ -291,8 +286,8 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
           break;
         }
         bool voided = false;
-        LOGLOG_RETURN_IF_ERROR(RedoOperation(cm_, rec.op, rec.lsn, &voided,
-                                             &stats->redo_value_bytes));
+        LOGLOG_RETURN_IF_ERROR(RedoApplyOperation(
+            cm_, rec.op, rec.lsn, &voided, &stats->redo_value_bytes));
         if (voided) {
           ++stats->ops_voided;
         } else {

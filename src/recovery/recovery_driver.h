@@ -21,6 +21,16 @@ struct BackupImage;
 Status VerifiedStableWrite(StableStore* store, uint64_t* retry_counter,
                            ObjectId id, Slice value, Lsn vsi);
 
+/// Re-executes one logged operation against the current state through the
+/// normal cache path — the "expanded REDO" trial execution of Section 5.
+/// An inapplicable replay (missing or newer-than-lSI read state, failing
+/// transform) is voided (*voided = true, OK returned) without touching
+/// exposed objects. Shared by the serial redo scan and the standby
+/// applier's continuous-redo path; `value_bytes` accumulates the bytes of
+/// recomputed write values.
+Status RedoApplyOperation(CacheManager* cm, const OperationDesc& op,
+                          Lsn lsn, bool* voided, uint64_t* value_bytes);
+
 /// Outcome counters of a recovery run — the quantities the Section 5
 /// experiments report.
 struct RecoveryStats {

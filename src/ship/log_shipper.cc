@@ -1,0 +1,148 @@
+#include "ship/log_shipper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+#include "wal/log_cursor.h"
+
+namespace loglog {
+
+LogShipper::LogShipper(const StableLogDevice* log,
+                       ReplicationChannel* channel, LogShipperOptions options)
+    : log_(log), channel_(channel), options_(options) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  batches_sent_metric_ = reg.GetCounter(metric::kShipBatchesSent);
+  records_shipped_metric_ = reg.GetCounter(metric::kShipRecordsShipped);
+  bytes_shipped_metric_ = reg.GetCounter(metric::kShipBytesShipped);
+  reconnects_metric_ = reg.GetCounter(metric::kShipReconnects);
+  resyncs_metric_ = reg.GetCounter(metric::kShipResyncs);
+  primary_durable_gauge_ = reg.GetGauge(metric::kShipPrimaryDurableLsn);
+  lag_lsn_gauge_ = reg.GetGauge(metric::kShipLagLsn);
+  lag_records_gauge_ = reg.GetGauge(metric::kShipLagRecords);
+  lag_bytes_gauge_ = reg.GetGauge(metric::kShipLagBytes);
+  batch_records_hist_ = reg.GetHistogram(metric::kShipBatchRecords);
+}
+
+void LogShipper::DrainAcks() {
+  while (auto ack = channel_->ReceiveAck()) {
+    ++stats_.acks_received;
+    if (ack->applied_lsn > acked_lsn_) {
+      acked_lsn_ = ack->applied_lsn;
+      acked_records_ = std::max(acked_records_, ack->applied_records);
+      acked_bytes_ = std::max(acked_bytes_, ack->applied_bytes);
+    }
+    if (ack->applied_lsn > shipped_lsn_) {
+      // The standby is ahead of anything we sent: it was seeded from a
+      // backup or disk image. Fast-forward — records at or below its
+      // watermark never need to travel.
+      shipped_lsn_ = ack->applied_lsn;
+      counted_lsn_ = std::max(counted_lsn_, shipped_lsn_);
+    }
+    if (ack->resync) {
+      // Gap or corrupt frame at the standby: rewind to its watermark and
+      // re-scan from the start of the archive.
+      ++stats_.resyncs;
+      resyncs_metric_->Inc();
+      shipped_lsn_ = acked_lsn_;
+      scan_offset_ = 0;
+    }
+  }
+}
+
+Status LogShipper::SendBatch(ShipBatch batch) {
+  TraceSpan span("ship.send_batch", "ship");
+  span.AddArg("start_lsn", batch.start_lsn);
+  span.AddArg("end_lsn", batch.end_lsn);
+  span.AddArg("records", static_cast<uint64_t>(batch.records.size()));
+  const Lsn end_lsn = batch.end_lsn;
+  const size_t count = batch.records.size();
+  std::vector<uint8_t> frame;
+  EncodeShipFrame(batch, &frame);
+  Status st = channel_->Send(std::move(frame));
+  if (!st.ok()) {
+    // Connection visibly failed: everything past the acked watermark is
+    // in doubt. Rewind and re-scan on the next poll.
+    ++stats_.reconnects;
+    reconnects_metric_->Inc();
+    shipped_lsn_ = acked_lsn_;
+    scan_offset_ = 0;
+    return st;
+  }
+  shipped_lsn_ = end_lsn;
+  ++stats_.batches_sent;
+  batches_sent_metric_->Inc();
+  batch_records_hist_->Observe(count);
+  return Status::OK();
+}
+
+void LogShipper::UpdateLagGauges() {
+  primary_durable_gauge_->Set(static_cast<int64_t>(durable_lsn_));
+  const Lsn acked = std::min(durable_lsn_, acked_lsn_);
+  lag_lsn_gauge_->Set(static_cast<int64_t>(durable_lsn_ - acked));
+  const uint64_t rec_lag =
+      stats_.records_shipped -
+      std::min(stats_.records_shipped, acked_records_);
+  const uint64_t byte_lag =
+      stats_.bytes_shipped - std::min(stats_.bytes_shipped, acked_bytes_);
+  lag_records_gauge_->Set(static_cast<int64_t>(rec_lag));
+  lag_bytes_gauge_->Set(static_cast<int64_t>(byte_lag));
+}
+
+Status LogShipper::Poll() {
+  ++stats_.polls;
+  DrainAcks();
+  Slice archive = log_->ArchiveContents();
+  if (scan_offset_ > archive.size()) {
+    return Status::FailedPrecondition(
+        "log shipper: scan offset past the archive end");
+  }
+  LogCursor cursor(
+      Slice(archive.data() + scan_offset_, archive.size() - scan_offset_),
+      scan_offset_);
+  ShipBatch batch;
+  size_t batch_bytes = 0;
+  bool disconnected = false;
+  LogRecord rec;
+  while (!disconnected && cursor.Next(&rec)) {
+    if (rec.lsn > durable_lsn_) durable_lsn_ = rec.lsn;
+    if (rec.lsn <= shipped_lsn_) {
+      // Already in flight or applied; resume the scan past it next poll.
+      scan_offset_ = cursor.valid_end();
+      continue;
+    }
+    const uint64_t encoded = rec.EncodedSize();
+    if (rec.lsn > counted_lsn_) {
+      counted_lsn_ = rec.lsn;
+      ++stats_.records_shipped;
+      stats_.bytes_shipped += encoded;
+      records_shipped_metric_->Inc();
+      bytes_shipped_metric_->Inc(encoded);
+    }
+    if (batch.records.empty()) batch.start_lsn = rec.lsn;
+    batch.end_lsn = rec.lsn;
+    batch_bytes += encoded;
+    batch.records.push_back(std::move(rec));
+    if (batch.records.size() >= options_.max_batch_records ||
+        batch_bytes >= options_.max_batch_bytes) {
+      const uint64_t sent_end = cursor.valid_end();
+      if (SendBatch(std::move(batch)).ok()) {
+        scan_offset_ = sent_end;
+      } else {
+        disconnected = true;  // rewound; retry next poll
+      }
+      batch = ShipBatch{};
+      batch_bytes = 0;
+    }
+  }
+  if (!disconnected && !batch.records.empty()) {
+    const uint64_t sent_end = cursor.valid_end();
+    if (SendBatch(std::move(batch)).ok()) {
+      scan_offset_ = sent_end;
+    }
+  }
+  UpdateLagGauges();
+  return Status::OK();
+}
+
+}  // namespace loglog

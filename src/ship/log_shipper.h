@@ -1,0 +1,109 @@
+#ifndef LOGLOG_SHIP_LOG_SHIPPER_H_
+#define LOGLOG_SHIP_LOG_SHIPPER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "ship/replication_channel.h"
+#include "ship/ship_frame.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+
+struct LogShipperOptions {
+  /// Batch flush limits: a batch is sent when either is reached (and any
+  /// trailing partial batch is sent at the end of each poll, so a quiesced
+  /// primary always drains fully).
+  size_t max_batch_records = 64;
+  size_t max_batch_bytes = 64 * 1024;
+};
+
+struct ShipperStats {
+  uint64_t polls = 0;
+  uint64_t batches_sent = 0;
+  /// First-time shipments only — re-ships after a reconnect or resync do
+  /// not count again, so these difference cleanly against the standby's
+  /// applied totals for the lag gauges.
+  uint64_t records_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  /// Visible connection failures (channel Send returned an error).
+  uint64_t reconnects = 0;
+  /// Standby-requested rewinds (gap or corrupt frame NAKs).
+  uint64_t resyncs = 0;
+  uint64_t acks_received = 0;
+};
+
+/// \brief Primary-side half of log shipping: tails the stable log and
+/// pushes batches of records past the acked watermark into the channel.
+///
+/// The shipper reads the device's *archive* (every byte ever stable,
+/// immune to checkpoint truncation), so a standby that NAKs back to an
+/// old watermark can always be caught up even after the primary truncated
+/// its live log. Shipping is watermark-driven and therefore idempotent:
+/// the only state that matters is `acked_lsn` (standby-confirmed) and
+/// `shipped_lsn` (optimistically sent); any failure just rewinds
+/// shipped_lsn to acked_lsn and re-scans. Duplicates this creates are the
+/// standby's problem by contract — its applied-LSN watermark drops them.
+///
+/// Single-threaded by design: call Poll() from the primary's driver loop.
+class LogShipper {
+ public:
+  /// `log` is the primary's stable log device (disk->log()); `channel`
+  /// carries frames to one standby. Both must outlive the shipper.
+  LogShipper(const StableLogDevice* log, ReplicationChannel* channel,
+             LogShipperOptions options = {});
+
+  /// One shipping round: drain acks (advancing or rewinding the
+  /// watermark), scan the archive from the current position, send every
+  /// complete batch past shipped_lsn, then refresh the lag gauges.
+  /// Connection failures are absorbed (the next poll re-ships); only
+  /// internal inconsistencies surface as errors.
+  Status Poll();
+
+  Lsn shipped_lsn() const { return shipped_lsn_; }
+  Lsn acked_lsn() const { return acked_lsn_; }
+  /// Highest LSN seen stable on the primary's device (updated by Poll).
+  Lsn durable_lsn() const { return durable_lsn_; }
+  const ShipperStats& stats() const { return stats_; }
+
+ private:
+  void DrainAcks();
+  /// Sends one batch; on success advances shipped_lsn_, on failure
+  /// rewinds to the acked watermark (the caller keeps polling).
+  Status SendBatch(ShipBatch batch);
+  void UpdateLagGauges();
+
+  const StableLogDevice* log_;
+  ReplicationChannel* channel_;
+  LogShipperOptions options_;
+
+  Lsn shipped_lsn_ = 0;  // sent, not necessarily acked
+  Lsn acked_lsn_ = 0;    // standby-confirmed applied watermark
+  Lsn durable_lsn_ = 0;  // highest LSN stable on the primary
+  /// High-water mark of first-time-shipped records (counting aid: rescans
+  /// after a rewind must not inflate records/bytes_shipped).
+  Lsn counted_lsn_ = 0;
+  uint64_t acked_records_ = 0;
+  uint64_t acked_bytes_ = 0;
+  /// Archive byte offset to resume scanning from (0 after any rewind).
+  uint64_t scan_offset_ = 0;
+
+  ShipperStats stats_;
+
+  Counter* batches_sent_metric_;
+  Counter* records_shipped_metric_;
+  Counter* bytes_shipped_metric_;
+  Counter* reconnects_metric_;
+  Counter* resyncs_metric_;
+  Gauge* primary_durable_gauge_;
+  Gauge* lag_lsn_gauge_;
+  Gauge* lag_records_gauge_;
+  Gauge* lag_bytes_gauge_;
+  HistogramMetric* batch_records_hist_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SHIP_LOG_SHIPPER_H_

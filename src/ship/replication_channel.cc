@@ -1,0 +1,109 @@
+#include "ship/replication_channel.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace loglog {
+
+namespace {
+
+/// Upper bound on one injected delivery delay (microseconds). Kept small:
+/// the delay site models jitter, not an outage — outages are kLostWrite
+/// or error actions on ship.channel.send.
+constexpr uint64_t kMaxInjectedDelayUs = 2000;
+
+}  // namespace
+
+Status ReplicationChannel::Send(std::vector<uint8_t> frame) {
+  uint64_t sleep_us = sim_latency_us_.load();
+  bool corrupted = false;
+  bool lost = false;
+  bool duplicated = false;
+  if (faults_ != nullptr) {
+    if (FaultFire fire = faults_->Hit(fault::kShipDelay)) {
+      sleep_us += fire.rng % kMaxInjectedDelayUs + 1;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.delay_fires;
+      }
+    }
+    if (FaultFire fire = faults_->Hit(fault::kShipSend)) {
+      switch (fire.action) {
+        case FaultAction::kLostWrite:
+          lost = true;
+          break;
+        case FaultAction::kBitFlip:
+          if (!frame.empty()) {
+            FaultInjector::FlipBit(fire.rng, &frame);
+            corrupted = true;
+          }
+          break;
+        case FaultAction::kTornWrite:
+          if (!frame.empty()) {
+            frame.resize(fire.rng % frame.size());
+            corrupted = true;
+          }
+          break;
+        default: {
+          // Any error action is a visible connection failure.
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.send_errors;
+          return Status::IoError("ship.channel.send: connection lost");
+        }
+      }
+    }
+    if (faults_->Hit(fault::kShipDuplicate)) duplicated = true;
+  }
+  if (sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.frames_sent;
+  if (lost) {
+    ++stats_.frames_dropped;
+    return Status::OK();  // the sender cannot tell
+  }
+  if (corrupted) ++stats_.frames_corrupted;
+  if (duplicated) {
+    ++stats_.frames_duplicated;
+    frames_.push_back(frame);
+    ++stats_.frames_delivered;
+  }
+  frames_.push_back(std::move(frame));
+  ++stats_.frames_delivered;
+  return Status::OK();
+}
+
+std::optional<std::vector<uint8_t>> ReplicationChannel::Receive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.empty()) return std::nullopt;
+  std::vector<uint8_t> frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void ReplicationChannel::SendAck(const ShipAck& ack) {
+  std::lock_guard<std::mutex> lock(mu_);
+  acks_.push_back(ack);
+}
+
+std::optional<ShipAck> ReplicationChannel::ReceiveAck() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (acks_.empty()) return std::nullopt;
+  ShipAck ack = acks_.front();
+  acks_.pop_front();
+  return ack;
+}
+
+size_t ReplicationChannel::pending_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+ChannelStats ReplicationChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace loglog

@@ -1,0 +1,79 @@
+#ifndef LOGLOG_SHIP_REPLICATION_CHANNEL_H_
+#define LOGLOG_SHIP_REPLICATION_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_injector.h"
+#include "ship/ship_frame.h"
+
+namespace loglog {
+
+/// Delivery counters of one channel (all frames, both healthy and hurt).
+struct ChannelStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t frames_dropped = 0;     // fault::kShipSend kLostWrite
+  uint64_t frames_duplicated = 0;  // fault::kShipDuplicate
+  uint64_t frames_corrupted = 0;   // bit flip or truncation in flight
+  uint64_t send_errors = 0;        // visible connection failures
+  uint64_t delay_fires = 0;        // fault::kShipDelay sleeps
+};
+
+/// The simulated replication network: an in-process, in-order frame queue
+/// from primary to standby plus a lossless ack queue back. All the ways a
+/// real link misbehaves are injected at Send() through the fault sites
+/// `ship.channel.send` (fail / drop / damage), `ship.channel.delay`
+/// (bounded latency), and `ship.channel.duplicate` (deliver twice) — see
+/// fault_injector.h. Acks are never faulted: a lost ack only re-ships
+/// already-applied records, which the standby's watermark absorbs anyway,
+/// so faulting the data path exercises every interesting code path.
+///
+/// Thread-safe: the shipper and the applier may run on different threads.
+class ReplicationChannel {
+ public:
+  /// `faults` is typically the primary disk's injector so storm harnesses
+  /// arm network faults alongside storage faults; may be null.
+  explicit ReplicationChannel(FaultInjector* faults = nullptr)
+      : faults_(faults) {}
+
+  /// Primary side. Encodes nothing — takes the already-encoded frame.
+  /// IoError when an injected fault makes the connection visibly fail;
+  /// the shipper must then rewind to the acked watermark and re-ship.
+  /// OK on silent drop / damage / duplication (that is the point: the
+  /// sender cannot tell, the standby has to detect it).
+  Status Send(std::vector<uint8_t> frame);
+
+  /// Standby side: next in-flight frame, or nullopt when the pipe is
+  /// empty.
+  std::optional<std::vector<uint8_t>> Receive();
+
+  /// Standby -> primary acknowledgement path (lossless, in order).
+  void SendAck(const ShipAck& ack);
+  std::optional<ShipAck> ReceiveAck();
+
+  /// Fixed per-frame latency in microseconds applied to every Send in
+  /// addition to injected delays (bench knob; default 0).
+  void set_sim_latency_us(uint64_t us) { sim_latency_us_.store(us); }
+
+  size_t pending_frames() const;
+  ChannelStats stats() const;
+
+ private:
+  FaultInjector* faults_;
+  std::atomic<uint64_t> sim_latency_us_{0};
+
+  mutable std::mutex mu_;
+  std::deque<std::vector<uint8_t>> frames_;
+  std::deque<ShipAck> acks_;
+  ChannelStats stats_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SHIP_REPLICATION_CHANNEL_H_

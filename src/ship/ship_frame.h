@@ -1,0 +1,58 @@
+#ifndef LOGLOG_SHIP_SHIP_FRAME_H_
+#define LOGLOG_SHIP_SHIP_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// One shipped batch: a contiguous run of stable log records
+/// [start_lsn, end_lsn] in primary log order.
+struct ShipBatch {
+  Lsn start_lsn = kInvalidLsn;
+  Lsn end_lsn = kInvalidLsn;
+  std::vector<LogRecord> records;
+};
+
+/// Standby -> primary control message. `applied_lsn` is the standby's
+/// watermark: every record at or below it has been applied (or durably
+/// skipped) there. `resync` asks the shipper to rewind shipping to
+/// applied_lsn + 1 — the standby saw an LSN gap (a dropped frame) or a
+/// corrupt frame.
+struct ShipAck {
+  Lsn applied_lsn = 0;
+  /// Records / record-payload bytes the standby has accepted first-time.
+  /// Both sides count a record exactly once (LSNs are dense and the
+  /// watermark filters duplicates), so the shipper can difference these
+  /// against its own shipped totals for the in-flight lag gauges.
+  uint64_t applied_records = 0;
+  uint64_t applied_bytes = 0;
+  bool resync = false;
+};
+
+/// Wire format of one replication frame:
+///
+///   fixed32 magic | fixed64 start_lsn | fixed64 end_lsn |
+///   fixed32 record_count | fixed32 crc32c(payload) |
+///   varint-length-prefixed payload
+///
+/// where the payload is the concatenation of the records in their device
+/// framing (fixed32 length + fixed32 CRC32C + payload each). The outer
+/// CRC covers the whole payload so in-flight damage is detected even when
+/// every inner record frame happens to stay self-consistent; the header
+/// fields are cross-checked against the decoded records, so a flipped bit
+/// anywhere in the frame surfaces as Corruption.
+void EncodeShipFrame(const ShipBatch& batch, std::vector<uint8_t>* dst);
+
+/// Decodes and verifies one frame. Corruption on any damage (bad magic,
+/// checksum mismatch, truncation, record-count or LSN-range mismatch).
+Status DecodeShipFrame(Slice frame, ShipBatch* out);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SHIP_SHIP_FRAME_H_

@@ -1,0 +1,168 @@
+#ifndef LOGLOG_SHIP_STANDBY_APPLIER_H_
+#define LOGLOG_SHIP_STANDBY_APPLIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backup/backup_manager.h"
+#include "cache/cache_manager.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/options.h"
+#include "engine/recovery_engine.h"
+#include "obs/metrics.h"
+#include "recovery/analysis.h"
+#include "ship/replication_channel.h"
+#include "ship/ship_frame.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+
+namespace loglog {
+
+struct StandbyOptions {
+  /// > 1 replays large contiguous runs of shipped operations through the
+  /// partitioned parallel-REDO pool (burst catch-up); <= 1 stays serial.
+  int redo_threads = 1;
+  /// Minimum run length (consecutive shipped operations with no control
+  /// record between them, applied in one Pump) that justifies spinning up
+  /// the worker pool.
+  size_t parallel_apply_threshold = 128;
+};
+
+struct StandbyStats {
+  uint64_t batches_applied = 0;
+  /// Frames whose whole LSN range was at or below the watermark
+  /// (duplicated delivery, or a re-ship after a lost ack).
+  uint64_t batches_duplicate = 0;
+  /// Frames starting past watermark + 1 (a dropped frame ahead of them);
+  /// each one triggers a resync NAK.
+  uint64_t batches_gap = 0;
+  /// Frames rejected by the frame checksum / framing validation.
+  uint64_t frames_corrupt = 0;
+  uint64_t records_applied = 0;
+  uint64_t ops_redone = 0;
+  uint64_t ops_skipped = 0;
+  uint64_t ops_voided = 0;
+  uint64_t checkpoints_honored = 0;
+  uint64_t parallel_bursts = 0;
+  uint64_t acks_sent = 0;
+};
+
+/// What Promote() hands back: the standby's disk and a live engine on it.
+struct PromotionResult {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<RecoveryEngine> engine;
+  RecoveryStats recovery;
+  /// The replicated prefix the promoted node serves: everything the
+  /// primary shipped and this standby applied before the switch.
+  Lsn applied_lsn = 0;
+  /// Wall-clock promotion latency (drain + flush + recover) — the RTO.
+  uint64_t rto_us = 0;
+};
+
+/// \brief Standby-side half of log shipping: continuous REDO on a
+/// replica.
+///
+/// The applier owns a full private node — disk, log manager, cache
+/// manager — and keeps it a byte-identical shadow of the primary by
+/// replaying every shipped operation through the same "expanded REDO"
+/// trial execution recovery uses (Section 5), continuously instead of
+/// after a crash. Shipped records keep their primary LSNs
+/// (LogManager::AppendReplicated), so every state identifier (rSI, vSI,
+/// lSI) on the standby equals the primary's and the vSI-based REDO tests
+/// keep working unchanged across catch-up, duplicates, and failover.
+///
+/// The applied-LSN watermark is the whole protocol: frames at or below it
+/// are duplicates (dropped, re-acked), frames starting past watermark + 1
+/// imply a lost frame (NAK with resync), everything else applies in
+/// order. The standby never generates log records of its own (native
+/// atomic installs, no install logging), so its log is exactly the
+/// replicated primary prefix — which is what makes promotion just "finish
+/// applying, flush, run ordinary recovery, serve".
+class StandbyApplier {
+ public:
+  /// `channel` must outlive the applier. Sends the initial handshake ack
+  /// (watermark 0) so the shipper learns the standby is listening.
+  explicit StandbyApplier(ReplicationChannel* channel,
+                          StandbyOptions options = {});
+
+  /// Cold-start seeding, before any frame is applied.
+  /// From a (possibly fuzzy) backup image: installs the entries into the
+  /// stable store and sets the watermark so the primary streams exactly
+  /// the delta the image may be missing. By default the watermark is the
+  /// conservative fuzzy-backup bound (image.ScanStart() - 1 — replay
+  /// everything not manifestly installed); `installed_upto`, when given,
+  /// asserts the image fully reflects every record at or below it (true
+  /// for a backup taken at a flushed quiesce point) and raises the
+  /// watermark accordingly. That matters when the primary is itself a
+  /// promoted standby: its archive only reaches back to its own seed
+  /// point, so a watermark below that would demand records nobody has.
+  Status SeedFromBackup(const BackupImage& image,
+                        Lsn installed_upto = kInvalidLsn);
+  /// From a full LLIMG001 disk image (media-recovery artifact): loads the
+  /// image, runs ordinary recovery over its log, and resumes streaming
+  /// from the recovered LSN.
+  Status SeedFromDiskImage(Slice image);
+
+  /// Drains the channel: decode, validate, apply, ack. Call from the
+  /// standby's driver loop; cheap when nothing is pending.
+  Status Pump();
+
+  /// Failover: drain what the channel still holds, finish redo, flush the
+  /// replicated prefix into the stable store, then bring up a fresh
+  /// engine on this node's disk through ordinary crash recovery. The
+  /// applier is spent afterwards (promoted() == true); the returned
+  /// engine serves the workload.
+  Status Promote(const EngineOptions& engine_options, PromotionResult* out);
+
+  Lsn applied_lsn() const { return applied_lsn_; }
+  bool promoted() const { return promoted_; }
+  const StandbyStats& stats() const { return stats_; }
+  SimulatedDisk* disk() { return disk_.get(); }
+  const SimulatedDisk* disk() const { return disk_.get(); }
+  CacheManager* cache() { return cm_.get(); }
+
+ private:
+  Status ApplyBatch(ShipBatch batch);
+  /// Applies one contiguous run of operation records (all past the
+  /// watermark, ascending), serial or through the parallel-REDO pool.
+  Status ApplyOps(std::vector<LogRecord> run);
+  /// Mirrors a primary checkpoint: install everything, then truncate the
+  /// standby's log the same way the primary truncated its own.
+  Status HonorCheckpoint(const LogRecord& rec);
+  void Ack(bool resync);
+
+  ReplicationChannel* channel_;
+  StandbyOptions options_;
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<CacheManager> cm_;
+
+  /// The continuous-redo path replays unconditionally modulo the vSI
+  /// check; there is no analysis pass to consult, so the tests run
+  /// against an empty result.
+  AnalysisResult empty_analysis_;
+
+  Lsn applied_lsn_ = 0;
+  uint64_t applied_records_ = 0;
+  uint64_t applied_bytes_ = 0;
+  bool seeded_ = false;
+  bool promoted_ = false;
+
+  StandbyStats stats_;
+
+  Counter* records_applied_metric_;
+  Counter* batches_duplicate_metric_;
+  Counter* batches_gap_metric_;
+  Counter* frames_corrupt_metric_;
+  Counter* promotions_metric_;
+  Gauge* applied_lsn_gauge_;
+  HistogramMetric* apply_latency_hist_;
+  HistogramMetric* promote_rto_hist_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SHIP_STANDBY_APPLIER_H_

@@ -1,0 +1,202 @@
+#include "sim/failover_storm.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "backup/backup_manager.h"
+#include "common/random.h"
+#include "engine/recovery_engine.h"
+#include "ship/divergence_audit.h"
+#include "ship/log_shipper.h"
+#include "ship/replication_channel.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+
+namespace {
+
+/// Arms one randomized fault at the replication-channel sites. Every
+/// entry is survivable by protocol design: visible errors and silent
+/// drops resync from the acked watermark, damage is caught by the frame
+/// CRC, duplicates die on the applied-LSN watermark, delays just add lag.
+void ArmRandomChannelFault(FaultInjector* inj, Random* rng,
+                           FailoverStormStats* stats) {
+  const uint64_t fault_seed = rng->Next();
+  switch (rng->Next() % 6) {
+    case 0:  // connection visibly fails once mid-burst
+      inj->Arm(fault::kShipSend, FaultSpec::TransientOnce());
+      break;
+    case 1:  // one frame silently lost -> gap NAK
+      inj->Arm(fault::kShipSend, FaultSpec::LostOnce());
+      break;
+    case 2:  // one frame bit-flipped in flight -> CRC reject + NAK
+      inj->Arm(fault::kShipSend, FaultSpec::BitFlipOnce(fault_seed));
+      break;
+    case 3:  // one frame truncated in flight -> CRC reject + NAK
+      inj->Arm(fault::kShipSend, FaultSpec::TornOnce(fault_seed));
+      break;
+    case 4:  // a few duplicated deliveries (action is ignored at this
+             // site; only the firing schedule matters)
+      inj->Arm(fault::kShipDuplicate,
+               FaultSpec::Probabilistic(FaultAction::kLostWrite, 25,
+                                        fault_seed, /*max_fires=*/4));
+      break;
+    case 5:  // jittery link
+      inj->Arm(fault::kShipDelay,
+               FaultSpec::Probabilistic(FaultAction::kLostWrite, 20,
+                                        fault_seed, /*max_fires=*/8));
+      break;
+  }
+  ++stats->channel_faults_armed;
+}
+
+void DisarmChannelFaults(FaultInjector* inj) {
+  inj->Disarm(fault::kShipSend);
+  inj->Disarm(fault::kShipDelay);
+  inj->Disarm(fault::kShipDuplicate);
+}
+
+}  // namespace
+
+std::string FailoverStormStats::ToString() const {
+  return "failover storm: rounds=" + std::to_string(rounds) +
+         " ops=" + std::to_string(ops_executed) +
+         " promotions=" + std::to_string(promotions) +
+         " reseeds=" + std::to_string(reseeds) +
+         " faults_armed=" + std::to_string(channel_faults_armed) +
+         " resyncs=" + std::to_string(resyncs) +
+         " reconnects=" + std::to_string(reconnects) +
+         " dup_batches=" + std::to_string(duplicate_batches) +
+         " gap_batches=" + std::to_string(gap_batches) +
+         " corrupt_frames=" + std::to_string(corrupt_frames) +
+         " checkpoints=" + std::to_string(checkpoints) +
+         " parallel_bursts=" + std::to_string(parallel_bursts) +
+         " audits_passed=" + std::to_string(audits_passed) +
+         " rto_us_total=" + std::to_string(rto_us_total) +
+         " rto_us_max=" + std::to_string(rto_us_max);
+}
+
+Status RunFailoverStorm(const FailoverStormOptions& options,
+                        FailoverStormStats* stats) {
+  *stats = FailoverStormStats{};
+  Random rng(options.seed);
+  MixedWorkload workload(options.workload);
+
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto engine =
+      std::make_unique<RecoveryEngine>(options.engine, disk.get());
+  for (const OperationDesc& op : workload.SetupOps()) {
+    LOGLOG_RETURN_IF_ERROR(engine->Execute(op));
+    ++stats->ops_executed;
+  }
+
+  // One cumulative auditor follows the whole failover chain: each round
+  // advances it over the dying primary's archive up to the promoted
+  // watermark, so the expected state always covers exactly the history
+  // the promoted node claims to serve.
+  DivergenceAuditor auditor;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    // Quiesce the primary and seed a cold standby from a backup of it.
+    // The flush makes the backup exact through last_stable_lsn, which is
+    // the watermark a promoted primary's short archive requires (see
+    // StandbyApplier::SeedFromBackup).
+    LOGLOG_RETURN_IF_ERROR(engine->FlushAll());
+    LOGLOG_RETURN_IF_ERROR(engine->log().ForceAll());
+    const Lsn seed_upto = engine->log().last_stable_lsn();
+    BackupManager backup(disk.get(), /*repair_order=*/true);
+    LOGLOG_RETURN_IF_ERROR(backup.Begin());
+    while (!backup.done()) {
+      LOGLOG_RETURN_IF_ERROR(backup.Step(64));
+    }
+
+    ReplicationChannel channel(&disk->fault_injector());
+    StandbyApplier standby(&channel, options.standby);
+    LOGLOG_RETURN_IF_ERROR(standby.SeedFromBackup(backup.image(), seed_upto));
+    ++stats->reseeds;
+    LogShipper shipper(&disk->log(), &channel);
+
+    if (options.channel_faults) {
+      ArmRandomChannelFault(&disk->fault_injector(), &rng, stats);
+    }
+
+    if (options.checkpoint_every > 0 &&
+        round % options.checkpoint_every == options.checkpoint_every - 1) {
+      LOGLOG_RETURN_IF_ERROR(engine->Checkpoint());
+      ++stats->checkpoints;
+    }
+
+    // Faulted streaming burst.
+    const int burst =
+        options.min_ops +
+        static_cast<int>(rng.Next() %
+                         static_cast<uint64_t>(options.max_ops -
+                                               options.min_ops + 1));
+    for (int i = 0; i < burst; ++i) {
+      Status st = engine->Execute(workload.Next());
+      if (!st.ok() && !st.IsNotFound()) return st;
+      ++stats->ops_executed;
+      if (options.poll_every > 0 && i % options.poll_every == 0) {
+        // Shipping moves stable bytes only: force the WAL at each poll so
+        // the armed channel faults actually see traffic mid-burst.
+        LOGLOG_RETURN_IF_ERROR(engine->log().ForceAll());
+        LOGLOG_RETURN_IF_ERROR(shipper.Poll());
+        LOGLOG_RETURN_IF_ERROR(standby.Pump());
+      }
+    }
+
+    // Quiesce: heal the link, make everything stable, drain to zero lag.
+    DisarmChannelFaults(&disk->fault_injector());
+    LOGLOG_RETURN_IF_ERROR(engine->log().ForceAll());
+    bool drained = false;
+    for (int i = 0; i < options.drain_limit; ++i) {
+      LOGLOG_RETURN_IF_ERROR(shipper.Poll());
+      LOGLOG_RETURN_IF_ERROR(standby.Pump());
+      if (standby.applied_lsn() >= shipper.durable_lsn() &&
+          channel.pending_frames() == 0) {
+        drained = true;
+        break;
+      }
+    }
+    if (!drained) {
+      return Status::FailedPrecondition(
+          "failover storm round " + std::to_string(round) +
+          ": standby failed to drain (applied " +
+          std::to_string(standby.applied_lsn()) + " vs durable " +
+          std::to_string(shipper.durable_lsn()) + ")");
+    }
+    stats->resyncs += shipper.stats().resyncs;
+    stats->reconnects += shipper.stats().reconnects;
+    stats->duplicate_batches += standby.stats().batches_duplicate;
+    stats->gap_batches += standby.stats().batches_gap;
+    stats->corrupt_frames += standby.stats().frames_corrupt;
+    stats->parallel_bursts += standby.stats().parallel_bursts;
+
+    // The primary dies; the standby takes over.
+    engine.reset();
+    PromotionResult promo;
+    LOGLOG_RETURN_IF_ERROR(standby.Promote(options.engine, &promo));
+    ++stats->promotions;
+    stats->rto_us_total += promo.rto_us;
+    if (promo.rto_us > stats->rto_us_max) stats->rto_us_max = promo.rto_us;
+
+    // Divergence audit before the promoted node executes anything new:
+    // its stable state and vSIs must equal the sequential replay of the
+    // dead primary's history through the promoted watermark.
+    LOGLOG_RETURN_IF_ERROR(
+        auditor.Advance(disk->log().ArchiveContents(), promo.applied_lsn));
+    DivergenceReport report;
+    LOGLOG_RETURN_IF_ERROR(auditor.Compare(promo.disk->store(), &report));
+    ++stats->audits_passed;
+
+    // The promoted node is the next round's primary; the dead primary's
+    // disk is dropped here.
+    disk = std::move(promo.disk);
+    engine = std::move(promo.engine);
+    ++stats->rounds;
+  }
+  return Status::OK();
+}
+
+}  // namespace loglog

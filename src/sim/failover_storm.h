@@ -1,0 +1,74 @@
+#ifndef LOGLOG_SIM_FAILOVER_STORM_H_
+#define LOGLOG_SIM_FAILOVER_STORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/options.h"
+#include "ship/standby_applier.h"
+#include "sim/workload.h"
+
+namespace loglog {
+
+/// Configuration of one failover-storm run.
+struct FailoverStormOptions {
+  EngineOptions engine;
+  MixedWorkloadOptions workload;
+  StandbyOptions standby;
+  uint64_t seed = 42;
+  /// Failover rounds. Each seeds a fresh standby from a backup of the
+  /// current primary, streams a faulted workload burst, crashes the
+  /// primary, promotes the standby, audits it, and carries on with the
+  /// promoted node as the next primary.
+  int rounds = 4;
+  /// Operations per burst, drawn uniformly from [min_ops, max_ops].
+  int min_ops = 48;
+  int max_ops = 160;
+  /// Ship/pump the replication pipeline every N executed operations.
+  int poll_every = 8;
+  /// Explicit primary checkpoint (with log truncation) every N rounds,
+  /// exercising the standby's checkpoint mirroring (0 = never).
+  int checkpoint_every = 2;
+  /// Arm a randomized ship.* channel fault each round.
+  bool channel_faults = true;
+  /// Bound on the quiesce drain (poll/pump iterations) before the round
+  /// is declared stuck.
+  int drain_limit = 256;
+};
+
+/// What happened across a failover storm (all counters cumulative).
+struct FailoverStormStats {
+  uint64_t rounds = 0;
+  uint64_t ops_executed = 0;
+  uint64_t promotions = 0;
+  /// Standbys seeded from a primary backup (one per round).
+  uint64_t reseeds = 0;
+  uint64_t channel_faults_armed = 0;
+  uint64_t resyncs = 0;
+  uint64_t reconnects = 0;
+  uint64_t duplicate_batches = 0;
+  uint64_t gap_batches = 0;
+  uint64_t corrupt_frames = 0;
+  uint64_t checkpoints = 0;
+  uint64_t parallel_bursts = 0;
+  uint64_t audits_passed = 0;
+  uint64_t rto_us_total = 0;
+  uint64_t rto_us_max = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Seeded failover soak: the replication counterpart of the crash
+/// storm. Every round the current primary is backed up into a cold
+/// standby, streamed at through a faulted channel, then killed; the
+/// standby promotes and a cumulative divergence audit checks the promoted
+/// node's stable state — values and vSIs — against the sequential replay
+/// of the whole cross-node history. Any divergence, stuck drain, or
+/// failed promotion fails the run immediately.
+Status RunFailoverStorm(const FailoverStormOptions& options,
+                        FailoverStormStats* stats);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SIM_FAILOVER_STORM_H_

@@ -78,6 +78,19 @@ Lsn LogManager::Append(LogRecord rec) {
   return buffer_.back().lsn;
 }
 
+Lsn LogManager::AppendReplicated(LogRecord rec) {
+  assert(rec.lsn != kInvalidLsn);
+  assert(rec.lsn >= next_lsn_);
+  next_lsn_ = rec.lsn + 1;
+  buffer_.push_back(std::move(rec));
+  if (append_records_ == nullptr) {
+    append_records_ =
+        MetricsRegistry::Global().GetCounter(metric::kWalAppendRecords);
+  }
+  append_records_->Inc();
+  return buffer_.back().lsn;
+}
+
 Status LogManager::Force(Lsn upto) {
   if (poisoned_) {
     return Status::FailedPrecondition(

@@ -41,6 +41,14 @@ class LogManager {
   /// LSN (rec.lsn is overwritten).
   Lsn Append(LogRecord rec);
 
+  /// Standby-side append: keeps the record's primary-assigned LSN instead
+  /// of assigning a fresh one, and resumes the counter at lsn + 1 so the
+  /// standby's state identifiers stay equal to the primary's. Records
+  /// must arrive in ascending LSN order past everything already appended
+  /// (the log shipper delivers the primary's log order, and the applier's
+  /// watermark filters duplicates before they reach here).
+  Lsn AppendReplicated(LogRecord rec);
+
   /// Forces all buffered records with lsn <= upto to the stable device
   /// (one device force), plus whatever extra the ForcePolicy coalesces
   /// in. No-op if they are already stable. Records are acknowledged

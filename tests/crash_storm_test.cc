@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "sim/crash_storm.h"
+#include "sim/failover_storm.h"
 
 namespace loglog {
 namespace {
@@ -108,6 +110,33 @@ INSTANTIATE_TEST_SUITE_P(Storm, CrashStormTest,
                          [](const testing::TestParamInfo<StormConfig>& i) {
                            return std::string(i.param.name);
                          });
+
+// Replication counterpart: primary-crash -> failover -> re-seed rounds
+// with randomized channel faults, scaled from the same iteration knob
+// (every ~5 storm iterations buys one full failover round).
+TEST(FailoverStormTest, SurvivesFailoverRounds) {
+  FailoverStormOptions options;
+  options.engine.purge_threshold_ops = 12;
+  // Install records would interleave with the shipped stream mid-burst;
+  // the standby handles them, but keeping the primary's log purely
+  // operational makes the storm's divergence audit reading simpler.
+  options.engine.log_installs = false;
+  options.standby.redo_threads = 2;
+  options.standby.parallel_apply_threshold = 24;
+  options.seed = 2026;
+  options.rounds = std::clamp(g_storm_iters / 5, 2, 64);
+
+  FailoverStormStats stats;
+  Status st = RunFailoverStorm(options, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n  " << stats.ToString();
+  std::printf("[ STORM    ] Failover: %s\n", stats.ToString().c_str());
+  EXPECT_EQ(stats.rounds, static_cast<uint64_t>(options.rounds));
+  EXPECT_EQ(stats.promotions, stats.rounds);
+  EXPECT_EQ(stats.reseeds, stats.rounds);
+  EXPECT_EQ(stats.audits_passed, stats.rounds);
+  EXPECT_EQ(stats.channel_faults_armed, stats.rounds);
+  EXPECT_GT(stats.rto_us_max, 0u);
+}
 
 }  // namespace
 }  // namespace loglog

@@ -212,5 +212,127 @@ TEST(LogCursorTest, SliceCursorTracksAbsoluteOffsets) {
   EXPECT_EQ(dev_cursor.next_lsn(), slice_cursor.next_lsn());
 }
 
+// --- Tail-follow semantics -------------------------------------------
+//
+// The log shipper tails the archive with a fresh slice cursor per poll,
+// resuming at the previous cursor's valid_end(). These tests pin the
+// contract that makes that loop correct: resuming at valid_end sees
+// exactly the records that arrived since, truncation never perturbs the
+// archive walk, and a torn tail stops the cursor at an offset from which
+// the healed log re-serves the same LSN.
+
+TEST(LogCursorTest, TailFollowAcrossConcurrentAppends) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  log.Append(OpRecord(0, MakePhysicalWrite(1, "first")));
+  ASSERT_TRUE(log.ForceAll().ok());
+
+  // First tail pass consumes everything stable so far.
+  Slice archive = disk.log().ArchiveContents();
+  LogCursor first(archive, 0);
+  LogRecord rec;
+  std::vector<Lsn> seen;
+  while (first.Next(&rec)) seen.push_back(rec.lsn);
+  ASSERT_EQ(seen, (std::vector<Lsn>{1}));
+  const uint64_t resume = first.valid_end();
+
+  // More records become stable between polls (interleaved with a
+  // truncation-irrelevant re-read of the archive, as the shipper does).
+  for (int i = 0; i < 3; ++i) {
+    log.Append(OpRecord(0, MakePhysicalWrite(2, "more-bytes")));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+
+  // The next pass resumes at valid_end and sees exactly the new records:
+  // no replays, no gaps.
+  archive = disk.log().ArchiveContents();
+  ASSERT_LE(resume, archive.size());
+  LogCursor second(Slice(archive.data() + resume, archive.size() - resume),
+                   resume);
+  seen.clear();
+  while (second.Next(&rec)) seen.push_back(rec.lsn);
+  EXPECT_EQ(seen, (std::vector<Lsn>{2, 3, 4}));
+  EXPECT_FALSE(second.torn());
+  EXPECT_EQ(second.valid_end(), archive.size());
+}
+
+TEST(LogCursorTest, TailFollowSurvivesTruncateBefore) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  for (int i = 0; i < 4; ++i) {
+    log.Append(OpRecord(0, MakePhysicalWrite(1, "abcdefgh")));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  Slice archive = disk.log().ArchiveContents();
+  LogCursor before(archive, 0);
+  LogRecord rec;
+  uint64_t count = 0;
+  while (before.Next(&rec)) ++count;
+  ASSERT_EQ(count, 4u);
+  const uint64_t resume = before.valid_end();
+
+  // A checkpoint truncates the live log; the archive — and therefore a
+  // tailing cursor's resume offset — is unaffected, while a device
+  // cursor now starts mid-history.
+  log.TruncateBefore(3);
+  log.Append(OpRecord(0, MakePhysicalWrite(2, "post-truncate")));
+  ASSERT_TRUE(log.ForceAll().ok());
+
+  archive = disk.log().ArchiveContents();
+  LogCursor after(Slice(archive.data() + resume, archive.size() - resume),
+                  resume);
+  std::vector<Lsn> tail;
+  while (after.Next(&rec)) tail.push_back(rec.lsn);
+  EXPECT_EQ(tail, (std::vector<Lsn>{5}));
+
+  LogCursor device(disk.log());
+  std::vector<Lsn> live;
+  while (device.Next(&rec)) live.push_back(rec.lsn);
+  EXPECT_EQ(live, (std::vector<Lsn>{3, 4, 5}));
+  EXPECT_EQ(device.next_lsn(), after.next_lsn());
+}
+
+TEST(LogCursorTest, TornTailStopsAndResumesAtSameLsn) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    log.Append(OpRecord(0, MakePhysicalWrite(1, "whole-record")));
+    ASSERT_TRUE(log.ForceAll().ok());
+    log.Append(OpRecord(0, MakePhysicalWrite(1, "doomed-record")));
+    ASSERT_TRUE(log.ForceAll().ok());
+  }
+  disk.log().TearTail(4);  // cut into the final record
+
+  // The tailing cursor stops at the tear; only the whole record is
+  // trusted, and valid_end marks where trust ends.
+  Slice archive = disk.log().ArchiveContents();
+  LogCursor torn_cursor(archive, 0);
+  LogRecord rec;
+  std::vector<Lsn> seen;
+  while (torn_cursor.Next(&rec)) seen.push_back(rec.lsn);
+  ASSERT_TRUE(torn_cursor.torn());
+  ASSERT_EQ(seen, (std::vector<Lsn>{1}));
+  const uint64_t resume = torn_cursor.valid_end();
+  ASSERT_LT(resume, archive.size());
+
+  // Recovery heals the device (trims the torn bytes) and execution
+  // resumes: the next record takes the SAME LSN the torn one had.
+  disk.log().TearTail(disk.log().end_offset() - resume);
+  LogManager revived(&disk.log());
+  EXPECT_EQ(revived.Append(OpRecord(0, MakePhysicalWrite(1, "retried"))),
+            2u);
+  ASSERT_TRUE(revived.ForceAll().ok());
+
+  // Resuming the tail at valid_end yields lsn 2 exactly once — the
+  // shipper neither skips nor duplicates the re-forced record.
+  archive = disk.log().ArchiveContents();
+  LogCursor resumed(Slice(archive.data() + resume, archive.size() - resume),
+                    resume);
+  seen.clear();
+  while (resumed.Next(&rec)) seen.push_back(rec.lsn);
+  EXPECT_FALSE(resumed.torn());
+  EXPECT_EQ(seen, (std::vector<Lsn>{2}));
+}
+
 }  // namespace
 }  // namespace loglog

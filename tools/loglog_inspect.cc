@@ -3,6 +3,7 @@
 // Modes:
 //   loglog_inspect --demo [--crash] [--save FILE]   run a built-in workload
 //   loglog_inspect FILE                             open a saved disk image
+//   loglog_inspect --ship-status                    two-node replication demo
 //
 // Either way the tool dumps the retained log (DumpLog listing + summary),
 // replays recovery as a dry run with tracing enabled (the on-disk image
@@ -22,6 +23,10 @@
 //   --seed N        demo workload seed (default 321)
 //   --ops N         demo workload operation count (default 400)
 //   --quiet         suppress the per-record listing in text mode
+//   --ship-status   run a primary + log-shipped standby pair and report
+//                   primary durable LSN vs standby applied LSN with the
+//                   current lag (records/bytes/LSN) from the ship.*
+//                   metrics snapshot; honors --seed/--ops/--threads/--json
 
 #include <algorithm>
 #include <cstdint>
@@ -37,6 +42,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "ship/log_shipper.h"
+#include "ship/replication_channel.h"
+#include "ship/standby_applier.h"
 #include "sim/workload.h"
 #include "storage/disk_image.h"
 #include "storage/simulated_disk.h"
@@ -47,6 +55,7 @@ namespace {
 
 struct InspectOptions {
   bool demo = false;
+  bool ship_status = false;
   bool crash = false;
   bool json = false;
   bool recover = true;
@@ -61,9 +70,9 @@ struct InspectOptions {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [IMAGE] [--demo] [--crash] [--save FILE] [--json] "
-               "[--trace FILE] [--threads N] [--no-recover] [--seed N] "
-               "[--ops N] [--quiet]\n",
+               "usage: %s [IMAGE] [--demo] [--ship-status] [--crash] "
+               "[--save FILE] [--json] [--trace FILE] [--threads N] "
+               "[--no-recover] [--seed N] [--ops N] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -79,6 +88,8 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
     std::string value;
     if (arg == "--demo") {
       out->demo = true;
+    } else if (arg == "--ship-status") {
+      out->ship_status = true;
     } else if (arg == "--crash") {
       out->crash = true;
     } else if (arg == "--json") {
@@ -109,6 +120,13 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
       std::fprintf(stderr, "extra positional argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (out->ship_status) {
+    if (out->demo || !out->image_path.empty()) {
+      std::fprintf(stderr, "--ship-status is standalone (no --demo/IMAGE)\n");
+      return false;
+    }
+    return true;
   }
   if (out->demo == !out->image_path.empty()) {
     std::fprintf(stderr, "pass exactly one of --demo or an IMAGE file\n");
@@ -188,6 +206,126 @@ void PrintTimeline(const std::vector<TraceEvent>& events, FILE* out) {
       }
     }
   }
+}
+
+/// Two-node replication demo: a primary streams the mixed workload to a
+/// log-shipped standby, polling every few operations; the final quarter
+/// of the workload runs without polling so the status report shows a
+/// real, nonzero backlog (one last poll ships it but the standby has not
+/// pumped yet). Reports primary durable vs standby applied LSN and the
+/// ship.* lag gauges from a metrics snapshot.
+int RunShipStatus(const InspectOptions& opts) {
+  SimulatedDisk disk;
+  EngineOptions eo = DemoEngineOptions(opts);
+  auto engine = std::make_unique<RecoveryEngine>(eo, &disk);
+  MixedWorkloadOptions wopts;
+  wopts.seed = opts.seed;
+  MixedWorkload workload(wopts);
+  ReplicationChannel channel;
+  StandbyOptions sopts;
+  sopts.redo_threads = opts.threads;
+  StandbyApplier standby(&channel, sopts);
+  LogShipper shipper(&disk.log(), &channel);
+
+  auto step = [&](const OperationDesc& op) -> Status {
+    Status st = engine->Execute(op);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    return Status::OK();
+  };
+  auto fail = [](const char* what, const Status& st) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return 1;
+  };
+
+  Status st;
+  for (const OperationDesc& op : workload.SetupOps()) {
+    if (!(st = step(op)).ok()) return fail("ship demo workload", st);
+  }
+  const uint64_t streamed = opts.ops - opts.ops / 4;
+  for (uint64_t i = 0; i < opts.ops; ++i) {
+    if (!(st = step(workload.Next())).ok()) {
+      return fail("ship demo workload", st);
+    }
+    if (i < streamed && i % 8 == 0) {
+      // Shipping moves stable bytes only: force, ship, apply.
+      if (!(st = engine->log().ForceAll()).ok()) return fail("force", st);
+      if (!(st = shipper.Poll()).ok()) return fail("ship poll", st);
+      if (!(st = standby.Pump()).ok()) return fail("standby pump", st);
+    }
+  }
+  if (!(st = engine->log().ForceAll()).ok()) return fail("force", st);
+  if (!(st = shipper.Poll()).ok()) return fail("ship poll", st);
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  auto gauge = [&snap](std::string_view name) -> int64_t {
+    auto it = snap.gauges.find(std::string(name));
+    return it == snap.gauges.end() ? 0 : it->second;
+  };
+  const ShipperStats& ship = shipper.stats();
+  const StandbyStats& stand = standby.stats();
+
+  if (opts.json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("primary_durable_lsn").Uint(shipper.durable_lsn());
+    w.Key("standby_applied_lsn").Uint(standby.applied_lsn());
+    w.Key("lag");
+    w.BeginObject();
+    w.Key("lsn").Int(gauge(metric::kShipLagLsn));
+    w.Key("records").Int(gauge(metric::kShipLagRecords));
+    w.Key("bytes").Int(gauge(metric::kShipLagBytes));
+    w.EndObject();
+    w.Key("shipper");
+    w.BeginObject();
+    w.Key("polls").Uint(ship.polls);
+    w.Key("batches_sent").Uint(ship.batches_sent);
+    w.Key("records_shipped").Uint(ship.records_shipped);
+    w.Key("bytes_shipped").Uint(ship.bytes_shipped);
+    w.Key("reconnects").Uint(ship.reconnects);
+    w.Key("resyncs").Uint(ship.resyncs);
+    w.EndObject();
+    w.Key("standby");
+    w.BeginObject();
+    w.Key("batches_applied").Uint(stand.batches_applied);
+    w.Key("records_applied").Uint(stand.records_applied);
+    w.Key("ops_redone").Uint(stand.ops_redone);
+    w.Key("parallel_bursts").Uint(stand.parallel_bursts);
+    w.Key("pending_frames").Uint(channel.pending_frames());
+    w.EndObject();
+    w.Key("metrics").Raw(snap.ToJson());
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+    return 0;
+  }
+
+  std::printf("ship status (demo pair, %llu ops):\n",
+              static_cast<unsigned long long>(opts.ops));
+  std::printf("  primary durable lsn: %llu\n",
+              static_cast<unsigned long long>(shipper.durable_lsn()));
+  std::printf("  standby applied lsn: %llu\n",
+              static_cast<unsigned long long>(standby.applied_lsn()));
+  std::printf("  lag: %lld lsn, %lld records, %lld bytes"
+              " (%llu frames in flight)\n",
+              static_cast<long long>(gauge(metric::kShipLagLsn)),
+              static_cast<long long>(gauge(metric::kShipLagRecords)),
+              static_cast<long long>(gauge(metric::kShipLagBytes)),
+              static_cast<unsigned long long>(channel.pending_frames()));
+  std::printf("  shipper: %llu polls, %llu batches, %llu records,"
+              " %llu bytes, %llu reconnects, %llu resyncs\n",
+              static_cast<unsigned long long>(ship.polls),
+              static_cast<unsigned long long>(ship.batches_sent),
+              static_cast<unsigned long long>(ship.records_shipped),
+              static_cast<unsigned long long>(ship.bytes_shipped),
+              static_cast<unsigned long long>(ship.reconnects),
+              static_cast<unsigned long long>(ship.resyncs));
+  std::printf("  standby: %llu batches applied, %llu records,"
+              " %llu ops redone, %llu parallel bursts\n",
+              static_cast<unsigned long long>(stand.batches_applied),
+              static_cast<unsigned long long>(stand.records_applied),
+              static_cast<unsigned long long>(stand.ops_redone),
+              static_cast<unsigned long long>(stand.parallel_bursts));
+  std::printf("metrics:\n%s", snap.ToString().c_str());
+  return 0;
 }
 
 int Run(const InspectOptions& opts) {
@@ -305,5 +443,6 @@ int Run(const InspectOptions& opts) {
 int main(int argc, char** argv) {
   loglog::InspectOptions opts;
   if (!loglog::ParseArgs(argc, argv, &opts)) return loglog::Usage(argv[0]);
+  if (opts.ship_status) return loglog::RunShipStatus(opts);
   return loglog::Run(opts);
 }
