@@ -1,0 +1,169 @@
+// E16 (Section 6, logging-class economics): the paper fixes each
+// domain's logging class at authoring time and reports the resulting
+// log-volume / recovery-time trade-off; the adaptive policy re-makes
+// the choice per write at runtime. This bench regenerates the
+// paper-shaped crossover on one workload (hot small application state
+// dominating traffic, rare large cold file values, no checkpoints):
+//
+//   all-logical   (policy:0)  smallest log, but the hot chains never
+//                             install, so redo replays the whole history;
+//   all-physical  (policy:1)  every record carries values — recovery
+//                             touches each record once, but the log is a
+//                             multiple of the logical one;
+//   adaptive      (policy:2)  W_L for the hot state, promoted W_P for
+//                             the cold values, and budget-driven W_IP
+//                             installs keeping the redo backlog under
+//                             EngineOptions::recovery_budget.
+//
+// Reported: log payload bytes at crash, operations redone, recovery
+// wall time, and whether the adaptive run honored its budget. The
+// acceptance shape: adaptive log volume within 15% of all-logical while
+// redo work stays near the budget; each static extreme measurably worse
+// on one axis.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+#include "wal/log_dump.h"
+
+namespace loglog {
+namespace {
+
+constexpr int kOps = 5000;
+constexpr ObjectId kAppObjects = 4;    // round-robin hot app state
+constexpr size_t kAppStateBytes = 40;  // small: stays W_L under adaptive
+constexpr uint64_t kHotValueBytes = 40;  // hot W(A,X) output values
+constexpr int kFileEvery = 500;       // rare cold file writes...
+constexpr uint64_t kFileBytes = 600;  // ...large: promoted to W_P
+constexpr uint64_t kBudgetOps = 384;  // adaptive redo-backlog budget
+
+enum PolicyMode { kAllLogical = 0, kAllPhysical = 1, kAdaptive = 2 };
+
+EngineOptions ModeOptions(int mode) {
+  EngineOptions opts;
+  // No checkpoints and no size-triggered purging: installation happens
+  // only where a mode's own machinery asks for it, so the redo backlog
+  // is the policy's doing, not the maintenance loop's.
+  opts.purge_threshold_ops = 0;
+  opts.checkpoint_interval_ops = 0;
+  switch (mode) {
+    case kAllLogical:
+      opts.logging_mode = LoggingMode::kLogical;
+      break;
+    case kAllPhysical:
+      opts.logging_mode = LoggingMode::kPhysiological;
+      break;
+    case kAdaptive:
+      opts.logging_mode = LoggingMode::kLogical;
+      opts.adaptive.enabled = true;
+      // Chains are cut by the budget's W_IP installs, not by blanket
+      // deep-chain promotion — promotion here would just re-invent the
+      // all-physical extreme for the hot traffic.
+      opts.adaptive.max_chain_depth = 1 << 20;
+      opts.recovery_budget = kBudgetOps;
+      break;
+  }
+  return opts;
+}
+
+const char* ModeLabel(int mode) {
+  switch (mode) {
+    case kAllLogical:
+      return "all-logical";
+    case kAllPhysical:
+      return "all-physical";
+    default:
+      return "adaptive";
+  }
+}
+
+void RunWorkload(CrashHarness* harness, benchmark::State* state) {
+  for (ObjectId a = 1; a <= kAppObjects; ++a) {
+    std::string seed_state(kAppStateBytes, static_cast<char>('a' + a));
+    Status st = harness->Execute(MakeCreate(a, seed_state));
+    if (!st.ok()) state->SkipWithError(st.ToString().c_str());
+    harness->engine().MarkHot(a);
+    std::string input(kHotValueBytes, static_cast<char>('p' + a));
+    st = harness->Execute(MakeCreate(40 + a, input));
+    if (!st.ok()) state->SkipWithError(st.ToString().c_str());
+  }
+  for (int i = 0; i < kOps; ++i) {
+    ObjectId a = 1 + static_cast<ObjectId>(i) % kAppObjects;
+    Status st;
+    if (i % 5 == 0) {
+      // Churn the app state so the emitted values keep changing.
+      st = harness->Execute(MakeAppExecute(a, i));
+    } else {
+      // The dominant traffic: R(A,X) — the hot app state absorbs an
+      // input object. W_L logs only ids, the physical extreme logs the
+      // 40-byte post-state every time; the self-write keeps each app
+      // object's node growing, so the budget's W_IP installs amortize
+      // one install record over a whole chain.
+      ObjectId x = 41 + static_cast<ObjectId>(i) % kAppObjects;
+      st = harness->Execute(MakeAppRead(a, x));
+    }
+    if (!st.ok()) state->SkipWithError(st.ToString().c_str());
+    if ((i + 1) % kFileEvery == 0) {
+      ObjectId file = 200 + static_cast<ObjectId>(i / kFileEvery) % 8;
+      st = harness->Execute(MakeAppWrite(a, file, kFileBytes, i));
+      if (!st.ok()) state->SkipWithError(st.ToString().c_str());
+    }
+  }
+}
+
+void BM_AdaptiveLoggingCrossover(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  RecoveryStats stats;
+  LogDumpSummary log_summary;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrashHarness harness(ModeOptions(mode), 4242);
+    RunWorkload(&harness, &state);
+    Status st = harness.engine().log().ForceAll();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    log_summary = LogDumpSummary();
+    st = DumpLog(harness.disk().log().ArchiveContents(), nullptr,
+                 &log_summary);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    harness.Crash();
+    stats = RecoveryStats();
+    state.ResumeTiming();
+
+    st = harness.Recover(&stats);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+
+    state.PauseTiming();
+    st = harness.VerifyAgainstReference();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    state.ResumeTiming();
+  }
+  state.counters["log_bytes"] = static_cast<double>(log_summary.payload_bytes);
+  state.counters["ops_redone"] = static_cast<double>(stats.ops_redone);
+  state.counters["expensive_redos"] =
+      static_cast<double>(stats.expensive_redos);
+  state.counters["identity_writes"] =
+      static_cast<double>(log_summary.identity_writes);
+  state.counters["policy_decisions"] =
+      static_cast<double>(log_summary.policy_decisions);
+  state.counters["budget_ops"] = static_cast<double>(kBudgetOps);
+  // The budget bounds redo *work*: the backlog at crash plus the W_IP
+  // records of the final maintenance cycle.
+  state.counters["within_budget"] =
+      stats.ops_redone <= kBudgetOps + 64 ? 1.0 : 0.0;
+  state.SetLabel(ModeLabel(mode));
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_AdaptiveLoggingCrossover)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgNames({"policy"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

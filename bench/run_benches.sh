@@ -18,6 +18,13 @@
 # replication document lands next to it, `recovery` -> `replication` in
 # the name (or FILE.replication.json when the name has no `recovery`).
 #
+# BENCH_adaptive.json holds the adaptive logging-policy crossover
+# (bench_adaptive_logging): per-mode log bytes / recovery time /
+# redo-work rows for the all-logical, all-physical and adaptive runs,
+# the adaptive-vs-logical log-volume ratio, and the budget check (see
+# EXPERIMENTS.md E16). Named like the replication document
+# (`recovery` -> `adaptive`).
+#
 # Every bench binary failure aborts the run with a pointed message, and
 # each emitted JSON file is validated before anything is merged — a
 # crashed or truncated benchmark can't silently produce an empty report.
@@ -50,8 +57,10 @@ fi
 # The replication document mirrors the recovery one's name.
 if [[ "$OUT" == *recovery* ]]; then
   REPL_OUT="${OUT/recovery/replication}"
+  ADAPT_OUT="${OUT/recovery/adaptive}"
 else
   REPL_OUT="$OUT.replication.json"
+  ADAPT_OUT="$OUT.adaptive.json"
 fi
 
 TMP=$(mktemp -d)
@@ -64,7 +73,13 @@ trap 'rm -rf "$TMP"' EXIT
 run_bench() {
   local name="$1" out_json="$2"
   shift 2
-  if ! "$BUILD_DIR/bench/$name" \
+  local bin="$BUILD_DIR/bench/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: bench binary $bin is missing or not executable" >&2
+    echo "       (stale build dir? re-run: cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  if ! "$bin" \
       --benchmark_min_time="$MIN_TIME" \
       --benchmark_format=console \
       --benchmark_out_format=json \
@@ -101,6 +116,7 @@ run_bench bench_parallel_recovery "$TMP/parallel_recovery.json"
 run_bench bench_logging_cost "$TMP/force_policy.json" \
   --benchmark_filter=ForcePolicy
 run_bench bench_replication "$TMP/replication.json"
+run_bench bench_adaptive_logging "$TMP/adaptive_logging.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
@@ -277,3 +293,64 @@ for row in rto:
     print("  ", row)
 PYEOF
 validate_json "$REPL_OUT" "replication merge"
+
+python3 - "$TMP/adaptive_logging.json" "$ADAPT_OUT" <<'PYEOF'
+import json
+import sys
+
+adapt_path, out_path = sys.argv[1:3]
+adapt = json.load(open(adapt_path))
+
+# Per-mode crossover rows: log volume vs recovery time vs redo work.
+modes = []
+for b in adapt["benchmarks"]:
+    if "AdaptiveLoggingCrossover" not in b["run_name"]:
+        continue
+    modes.append(
+        {
+            "mode": b.get("label", b["run_name"]),
+            "log_bytes": int(b["log_bytes"]),
+            "recovery_ms": round(b["real_time"], 3),
+            "ops_redone": int(b["ops_redone"]),
+            "expensive_redos": int(b["expensive_redos"]),
+            "identity_writes": int(b["identity_writes"]),
+            "policy_decisions": int(b["policy_decisions"]),
+            "budget_ops": int(b["budget_ops"]),
+            "within_budget": bool(b["within_budget"]),
+        }
+    )
+
+by_mode = {row["mode"]: row for row in modes}
+summary = {}
+logical = by_mode.get("all-logical")
+physical = by_mode.get("all-physical")
+adaptive = by_mode.get("adaptive")
+if logical and adaptive:
+    summary["adaptive_vs_logical_log_ratio"] = round(
+        adaptive["log_bytes"] / logical["log_bytes"], 4
+    )
+    summary["adaptive_recovery_speedup_vs_logical"] = round(
+        logical["recovery_ms"] / adaptive["recovery_ms"], 2
+    )
+if physical and adaptive:
+    summary["physical_vs_adaptive_log_ratio"] = round(
+        physical["log_bytes"] / adaptive["log_bytes"], 4
+    )
+if adaptive:
+    summary["adaptive_within_budget"] = adaptive["within_budget"]
+
+merged = {
+    "context": adapt.get("context", {}),
+    "crossover": modes,
+    "summary": summary,
+    "raw": {"adaptive_logging": adapt["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in modes:
+    print("  ", row)
+print("  ", summary)
+PYEOF
+validate_json "$ADAPT_OUT" "adaptive merge"

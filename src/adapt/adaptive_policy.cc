@@ -1,0 +1,156 @@
+#include "adapt/adaptive_policy.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace loglog {
+
+std::string AdaptivePolicyStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "decisions=%llu to_phys=%llu to_physio=%llu to_log=%llu "
+                "restored=%llu writes=%llu",
+                static_cast<unsigned long long>(decisions),
+                static_cast<unsigned long long>(to_physical),
+                static_cast<unsigned long long>(to_physiological),
+                static_cast<unsigned long long>(to_logical),
+                static_cast<unsigned long long>(restored),
+                static_cast<unsigned long long>(writes_observed));
+  return buf;
+}
+
+AdaptiveLogPolicy::AdaptiveLogPolicy(const AdaptivePolicyOptions& options)
+    : options_(options),
+      decisions_metric_(
+          MetricsRegistry::Global().GetCounter(metric::kAdaptDecisions)),
+      promotions_metric_(
+          MetricsRegistry::Global().GetCounter(metric::kAdaptPromotions)),
+      demotions_metric_(
+          MetricsRegistry::Global().GetCounter(metric::kAdaptDemotions)),
+      restored_metric_(
+          MetricsRegistry::Global().GetCounter(metric::kAdaptRestored)) {}
+
+AdaptiveLogPolicy::ObjectState& AdaptiveLogPolicy::Touch(ObjectId id,
+                                                         size_t value_size) {
+  ++tick_;
+  ++stats_.writes_observed;
+  ObjectState& s = objects_[id];
+  const double a = options_.ewma_alpha;
+  if (s.seen) {
+    const double interval = static_cast<double>(tick_ - s.last_write_tick);
+    s.ewma_interval = s.has_interval
+                          ? a * interval + (1.0 - a) * s.ewma_interval
+                          : interval;
+    s.has_interval = true;
+    s.ewma_size =
+        a * static_cast<double>(value_size) + (1.0 - a) * s.ewma_size;
+  } else {
+    s.seen = true;
+    s.ewma_size = static_cast<double>(value_size);
+  }
+  s.last_write_tick = tick_;
+  ++s.writes;
+  return s;
+}
+
+PolicyDecision AdaptiveLogPolicy::Decide(ObjectId id, size_t value_size,
+                                         uint64_t chain_depth) {
+  ObjectState& s = Touch(id, value_size);
+  PolicyDecision d;
+  d.id = id;
+  d.previous = s.cls;
+  d.chosen = s.cls;
+  d.chain_depth = chain_depth;
+  d.ewma_size = static_cast<uint64_t>(s.ewma_size);
+
+  // The first write may classify freely; afterwards a class change is
+  // allowed only once per cooldown window.
+  const bool may_change =
+      s.writes <= 1 ||
+      s.writes - s.writes_at_last_change >= options_.decision_cooldown_writes;
+
+  // Threshold tests. An object without an interval estimate (first
+  // write) counts as cold: nothing argues for keeping its value out of
+  // the log yet.
+  const bool hot =
+      s.has_interval && s.ewma_interval <= options_.hot_interval_writes;
+  const bool cold =
+      !s.has_interval || s.ewma_interval >= options_.cold_interval_writes;
+  const bool small =
+      s.ewma_size <= static_cast<double>(options_.small_value_bytes);
+  const bool large =
+      s.ewma_size >= static_cast<double>(options_.large_value_bytes);
+
+  LogChoice want = s.cls;
+  PolicyReason why = PolicyReason::kDefault;
+  if (chain_depth >= options_.max_chain_depth) {
+    // A blind W_P peels the object off its node no matter how hot it is:
+    // the chain is already too expensive to replay.
+    want = LogChoice::kPhysical;
+    why = PolicyReason::kDeepChain;
+  } else if (cold && large) {
+    want = LogChoice::kPhysical;
+    why = PolicyReason::kColdLarge;
+  } else if (cold && !small) {
+    want = LogChoice::kPhysiological;
+    why = PolicyReason::kColdLarge;
+  } else if (hot && small) {
+    want = LogChoice::kLogical;
+    why = PolicyReason::kHotSmall;
+  }
+  // Lukewarm or mixed signals: keep the current class (hysteresis).
+
+  if (want != s.cls && may_change) {
+    d.chosen = want;
+    d.reason = why;
+    d.changed = true;
+    s.cls = want;
+    s.writes_at_last_change = s.writes;
+    ++stats_.decisions;
+    decisions_metric_->Inc();
+    switch (want) {
+      case LogChoice::kPhysical:
+        ++stats_.to_physical;
+        promotions_metric_->Inc();
+        break;
+      case LogChoice::kPhysiological:
+        ++stats_.to_physiological;
+        promotions_metric_->Inc();
+        break;
+      case LogChoice::kLogical:
+        ++stats_.to_logical;
+        demotions_metric_->Inc();
+        break;
+    }
+    TraceRecorder::Global().AddInstant(
+        "adapt.decision", "adapt",
+        {{"object", std::to_string(id)},
+         {"class", LogChoiceName(want)},
+         {"reason", PolicyReasonName(why)},
+         {"depth", std::to_string(chain_depth)}});
+  }
+  return d;
+}
+
+void AdaptiveLogPolicy::ObserveWrite(ObjectId id, size_t value_size) {
+  Touch(id, value_size);
+}
+
+void AdaptiveLogPolicy::Restore(ObjectId id, LogChoice cls) {
+  ObjectState& s = objects_[id];
+  s.cls = cls;
+  // The reseed is not a fresh decision: leave the cooldown anchored so
+  // post-crash traffic can reclassify as soon as the model disagrees.
+  s.writes_at_last_change = 0;
+  ++stats_.restored;
+  restored_metric_->Inc();
+}
+
+LogChoice AdaptiveLogPolicy::Current(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? LogChoice::kLogical : it->second.cls;
+}
+
+}  // namespace loglog

@@ -1,0 +1,121 @@
+#ifndef LOGLOG_ADAPT_ADAPTIVE_POLICY_H_
+#define LOGLOG_ADAPT_ADAPTIVE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "adapt/log_choice.h"
+#include "adapt/policy_options.h"
+#include "common/types.h"
+
+namespace loglog {
+
+class Counter;
+
+/// Aggregate decision counters, mirrored into adapt.* metrics.
+struct AdaptivePolicyStats {
+  uint64_t decisions = 0;  // class changes (one kPolicyDecision record each)
+  uint64_t to_physical = 0;
+  uint64_t to_physiological = 0;
+  uint64_t to_logical = 0;
+  uint64_t restored = 0;  // classes reseeded from analysis after a crash
+  uint64_t writes_observed = 0;
+
+  std::string ToString() const;
+};
+
+/// One per-object classification, with the model inputs that produced it.
+/// `changed` marks a class flip the engine must persist as a
+/// kPolicyDecision control record before the write it governs.
+struct PolicyDecision {
+  ObjectId id = kInvalidObjectId;
+  LogChoice chosen = LogChoice::kLogical;
+  LogChoice previous = LogChoice::kLogical;
+  PolicyReason reason = PolicyReason::kDefault;
+  uint64_t chain_depth = 0;
+  uint64_t ewma_size = 0;
+  bool changed = false;
+};
+
+/// \brief Online cost model choosing the logging class per object.
+///
+/// The paper fixes each domain's logging class at authoring time; this
+/// engine revisits the choice on every write from cheap per-object
+/// statistics, trading log volume against redo-chain length:
+///
+///  - hot + small   -> W_L  (log stays tiny; redo chains are cut by the
+///                           recovery budget's W_IP installs instead)
+///  - cold + large  -> W_P  (value is logged; blind write peels the
+///                           object off its rW node, no chain growth)
+///  - cold + medium -> W_PL (delta against the cached value when that is
+///                           smaller than the full after-image)
+///  - deep rW chain -> W_P  (regardless of temperature: cuts a chain
+///                           that would otherwise blow the budget)
+///
+/// Decisions are deterministic functions of the write sequence, so a
+/// serial re-execution reproduces the exact class mix — parallel-redo
+/// equivalence and the divergence audit hold under adaptive logging
+/// because the *logged* records already carry their chosen class.
+///
+/// Not thread-safe; owned and driven by the single-threaded engine
+/// execute path, like OpBuilder.
+class AdaptiveLogPolicy {
+ public:
+  explicit AdaptiveLogPolicy(const AdaptivePolicyOptions& options);
+
+  /// Classifies a pending write of `id`. `value_size` is the size of the
+  /// value the write is about to produce (EWMA sample); `chain_depth` is
+  /// the rW dependency weight of the object's owning node (0 when the
+  /// object is clean). Updates both estimators and, cooldown permitting,
+  /// the assigned class.
+  PolicyDecision Decide(ObjectId id, size_t value_size, uint64_t chain_depth);
+
+  /// Records a write of `id` that is not eligible for reclassification
+  /// (ops whose class is structural: W_P / W_PL / W_IP / create /
+  /// delete). Keeps the estimators honest without touching the class.
+  void ObserveWrite(ObjectId id, size_t value_size);
+
+  /// Reseeds the per-object class after a crash from the analysis pass's
+  /// reconstruction of the logged kPolicyDecision records. Objects never
+  /// mentioned default to W_L, matching a fresh policy's initial class.
+  void Restore(ObjectId id, LogChoice cls);
+
+  /// Currently assigned class (W_L if the object is untracked).
+  LogChoice Current(ObjectId id) const;
+
+  const AdaptivePolicyStats& stats() const { return stats_; }
+  const AdaptivePolicyOptions& options() const { return options_; }
+  size_t tracked_objects() const { return objects_.size(); }
+
+ private:
+  struct ObjectState {
+    double ewma_interval = 0.0;
+    bool has_interval = false;
+    double ewma_size = 0.0;
+    bool seen = false;
+    uint64_t last_write_tick = 0;
+    uint64_t writes = 0;
+    uint64_t writes_at_last_change = 0;
+    LogChoice cls = LogChoice::kLogical;
+  };
+
+  /// Advances the global write clock and folds one size/interval sample
+  /// into `id`'s estimators.
+  ObjectState& Touch(ObjectId id, size_t value_size);
+
+  AdaptivePolicyOptions options_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  uint64_t tick_ = 0;  // global write counter: the interval clock
+  AdaptivePolicyStats stats_;
+  // Cached adapt.* metric instances (registry lookups are mutex-guarded).
+  Counter* decisions_metric_;
+  Counter* promotions_metric_;
+  Counter* demotions_metric_;
+  Counter* restored_metric_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_ADAPT_ADAPTIVE_POLICY_H_

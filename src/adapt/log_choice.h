@@ -1,0 +1,63 @@
+#ifndef LOGLOG_ADAPT_LOG_CHOICE_H_
+#define LOGLOG_ADAPT_LOG_CHOICE_H_
+
+#include <cstdint>
+
+namespace loglog {
+
+/// The logging classes the adaptive policy chooses between for one write.
+/// A strict subset of OpClass: identity writes (W_IP) are not chosen per
+/// write — the policy *requests* them from the cache manager when the
+/// uninstalled backlog threatens the recovery budget, and the CM logs
+/// them as ordinary kIdentityWrite operations.
+///
+/// Kept dependency-free so the WAL record codec can name the classes in
+/// kPolicyDecision payloads without pulling the policy engine into wal/.
+enum class LogChoice : uint8_t {
+  kLogical = 0,        // W_L: function id + params only
+  kPhysiological = 1,  // W_PL: byte delta against the cached value
+  kPhysical = 2,       // W_P: full after-image
+};
+
+/// Why a kPolicyDecision record was emitted. Stored in the record and
+/// surfaced by DebugString / loglog_inspect, so post-crash analysis of a
+/// log explains each class flip, not just its outcome.
+enum class PolicyReason : uint8_t {
+  kDefault = 0,    // initial assignment
+  kHotSmall = 1,   // demoted: written often, value small -> W_L
+  kColdLarge = 2,  // promoted: written rarely and/or large -> W_P / W_PL
+  kDeepChain = 3,  // promoted: rW dependency weight over threshold -> W_P
+  kRestored = 4,   // reseeded from the analysis pass after a crash
+};
+
+inline const char* LogChoiceName(LogChoice c) {
+  switch (c) {
+    case LogChoice::kLogical:
+      return "logical";
+    case LogChoice::kPhysiological:
+      return "physiological";
+    case LogChoice::kPhysical:
+      return "physical";
+  }
+  return "?";
+}
+
+inline const char* PolicyReasonName(PolicyReason r) {
+  switch (r) {
+    case PolicyReason::kDefault:
+      return "default";
+    case PolicyReason::kHotSmall:
+      return "hot_small";
+    case PolicyReason::kColdLarge:
+      return "cold_large";
+    case PolicyReason::kDeepChain:
+      return "deep_chain";
+    case PolicyReason::kRestored:
+      return "restored";
+  }
+  return "?";
+}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_ADAPT_LOG_CHOICE_H_

@@ -1,0 +1,64 @@
+#ifndef LOGLOG_ADAPT_POLICY_OPTIONS_H_
+#define LOGLOG_ADAPT_POLICY_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace loglog {
+
+/// Tuning of the adaptive logging-policy engine (src/adapt/). Kept free
+/// of heavy includes so EngineOptions can embed it by value.
+///
+/// The cost model is threshold-based: per object the policy maintains an
+/// EWMA of the write interval (in global writes between two writes of
+/// the object) and of the produced value size, and combines them with
+/// the rW dependency weight of the object's owning graph node. "Hot"
+/// and "cold" and "small" and "large" below name the threshold tests
+/// the decision rules in AdaptiveLogPolicy::Decide are written in terms
+/// of; see DESIGN.md "Adaptive Logging" for the full decision table.
+struct AdaptivePolicyOptions {
+  /// Master switch. Off by default: every existing configuration keeps
+  /// its statically chosen logging class.
+  bool enabled = false;
+
+  /// EWMA smoothing factor for both per-object estimators
+  /// (new = alpha * sample + (1 - alpha) * old).
+  double ewma_alpha = 0.25;
+
+  /// Hot: EWMA write interval at or under this many global writes.
+  double hot_interval_writes = 24.0;
+
+  /// Cold: EWMA write interval at or over this many global writes. An
+  /// object with no interval estimate yet (first write) counts as cold.
+  double cold_interval_writes = 96.0;
+
+  /// Small value: EWMA size at or under this (W_L candidate when hot).
+  size_t small_value_bytes = 96;
+
+  /// Large value: EWMA size at or over this (W_P candidate when cold);
+  /// cold mid-size objects (between small and large) get W_PL.
+  size_t large_value_bytes = 512;
+
+  /// Promote a write to W_P when the owning rW node's dependency weight
+  /// (uninstalled ops in the node + fan-in predecessor nodes) reaches
+  /// this: the blind physical write peels the object off the node and
+  /// caps the redo chain a crash would have to replay.
+  size_t max_chain_depth = 24;
+
+  /// Hysteresis: a per-object class change is allowed at most once per
+  /// this many writes of that object (the first write is exempt), so a
+  /// value oscillating around a threshold does not thrash the log with
+  /// decision records.
+  uint64_t decision_cooldown_writes = 8;
+
+  /// Backpressure on budget-driven identity writes: at most this many
+  /// W_IP injections are honored per flush cycle (one call to
+  /// CacheManager::EnforceRecoveryBudget); requests beyond the cap are
+  /// dropped, counted in cm.identity.budget_drops, and retried on the
+  /// next cycle.
+  size_t max_identity_requests_per_cycle = 8;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_ADAPT_POLICY_OPTIONS_H_

@@ -40,6 +40,11 @@ CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
   metrics_.flush_txns = reg.GetCounter(metric::kCmFlushTxns);
   metrics_.evictions = reg.GetCounter(metric::kCmEvictions);
   metrics_.checkpoints = reg.GetCounter(metric::kCmCheckpoints);
+  metrics_.budget_installs = reg.GetCounter(metric::kCmBudgetInstalls);
+  metrics_.budget_identity_requests =
+      reg.GetCounter(metric::kCmIdentityBudgetRequests);
+  metrics_.budget_identity_drops =
+      reg.GetCounter(metric::kCmIdentityBudgetDrops);
   metrics_.flush_set_size = reg.GetHistogram(metric::kCmFlushSetSize);
   if (flush_policy_ == FlushPolicy::kIdentityWrites &&
       graph_kind == GraphKind::kW) {
@@ -510,6 +515,108 @@ Status CacheManager::InstallHotNodesByLogging() {
       LOGLOG_RETURN_IF_ERROR(InstallNode(target));
     }
   }
+}
+
+Status CacheManager::EnforceRecoveryBudget(uint64_t budget_ops,
+                                           size_t identity_cap) {
+  if (graph_->op_count() <= budget_ops) return Status::OK();
+  TraceSpan span("cm.enforce_budget", "cache");
+  span.AddArg("backlog", static_cast<uint64_t>(graph_->op_count()));
+  // Flush policies with native multi-object atomicity drain the backlog
+  // by ordinary (hot-inclusive) purging; no identity writes involved.
+  if (flush_policy_ != FlushPolicy::kIdentityWrites) {
+    while (graph_->op_count() > budget_ops) {
+      Status st = PurgeOne(true);
+      if (st.IsNotFound()) break;
+      LOGLOG_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+  // Proactive W_IP path: install the oldest chains, peeling hot vars
+  // with identity writes so they install without a flush (Section 4's
+  // install-without-flush, applied on demand instead of at checkpoints).
+  // Identity writes injected here form fresh hot-only nodes carrying
+  // already-advanced rSIs; chasing them would spin.
+  std::set<Lsn> fresh_identity_ops;
+  std::set<NodeId> deferred;  // gained preds while peeling; retry next cycle
+  size_t identity_used = 0;
+  while (graph_->op_count() > budget_ops) {
+    // Oldest eligible minimal node = the head of the longest-standing
+    // redo chain, exactly what the budget wants installed first.
+    NodeId v = kNoNode;
+    Lsn best = kMaxLsn;
+    for (NodeId id : graph_->MinimalNodes()) {
+      if (deferred.contains(id)) continue;
+      const GraphNode* n = graph_->Find(id);
+      bool eligible = false;
+      for (Lsn lsn : n->ops) {
+        if (!fresh_identity_ops.contains(lsn)) {
+          eligible = true;
+          break;
+        }
+      }
+      if (!eligible) continue;
+      if (n->MinOpLsn() < best) {
+        best = n->MinOpLsn();
+        v = id;
+      }
+    }
+    if (v == kNoNode) break;  // nothing installable left this cycle
+    // Peel every hot var (so the node installs without flushing them)
+    // and, beyond that, down to a single keeper.
+    bool out_of_identity_budget = false;
+    while (true) {
+      const GraphNode* n = graph_->Find(v);
+      if (n == nullptr) break;
+      ObjectId peel = kInvalidObjectId;
+      for (ObjectId x : n->vars) {
+        if (hot_.contains(x)) {
+          peel = x;
+          break;
+        }
+      }
+      if (peel == kInvalidObjectId && n->vars.size() > 1) {
+        ObjectId keep = LargestVarsObject(v);
+        for (ObjectId x : n->vars) {
+          if (x != keep) {
+            peel = x;
+            break;
+          }
+        }
+      }
+      if (peel == kInvalidObjectId) break;  // flushable as-is
+      ++stats_.budget_identity_requests;
+      metrics_.budget_identity_requests->Inc();
+      if (identity_used >= identity_cap) {
+        // Backpressure: the per-cycle W_IP allowance is spent. Drop the
+        // request and resume on the next maintenance cycle.
+        ++stats_.budget_identity_drops;
+        metrics_.budget_identity_drops->Inc();
+        out_of_identity_budget = true;
+        break;
+      }
+      ++identity_used;
+      LOGLOG_RETURN_IF_ERROR(InjectIdentityWrite(peel));
+      fresh_identity_ops.insert(log_->last_assigned_lsn());
+      // Peeling can merge nodes (cycles); re-check the node each round.
+      graph_->Normalize();
+    }
+    if (out_of_identity_budget) break;
+    const GraphNode* after = graph_->Find(v);
+    if (after == nullptr) continue;  // merged away; re-scan
+    if (!after->preds.empty()) {
+      // Peeling added fan-in (readers of the peeled values); leave the
+      // node for a later cycle and work on another chain.
+      deferred.insert(v);
+      continue;
+    }
+    ++stats_.budget_installs;
+    metrics_.budget_installs->Inc();
+    LOGLOG_RETURN_IF_ERROR(InstallNode(v));
+  }
+  span.AddArg("identity_used", static_cast<uint64_t>(identity_used));
+  span.AddArg("backlog_after", static_cast<uint64_t>(graph_->op_count()));
+  return Status::OK();
 }
 
 Status CacheManager::Checkpoint() {

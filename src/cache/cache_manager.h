@@ -32,6 +32,10 @@ struct CacheStats {
   uint64_t checkpoints = 0;
   uint64_t evictions = 0;
   uint64_t installed_without_flush = 0;  // objects installed via Notx(n)
+  // Recovery-budget enforcement (EnforceRecoveryBudget).
+  uint64_t budget_installs = 0;           // nodes installed to fit budget
+  uint64_t budget_identity_requests = 0;  // W_IP peels the budget asked for
+  uint64_t budget_identity_drops = 0;     // requests denied by the cycle cap
   /// |vars(n)| at flush time — the atomic flush set size distribution.
   Histogram flush_set_sizes;
   /// |Writes(n)| at flush time (vars + notx).
@@ -104,6 +108,18 @@ class CacheManager {
   /// Installs every node and flushes all remaining dirty objects.
   Status FlushAll();
 
+  /// Recovery-budget enforcement (adaptive policy, Section 4's
+  /// install-without-flush applied on demand): installs the oldest
+  /// chains until at most `budget_ops` uninstalled operations remain.
+  /// Under kIdentityWrites, hot vars are peeled with proactive W_IP
+  /// identity writes so they install without leaving the cache; at most
+  /// `identity_cap` W_IP injections are honored per call (one flush
+  /// cycle) — requests beyond the cap are dropped, counted in
+  /// stats().budget_identity_drops / cm.identity.budget_drops, and the
+  /// backlog is retried next cycle. Staying over budget is never an
+  /// error; only I/O and logging failures propagate.
+  Status EnforceRecoveryBudget(uint64_t budget_ops, size_t identity_cap);
+
   /// Writes a (forced) checkpoint record with the dirty object table and
   /// truncates the stable log prefix no explanation still needs.
   Status Checkpoint();
@@ -170,6 +186,9 @@ class CacheManager {
     Counter* flush_txns;
     Counter* evictions;
     Counter* checkpoints;
+    Counter* budget_installs;
+    Counter* budget_identity_requests;
+    Counter* budget_identity_drops;
     HistogramMetric* flush_set_size;
   };
 

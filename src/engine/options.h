@@ -2,7 +2,9 @@
 #define LOGLOG_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
+#include "adapt/policy_options.h"
 #include "cache/policies.h"
 
 namespace loglog {
@@ -50,6 +52,18 @@ struct EngineOptions {
   ForcePolicy wal_force_policy = ForcePolicy::kImmediate;
   /// Batch byte budget for ForcePolicy::kSizeThreshold.
   size_t wal_group_bytes = 1 << 16;
+  /// Recovery-time budget, expressed as the maximum uninstalled-operation
+  /// backlog (the bound on REDO work a crash can leave behind). 0 means
+  /// unbounded. When the adaptive policy is enabled and the backlog
+  /// exceeds the budget, maintenance asks the cache manager to install
+  /// the oldest chains — peeling hot objects with proactive W_IP identity
+  /// writes — until the backlog fits again (see
+  /// CacheManager::EnforceRecoveryBudget).
+  uint64_t recovery_budget = 0;
+  /// Adaptive logging-policy engine (src/adapt/): per-object runtime
+  /// choice of W_P / W_PL / W_L driven by an online cost model, plus the
+  /// budget-driven W_IP requests above. Off by default.
+  AdaptivePolicyOptions adaptive;
 };
 
 }  // namespace loglog

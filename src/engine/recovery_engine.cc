@@ -15,6 +15,9 @@ RecoveryEngine::RecoveryEngine(const EngineOptions& options,
                                           options_.flush_policy,
                                           options_.log_installs);
   cache_->set_auto_hot_threshold(options_.auto_hot_write_threshold);
+  if (options_.adaptive.enabled) {
+    policy_ = std::make_unique<AdaptiveLogPolicy>(options_.adaptive);
+  }
   needs_recovery_ = disk_->log().retained_bytes() > 0;
 }
 
@@ -23,6 +26,9 @@ Status RecoveryEngine::Recover(RecoveryStats* stats) {
   RecoveryDriver driver(disk_, log_.get(), cache_.get(),
                         options_.redo_test, repair_backup_,
                         options_.recovery.redo_threads);
+  // Reseed the adaptive policy from the logged decision records: after
+  // recovery each object resumes under the class it crashed with.
+  driver.set_policy(policy_.get());
   LOGLOG_RETURN_IF_ERROR(driver.Run(stats != nullptr ? stats : &local));
   recovered_ = true;
   needs_recovery_ = false;
@@ -37,6 +43,13 @@ Status RecoveryEngine::Execute(const OperationDesc& op, Lsn* lsn) {
   LOGLOG_RETURN_IF_ERROR(op.Validate());
   if (!FunctionRegistry::Global().Contains(op.func)) {
     return Status::InvalidArgument("operation uses unregistered transform");
+  }
+
+  // Adaptive path: the policy picks the logging class per written
+  // object; it subsumes the static decomposition below.
+  if (policy_ != nullptr) {
+    LOGLOG_RETURN_IF_ERROR(ExecuteAdaptive(op, lsn));
+    return MaybeMaintain();
   }
 
   // Figure 1b baseline: physiological logging cannot express cross-object
@@ -120,6 +133,127 @@ Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
   return cache_->ApplyResults(op, assigned, std::move(new_values));
 }
 
+Status RecoveryEngine::ExecuteAdaptive(const OperationDesc& op, Lsn* lsn) {
+  // Structurally classed operations (W_P / W_PL / W_IP / create /
+  // delete) keep their class; the policy only observes them so its
+  // estimators stay honest.
+  if (op.op_class != OpClass::kLogical) {
+    for (ObjectId x : op.writes) {
+      policy_->ObserveWrite(x, op.params.size());
+    }
+    return ExecuteInternal(op, lsn);
+  }
+
+  // Compute the transform once; the logical and the promoted path both
+  // persist exactly these results.
+  std::vector<ObjectValue> read_values;
+  read_values.reserve(op.reads.size());
+  for (ObjectId r : op.reads) {
+    ObjectValue v;
+    LOGLOG_RETURN_IF_ERROR(cache_->GetValue(r, &v));
+    read_values.push_back(std::move(v));
+  }
+  std::vector<ObjectValue> old_values(op.writes.size());
+  std::vector<bool> old_exists(op.writes.size(), false);
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    ObjectValue v;
+    if (cache_->GetValue(op.writes[i], &v).ok()) {
+      old_values[i] = std::move(v);
+      old_exists[i] = true;
+    }
+  }
+  std::vector<ObjectValue> new_values = old_values;
+  LOGLOG_RETURN_IF_ERROR(
+      FunctionRegistry::Global().Apply(op, read_values, &new_values));
+
+  // Classify each written object; decision records precede the writes
+  // they govern so analysis sees the flip before the reclassified op.
+  bool promote = false;
+  std::vector<PolicyDecision> decisions;
+  decisions.reserve(op.writes.size());
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    decisions.push_back(policy_->Decide(op.writes[i], new_values[i].size(),
+                                        ChainDepth(op.writes[i])));
+    if (decisions.back().chosen != LogChoice::kLogical) promote = true;
+    if (decisions.back().changed) AppendPolicyDecision(decisions.back());
+  }
+
+  if (!promote) {
+    // W_L: the operation record itself, precomputed results applied.
+    LogRecord rec;
+    rec.type = RecordType::kOperation;
+    rec.op = op;
+    stats_.op_log_bytes += rec.EncodedSize();
+    Lsn assigned = log_->Append(std::move(rec));
+    if (lsn != nullptr) *lsn = assigned;
+    ++stats_.ops_executed;
+    ++stats_.logical_ops;
+    return cache_->ApplyResults(op, assigned, std::move(new_values));
+  }
+
+  // Promoted: one value-carrying record per write (the Figure 1b shape
+  // with a per-object class choice). The blind writes carry exactly the
+  // sequential result, so replay and the divergence audit see the same
+  // values; each record's own LSN becomes the write's vSI, as it would
+  // for any logged blind write.
+  for (size_t i = 0; i < op.writes.size(); ++i) {
+    const ObjectId x = op.writes[i];
+    const ObjectValue& nv = new_values[i];
+    OperationDesc out;
+    bool delta_ok = false;
+    if (decisions[i].chosen == LogChoice::kPhysiological && old_exists[i] &&
+        nv.size() >= old_values[i].size()) {
+      // W_PL: byte range from the first differing byte. kFuncApplyDelta
+      // extends but never truncates, so growth must write through the
+      // new end; equal sizes may also trim the unchanged tail.
+      const ObjectValue& ov = old_values[i];
+      size_t lo = 0;
+      while (lo < ov.size() && lo < nv.size() && ov[lo] == nv[lo]) ++lo;
+      size_t hi = nv.size();
+      if (nv.size() == ov.size()) {
+        while (hi > lo && ov[hi - 1] == nv[hi - 1]) --hi;
+      }
+      // Worth logging as a delta only when it undercuts the full image
+      // (varint offset + length prefix cost ~12 bytes).
+      if (hi - lo + 12 < nv.size()) {
+        out = MakeDelta(x, lo, Slice(nv.data() + lo, hi - lo));
+        delta_ok = true;
+      }
+    }
+    if (delta_ok) {
+      ++stats_.promoted_delta;
+    } else {
+      out = MakePhysicalWrite(x, Slice(nv));
+      ++stats_.promoted_physical;
+    }
+    LOGLOG_RETURN_IF_ERROR(ExecuteInternal(out, lsn));
+  }
+  return Status::OK();
+}
+
+uint64_t RecoveryEngine::ChainDepth(ObjectId id) const {
+  const WriteGraph& g = cache_->graph();
+  NodeId v = g.NodeOwningVar(id);
+  if (v == kNoNode) return 0;
+  const GraphNode* n = g.Find(v);
+  if (n == nullptr) return 0;
+  return n->ops.size() + n->preds.size();
+}
+
+void RecoveryEngine::AppendPolicyDecision(const PolicyDecision& d) {
+  LogRecord rec;
+  rec.type = RecordType::kPolicyDecision;
+  rec.policy.object = d.id;
+  rec.policy.new_class = static_cast<uint8_t>(d.chosen);
+  rec.policy.prev_class = static_cast<uint8_t>(d.previous);
+  rec.policy.reason = static_cast<uint8_t>(d.reason);
+  rec.policy.chain_depth = d.chain_depth;
+  rec.policy.ewma_size = d.ewma_size;
+  ++stats_.policy_decisions;
+  stats_.policy_log_bytes += rec.EncodedSize();
+  log_->Append(std::move(rec));
+}
+
 Status RecoveryEngine::MaybeMaintain() {
   if (options_.purge_threshold_ops > 0) {
     while (cache_->uninstalled_ops() > options_.purge_threshold_ops) {
@@ -129,6 +263,15 @@ Status RecoveryEngine::MaybeMaintain() {
       if (st.IsNotFound()) break;
       LOGLOG_RETURN_IF_ERROR(st);
     }
+  }
+  // Recovery budget: when the uninstalled backlog exceeds the budget,
+  // ask the CM to install the oldest chains — proactive W_IP identity
+  // writes cut the hot chains a crash would otherwise have to replay.
+  if (policy_ != nullptr && options_.recovery_budget > 0 &&
+      cache_->uninstalled_ops() > options_.recovery_budget) {
+    LOGLOG_RETURN_IF_ERROR(cache_->EnforceRecoveryBudget(
+        options_.recovery_budget,
+        options_.adaptive.max_identity_requests_per_cycle));
   }
   if (options_.checkpoint_interval_ops > 0 &&
       ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "adapt/adaptive_policy.h"
 #include "cache/cache_manager.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -22,6 +23,11 @@ struct EngineStats {
   uint64_t logical_ops = 0;
   uint64_t physical_ops = 0;
   uint64_t physiological_ops = 0;
+  // Adaptive-policy execution (EngineOptions::adaptive).
+  uint64_t policy_decisions = 0;   // kPolicyDecision records appended
+  uint64_t policy_log_bytes = 0;   // their encoded payload bytes
+  uint64_t promoted_physical = 0;  // logical writes logged as W_P
+  uint64_t promoted_delta = 0;     // logical writes logged as W_PL
 };
 
 /// \brief The public facade: a redo-recoverable object store driven by
@@ -84,6 +90,9 @@ class RecoveryEngine {
 
   CacheManager& cache() { return *cache_; }
   const CacheManager& cache() const { return *cache_; }
+  /// The adaptive logging policy (nullptr unless options.adaptive.enabled).
+  AdaptiveLogPolicy* policy() { return policy_.get(); }
+  const AdaptiveLogPolicy* policy() const { return policy_.get(); }
   LogManager& log() { return *log_; }
   SimulatedDisk& disk() { return *disk_; }
   const EngineOptions& options() const { return options_; }
@@ -91,12 +100,22 @@ class RecoveryEngine {
 
  private:
   Status ExecuteInternal(const OperationDesc& op, Lsn* lsn);
+  /// Adaptive path: classifies each written object through the policy,
+  /// logs decision records for class flips, and logs the operation under
+  /// the chosen class (W_L as-is; W_P / W_PL as value-carrying records,
+  /// the Figure 1b shape with a per-object class choice).
+  Status ExecuteAdaptive(const OperationDesc& op, Lsn* lsn);
   Status MaybeMaintain();
+  /// rW dependency weight of the object's owning node: uninstalled ops
+  /// in the node plus its fan-in predecessors (0 when clean).
+  uint64_t ChainDepth(ObjectId id) const;
+  void AppendPolicyDecision(const PolicyDecision& d);
 
   EngineOptions options_;
   SimulatedDisk* disk_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<CacheManager> cache_;
+  std::unique_ptr<AdaptiveLogPolicy> policy_;
   EngineStats stats_;
   uint64_t ops_since_checkpoint_ = 0;
   bool recovered_ = false;

@@ -44,6 +44,19 @@ inline constexpr std::string_view kCmFlushTxns = "cm.flush_txn.count";
 inline constexpr std::string_view kCmEvictions = "cm.evict.objects";
 inline constexpr std::string_view kCmCheckpoints = "cm.checkpoint.count";
 inline constexpr std::string_view kCmFlushSetSize = "cm.flush.set_size";
+inline constexpr std::string_view kCmBudgetInstalls = "cm.budget.installs";
+inline constexpr std::string_view kCmIdentityBudgetRequests =
+    "cm.identity.budget_requests";
+inline constexpr std::string_view kCmIdentityBudgetDrops =
+    "cm.identity.budget_drops";
+// Adaptive logging policy (src/adapt/adaptive_policy.cc). Promotions
+// move an object toward value-carrying classes (W_P / W_PL), demotions
+// back to W_L; restored counts classes reseeded from analysis.
+inline constexpr std::string_view kAdaptDecisions = "adapt.policy.decisions";
+inline constexpr std::string_view kAdaptPromotions =
+    "adapt.policy.promotions";
+inline constexpr std::string_view kAdaptDemotions = "adapt.policy.demotions";
+inline constexpr std::string_view kAdaptRestored = "adapt.policy.restored";
 // Recovery (src/recovery/).
 inline constexpr std::string_view kRecoveryRuns = "recovery.runs";
 inline constexpr std::string_view kRecoveryDurationUs =

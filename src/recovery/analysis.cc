@@ -64,6 +64,11 @@ void AnalysisBuilder::Add(const LogRecord& rec) {
     case RecordType::kFlushTxnCommit:
       out_.committed_flush_txns.insert(rec.ref_lsn);
       break;
+    case RecordType::kPolicyDecision:
+      // Last decision wins: the class mix the engine crashed with.
+      out_.policy_classes[rec.policy.object] = rec.policy.new_class;
+      ++out_.policy_records;
+      break;
     default:
       break;
   }

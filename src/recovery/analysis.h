@@ -51,6 +51,15 @@ struct AnalysisResult {
   /// Filled by the driver for RedoTestKind::kRsiFixpoint (see
   /// ComputeRedoFixpoint); empty otherwise.
   std::unordered_map<Lsn, bool> fixpoint_redo;
+  /// Last adaptive-policy class per object (kPolicyDecision records;
+  /// values are adapt/log_choice.h's LogChoice). Recovery reseeds the
+  /// policy from it so each object resumes under the class it crashed
+  /// with; objects never mentioned default to W_L, the policy's initial
+  /// class. Spans the retained log (not reset by checkpoints — but a
+  /// truncated decision only means the policy re-learns the class).
+  std::unordered_map<ObjectId, uint8_t> policy_classes;
+  /// Count of kPolicyDecision records seen.
+  uint64_t policy_records = 0;
 };
 
 /// \brief Streaming analysis: feed records in ascending LSN order (e.g.

@@ -6,6 +6,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "adapt/adaptive_policy.h"
 #include "backup/media_recovery.h"
 #include "common/retry.h"
 #include "obs/json.h"
@@ -251,6 +252,14 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
     }
     stats->redo_start = start == kMaxLsn ? next_lsn : start;
     span.AddArg("redo_start", stats->redo_start);
+    // Reseed the adaptive policy (if the engine runs one) with the class
+    // mix reconstructed from the logged decision records, so post-crash
+    // writes resume under the classes they crashed with.
+    if (policy_ != nullptr) {
+      for (const auto& [id, cls] : analysis.policy_classes) {
+        policy_->Restore(id, static_cast<LogChoice>(cls));
+      }
+    }
   }
 
   // Pass 2 — redo scan: a second cursor walk (the tail, if torn, was
@@ -332,6 +341,7 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
       case RecordType::kCheckpoint:
       case RecordType::kInstall:
       case RecordType::kFlushTxnCommit:
+      case RecordType::kPolicyDecision:
         break;  // consumed by analysis
     }
   }

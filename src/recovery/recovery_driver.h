@@ -13,6 +13,7 @@
 namespace loglog {
 
 struct BackupImage;
+class AdaptiveLogPolicy;
 
 /// A store write issued by recovery itself, verified by read-back through
 /// the checksum and re-issued a bounded number of times on damage (shared
@@ -99,6 +100,11 @@ class RecoveryDriver {
 
   Status Run(RecoveryStats* stats);
 
+  /// Optional adaptive policy to reseed from the analysis pass's
+  /// kPolicyDecision reconstruction (nullptr: no reseeding). Must
+  /// outlive Run().
+  void set_policy(AdaptiveLogPolicy* policy) { policy_ = policy; }
+
  private:
   /// The phases themselves; Run wraps this with the "recovery.run" trace
   /// span and the recovery.* metric updates.
@@ -112,6 +118,7 @@ class RecoveryDriver {
   RedoTestKind redo_test_;
   const BackupImage* repair_backup_;
   int redo_threads_;
+  AdaptiveLogPolicy* policy_ = nullptr;
 };
 
 }  // namespace loglog

@@ -7,6 +7,24 @@
 
 namespace loglog {
 
+const char* LogDumpSummary::ClassName(int op_class) {
+  switch (static_cast<OpClass>(op_class)) {
+    case OpClass::kPhysical:
+      return "physical";
+    case OpClass::kPhysiological:
+      return "physiological";
+    case OpClass::kLogical:
+      return "logical";
+    case OpClass::kIdentityWrite:
+      return "identity";
+    case OpClass::kCreate:
+      return "create";
+    case OpClass::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
 std::string LogDumpSummary::ToString() const {
   char buf[512];
   std::snprintf(
@@ -27,6 +45,12 @@ std::string LogDumpSummary::ToString() const {
       static_cast<unsigned long long>(flush_txn_bytes),
       static_cast<unsigned long long>(payload_bytes));
   std::string out = buf;
+  if (policy_decisions > 0) {
+    std::snprintf(buf, sizeof(buf), " policy=%llu(%llub)",
+                  static_cast<unsigned long long>(policy_decisions),
+                  static_cast<unsigned long long>(policy_bytes));
+    out += buf;
+  }
   if (torn_tail) {
     std::snprintf(buf, sizeof(buf), " torn_tail(after_lsn=%llu offset=%llu)",
                   static_cast<unsigned long long>(torn_tail_lsn),
@@ -51,7 +75,24 @@ std::string LogDumpSummary::ToJson() const {
   w.Key("flush_txn_begins").Uint(flush_txn_begins);
   w.Key("flush_txn_commits").Uint(flush_txn_commits);
   w.Key("flush_txn_bytes").Uint(flush_txn_bytes);
+  w.Key("policy_decisions").Uint(policy_decisions);
+  w.Key("policy_bytes").Uint(policy_bytes);
   w.Key("payload_bytes").Uint(payload_bytes);
+  w.Key("class_mix");
+  w.BeginObject();
+  for (int c = 0; c < kNumClasses; ++c) {
+    w.Key(ClassName(c));
+    w.BeginObject();
+    w.Key("count").Uint(class_counts[c]);
+    w.Key("bytes").Uint(class_bytes[c]);
+    const double pct = payload_bytes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(class_bytes[c]) /
+                                 static_cast<double>(payload_bytes);
+    w.Key("pct").Double(pct);
+    w.EndObject();
+  }
+  w.EndObject();
   w.Key("torn_tail").Bool(torn_tail);
   if (torn_tail) {
     w.Key("torn_tail_lsn").Uint(torn_tail_lsn);
@@ -59,6 +100,34 @@ std::string LogDumpSummary::ToJson() const {
   }
   w.EndObject();
   return w.Take();
+}
+
+std::string LogDumpSummary::ClassMixToString() const {
+  std::string out = "class mix (operation records, % of log payload):\n";
+  char buf[128];
+  for (int c = 0; c < kNumClasses; ++c) {
+    if (class_counts[c] == 0) continue;
+    const double pct = payload_bytes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(class_bytes[c]) /
+                                 static_cast<double>(payload_bytes);
+    std::snprintf(buf, sizeof(buf), "  %-13s %8llu  %10llub  %5.1f%%\n",
+                  ClassName(c),
+                  static_cast<unsigned long long>(class_counts[c]),
+                  static_cast<unsigned long long>(class_bytes[c]), pct);
+    out += buf;
+  }
+  if (policy_decisions > 0) {
+    const double pct = payload_bytes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(policy_bytes) /
+                                 static_cast<double>(payload_bytes);
+    std::snprintf(buf, sizeof(buf), "  %-13s %8llu  %10llub  %5.1f%%\n",
+                  "policy", static_cast<unsigned long long>(policy_decisions),
+                  static_cast<unsigned long long>(policy_bytes), pct);
+    out += buf;
+  }
+  return out;
 }
 
 Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
@@ -87,14 +156,20 @@ Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
     LOGLOG_RETURN_IF_ERROR(st);
     const uint64_t encoded = rec.EncodedSize();
     switch (rec.type) {
-      case RecordType::kOperation:
+      case RecordType::kOperation: {
         ++summary->operations;
         summary->operation_bytes += encoded;
         if (rec.op.op_class == OpClass::kIdentityWrite) {
           ++summary->identity_writes;
           summary->identity_write_bytes += encoded;
         }
+        const int cls = static_cast<int>(rec.op.op_class);
+        if (cls >= 0 && cls < LogDumpSummary::kNumClasses) {
+          ++summary->class_counts[cls];
+          summary->class_bytes[cls] += encoded;
+        }
         break;
+      }
       case RecordType::kCheckpoint:
         ++summary->checkpoints;
         summary->checkpoint_bytes += encoded;
@@ -110,6 +185,10 @@ Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
       case RecordType::kFlushTxnCommit:
         ++summary->flush_txn_commits;
         summary->flush_txn_bytes += encoded;
+        break;
+      case RecordType::kPolicyDecision:
+        ++summary->policy_decisions;
+        summary->policy_bytes += encoded;
         break;
     }
     summary->payload_bytes += encoded;

@@ -28,6 +28,15 @@ struct LogDumpSummary {
   uint64_t checkpoint_bytes = 0;
   uint64_t install_bytes = 0;
   uint64_t flush_txn_bytes = 0;
+  /// Per-logging-class breakdown of the `operations` records, indexed by
+  /// OpClass (W_P, W_PL, W_L, W_IP, create, delete) — the class mix the
+  /// adaptive policy produced (`loglog_inspect --class-mix`).
+  static constexpr int kNumClasses = 6;
+  uint64_t class_counts[kNumClasses] = {};
+  uint64_t class_bytes[kNumClasses] = {};
+  /// kPolicyDecision control records and their payload bytes.
+  uint64_t policy_decisions = 0;
+  uint64_t policy_bytes = 0;
   bool torn_tail = false;
   /// LSN of the last fully-valid record before the tear (0 when the tear
   /// precedes any valid record; meaningless unless torn_tail).
@@ -38,12 +47,19 @@ struct LogDumpSummary {
 
   uint64_t total() const {
     return operations + checkpoints + installs + flush_txn_begins +
-           flush_txn_commits;
+           flush_txn_commits + policy_decisions;
   }
 
+  /// Display name of an OpClass slot ("physical", "physiological", ...).
+  static const char* ClassName(int op_class);
+
   std::string ToString() const;
-  /// One flat JSON object, keys matching the ToString() fields.
+  /// One flat JSON object, keys matching the ToString() fields, plus a
+  /// "class_mix" sub-object with per-class {count, bytes, pct}.
   std::string ToJson() const;
+  /// Multi-line per-class table (count, bytes, % of payload bytes) for
+  /// `loglog_inspect --class-mix`.
+  std::string ClassMixToString() const;
 };
 
 /// \brief Human-readable dump of a framed log byte stream — the

@@ -1,5 +1,6 @@
 #include "wal/log_record.h"
 
+#include "adapt/log_choice.h"
 #include "common/coding.h"
 #include "common/crc32.h"
 
@@ -66,6 +67,14 @@ void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
     case RecordType::kFlushTxnCommit:
       PutVarint64(dst, ref_lsn);
       break;
+    case RecordType::kPolicyDecision:
+      PutVarint64(dst, policy.object);
+      dst->push_back(policy.new_class);
+      dst->push_back(policy.prev_class);
+      dst->push_back(policy.reason);
+      PutVarint64(dst, policy.chain_depth);
+      PutVarint64(dst, policy.ewma_size);
+      break;
   }
 }
 
@@ -74,7 +83,7 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
   uint8_t type_byte = (*src)[0];
   src->RemovePrefix(1);
   if (type_byte < 1 ||
-      type_byte > static_cast<uint8_t>(RecordType::kFlushTxnCommit)) {
+      type_byte > static_cast<uint8_t>(RecordType::kPolicyDecision)) {
     return Status::Corruption("bad record type");
   }
   out->type = static_cast<RecordType>(type_byte);
@@ -129,6 +138,19 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
     case RecordType::kFlushTxnCommit:
       LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->ref_lsn));
       break;
+    case RecordType::kPolicyDecision: {
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->policy.object));
+      if (src->size() < 3) {
+        return Status::Corruption("truncated policy decision");
+      }
+      out->policy.new_class = (*src)[0];
+      out->policy.prev_class = (*src)[1];
+      out->policy.reason = (*src)[2];
+      src->RemovePrefix(3);
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->policy.chain_depth));
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->policy.ewma_size));
+      break;
+    }
   }
   return Status::OK();
 }
@@ -157,6 +179,16 @@ std::string LogRecord::DebugString() const {
       break;
     case RecordType::kFlushTxnCommit:
       out += "ftxn-commit ref=" + std::to_string(ref_lsn);
+      break;
+    case RecordType::kPolicyDecision:
+      out += "policy obj=" + std::to_string(policy.object) + " class=" +
+             LogChoiceName(static_cast<LogChoice>(policy.new_class)) +
+             "<-" +
+             LogChoiceName(static_cast<LogChoice>(policy.prev_class)) +
+             " reason=" +
+             PolicyReasonName(static_cast<PolicyReason>(policy.reason)) +
+             " depth=" + std::to_string(policy.chain_depth) +
+             " ewma=" + std::to_string(policy.ewma_size);
       break;
   }
   out += "}";

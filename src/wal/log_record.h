@@ -30,6 +30,12 @@ enum class RecordType : uint8_t {
   kFlushTxnBegin = 4,
   /// Flush transaction commit; the atomic point of the flush transaction.
   kFlushTxnCommit = 5,
+  /// Adaptive-policy class change for one object (src/adapt/): which
+  /// logging class (LogChoice) subsequent writes of the object use, and
+  /// the cost-model inputs behind the flip. A control record — redo
+  /// ignores it; analysis rebuilds the class mix from the last decision
+  /// per object so recovery reseeds the policy it crashed with.
+  kPolicyDecision = 6,
 };
 
 /// One dirty-object-table entry in a checkpoint record.
@@ -78,6 +84,20 @@ struct LogRecord {
 
   // kFlushTxnCommit: lsn of the matching begin record.
   Lsn ref_lsn = kInvalidLsn;
+
+  // kPolicyDecision: one adaptive-policy class change. Class / reason
+  // bytes are adapt/log_choice.h's LogChoice and PolicyReason values;
+  // kept as raw bytes here so the codec stays policy-agnostic.
+  struct PolicyPayload {
+    ObjectId object = kInvalidObjectId;
+    uint8_t new_class = 0;
+    uint8_t prev_class = 0;
+    uint8_t reason = 0;
+    /// Model inputs at decision time: rW dependency weight of the
+    /// object's node and the EWMA value-size estimate.
+    uint64_t chain_depth = 0;
+    uint64_t ewma_size = 0;
+  } policy;
 
   void EncodeTo(std::vector<uint8_t>* dst) const;
   static Status DecodeFrom(Slice* src, LogRecord* out);

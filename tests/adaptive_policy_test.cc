@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adapt/adaptive_policy.h"
+#include "engine/recovery_engine.h"
+#include "obs/metrics.h"
+#include "ops/op_builder.h"
+#include "recovery/analysis.h"
+#include "sim/crash_harness.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_dump.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+namespace {
+
+// Tight thresholds so the tests exercise every rule with a handful of
+// writes instead of the production-scale defaults.
+AdaptivePolicyOptions TestPolicyOptions() {
+  AdaptivePolicyOptions o;
+  o.enabled = true;
+  o.hot_interval_writes = 4.0;
+  o.cold_interval_writes = 16.0;
+  o.small_value_bytes = 32;
+  o.large_value_bytes = 128;
+  o.max_chain_depth = 1000;  // tests that want the chain rule lower this
+  o.decision_cooldown_writes = 2;
+  return o;
+}
+
+EngineOptions AdaptiveEngineOptions() {
+  EngineOptions eo;
+  eo.logging_mode = LoggingMode::kLogical;
+  eo.adaptive = TestPolicyOptions();
+  return eo;
+}
+
+// --- Cost-model unit tests --------------------------------------------
+
+TEST(AdaptiveLogPolicyTest, FirstLargeWriteIsPromotedToPhysical) {
+  AdaptiveLogPolicy p(TestPolicyOptions());
+  PolicyDecision d = p.Decide(7, 256, 0);
+  EXPECT_EQ(d.chosen, LogChoice::kPhysical);
+  EXPECT_EQ(d.previous, LogChoice::kLogical);
+  EXPECT_EQ(d.reason, PolicyReason::kColdLarge);
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(p.Current(7), LogChoice::kPhysical);
+  EXPECT_EQ(p.stats().to_physical, 1u);
+}
+
+TEST(AdaptiveLogPolicyTest, FirstMediumWriteIsPromotedToPhysiological) {
+  AdaptiveLogPolicy p(TestPolicyOptions());
+  PolicyDecision d = p.Decide(7, 64, 0);
+  EXPECT_EQ(d.chosen, LogChoice::kPhysiological);
+  EXPECT_TRUE(d.changed);
+  EXPECT_EQ(p.stats().to_physiological, 1u);
+}
+
+TEST(AdaptiveLogPolicyTest, FirstSmallWriteStaysLogical) {
+  AdaptiveLogPolicy p(TestPolicyOptions());
+  PolicyDecision d = p.Decide(7, 8, 0);
+  EXPECT_EQ(d.chosen, LogChoice::kLogical);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(p.stats().decisions, 0u);
+}
+
+TEST(AdaptiveLogPolicyTest, DeepChainForcesPhysicalEvenWhenHotAndSmall) {
+  AdaptivePolicyOptions o = TestPolicyOptions();
+  o.max_chain_depth = 6;
+  AdaptiveLogPolicy p(o);
+  for (int i = 0; i < 8; ++i) {
+    p.Decide(7, 8, 0);  // hot, small: stays W_L
+  }
+  ASSERT_EQ(p.Current(7), LogChoice::kLogical);
+  PolicyDecision d = p.Decide(7, 8, /*chain_depth=*/6);
+  EXPECT_EQ(d.chosen, LogChoice::kPhysical);
+  EXPECT_EQ(d.reason, PolicyReason::kDeepChain);
+  EXPECT_TRUE(d.changed);
+}
+
+TEST(AdaptiveLogPolicyTest, HotSmallTrafficDemotesBackToLogical) {
+  AdaptiveLogPolicy p(TestPolicyOptions());
+  ASSERT_EQ(p.Decide(7, 256, 0).chosen, LogChoice::kPhysical);
+  // Back-to-back tiny writes: interval EWMA pins to 1 (hot) and the size
+  // EWMA decays below the small threshold within a dozen samples.
+  LogChoice last = LogChoice::kPhysical;
+  for (int i = 0; i < 20; ++i) {
+    last = p.Decide(7, 8, 0).chosen;
+  }
+  EXPECT_EQ(last, LogChoice::kLogical);
+  EXPECT_EQ(p.Current(7), LogChoice::kLogical);
+  EXPECT_GE(p.stats().to_logical, 1u);
+}
+
+TEST(AdaptiveLogPolicyTest, CooldownSuppressesFlipFlop) {
+  AdaptivePolicyOptions o = TestPolicyOptions();
+  o.decision_cooldown_writes = 100;
+  AdaptiveLogPolicy p(o);
+  ASSERT_TRUE(p.Decide(7, 256, 0).changed);  // first write classifies freely
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(p.Decide(7, 8, 0).changed) << "write " << i;
+  }
+  EXPECT_EQ(p.Current(7), LogChoice::kPhysical);
+  EXPECT_EQ(p.stats().decisions, 1u);
+}
+
+TEST(AdaptiveLogPolicyTest, RestoreReseedsClassAndReopensCooldown) {
+  AdaptivePolicyOptions o = TestPolicyOptions();
+  o.decision_cooldown_writes = 100;
+  // Post-crash flow: a fresh policy reseeded from the analysis pass.
+  AdaptiveLogPolicy p(o);
+  p.Restore(7, LogChoice::kPhysiological);
+  EXPECT_EQ(p.Current(7), LogChoice::kPhysiological);
+  EXPECT_EQ(p.stats().restored, 1u);
+  // The reseed is not a fresh decision: the first post-crash write may
+  // still reclassify immediately despite the long cooldown window.
+  EXPECT_TRUE(p.Decide(7, 300, 0).changed);
+  EXPECT_EQ(p.Current(7), LogChoice::kPhysical);
+}
+
+TEST(AdaptiveLogPolicyTest, ObserveWriteTracksWithoutReclassifying) {
+  AdaptiveLogPolicy p(TestPolicyOptions());
+  for (int i = 0; i < 5; ++i) {
+    p.ObserveWrite(9, 4096);  // structural writes never flip the class
+  }
+  EXPECT_EQ(p.Current(9), LogChoice::kLogical);
+  EXPECT_EQ(p.stats().decisions, 0u);
+  EXPECT_EQ(p.stats().writes_observed, 5u);
+  EXPECT_EQ(p.tracked_objects(), 1u);
+}
+
+// --- kPolicyDecision record codec -------------------------------------
+
+TEST(PolicyRecordTest, EncodeDecodeRoundtrip) {
+  LogRecord rec;
+  rec.type = RecordType::kPolicyDecision;
+  rec.lsn = 42;
+  rec.policy.object = 1234;
+  rec.policy.new_class = static_cast<uint8_t>(LogChoice::kPhysical);
+  rec.policy.prev_class = static_cast<uint8_t>(LogChoice::kLogical);
+  rec.policy.reason = static_cast<uint8_t>(PolicyReason::kDeepChain);
+  rec.policy.chain_depth = 77;
+  rec.policy.ewma_size = 4096;
+
+  std::vector<uint8_t> buf;
+  rec.EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), rec.EncodedSize());
+
+  Slice src(buf.data(), buf.size());
+  LogRecord out;
+  ASSERT_TRUE(LogRecord::DecodeFrom(&src, &out).ok());
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(out.type, RecordType::kPolicyDecision);
+  EXPECT_EQ(out.lsn, 42u);
+  EXPECT_EQ(out.policy.object, 1234u);
+  EXPECT_EQ(out.policy.new_class, rec.policy.new_class);
+  EXPECT_EQ(out.policy.prev_class, rec.policy.prev_class);
+  EXPECT_EQ(out.policy.reason, rec.policy.reason);
+  EXPECT_EQ(out.policy.chain_depth, 77u);
+  EXPECT_EQ(out.policy.ewma_size, 4096u);
+  EXPECT_NE(out.DebugString().find("policy"), std::string::npos);
+}
+
+TEST(PolicyRecordTest, TruncatedPayloadIsCorruption) {
+  LogRecord rec;
+  rec.type = RecordType::kPolicyDecision;
+  rec.lsn = 9;
+  rec.policy.object = 5;
+  std::vector<uint8_t> buf;
+  rec.EncodeTo(&buf);
+  for (size_t len = 0; len < buf.size(); ++len) {
+    Slice src(buf.data(), len);
+    LogRecord out;
+    EXPECT_FALSE(LogRecord::DecodeFrom(&src, &out).ok()) << "len " << len;
+  }
+}
+
+TEST(PolicyRecordTest, AnalysisReconstructsLastClassPerObject) {
+  auto decision = [](Lsn lsn, ObjectId id, LogChoice cls) {
+    LogRecord rec;
+    rec.type = RecordType::kPolicyDecision;
+    rec.lsn = lsn;
+    rec.policy.object = id;
+    rec.policy.new_class = static_cast<uint8_t>(cls);
+    return rec;
+  };
+  AnalysisBuilder builder;
+  builder.Add(decision(1, 7, LogChoice::kPhysical));
+  builder.Add(decision(2, 8, LogChoice::kPhysiological));
+  builder.Add(decision(3, 7, LogChoice::kLogical));  // last decision wins
+  AnalysisResult analysis = builder.Finish();
+  EXPECT_EQ(analysis.policy_records, 3u);
+  ASSERT_EQ(analysis.policy_classes.count(7), 1u);
+  ASSERT_EQ(analysis.policy_classes.count(8), 1u);
+  EXPECT_EQ(analysis.policy_classes.at(7),
+            static_cast<uint8_t>(LogChoice::kLogical));
+  EXPECT_EQ(analysis.policy_classes.at(8),
+            static_cast<uint8_t>(LogChoice::kPhysiological));
+}
+
+// --- Engine integration -----------------------------------------------
+
+TEST(AdaptiveEngineTest, ColdLargeLogicalWriteIsLoggedPhysically) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(AdaptiveEngineOptions(), &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "app-state")).ok());
+  // W_L(A,X) emitting a 256-byte value: first write of X, cold + large,
+  // so the policy promotes it to a blind W_P carrying the value.
+  ASSERT_TRUE(engine.Execute(MakeAppWrite(1, 2, 256, 99)).ok());
+
+  EXPECT_GE(engine.stats().promoted_physical, 1u);
+  EXPECT_GE(engine.stats().policy_decisions, 1u);
+  EXPECT_GT(engine.stats().policy_log_bytes, 0u);
+  ASSERT_NE(engine.policy(), nullptr);
+  EXPECT_GE(engine.policy()->stats().to_physical, 1u);
+
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(2, &v).ok());
+  EXPECT_EQ(v.size(), 256u);
+
+  // The log carries the promoted W_P record and the decision record.
+  ASSERT_TRUE(engine.log().ForceAll().ok());
+  LogDumpSummary summary;
+  ASSERT_TRUE(
+      DumpLog(disk.log().ArchiveContents(), nullptr, &summary).ok());
+  EXPECT_GE(summary.class_counts[static_cast<int>(OpClass::kPhysical)], 1u);
+  EXPECT_GE(summary.policy_decisions, 1u);
+  EXPECT_GT(summary.policy_bytes, 0u);
+}
+
+TEST(AdaptiveEngineTest, ColdMediumRewriteIsLoggedAsDelta) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(AdaptiveEngineOptions(), &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "app-state")).ok());
+  ASSERT_TRUE(engine.Execute(MakeCreate(3, "hot")).ok());
+  // First W_L(A,X) of a medium value: cold + medium -> W_PL class, but
+  // with no prior image the record falls back to a full physical write.
+  ASSERT_TRUE(engine.Execute(MakeAppWrite(1, 2, 80, 7)).ok());
+  EXPECT_EQ(engine.policy()->Current(2), LogChoice::kPhysiological);
+  // Interleave hot traffic so X stays cold (interval >= the threshold).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeAppExecute(3, i)).ok());
+  }
+  // Same app state + same seed -> identical emitted value: the W_PL
+  // encoder finds an empty differing range and logs a minimal delta.
+  ASSERT_TRUE(engine.Execute(MakeAppWrite(1, 2, 80, 7)).ok());
+  EXPECT_GE(engine.stats().promoted_delta, 1u);
+
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(2, &v).ok());
+  EXPECT_EQ(v.size(), 80u);
+
+  ASSERT_TRUE(engine.log().ForceAll().ok());
+  LogDumpSummary summary;
+  ASSERT_TRUE(
+      DumpLog(disk.log().ArchiveContents(), nullptr, &summary).ok());
+  EXPECT_GE(summary.class_counts[static_cast<int>(OpClass::kPhysiological)],
+            1u);
+}
+
+TEST(AdaptiveEngineTest, ClassMixSummaryReportsAllTraffic) {
+  SimulatedDisk disk;
+  RecoveryEngine engine(AdaptiveEngineOptions(), &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "app-state")).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeAppExecute(1, i)).ok());  // stays W_L
+  }
+  ASSERT_TRUE(engine.Execute(MakeAppWrite(1, 2, 256, 1)).ok());  // -> W_P
+  ASSERT_TRUE(engine.log().ForceAll().ok());
+
+  LogDumpSummary summary;
+  ASSERT_TRUE(
+      DumpLog(disk.log().ArchiveContents(), nullptr, &summary).ok());
+  EXPECT_GT(summary.class_counts[static_cast<int>(OpClass::kLogical)], 0u);
+  EXPECT_GT(summary.class_counts[static_cast<int>(OpClass::kPhysical)], 0u);
+  EXPECT_GT(summary.class_counts[static_cast<int>(OpClass::kCreate)], 0u);
+
+  const std::string json = summary.ToJson();
+  EXPECT_NE(json.find("\"class_mix\""), std::string::npos);
+  EXPECT_NE(json.find("\"logical\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy_decisions\""), std::string::npos);
+  const std::string table = summary.ClassMixToString();
+  EXPECT_NE(table.find("logical"), std::string::npos);
+  EXPECT_NE(table.find("policy"), std::string::npos);
+}
+
+// A class switch across a crash: W_L before, promoted W_P after; the
+// recovered store must match the sequential reference (values and vSIs)
+// and the recovered policy must resume under the logged class.
+TEST(AdaptiveEngineTest, PolicySwitchAcrossCrashRecovers) {
+  EngineOptions eo = AdaptiveEngineOptions();
+  CrashHarness h(eo);
+  ASSERT_TRUE(h.Execute(MakeCreate(5, "seed")).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(h.Execute(MakeAppExecute(5, i)).ok());  // hot+small: W_L
+  }
+  EXPECT_EQ(h.engine().policy()->Current(5), LogChoice::kLogical);
+  ASSERT_TRUE(h.engine().log().ForceAll().ok());
+
+  h.Crash();
+  ASSERT_TRUE(h.Recover().ok());
+  ASSERT_TRUE(h.VerifyAgainstReference().ok());
+
+  // Post-crash the policy is fresh; the first write of object 5 counts
+  // as cold, and a large emitted value promotes it to W_P.
+  ASSERT_TRUE(h.Execute(MakeAppWrite(5, 6, 300, 11)).ok());
+  ASSERT_TRUE(h.Execute(MakeAppWrite(6, 5, 200, 12)).ok());
+  EXPECT_EQ(h.engine().policy()->Current(5), LogChoice::kPhysical);
+  EXPECT_GE(h.engine().stats().promoted_physical, 1u);
+  ASSERT_TRUE(h.engine().log().ForceAll().ok());
+
+  h.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(h.Recover(&stats).ok());
+  ASSERT_TRUE(h.VerifyAgainstReference().ok());
+
+  // Analysis reconstructed the decision records and reseeded the policy.
+  ASSERT_NE(h.engine().policy(), nullptr);
+  EXPECT_EQ(h.engine().policy()->Current(5), LogChoice::kPhysical);
+  EXPECT_EQ(h.engine().policy()->Current(6), LogChoice::kPhysical);
+  EXPECT_GE(h.engine().policy()->stats().restored, 2u);
+
+  ObjectValue v;
+  ASSERT_TRUE(h.engine().Read(5, &v).ok());
+  EXPECT_EQ(v.size(), 200u);
+}
+
+// --- Recovery budget / proactive W_IP ---------------------------------
+
+TEST(AdaptiveEngineTest, RecoveryBudgetBoundsRedoBacklog) {
+  EngineOptions eo = AdaptiveEngineOptions();
+  eo.purge_threshold_ops = 0;  // isolate the budget path from auto-purge
+  eo.recovery_budget = 24;
+  CrashHarness h(eo);
+  ASSERT_TRUE(h.Execute(MakeCreate(1, "app-state-bytes")).ok());
+  // Hot app state: installing its ever-growing node requires peeling the
+  // object off with a W_IP instead of flushing it (Section 4).
+  h.engine().MarkHot(1);
+  for (ObjectId x = 100; x < 104; ++x) {
+    ASSERT_TRUE(h.Execute(MakeCreate(x, "tgt")).ok());
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(h.Execute(MakeAppExecute(1, i)).ok());
+    if (i % 8 == 0) {
+      ASSERT_TRUE(
+          h.Execute(MakeAppWrite(1, 100 + (i / 8) % 4, 24, i)).ok());
+    }
+  }
+  const CacheStats& cs = h.engine().cache().stats();
+  EXPECT_GT(cs.budget_installs, 0u);
+  EXPECT_GT(cs.budget_identity_requests, 0u);
+  // The backlog stays within the budget plus one cycle's identity slack.
+  EXPECT_LE(h.engine().cache().uninstalled_ops(),
+            eo.recovery_budget +
+                eo.adaptive.max_identity_requests_per_cycle + 8);
+
+  ASSERT_TRUE(h.engine().log().ForceAll().ok());
+  h.Crash();
+  RecoveryStats stats;
+  ASSERT_TRUE(h.Recover(&stats).ok());
+  // ~340 operations ran; the budget keeps redo work near the backlog
+  // bound instead of the whole history.
+  EXPECT_LE(stats.ops_redone, 100u);
+  ASSERT_TRUE(h.VerifyAgainstReference().ok());
+}
+
+TEST(AdaptiveEngineTest, IdentityRequestCapBackpressureCountsDrops) {
+  EngineOptions eo = AdaptiveEngineOptions();
+  eo.purge_threshold_ops = 0;
+  eo.recovery_budget = 8;
+  eo.adaptive.max_identity_requests_per_cycle = 0;  // starve the peeler
+  Counter* drops =
+      MetricsRegistry::Global().GetCounter(metric::kCmIdentityBudgetDrops);
+  const uint64_t drops_before = drops->value();
+
+  SimulatedDisk disk;
+  RecoveryEngine engine(eo, &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "app-state-bytes")).ok());
+  // The hot object's node can only install by peeling it with a W_IP,
+  // and the zero cap refuses every request.
+  engine.MarkHot(1);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(engine.Execute(MakeAppExecute(1, i)).ok());
+  }
+  const CacheStats& cs = engine.cache().stats();
+  EXPECT_GT(cs.budget_identity_drops, 0u);
+  EXPECT_GE(cs.budget_identity_requests, cs.budget_identity_drops);
+  // With zero identity writes allowed the backlog escapes the budget —
+  // the cap is backpressure, not a correctness gate.
+  EXPECT_GT(engine.cache().uninstalled_ops(), eo.recovery_budget);
+  EXPECT_GT(drops->value(), drops_before);
+}
+
+}  // namespace
+}  // namespace loglog

@@ -20,6 +20,10 @@ struct MatrixParam {
   FlushPolicy flush;
   RedoTestKind redo;
   uint64_t seed;
+  /// Adaptive logging policy (src/adapt/) on top of the base mode, with
+  /// an optional recovery budget driving proactive W_IP installs.
+  bool adaptive = false;
+  uint64_t budget = 0;
 };
 
 std::string ParamName(const testing::TestParamInfo<MatrixParam>& info) {
@@ -55,8 +59,26 @@ std::string ParamName(const testing::TestParamInfo<MatrixParam>& info) {
       s += "Fix";
       break;
   }
+  if (p.adaptive) {
+    s += p.budget > 0 ? "AdaptBudget" : "Adapt";
+  }
   s += "S" + std::to_string(p.seed);
   return s;
+}
+
+// Tight thresholds so the mixed workload actually flips classes: the
+// matrix must cover histories where W_L, promoted W_PL/W_P and decision
+// records interleave with crashes.
+AdaptivePolicyOptions MatrixAdaptiveOptions() {
+  AdaptivePolicyOptions a;
+  a.enabled = true;
+  a.hot_interval_writes = 8.0;
+  a.cold_interval_writes = 24.0;
+  a.small_value_bytes = 32;
+  a.large_value_bytes = 96;
+  a.max_chain_depth = 16;
+  a.decision_cooldown_writes = 4;
+  return a;
 }
 
 class CrashMatrixTest : public testing::TestWithParam<MatrixParam> {};
@@ -70,6 +92,10 @@ TEST_P(CrashMatrixTest, RecoversAtRandomCrashPoints) {
   opts.redo_test = p.redo;
   opts.purge_threshold_ops = 24;
   opts.checkpoint_interval_ops = 60;
+  if (p.adaptive) {
+    opts.adaptive = MatrixAdaptiveOptions();
+    opts.recovery_budget = p.budget;
+  }
 
   CrashHarness harness(opts, p.seed);
   MixedWorkloadOptions wopts;
@@ -118,6 +144,37 @@ std::vector<MatrixParam> BuildMatrix() {
       }
     }
   }
+  // Adaptive-policy configurations (appended, not multiplied): the
+  // cost model only reclassifies W_L traffic, so the base mode is
+  // logical; sweep graphs, flush policies, REDO tests and the budget.
+  for (uint64_t seed : {1u, 2u}) {
+    out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                   FlushPolicy::kIdentityWrites,
+                   RedoTestKind::kRsiGeneralized, seed, true, 0});
+    out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                   FlushPolicy::kIdentityWrites,
+                   RedoTestKind::kRsiGeneralized, seed, true, 32});
+  }
+  out.push_back({LoggingMode::kLogical, GraphKind::kW,
+                 FlushPolicy::kIdentityWrites,
+                 RedoTestKind::kRsiGeneralized, 1, true, 0});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kIdentityWrites, RedoTestKind::kVsi, 1, true,
+                 32});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kIdentityWrites, RedoTestKind::kAlways, 1,
+                 true, 0});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kIdentityWrites, RedoTestKind::kRsiFixpoint,
+                 1, true, 32});
+  // Non-identity flush policies take EnforceRecoveryBudget's purge
+  // fallback instead of proactive W_IPs.
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kFlushTransaction,
+                 RedoTestKind::kRsiGeneralized, 1, true, 32});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kShadow, RedoTestKind::kRsiGeneralized, 1,
+                 true, 32});
   return out;
 }
 

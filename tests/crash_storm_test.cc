@@ -33,6 +33,10 @@ struct StormConfig {
   int redo_threads = 1;
   /// WAL batching policy under fire (group commit coalesces forces).
   ForcePolicy force_policy = ForcePolicy::kImmediate;
+  /// Adaptive logging policy: per-write class promotion plus (budget > 0)
+  /// proactive W_IP installs, soaked against the same fault mix.
+  bool adaptive = false;
+  uint64_t budget = 0;
 };
 
 // Two logging modes x all four flush policies, with graph kinds, redo
@@ -66,6 +70,14 @@ constexpr StormConfig kConfigs[] = {
     {"PhysiologicalShadow", LoggingMode::kPhysiological,
      GraphKind::kRefined, FlushPolicy::kShadow,
      RedoTestKind::kRsiGeneralized, 1008},
+    {"AdaptiveIdentityWrites", LoggingMode::kLogical, GraphKind::kRefined,
+     FlushPolicy::kIdentityWrites, RedoTestKind::kRsiGeneralized, 1009,
+     /*redo_threads=*/4, ForcePolicy::kGroup, /*adaptive=*/true,
+     /*budget=*/32},
+    {"AdaptiveNoBudget", LoggingMode::kLogical, GraphKind::kW,
+     FlushPolicy::kIdentityWrites, RedoTestKind::kRsiFixpoint, 1010,
+     /*redo_threads=*/2, ForcePolicy::kImmediate, /*adaptive=*/true,
+     /*budget=*/0},
 };
 
 class CrashStormTest : public testing::TestWithParam<StormConfig> {};
@@ -82,6 +94,15 @@ TEST_P(CrashStormTest, SurvivesTheStorm) {
   // Purge aggressively so flushes (and their fault sites) happen inside
   // the fault-armed bursts, not only in the post-disarm verification.
   options.engine.purge_threshold_ops = 12;
+  if (cfg.adaptive) {
+    options.engine.adaptive.enabled = true;
+    options.engine.adaptive.hot_interval_writes = 8.0;
+    options.engine.adaptive.cold_interval_writes = 24.0;
+    options.engine.adaptive.small_value_bytes = 32;
+    options.engine.adaptive.large_value_bytes = 96;
+    options.engine.adaptive.decision_cooldown_writes = 4;
+    options.engine.recovery_budget = cfg.budget;
+  }
   options.seed = cfg.seed;
   options.iterations = g_storm_iters;
 

@@ -25,6 +25,11 @@ struct MatrixParam {
   FlushPolicy flush;
   RedoTestKind redo;
   uint64_t seed;
+  /// Adaptive logging policy on both harnesses: the logged class mix now
+  /// mixes W_L with promoted W_P/W_PL and decision records, and the
+  /// partitioned redo must still match the serial scan byte-for-byte.
+  bool adaptive = false;
+  uint64_t budget = 0;
 };
 
 std::string ParamName(const testing::TestParamInfo<MatrixParam>& info) {
@@ -60,6 +65,9 @@ std::string ParamName(const testing::TestParamInfo<MatrixParam>& info) {
       s += "Fix";
       break;
   }
+  if (p.adaptive) {
+    s += p.budget > 0 ? "AdaptBudget" : "Adapt";
+  }
   s += "S" + std::to_string(p.seed);
   return s;
 }
@@ -87,6 +95,15 @@ TEST_P(ParallelRedoMatrixTest, ParallelMatchesSerialExactly) {
   serial_opts.purge_threshold_ops = 24;
   serial_opts.checkpoint_interval_ops = 60;
   serial_opts.recovery.redo_threads = 1;
+  if (p.adaptive) {
+    serial_opts.adaptive.enabled = true;
+    serial_opts.adaptive.hot_interval_writes = 8.0;
+    serial_opts.adaptive.cold_interval_writes = 24.0;
+    serial_opts.adaptive.small_value_bytes = 32;
+    serial_opts.adaptive.large_value_bytes = 96;
+    serial_opts.adaptive.decision_cooldown_writes = 4;
+    serial_opts.recovery_budget = p.budget;
+  }
   EngineOptions parallel_opts = serial_opts;
   parallel_opts.recovery.redo_threads = 4;
 
@@ -189,6 +206,25 @@ std::vector<MatrixParam> BuildMatrix() {
       }
     }
   }
+  // Adaptive-policy configurations (appended): the promoted class mix
+  // and the budget's W_IP installs must be serial-equivalent too.
+  for (uint64_t seed : {1u, 2u}) {
+    out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                   FlushPolicy::kIdentityWrites,
+                   RedoTestKind::kRsiGeneralized, seed, true, 0});
+    out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                   FlushPolicy::kIdentityWrites,
+                   RedoTestKind::kRsiGeneralized, seed, true, 32});
+  }
+  out.push_back({LoggingMode::kLogical, GraphKind::kW,
+                 FlushPolicy::kIdentityWrites,
+                 RedoTestKind::kRsiGeneralized, 1, true, 32});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kIdentityWrites, RedoTestKind::kVsi, 1, true,
+                 0});
+  out.push_back({LoggingMode::kLogical, GraphKind::kRefined,
+                 FlushPolicy::kFlushTransaction,
+                 RedoTestKind::kRsiGeneralized, 2, true, 32});
   return out;
 }
 

@@ -395,6 +395,65 @@ TEST(ShipTest, PromotedStandbyServesWrites) {
   EXPECT_TRUE(standby.Promote(opts, &again).IsFailedPrecondition());
 }
 
+// Adaptive primary: the shipped stream mixes W_L, promoted W_P/W_PL and
+// kPolicyDecision control records. The standby consumes the control
+// records without applying them and still converges to byte-identical
+// values and vSIs; the divergence audit stays clean.
+TEST(ShipTest, AdaptivePolicyStreamConverges) {
+  EngineOptions opts;
+  opts.adaptive.enabled = true;
+  opts.adaptive.hot_interval_writes = 8.0;
+  opts.adaptive.cold_interval_writes = 24.0;
+  opts.adaptive.small_value_bytes = 32;
+  opts.adaptive.large_value_bytes = 96;
+  opts.adaptive.decision_cooldown_writes = 4;
+  opts.recovery_budget = 48;
+
+  SimulatedDisk disk;
+  RecoveryEngine primary(opts, &disk);
+  ReplicationChannel channel;
+  StandbyApplier standby(&channel);
+  LogShipper shipper(&disk.log(), &channel);
+
+  ASSERT_TRUE(primary.Execute(MakeCreate(1, "app-state")).ok());
+  primary.MarkHot(1);
+  for (int i = 0; i < 120; ++i) {
+    // Hot small app traffic stays W_L; every 12th op emits a large cold
+    // file value that the policy promotes to a blind W_P.
+    ASSERT_TRUE(primary.Execute(MakeAppExecute(1, i)).ok());
+    if (i % 12 == 0) {
+      ASSERT_TRUE(
+          primary.Execute(MakeAppWrite(1, 200 + (i / 12) % 3, 150, i)).ok());
+    }
+    if (i % 8 == 0) {
+      ASSERT_TRUE(primary.log().ForceAll().ok());
+      ASSERT_TRUE(shipper.Poll().ok());
+      ASSERT_TRUE(standby.Pump().ok());
+    }
+  }
+  // The policy actually flipped classes, so decision records shipped.
+  EXPECT_GT(primary.stats().policy_decisions, 0u);
+  EXPECT_GT(primary.stats().promoted_physical, 0u);
+
+  ASSERT_TRUE(primary.FlushAll().ok());
+  ASSERT_TRUE(primary.log().ForceAll().ok());
+  DrainPipeline(&shipper, &standby, &channel);
+  ASSERT_TRUE(standby.cache()->FlushAll().ok());
+
+  ExpectStoresIdentical(disk.store(), standby.disk()->store());
+  EXPECT_EQ(standby.stats().batches_gap, 0u);
+  EXPECT_EQ(standby.stats().frames_corrupt, 0u);
+
+  DivergenceReport report;
+  ASSERT_TRUE(RunDivergenceAudit(disk.log().ArchiveContents(),
+                                 standby.applied_lsn(),
+                                 standby.disk()->store(), &report)
+                  .ok())
+      << report.ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_GT(report.objects_compared, 0u);
+}
+
 // Replicated appends preserve primary LSNs and keep the standby's LSN
 // counter in lock-step.
 TEST(ShipTest, AppendReplicatedKeepsPrimaryLsns) {

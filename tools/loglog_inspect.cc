@@ -23,6 +23,9 @@
 //   --seed N        demo workload seed (default 321)
 //   --ops N         demo workload operation count (default 400)
 //   --quiet         suppress the per-record listing in text mode
+//   --class-mix     per-logging-class breakdown (counts, bytes, % of log)
+//                   of the retained log and the full archive; in JSON the
+//                   breakdown is always embedded as "class_mix"
 //   --ship-status   run a primary + log-shipped standby pair and report
 //                   primary durable LSN vs standby applied LSN with the
 //                   current lag (records/bytes/LSN) from the ship.*
@@ -60,6 +63,7 @@ struct InspectOptions {
   bool json = false;
   bool recover = true;
   bool quiet = false;
+  bool class_mix = false;
   int threads = 4;
   uint64_t seed = 321;
   uint64_t ops = 400;
@@ -72,7 +76,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [IMAGE] [--demo] [--ship-status] [--crash] "
                "[--save FILE] [--json] [--trace FILE] [--threads N] "
-               "[--no-recover] [--seed N] [--ops N] [--quiet]\n",
+               "[--no-recover] [--seed N] [--ops N] [--quiet] "
+               "[--class-mix]\n",
                argv0);
   return 2;
 }
@@ -98,6 +103,8 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
       out->recover = false;
     } else if (arg == "--quiet") {
       out->quiet = true;
+    } else if (arg == "--class-mix") {
+      out->class_mix = true;
     } else if (arg == "--save") {
       if (!next_value(&out->save_path)) return false;
     } else if (arg == "--trace") {
@@ -427,6 +434,10 @@ int Run(const InspectOptions& opts) {
   if (!opts.quiet) std::printf("%s", listing.c_str());
   std::printf("---\nretained log: %s\n", summary.ToString().c_str());
   std::printf("full history:  %s\n", archive.ToString().c_str());
+  if (opts.class_mix) {
+    std::printf("retained %s", summary.ClassMixToString().c_str());
+    std::printf("archive %s", archive.ClassMixToString().c_str());
+  }
   std::printf("io:            %s\n", disk.stats().ToString().c_str());
   if (recovered) {
     std::printf("recovery:      %s\n", rstats.ToString().c_str());
