@@ -1,0 +1,148 @@
+// E17 (transactional UNDO economics): commit and rollback are the two
+// exits from a transaction, and their costs are asymmetric by design.
+// Commit appends one forced marker — its price is the force, amortized
+// over the transaction's operations. Rollback walks the backchain and
+// logs one compensation record per forward operation — its price grows
+// linearly with transaction depth, and splits between cheap logical
+// inverses (ids only) and before-image restores (value bytes).
+//
+// Three series:
+//
+//   TxnCommit/ops:N     committed-transaction throughput vs depth; the
+//                       per-op cost falls as the forced commit amortizes;
+//   TxnRollback/ops:N   rollback latency vs depth, with the CLR count
+//                       and compensation-byte footprint per transaction;
+//   TxnAbortMix/abort:P workload throughput as the abort rate climbs —
+//                       the storm harness's mix, measured not faulted.
+//
+// Merged into BENCH_txn.json by bench/run_benches.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "engine/txn_manager.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+
+namespace loglog {
+namespace {
+
+constexpr ObjectId kObjects = 16;
+
+void SeedObjects(CrashHarness* harness, benchmark::State* state) {
+  for (ObjectId x = 1; x <= kObjects; ++x) {
+    Status st = harness->Execute(MakeCreate(x, "seed-value"));
+    if (!st.ok()) state->SkipWithError(st.ToString().c_str());
+  }
+}
+
+void BM_TxnCommit(benchmark::State& state) {
+  const int ops_per_txn = static_cast<int>(state.range(0));
+  CrashHarness harness{EngineOptions{}, 777};
+  SeedObjects(&harness, &state);
+  TxnManager tm(&harness.engine());
+  uint64_t cursor = 0;
+  for (auto _ : state) {
+    TxnId id;
+    Status st = tm.Begin(&id);
+    for (int j = 0; st.ok() && j < ops_per_txn; ++j) {
+      st = tm.Execute(id, MakePhysicalWrite(1 + cursor++ % kObjects,
+                                            "committed-value"));
+    }
+    if (st.ok()) st = tm.Commit(id);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["txns_per_s"] = benchmark::Counter(
+      static_cast<double>(tm.stats().committed), benchmark::Counter::kIsRate);
+  state.counters["ops_per_s"] = benchmark::Counter(
+      static_cast<double>(tm.stats().committed) * ops_per_txn,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_TxnRollback(benchmark::State& state) {
+  const int ops_per_txn = static_cast<int>(state.range(0));
+  CrashHarness harness{EngineOptions{}, 778};
+  SeedObjects(&harness, &state);
+  TxnManager tm(&harness.engine());
+  uint64_t cursor = 0;
+  for (auto _ : state) {
+    TxnId id;
+    Status st = tm.Begin(&id);
+    for (int j = 0; st.ok() && j < ops_per_txn; ++j) {
+      st = tm.Execute(id, MakePhysicalWrite(1 + cursor++ % kObjects,
+                                            "doomed-value"));
+    }
+    if (st.ok()) st = tm.Rollback(id);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  const TxnUndoStats& undo = tm.undo_stats();
+  const double rolled =
+      undo.txns_rolled_back > 0 ? static_cast<double>(undo.txns_rolled_back)
+                                : 1.0;
+  state.counters["rollbacks_per_s"] = benchmark::Counter(
+      static_cast<double>(undo.txns_rolled_back),
+      benchmark::Counter::kIsRate);
+  state.counters["clrs_per_txn"] =
+      static_cast<double>(undo.clrs_logged) / rolled;
+  state.counters["compensation_bytes_per_txn"] =
+      static_cast<double>(undo.compensation_bytes) / rolled;
+  state.counters["logical_inverses"] =
+      static_cast<double>(undo.logical_inverses);
+  state.counters["image_restores"] = static_cast<double>(undo.image_restores);
+}
+
+void BM_TxnAbortMix(benchmark::State& state) {
+  const int abort_pct = static_cast<int>(state.range(0));
+  constexpr int kOpsPerTxn = 4;
+  CrashHarness harness{EngineOptions{}, 779};
+  SeedObjects(&harness, &state);
+  TxnManager tm(&harness.engine());
+  uint64_t cursor = 0;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    TxnId id;
+    Status st = tm.Begin(&id);
+    for (int j = 0; st.ok() && j < kOpsPerTxn; ++j) {
+      st = tm.Execute(id, MakePhysicalWrite(1 + cursor++ % kObjects,
+                                            "mixed-value"));
+    }
+    if (st.ok()) {
+      st = (seq++ % 100) < static_cast<uint64_t>(abort_pct) ? tm.Rollback(id)
+                                                            : tm.Commit(id);
+    }
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  const uint64_t resolved = tm.stats().committed + tm.stats().aborted;
+  state.counters["ops_per_s"] = benchmark::Counter(
+      static_cast<double>(resolved) * kOpsPerTxn, benchmark::Counter::kIsRate);
+  state.counters["committed"] = static_cast<double>(tm.stats().committed);
+  state.counters["aborted"] = static_cast<double>(tm.stats().aborted);
+}
+
+}  // namespace
+}  // namespace loglog
+
+BENCHMARK(loglog::BM_TxnCommit)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ArgNames({"ops"})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(loglog::BM_TxnRollback)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->ArgNames({"ops"})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(loglog::BM_TxnAbortMix)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(60)
+    ->ArgNames({"abort"})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -25,6 +25,12 @@
 # EXPERIMENTS.md E16). Named like the replication document
 # (`recovery` -> `adaptive`).
 #
+# BENCH_txn.json holds the transactional UNDO series (bench_txn):
+# committed-transaction throughput vs depth, rollback latency with the
+# per-transaction CLR count and compensation-byte footprint, and the
+# mixed-workload throughput curve as the abort rate climbs (see
+# EXPERIMENTS.md E17). Named like the others (`recovery` -> `txn`).
+#
 # Every bench binary failure aborts the run with a pointed message, and
 # each emitted JSON file is validated before anything is merged — a
 # crashed or truncated benchmark can't silently produce an empty report.
@@ -58,9 +64,11 @@ fi
 if [[ "$OUT" == *recovery* ]]; then
   REPL_OUT="${OUT/recovery/replication}"
   ADAPT_OUT="${OUT/recovery/adaptive}"
+  TXN_OUT="${OUT/recovery/txn}"
 else
   REPL_OUT="$OUT.replication.json"
   ADAPT_OUT="$OUT.adaptive.json"
+  TXN_OUT="$OUT.txn.json"
 fi
 
 TMP=$(mktemp -d)
@@ -117,6 +125,7 @@ run_bench bench_logging_cost "$TMP/force_policy.json" \
   --benchmark_filter=ForcePolicy
 run_bench bench_replication "$TMP/replication.json"
 run_bench bench_adaptive_logging "$TMP/adaptive_logging.json"
+run_bench bench_txn "$TMP/txn.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
@@ -354,3 +363,81 @@ for row in modes:
 print("  ", summary)
 PYEOF
 validate_json "$ADAPT_OUT" "adaptive merge"
+
+python3 - "$TMP/txn.json" "$TXN_OUT" <<'PYEOF'
+import json
+import sys
+
+txn_path, out_path = sys.argv[1:3]
+txn = json.load(open(txn_path))
+
+
+def argmap(run_name):
+    return dict(
+        kv.split(":") for kv in run_name.split("/") if kv.count(":") == 1
+    )
+
+
+# Commit throughput vs transaction depth: the forced commit marker
+# amortizes over more operations as depth grows.
+commit = []
+for b in txn["benchmarks"]:
+    if "TxnCommit" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    commit.append(
+        {
+            "ops_per_txn": int(parts["ops"]),
+            "commit_us": round(b["real_time"], 3),
+            "txns_per_s": round(b.get("txns_per_s", 0.0)),
+            "ops_per_s": round(b.get("ops_per_s", 0.0)),
+        }
+    )
+
+# Rollback latency vs depth plus the compensation footprint.
+rollback = []
+for b in txn["benchmarks"]:
+    if "TxnRollback" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    rollback.append(
+        {
+            "ops_per_txn": int(parts["ops"]),
+            "rollback_us": round(b["real_time"], 3),
+            "clrs_per_txn": round(b.get("clrs_per_txn", 0.0), 2),
+            "compensation_bytes_per_txn": round(
+                b.get("compensation_bytes_per_txn", 0.0)
+            ),
+        }
+    )
+
+# Throughput as the abort rate climbs.
+mix = []
+for b in txn["benchmarks"]:
+    if "TxnAbortMix" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    mix.append(
+        {
+            "abort_pct": int(parts["abort"]),
+            "ops_per_s": round(b.get("ops_per_s", 0.0)),
+            "committed": int(b.get("committed", 0)),
+            "aborted": int(b.get("aborted", 0)),
+        }
+    )
+
+merged = {
+    "context": txn.get("context", {}),
+    "commit_throughput": commit,
+    "rollback_latency": rollback,
+    "abort_mix_throughput": mix,
+    "raw": {"txn": txn["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in commit + rollback + mix:
+    print("  ", row)
+PYEOF
+validate_json "$TXN_OUT" "txn merge"

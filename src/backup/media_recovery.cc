@@ -38,7 +38,13 @@ Status RestoreToLsn(Slice log_archive, Lsn target,
   LogCursor cursor(log_archive, /*start_offset=*/0);
   LogRecord rec;
   while (cursor.Next(&rec)) {
-    if (rec.type != RecordType::kOperation || rec.lsn > target) continue;
+    // Compensation records are part of history: a point-in-time state
+    // mid-rollback includes the rollback's progress so far.
+    if ((rec.type != RecordType::kOperation &&
+         rec.type != RecordType::kCompensation) ||
+        rec.lsn > target) {
+      continue;
+    }
     const OperationDesc& op = rec.op;
     if (op.op_class == OpClass::kDelete) {
       if (store.Exists(op.writes[0])) {

@@ -78,7 +78,8 @@ void CacheManager::set_fail_point(FailPoint fp) {
   }
 }
 
-Status CacheManager::GetValue(ObjectId id, ObjectValue* out) {
+Status CacheManager::GetValue(ObjectId id, ObjectValue* out,
+                              int io_budget) {
   CachedObject* obj = table_.Find(id);
   if (obj != nullptr) {
     if (!obj->exists) return Status::NotFound("object deleted");
@@ -87,9 +88,9 @@ Status CacheManager::GetValue(ObjectId id, ObjectValue* out) {
     return Status::OK();
   }
   StoredObject stored;
-  LOGLOG_RETURN_IF_ERROR(RetryTransientIo(&disk_->stats().io_retries, [&] {
-    return disk_->store().Read(id, &stored);
-  }));
+  LOGLOG_RETURN_IF_ERROR(RetryTransientIo(
+      io_budget, &disk_->stats().io_retries,
+      [&] { return disk_->store().Read(id, &stored); }));
   CachedObject& entry = table_.GetOrCreate(id);
   entry.value = stored.value;
   entry.vsi = stored.vsi;
@@ -619,7 +620,7 @@ Status CacheManager::EnforceRecoveryBudget(uint64_t budget_ops,
   return Status::OK();
 }
 
-Status CacheManager::Checkpoint() {
+Status CacheManager::Checkpoint(Lsn truncate_floor, uint64_t txn_watermark) {
   // Advance hot objects' rSIs first: their operations install via
   // logging so the checkpoint can truncate past them without a flush
   // (Section 4: "merely install operations on them via logging, without
@@ -631,6 +632,7 @@ Status CacheManager::Checkpoint() {
   LogRecord rec;
   rec.type = RecordType::kCheckpoint;
   rec.dot = table_.DirtySnapshot();
+  rec.txn_id = txn_watermark;
   Lsn min_rsi = kMaxLsn;
   for (const DotEntry& e : rec.dot) {
     if (e.rsi != kInvalidLsn) min_rsi = std::min(min_rsi, e.rsi);
@@ -638,8 +640,11 @@ Status CacheManager::Checkpoint() {
   Lsn ckpt_lsn = log_->Append(std::move(rec));
   LOGLOG_RETURN_IF_ERROR(log_->Force(ckpt_lsn));
   // Everything before min(first rSI, the checkpoint itself) is installed
-  // in every explanation of the stable state and can be truncated.
-  log_->TruncateBefore(std::min(min_rsi, ckpt_lsn));
+  // in every explanation of the stable state and can be truncated — but
+  // never past an active transaction's begin record (truncate_floor): a
+  // rollback, at runtime or of a loser after a crash, must still find
+  // the full backchain on the retained log.
+  log_->TruncateBefore(std::min({min_rsi, ckpt_lsn, truncate_floor}));
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 #include "cache/policies.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "graph/write_graph.h"
@@ -60,8 +61,11 @@ class CacheManager {
   CacheManager& operator=(const CacheManager&) = delete;
 
   /// Latest value of an object (cache, else stable store). NotFound if it
-  /// does not exist or has been deleted.
-  Status GetValue(ObjectId id, ObjectValue* out);
+  /// does not exist or has been deleted. `io_budget` bounds transient-I/O
+  /// retries on the cache-miss stable read (kMaxIoRetries by default; the
+  /// rollback path passes EngineOptions::rollback_io_retries).
+  Status GetValue(ObjectId id, ObjectValue* out,
+                  int io_budget = kMaxIoRetries);
 
   /// Whether the object currently exists (cached tombstones considered).
   bool ObjectExists(ObjectId id);
@@ -122,7 +126,15 @@ class CacheManager {
 
   /// Writes a (forced) checkpoint record with the dirty object table and
   /// truncates the stable log prefix no explanation still needs.
-  Status Checkpoint();
+  /// `truncate_floor` additionally pins the log at the oldest record an
+  /// active transaction may still need for rollback (its begin LSN):
+  /// truncation never passes it, so a loser's backchain survives every
+  /// checkpoint. kMaxLsn means no active transactions. `txn_watermark`
+  /// is the highest transaction id issued so far (0 if none); the
+  /// checkpoint record carries it so id allocation stays monotone even
+  /// after truncation discards every transaction record.
+  Status Checkpoint(Lsn truncate_floor = kMaxLsn,
+                    uint64_t txn_watermark = 0);
 
   /// Evicts least-recently-used *clean* objects until at most `capacity`
   /// objects remain (dirty objects are never evicted; the paper requires

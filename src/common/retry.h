@@ -16,18 +16,28 @@ namespace loglog {
 /// sees it.
 inline constexpr int kMaxIoRetries = 3;
 
-/// Runs `fn` (a callable returning Status), re-issuing it up to
-/// kMaxIoRetries times while it fails with IoError. Other failure codes
-/// (Corruption, Aborted, NotFound...) are never retried — they are not
-/// transient device conditions.
+/// Runs `fn` (a callable returning Status), re-issuing it up to `budget`
+/// times while it fails with IoError. Other failure codes (Corruption,
+/// Aborted, NotFound...) are never retried — they are not transient device
+/// conditions. A tighter budget than kMaxIoRetries suits paths that must
+/// fail fast (rollback I/O under fault storms); budget == 0 disables
+/// retrying entirely, which lets tests force exhaustion without arming
+/// permanent faults everywhere.
 template <typename Fn>
-Status RetryTransientIo(uint64_t* retry_counter, Fn&& fn) {
+Status RetryTransientIo(int budget, uint64_t* retry_counter, Fn&& fn) {
   Status st = std::forward<Fn>(fn)();
-  for (int i = 0; i < kMaxIoRetries && st.IsIoError(); ++i) {
+  for (int i = 0; i < budget && st.IsIoError(); ++i) {
     ++*retry_counter;
     st = std::forward<Fn>(fn)();
   }
   return st;
+}
+
+/// Default-budget form (the common call shape).
+template <typename Fn>
+Status RetryTransientIo(uint64_t* retry_counter, Fn&& fn) {
+  return RetryTransientIo(kMaxIoRetries, retry_counter,
+                          std::forward<Fn>(fn));
 }
 
 }  // namespace loglog

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "ops/function_registry.h"
+#include "ops/inverse_registry.h"
 #include "ops/op_builder.h"
 
 namespace loglog {
@@ -327,6 +328,38 @@ void RegisterBtreeTransforms() {
   reg.Register(kFuncBtreeEraseLeaf, EraseLeafFn);
   reg.Register(kFuncBtreeMergeLeaves, MergeLeavesFn);
   reg.Register(kFuncBtreeCollapseRoot, CollapseRootFn);
+
+  // Compensation: a leaf insert of a *fresh* key is exactly inverted by
+  // erasing the key (pages serialize canonically, sorted by key). An
+  // insert that replaced an existing value is not — erase would lose the
+  // old value — so invertible() checks the pre-image page and the engine
+  // falls back to logging a physical before-image in that case.
+  InverseEntry insert_inverse;
+  insert_inverse.invertible = [](const OperationDesc& op,
+                                 const std::vector<bool>& old_exists,
+                                 const std::vector<ObjectValue>& old_values) {
+    if (op.writes.size() != 1 || !old_exists[0]) return false;
+    Slice p(op.params);
+    uint64_t key;
+    if (!GetVarint64(&p, &key).ok()) return false;
+    BtreePage page;
+    if (!BtreePage::Deserialize(Slice(old_values[0]), &page).ok()) {
+      return false;
+    }
+    std::vector<uint8_t> unused;
+    return page.is_leaf && page.LeafLookup(key, &unused).IsNotFound();
+  };
+  insert_inverse.build = [](const OperationDesc& op, OperationDesc* inv) {
+    Slice p(op.params);
+    uint64_t key;
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&p, &key));
+    *inv = op;
+    inv->func = kFuncBtreeEraseLeaf;
+    inv->params.clear();
+    PutVarint64(&inv->params, key);
+    return Status::OK();
+  };
+  InverseRegistry::Global().Register(kFuncBtreeInsertLeaf, insert_inverse);
 }
 
 Btree::Btree(RecoveryEngine* engine, const BtreeOptions& options)

@@ -3,6 +3,7 @@
 #include "common/coding.h"
 #include "common/random.h"
 #include "ops/function_registry.h"
+#include "ops/inverse_registry.h"
 #include "ops/op_builder.h"
 
 namespace loglog {
@@ -46,12 +47,51 @@ Status AdvanceTailFn(const OperationDesc& /*op*/,
   return Status::OK();
 }
 
+Status RetreatHeadFn(const OperationDesc& /*op*/,
+                     const std::vector<ObjectValue>& reads,
+                     std::vector<ObjectValue>* writes) {
+  uint64_t head, tail;
+  LOGLOG_RETURN_IF_ERROR(DeserializeMeta(Slice(reads[0]), &head, &tail));
+  if (head == 0) return Status::FailedPrecondition("head already zero");
+  (*writes)[0] = SerializeMeta(head - 1, tail);
+  return Status::OK();
+}
+
+Status RetreatTailFn(const OperationDesc& /*op*/,
+                     const std::vector<ObjectValue>& reads,
+                     std::vector<ObjectValue>* writes) {
+  uint64_t head, tail;
+  LOGLOG_RETURN_IF_ERROR(DeserializeMeta(Slice(reads[0]), &head, &tail));
+  if (tail <= head) return Status::FailedPrecondition("queue empty");
+  (*writes)[0] = SerializeMeta(head, tail - 1);
+  return Status::OK();
+}
+
+// Swaps the advance func for its retreat twin on the same meta object.
+InverseEntry QueueInverse(FuncId retreat) {
+  InverseEntry e;
+  e.invertible = [](const OperationDesc&, const std::vector<bool>&,
+                    const std::vector<ObjectValue>&) { return true; };
+  e.build = [retreat](const OperationDesc& op, OperationDesc* inv) {
+    *inv = op;
+    inv->func = retreat;
+    inv->params.clear();
+    return Status::OK();
+  };
+  return e;
+}
+
 }  // namespace
 
 void RegisterQueueTransforms() {
   FunctionRegistry& reg = FunctionRegistry::Global();
   reg.Register(kFuncQueueAdvanceHead, AdvanceHeadFn);
   reg.Register(kFuncQueueAdvanceTail, AdvanceTailFn);
+  reg.Register(kFuncQueueRetreatHead, RetreatHeadFn);
+  reg.Register(kFuncQueueRetreatTail, RetreatTailFn);
+  InverseRegistry& inv = InverseRegistry::Global();
+  inv.Register(kFuncQueueAdvanceHead, QueueInverse(kFuncQueueRetreatHead));
+  inv.Register(kFuncQueueAdvanceTail, QueueInverse(kFuncQueueRetreatTail));
 }
 
 RecoverableQueue::RecoverableQueue(RecoveryEngine* engine, ObjectId id_base)

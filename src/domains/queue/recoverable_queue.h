@@ -10,6 +10,11 @@ namespace loglog {
 // Custom transform ids registered by RegisterQueueTransforms().
 inline constexpr FuncId kFuncQueueAdvanceHead = kFuncFirstCustom + 0x22;
 inline constexpr FuncId kFuncQueueAdvanceTail = kFuncFirstCustom + 0x23;
+// Rotate-back transforms: the logical inverses of the advances, used by
+// transactional compensation (an aborted enqueue rotates the tail back
+// instead of restoring a meta before-image).
+inline constexpr FuncId kFuncQueueRetreatHead = kFuncFirstCustom + 0x24;
+inline constexpr FuncId kFuncQueueRetreatTail = kFuncFirstCustom + 0x25;
 
 /// Registers the queue transforms (idempotent; the constructor calls it).
 void RegisterQueueTransforms();

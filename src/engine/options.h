@@ -64,6 +64,11 @@ struct EngineOptions {
   /// choice of W_P / W_PL / W_L driven by an online cost model, plus the
   /// budget-driven W_IP requests above. Off by default.
   AdaptivePolicyOptions adaptive;
+  /// Transient-I/O retry budget on the rollback path (TxnManager and the
+  /// recovery loser pass). Tighter than the default kMaxIoRetries budget:
+  /// rollback already runs under duress, and a rollback that fails cleanly
+  /// is re-runnable after crash-recovery, so failing fast is safe.
+  int rollback_io_retries = 1;
 };
 
 }  // namespace loglog

@@ -1,6 +1,8 @@
 #include "engine/recovery_engine.h"
 
+#include "engine/txn_manager.h"
 #include "ops/function_registry.h"
+#include "ops/inverse_registry.h"
 #include "ops/op_builder.h"
 
 namespace loglog {
@@ -29,7 +31,10 @@ Status RecoveryEngine::Recover(RecoveryStats* stats) {
   // Reseed the adaptive policy from the logged decision records: after
   // recovery each object resumes under the class it crashed with.
   driver.set_policy(policy_.get());
-  LOGLOG_RETURN_IF_ERROR(driver.Run(stats != nullptr ? stats : &local));
+  driver.set_rollback_io_retries(options_.rollback_io_retries);
+  RecoveryStats* out = stats != nullptr ? stats : &local;
+  LOGLOG_RETURN_IF_ERROR(driver.Run(out));
+  max_recovered_txn_id_ = out->max_txn_id;
   recovered_ = true;
   needs_recovery_ = false;
   return Status::OK();
@@ -89,6 +94,13 @@ Status RecoveryEngine::Execute(const OperationDesc& op, Lsn* lsn) {
 }
 
 Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
+  const bool in_txn = txn_scope_ != nullptr;
+  std::vector<ObjectValue> old_values;
+  std::vector<bool> old_exists;
+  if (in_txn) {
+    old_values.resize(op.writes.size());
+    old_exists.assign(op.writes.size(), false);
+  }
   std::vector<ObjectValue> new_values;
   if (op.op_class != OpClass::kDelete) {
     std::vector<ObjectValue> read_values;
@@ -102,6 +114,10 @@ Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
     for (size_t i = 0; i < op.writes.size(); ++i) {
       ObjectValue v;
       if (cache_->GetValue(op.writes[i], &v).ok()) {
+        if (in_txn) {
+          old_values[i] = v;
+          old_exists[i] = true;
+        }
         new_values[i] = std::move(v);
       }
     }
@@ -109,14 +125,40 @@ Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
         FunctionRegistry::Global().Apply(op, read_values, &new_values));
   } else if (!cache_->ObjectExists(op.writes[0])) {
     return Status::NotFound("delete of nonexistent object");
+  } else if (in_txn) {
+    ObjectValue v;
+    if (cache_->GetValue(op.writes[0], &v).ok()) {
+      old_values[0] = std::move(v);
+      old_exists[0] = true;
+    }
   }
 
   LogRecord rec;
   rec.type = RecordType::kOperation;
   rec.op = op;
+  std::vector<UndoImage> images;
+  if (in_txn) {
+    rec.txn_id = txn_scope_->txn_id;
+    rec.prev_lsn = txn_scope_->last_lsn;
+    // No exact logical inverse: log before-images so compensation can
+    // restore physically. (This is where a policy-promoted W_P write
+    // pays its compensation insurance — kFuncSetValue has no inverse.)
+    if (!InverseRegistry::Global().Invertible(op, old_exists, old_values)) {
+      images.resize(op.writes.size());
+      for (size_t i = 0; i < op.writes.size(); ++i) {
+        images[i].exists = old_exists[i];
+        images[i].value = std::move(old_values[i]);
+      }
+      rec.undo_images = images;
+    }
+  }
   stats_.op_log_bytes += rec.EncodedSize();
   Lsn assigned = log_->Append(std::move(rec));
   if (lsn != nullptr) *lsn = assigned;
+  if (in_txn) {
+    txn_scope_->last_lsn = assigned;
+    txn_scope_->undo->push_back({assigned, op, std::move(images)});
+  }
 
   ++stats_.ops_executed;
   switch (op.op_class) {
@@ -183,9 +225,27 @@ Status RecoveryEngine::ExecuteAdaptive(const OperationDesc& op, Lsn* lsn) {
     LogRecord rec;
     rec.type = RecordType::kOperation;
     rec.op = op;
+    std::vector<UndoImage> images;
+    if (txn_scope_ != nullptr) {
+      rec.txn_id = txn_scope_->txn_id;
+      rec.prev_lsn = txn_scope_->last_lsn;
+      if (!InverseRegistry::Global().Invertible(op, old_exists,
+                                                old_values)) {
+        images.resize(op.writes.size());
+        for (size_t i = 0; i < op.writes.size(); ++i) {
+          images[i].exists = old_exists[i];
+          images[i].value = old_values[i];
+        }
+        rec.undo_images = images;
+      }
+    }
     stats_.op_log_bytes += rec.EncodedSize();
     Lsn assigned = log_->Append(std::move(rec));
     if (lsn != nullptr) *lsn = assigned;
+    if (txn_scope_ != nullptr) {
+      txn_scope_->last_lsn = assigned;
+      txn_scope_->undo->push_back({assigned, op, std::move(images)});
+    }
     ++stats_.ops_executed;
     ++stats_.logical_ops;
     return cache_->ApplyResults(op, assigned, std::move(new_values));
@@ -285,7 +345,13 @@ Status RecoveryEngine::MaybeMaintain() {
 
 Status RecoveryEngine::Checkpoint() {
   ops_since_checkpoint_ = 0;
-  return cache_->Checkpoint();
+  // Truncation floor: the oldest active transaction's begin record must
+  // stay on the log — its rollback (runtime or as a loser) walks the
+  // backchain from there.
+  Lsn floor = txn_manager_ != nullptr
+                  ? txn_manager_->OldestActiveBeginLsn()
+                  : kMaxLsn;
+  return cache_->Checkpoint(floor, max_recovered_txn_id_);
 }
 
 Status RecoveryEngine::Read(ObjectId id, ObjectValue* out) {

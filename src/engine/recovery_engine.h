@@ -10,10 +10,13 @@
 #include "engine/options.h"
 #include "ops/operation.h"
 #include "recovery/recovery_driver.h"
+#include "recovery/txn_undo.h"
 #include "storage/simulated_disk.h"
 #include "wal/log_manager.h"
 
 namespace loglog {
+
+class TxnManager;
 
 /// Per-engine execution counters.
 struct EngineStats {
@@ -88,6 +91,20 @@ class RecoveryEngine {
   /// Forced checkpoint + log truncation.
   Status Checkpoint();
 
+  /// Transaction layer hook (set by the TxnManager constructor; nullptr
+  /// without one). Checkpoints ask it for the truncation floor so a live
+  /// transaction's backchain is never truncated away.
+  void set_txn_manager(TxnManager* tm) { txn_manager_ = tm; }
+  TxnManager* txn_manager() { return txn_manager_; }
+  /// Highest transaction id recovery saw on the log (0 on a fresh disk):
+  /// id allocation continues above it so loser/committed ids are never
+  /// reused.
+  uint64_t max_recovered_txn_id() const { return max_recovered_txn_id_; }
+  /// Allocates the next transaction id. Lives on the engine, not the
+  /// TxnManager, so two managers created over one engine lifetime (e.g. a
+  /// storm burst followed by a replication tail) keep a single id space.
+  uint64_t AllocateTxnId() { return ++max_recovered_txn_id_; }
+
   CacheManager& cache() { return *cache_; }
   const CacheManager& cache() const { return *cache_; }
   /// The adaptive logging policy (nullptr unless options.adaptive.enabled).
@@ -99,6 +116,18 @@ class RecoveryEngine {
   const EngineStats& stats() const { return stats_; }
 
  private:
+  friend class TxnManager;
+
+  /// Active-transaction scope, set by TxnManager around Execute calls:
+  /// records appended while set carry the txn id and backchain, capture
+  /// before-images when no exact logical inverse is registered, and are
+  /// pushed onto the transaction's undo stack.
+  struct TxnScope {
+    uint64_t txn_id = 0;
+    Lsn last_lsn = kInvalidLsn;
+    std::vector<TxnChainRecord>* undo = nullptr;
+  };
+
   Status ExecuteInternal(const OperationDesc& op, Lsn* lsn);
   /// Adaptive path: classifies each written object through the policy,
   /// logs decision records for class flips, and logs the operation under
@@ -121,6 +150,9 @@ class RecoveryEngine {
   bool recovered_ = false;
   bool needs_recovery_ = false;
   const BackupImage* repair_backup_ = nullptr;
+  TxnScope* txn_scope_ = nullptr;
+  TxnManager* txn_manager_ = nullptr;
+  uint64_t max_recovered_txn_id_ = 0;
 };
 
 }  // namespace loglog

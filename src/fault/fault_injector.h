@@ -69,6 +69,20 @@ inline constexpr std::string_view kShipDelay = "ship.channel.delay";
 /// ReplicationChannel::Send — any fire delivers the frame twice; the
 /// standby's applied-LSN watermark must make the duplicate a no-op.
 inline constexpr std::string_view kShipDuplicate = "ship.channel.duplicate";
+/// TxnManager::Execute — hit once per in-transaction operation, before
+/// the operation runs. Any fire aborts the transaction (the operation is
+/// not executed); the abort-storm harness uses it to inject aborts at
+/// random depths. Error actions only make sense here as "abort now".
+inline constexpr std::string_view kTxnAbortInject = "txn.abort.inject";
+/// TxnManager rollback — hit before each compensation record is logged
+/// (both runtime Rollback and the recovery loser pass). kCrashNow crashes
+/// between CLRs; recovery must resume the rollback from the last stable
+/// CLR's undo-next-LSN without double-compensating.
+inline constexpr std::string_view kTxnRollbackCrash = "txn.rollback.crash";
+/// TxnManager::Commit — hit after the commit record is appended, before
+/// it is forced. A fire crashes with the commit record volatile: the
+/// transaction must come back as a loser and be rolled back.
+inline constexpr std::string_view kTxnCommitTorn = "txn.commit.torn";
 }  // namespace fault
 
 /// What happens when an armed site triggers.

@@ -1,0 +1,60 @@
+#include "ops/inverse_registry.h"
+
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+InverseRegistry& InverseRegistry::Global() {
+  static InverseRegistry* registry = new InverseRegistry();
+  return *registry;
+}
+
+InverseRegistry::InverseRegistry() {
+  // App-level compensator for the paper's W_L(A, X) application write:
+  // X := emit(A) is a blind emit, so when X did not exist before, the
+  // exact inverse is simply unlinking X. (When X existed, the old bytes
+  // are gone from everywhere but the cache — before-images it is.)
+  InverseEntry app_write;
+  app_write.invertible = [](const OperationDesc& op,
+                            const std::vector<bool>& old_exists,
+                            const std::vector<ObjectValue>&) {
+    return op.writes.size() == 1 && !old_exists[0];
+  };
+  app_write.build = [](const OperationDesc& op, OperationDesc* inv) {
+    *inv = MakeDelete(op.writes[0]);
+    return Status::OK();
+  };
+  Register(kFuncAppWrite, app_write);
+}
+
+void InverseRegistry::Register(FuncId id, InverseEntry entry) {
+  entries_[id] = std::move(entry);
+}
+
+bool InverseRegistry::Invertible(
+    const OperationDesc& op, const std::vector<bool>& old_exists,
+    const std::vector<ObjectValue>& old_values) const {
+  // Creation is structurally invertible: the object had no prior state,
+  // so deleting it restores the world exactly (fs create <-> unlink).
+  if (op.op_class == OpClass::kCreate) {
+    return op.writes.size() == 1 && !old_exists[0];
+  }
+  auto it = entries_.find(op.func);
+  if (it == entries_.end()) return false;
+  return it->second.invertible(op, old_exists, old_values);
+}
+
+Status InverseRegistry::BuildInverse(const OperationDesc& op,
+                                     OperationDesc* inv) const {
+  if (op.op_class == OpClass::kCreate) {
+    *inv = MakeDelete(op.writes[0]);
+    return Status::OK();
+  }
+  auto it = entries_.find(op.func);
+  if (it == entries_.end()) {
+    return Status::NotFound("no inverse registered for transform");
+  }
+  return it->second.build(op, inv);
+}
+
+}  // namespace loglog

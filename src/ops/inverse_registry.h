@@ -1,0 +1,78 @@
+#ifndef LOGLOG_OPS_INVERSE_REGISTRY_H_
+#define LOGLOG_OPS_INVERSE_REGISTRY_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// \brief A registered logical inverse for one transform.
+///
+/// Compensation (src/engine/txn_manager.h) undoes a logged operation
+/// either logically — by executing a registered inverse operation — or
+/// physically, by restoring logged before-images. The logical route keeps
+/// compensation records as small as the forward records (no values on the
+/// log), but is only sound when the inverse is *exact* for the state the
+/// operation ran against: `invertible` decides that at forward-execution
+/// time, when the pre-state is still in the cache. When it returns false
+/// (or no entry exists for the FuncId) the engine logs before-images and
+/// compensation falls back to physical restores.
+///
+/// `build` must derive the inverse from the forward OperationDesc alone:
+/// recovery constructs inverses for loser transactions straight from the
+/// log, where no pre-state is available — the absence of logged images is
+/// the recorded promise that `invertible` held.
+struct InverseEntry {
+  /// Exactness check, given the pre-state of op.writes (parallel
+  /// vectors; old_values[i] is meaningful only when old_exists[i]).
+  std::function<bool(const OperationDesc& op,
+                     const std::vector<bool>& old_exists,
+                     const std::vector<ObjectValue>& old_values)>
+      invertible;
+  /// Builds the inverse operation from the forward record alone.
+  std::function<Status(const OperationDesc& op, OperationDesc* inv)> build;
+};
+
+/// \brief Registry mapping FuncId to its logical inverse.
+///
+/// Like FunctionRegistry, a process-wide space: domains register their
+/// compensators next to their transforms (queue advance <-> retreat,
+/// btree leaf insert <-> erase), and registration must happen before a
+/// log whose loser transactions used those FuncIds is recovered. Object
+/// creation is handled structurally (create <-> delete) and needs no
+/// entry.
+class InverseRegistry {
+ public:
+  static InverseRegistry& Global();
+
+  /// Registers or replaces an inverse entry.
+  void Register(FuncId id, InverseEntry entry);
+
+  bool Contains(FuncId id) const { return entries_.contains(id); }
+
+  /// True when `op`, run against the given pre-state, has an exact
+  /// logical inverse buildable by BuildInverse. Decides whether the
+  /// engine must log before-images for an in-transaction operation.
+  bool Invertible(const OperationDesc& op,
+                  const std::vector<bool>& old_exists,
+                  const std::vector<ObjectValue>& old_values) const;
+
+  /// Builds the logical inverse of `op`. Only valid when Invertible
+  /// returned true at forward-execution time (recovery trusts the
+  /// absence of logged images). NotFound when no inverse is registered.
+  Status BuildInverse(const OperationDesc& op, OperationDesc* inv) const;
+
+ private:
+  InverseRegistry();
+
+  std::unordered_map<FuncId, InverseEntry> entries_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OPS_INVERSE_REGISTRY_H_

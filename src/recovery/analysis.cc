@@ -7,6 +7,36 @@
 namespace loglog {
 
 void AnalysisBuilder::Add(const LogRecord& rec) {
+  // Transaction-table evolution. Compensation records are also ordinary
+  // operations for the dirty-object accumulators (handled below): REDO
+  // repeats history straight through rollbacks. A checkpoint's txn_id is
+  // not a transaction but the id high-water mark at checkpoint time —
+  // it keeps max_txn_id monotone across truncation without ever putting
+  // a phantom entry in the transaction table.
+  if (rec.type == RecordType::kCheckpoint) {
+    out_.max_txn_id = std::max(out_.max_txn_id, rec.txn_id);
+  } else if (rec.txn_id != 0) {
+    out_.max_txn_id = std::max(out_.max_txn_id, rec.txn_id);
+    AnalysisResult::TxnInfo& t = out_.txns[rec.txn_id];
+    t.last_lsn = std::max(t.last_lsn, rec.lsn);
+    switch (rec.type) {
+      case RecordType::kTxnBegin:
+        t.begin_lsn = rec.lsn;
+        break;
+      case RecordType::kTxnCommit:
+        t.state = AnalysisResult::TxnInfo::State::kCommitted;
+        break;
+      case RecordType::kTxnAbort:
+        t.state = AnalysisResult::TxnInfo::State::kAborted;
+        break;
+      case RecordType::kCompensation:
+        t.undo_next = rec.undo_next_lsn;
+        t.undo_skip = rec.undo_skip;
+        break;
+      default:
+        break;
+    }
+  }
   switch (rec.type) {
     case RecordType::kCheckpoint:
       // Reset the dirty-object tables to the checkpoint's snapshot:
@@ -20,6 +50,9 @@ void AnalysisBuilder::Add(const LogRecord& rec) {
         out_.dot_classic[e.id] = e.rsi;
       }
       break;
+    case RecordType::kCompensation:
+      ++out_.compensation_records;
+      [[fallthrough]];
     case RecordType::kOperation:
       // Dirty-object-table evolution: first uninstalled writer pins the
       // rSI.

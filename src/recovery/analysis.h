@@ -51,6 +51,30 @@ struct AnalysisResult {
   /// Filled by the driver for RedoTestKind::kRsiFixpoint (see
   /// ComputeRedoFixpoint); empty otherwise.
   std::unordered_map<Lsn, bool> fixpoint_redo;
+  /// One user transaction seen on the retained log (built from txn
+  /// marker records, the txn trailer on operation records, and CLRs).
+  struct TxnInfo {
+    enum class State : uint8_t { kInFlight, kCommitted, kAborted };
+    Lsn begin_lsn = kInvalidLsn;  // kInvalidLsn if truncated away
+    Lsn last_lsn = kInvalidLsn;   // backchain head (latest txn record)
+    State state = State::kInFlight;
+    /// Rollback cursor from the latest CLR: kMaxLsn when no CLR was
+    /// logged (rollback never started), otherwise the CLR's
+    /// undo-next-LSN / undo-skip pair (see wal/log_record.h).
+    Lsn undo_next = kMaxLsn;
+    uint64_t undo_skip = 0;
+  };
+  /// Transaction table: txn id -> state as of the crash. Transactions
+  /// still kInFlight at the end of the log are losers; the recovery
+  /// driver rolls them back (resuming half-finished rollbacks from
+  /// undo_next) before the system opens. Spans the retained log — the
+  /// checkpoint truncation floor guarantees a loser's records survive.
+  std::unordered_map<uint64_t, TxnInfo> txns;
+  /// Highest txn id on the retained log (0 if none): new transactions
+  /// must number above it so ids are never reused across a crash.
+  uint64_t max_txn_id = 0;
+  /// Count of kCompensation records seen.
+  uint64_t compensation_records = 0;
   /// Last adaptive-policy class per object (kPolicyDecision records;
   /// values are adapt/log_choice.h's LogChoice). Recovery reseeds the
   /// policy from it so each object resumes under the class it crashed

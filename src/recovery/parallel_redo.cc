@@ -45,7 +45,8 @@ class UnionFind {
 /// Every object a record can touch during redo (the conflict footprint).
 void RecordObjects(const LogRecord& rec, std::vector<ObjectId>* out) {
   out->clear();
-  if (rec.type == RecordType::kOperation) {
+  if (rec.type == RecordType::kOperation ||
+      rec.type == RecordType::kCompensation) {
     out->insert(out->end(), rec.op.reads.begin(), rec.op.reads.end());
     out->insert(out->end(), rec.op.writes.begin(), rec.op.writes.end());
   } else if (rec.type == RecordType::kFlushTxnBegin) {
@@ -314,9 +315,10 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
       if (st.ok()) {
         ComponentView view(store, &local->counters.io_retries);
         for (const LogRecord* rec : comp) {
-          st = rec->type == RecordType::kOperation
-                   ? ReplayOp(redo_test, analysis, &view, rec, local)
-                   : CompleteFlushTxn(store, rec, local);
+          // Compensation records replay exactly like forward operations.
+          st = rec->type == RecordType::kFlushTxnBegin
+                   ? CompleteFlushTxn(store, rec, local)
+                   : ReplayOp(redo_test, analysis, &view, rec, local);
           if (!st.ok()) break;
         }
       }

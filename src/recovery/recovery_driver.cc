@@ -16,6 +16,7 @@
 #include "recovery/analysis.h"
 #include "recovery/parallel_redo.h"
 #include "recovery/redo_test.h"
+#include "recovery/txn_undo.h"
 #include "wal/log_cursor.h"
 
 namespace loglog {
@@ -39,13 +40,14 @@ const char* RedoTestLabel(RedoTestKind kind) {
 }  // namespace
 
 std::string RecoveryStats::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "records=%llu scanned=%llu considered=%llu redone=%llu "
       "skip_installed=%llu skip_unexposed=%llu voided=%llu "
       "expensive_redos=%llu redo_bytes=%llu redo_start=%llu torn=%d "
-      "corrupt=%llu media_repairs=%llu media_recovery=%d",
+      "corrupt=%llu media_repairs=%llu media_recovery=%d "
+      "max_txn_id=%llu losers=%llu loser_clrs=%llu comp_redone=%llu",
       static_cast<unsigned long long>(log_records_total),
       static_cast<unsigned long long>(records_scanned),
       static_cast<unsigned long long>(ops_considered),
@@ -58,7 +60,11 @@ std::string RecoveryStats::ToString() const {
       static_cast<unsigned long long>(redo_start), torn_tail ? 1 : 0,
       static_cast<unsigned long long>(corrupt_objects),
       static_cast<unsigned long long>(media_repairs),
-      media_recovery ? 1 : 0);
+      media_recovery ? 1 : 0,
+      static_cast<unsigned long long>(max_txn_id),
+      static_cast<unsigned long long>(loser_txns),
+      static_cast<unsigned long long>(loser_clrs),
+      static_cast<unsigned long long>(compensations_redone));
   return buf;
 }
 
@@ -80,6 +86,10 @@ std::string RecoveryStats::ToJson() const {
   w.Key("corrupt").Uint(corrupt_objects);
   w.Key("media_repairs").Uint(media_repairs);
   w.Key("media_recovery").Bool(media_recovery);
+  w.Key("max_txn_id").Uint(max_txn_id);
+  w.Key("loser_txns").Uint(loser_txns);
+  w.Key("loser_clrs").Uint(loser_clrs);
+  w.Key("compensations_redone").Uint(compensations_redone);
   w.EndObject();
   return w.Take();
 }
@@ -209,30 +219,6 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
     span.AddArg("torn", cursor.torn() ? "true" : "false");
   }
 
-  // Media scrub: checksum-sweep the stable store before trusting it as
-  // the redo base. Any corrupt object diverts recovery to the media path
-  // (see the class comment) — ordinary redo would either read the
-  // damaged value (Corruption on every access) or, worse, skip the
-  // object as "installed" on the strength of a vSI attached to rotten
-  // bytes.
-  {
-    TraceSpan span("recovery.media_scrub", "recovery");
-    stats->corrupt_objects = disk_->store().CorruptObjects().size();
-    span.AddArg("corrupt", stats->corrupt_objects);
-  }
-  if (stats->corrupt_objects > 0) {
-    TraceSpan span("recovery.media_repair", "recovery",
-                   {{"corrupt", std::to_string(stats->corrupt_objects)}});
-    LOGLOG_RETURN_IF_ERROR(RepairFromMedia(next_lsn - 1, stats));
-    span.AddArg("repairs", stats->media_repairs);
-    stats->media_recovery = true;
-    // The rebuilt store is the fully-installed final state: every logged
-    // operation's writes already carry their vSIs, so the redo pass
-    // would skip everything. Resume execution directly.
-    log_->SetNextLsn(next_lsn);
-    return Status::OK();
-  }
-
   AnalysisResult analysis;
   Lsn start = kInvalidLsn;
   {
@@ -261,6 +247,46 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
       }
     }
   }
+  stats->max_txn_id = analysis.max_txn_id;
+
+  // Media scrub: checksum-sweep the stable store before trusting it as
+  // the redo base. Any corrupt object diverts recovery to the media path
+  // (see the class comment) — ordinary redo would either read the
+  // damaged value (Corruption on every access) or, worse, skip the
+  // object as "installed" on the strength of a vSI attached to rotten
+  // bytes.
+  {
+    TraceSpan span("recovery.media_scrub", "recovery");
+    stats->corrupt_objects = disk_->store().CorruptObjects().size();
+    span.AddArg("corrupt", stats->corrupt_objects);
+  }
+  if (stats->corrupt_objects > 0) {
+    TraceSpan span("recovery.media_repair", "recovery",
+                   {{"corrupt", std::to_string(stats->corrupt_objects)}});
+    // Seed the counter first: the repair ships the rebuilt recovery's
+    // loser-rollback tail onto the live log, advancing it past next_lsn.
+    log_->SetNextLsn(next_lsn);
+    LOGLOG_RETURN_IF_ERROR(RepairFromMedia(next_lsn - 1, stats));
+    span.AddArg("repairs", stats->media_repairs);
+    stats->media_recovery = true;
+    // The rebuilt store is the fully-installed final state: every logged
+    // operation's writes already carry their vSIs, so the redo pass
+    // would skip everything, and the rebuilt recovery already rolled
+    // back in-flight transactions. Resume execution directly.
+    return Status::OK();
+  }
+
+  // The loser table: transactions still in flight at the end of the log.
+  // Their forward operation records are stashed during the redo scan
+  // below (which walks the whole retained log anyway — the checkpoint
+  // truncation floor guarantees a loser's chain survives), then rolled
+  // back after redo completes.
+  std::unordered_map<uint64_t, std::vector<TxnChainRecord>> loser_chains;
+  for (const auto& [tid, info] : analysis.txns) {
+    if (info.state == AnalysisResult::TxnInfo::State::kInFlight) {
+      loser_chains.try_emplace(tid);
+    }
+  }
 
   // Pass 2 — redo scan: a second cursor walk (the tail, if torn, was
   // already cut by pass 1). The serial path decides and replays in
@@ -276,10 +302,23 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
   LogRecord rec;
   while (cursor.Next(&rec)) {
     switch (rec.type) {
+      // Compensation records redo exactly like forward operations: REDO
+      // repeats history straight through earlier rollbacks, and the
+      // analysis accumulators already cover CLR writesets.
+      case RecordType::kCompensation:
       case RecordType::kOperation: {
+        if (rec.type == RecordType::kOperation && rec.txn_id != 0) {
+          auto loser = loser_chains.find(rec.txn_id);
+          if (loser != loser_chains.end()) {
+            loser->second.push_back({rec.lsn, rec.op, rec.undo_images});
+          }
+        }
         if (rec.lsn < start) break;
         ++stats->records_scanned;
         ++stats->ops_considered;
+        if (rec.type == RecordType::kCompensation) {
+          ++stats->compensations_redone;
+        }
         if (parallel) {
           parallel_work.push_back(rec);
           break;
@@ -342,6 +381,9 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
       case RecordType::kInstall:
       case RecordType::kFlushTxnCommit:
       case RecordType::kPolicyDecision:
+      case RecordType::kTxnBegin:
+      case RecordType::kTxnCommit:
+      case RecordType::kTxnAbort:
         break;  // consumed by analysis
     }
   }
@@ -362,7 +404,41 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
   redo_span.AddArg("redone", stats->ops_redone);
   redo_span.End();
 
+  // Re-seed the LSN counter before the loser pass: its compensation
+  // records are new appends past the scanned history.
   log_->SetNextLsn(next_lsn);
+
+  // Pass 3 — loser rollback: roll back every transaction the crash left
+  // in flight before the system opens. Redo repeated history first, so
+  // the state each inverse sees is exactly what the crashed rollback (if
+  // one had started) saw; the latest stable CLR's undo-next cursor makes
+  // resumption exact — nothing is ever compensated twice. Ascending txn
+  // id keeps the pass deterministic. Loser locks need no reacquisition:
+  // nothing else runs until recovery returns.
+  if (!loser_chains.empty()) {
+    TraceSpan span("recovery.loser_undo", "recovery",
+                   {{"losers", std::to_string(loser_chains.size())}});
+    std::vector<uint64_t> ids;
+    ids.reserve(loser_chains.size());
+    for (const auto& [tid, chain] : loser_chains) ids.push_back(tid);
+    std::sort(ids.begin(), ids.end());
+    TxnUndoStats undo;
+    for (uint64_t tid : ids) {
+      const AnalysisResult::TxnInfo& info = analysis.txns.at(tid);
+      TxnRollbackPlan plan;
+      plan.txn_id = tid;
+      plan.last_lsn = info.last_lsn;
+      plan.forward = std::move(loser_chains[tid]);
+      plan.resume_lsn = info.undo_next;
+      plan.resume_skip = info.undo_skip;
+      LOGLOG_RETURN_IF_ERROR(RollbackTxn(cm_, log_,
+                                         &disk_->fault_injector(), plan,
+                                         rollback_io_retries_, &undo));
+    }
+    stats->loser_txns = undo.txns_rolled_back;
+    stats->loser_clrs = undo.clrs_logged;
+    span.AddArg("clrs", stats->loser_clrs);
+  }
   return Status::OK();
 }
 
@@ -384,6 +460,27 @@ Status RecoveryDriver::RepairFromMedia(Lsn max_valid_lsn,
                                       &rebuilt_disk, &rebuilt,
                                       &media_stats));
   LOGLOG_RETURN_IF_ERROR(rebuilt->FlushAll());
+
+  // The rebuilt recovery rolled back any transactions the crash left in
+  // flight, logging their compensation and abort records on the rebuilt
+  // log. Ship that tail onto the live log so the live history tells the
+  // same story as the resynced state — the next recovery's analysis must
+  // see those losers resolved, not roll them back a second time.
+  Lsn max_valid = max_valid_lsn;
+  if (media_stats.loser_txns > 0) {
+    LOGLOG_RETURN_IF_ERROR(rebuilt->log().ForceAll());
+    LogCursor tail(rebuilt_disk.log());
+    LogRecord rec;
+    while (tail.Next(&rec)) {
+      if (rec.lsn <= max_valid_lsn) continue;
+      log_->AppendReplicated(rec);
+      max_valid = std::max(max_valid, rec.lsn);
+    }
+    LOGLOG_RETURN_IF_ERROR(tail.status());
+    LOGLOG_RETURN_IF_ERROR(log_->ForceAll());
+    stats->loser_txns += media_stats.loser_txns;
+    stats->loser_clrs += media_stats.loser_clrs;
+  }
 
   // Resync the live store to the rebuilt state. A per-object patch of
   // only the corrupt objects would be unsound under the rSI redo tests:
@@ -411,11 +508,12 @@ Status RecoveryDriver::RepairFromMedia(Lsn max_valid_lsn,
     if (!out.ok()) return;
     // The rebuilt engine re-logged its own installation traffic (identity
     // writes, install records), so rebuilt vSIs can exceed the live log's
-    // end. The repaired value is exactly the replay of the live archive,
-    // so the live log's last valid LSN is the honest label: it keeps the
+    // end. The repaired value is exactly the replay of the live archive
+    // (plus the shipped loser-rollback tail, included in `max_valid`), so
+    // the live log's last valid LSN is the honest label: it keeps the
     // WAL invariant (vSI <= stable log end) and still makes every redo
     // test skip operations whose effects the replay already contains.
-    Lsn vsi = std::min(obj.vsi, max_valid_lsn);
+    Lsn vsi = std::min(obj.vsi, max_valid);
     // An intact live object at the rebuilt vSI already holds the same
     // value (vSI identifies the operation that produced it).
     if (!corrupt.contains(id) && live.StableVsi(id) == vsi) return;

@@ -56,6 +56,18 @@ struct RecoveryStats {
   /// True when corruption forced recovery through the media path
   /// (backup + full archive replay) instead of ordinary redo.
   bool media_recovery = false;
+  /// Highest transaction id on the retained log (0 if none). The engine
+  /// hands it to the TxnManager so ids are never reused across a crash.
+  uint64_t max_txn_id = 0;
+  /// Transactions found in flight at the end of the log and rolled back
+  /// by the loser pass before the system opened.
+  uint64_t loser_txns = 0;
+  /// Compensation records appended by the loser pass (resumed rollbacks
+  /// log only the steps their crash left unstable).
+  uint64_t loser_clrs = 0;
+  /// Compensation records the redo scan considered (history repeats
+  /// straight through earlier rollbacks).
+  uint64_t compensations_redone = 0;
 
   std::string ToString() const;
   /// One flat JSON object, keys matching the ToString() fields.
@@ -105,6 +117,11 @@ class RecoveryDriver {
   /// outlive Run().
   void set_policy(AdaptiveLogPolicy* policy) { policy_ = policy; }
 
+  /// I/O retry budget handed to the loser pass's rollback executor
+  /// (EngineOptions::rollback_io_retries; rollback fails fast because a
+  /// crashed rollback is simply resumed by the next recovery).
+  void set_rollback_io_retries(int n) { rollback_io_retries_ = n; }
+
  private:
   /// The phases themselves; Run wraps this with the "recovery.run" trace
   /// span and the recovery.* metric updates.
@@ -119,6 +136,7 @@ class RecoveryDriver {
   const BackupImage* repair_backup_;
   int redo_threads_;
   AdaptiveLogPolicy* policy_ = nullptr;
+  int rollback_io_retries_ = 1;
 };
 
 }  // namespace loglog

@@ -1,0 +1,141 @@
+#include "recovery/txn_undo.h"
+
+#include "ops/function_registry.h"
+#include "ops/inverse_registry.h"
+#include "ops/op_builder.h"
+
+namespace loglog {
+
+namespace {
+
+// Executes one compensation operation and logs its CLR: compute the new
+// values from the current state (reads bounded by `io_budget` retries),
+// append the record, apply the results — the same order as a forward
+// execution, so the WAL invariant (no stable effect without a stable
+// record) holds for compensation too.
+Status ApplyClr(CacheManager* cm, LogManager* log, LogRecord rec,
+                int io_budget, TxnUndoStats* stats, Lsn* out_lsn) {
+  // By value: `rec` is consumed by the Append below, but the results are
+  // applied (and the writeset consulted) after the record is gone.
+  const OperationDesc op = rec.op;
+  std::vector<ObjectValue> new_values;
+  if (op.op_class != OpClass::kDelete) {
+    std::vector<ObjectValue> read_values;
+    read_values.reserve(op.reads.size());
+    for (ObjectId r : op.reads) {
+      ObjectValue v;
+      LOGLOG_RETURN_IF_ERROR(cm->GetValue(r, &v, io_budget));
+      read_values.push_back(std::move(v));
+    }
+    new_values.resize(op.writes.size());
+    for (size_t i = 0; i < op.writes.size(); ++i) {
+      ObjectValue v;
+      if (cm->GetValue(op.writes[i], &v, io_budget).ok()) {
+        new_values[i] = std::move(v);
+      }
+    }
+    LOGLOG_RETURN_IF_ERROR(
+        FunctionRegistry::Global().Apply(op, read_values, &new_values));
+  } else if (!cm->ObjectExists(op.writes[0])) {
+    return Status::Corruption("compensation deletes nonexistent object");
+  }
+  ++stats->clrs_logged;
+  stats->compensation_bytes += rec.EncodedSize();
+  Lsn assigned = log->Append(std::move(rec));
+  if (out_lsn != nullptr) *out_lsn = assigned;
+  return cm->ApplyResults(op, assigned, std::move(new_values));
+}
+
+}  // namespace
+
+Status RollbackTxn(CacheManager* cm, LogManager* log, FaultInjector* faults,
+                   const TxnRollbackPlan& plan, int io_budget,
+                   TxnUndoStats* stats) {
+  Lsn chain = plan.last_lsn;
+
+  // Locate the resume point: undo forward[0 .. idx-1], newest first,
+  // with `skip` writes of forward[idx-1] already compensated.
+  size_t idx;
+  uint64_t skip = 0;
+  if (plan.resume_lsn == kInvalidLsn) {
+    idx = 0;  // everything compensated; only the abort record is missing
+  } else if (plan.resume_lsn == kMaxLsn) {
+    idx = plan.forward.size();  // nothing compensated yet
+  } else {
+    idx = 0;
+    for (size_t i = 0; i < plan.forward.size(); ++i) {
+      if (plan.forward[i].lsn == plan.resume_lsn) {
+        idx = i + 1;
+        break;
+      }
+    }
+    if (idx == 0) {
+      return Status::Corruption("undo-next LSN not on the backchain");
+    }
+    skip = plan.resume_skip;
+  }
+
+  while (idx > 0) {
+    --idx;
+    const TxnChainRecord& fwd = plan.forward[idx];
+    const Lsn next_after =
+        idx > 0 ? plan.forward[idx - 1].lsn : kInvalidLsn;
+
+    if (fwd.images.empty()) {
+      // Logical compensation: one inverse operation undoes the whole
+      // record (skip can only be 0 — single-step records never leave a
+      // partial CLR trail).
+      if (skip != 0) {
+        return Status::Corruption("undo skip on a single-step record");
+      }
+      LOGLOG_RETURN_IF_ERROR(faults->MaybeFail(fault::kTxnRollbackCrash));
+      LogRecord clr;
+      clr.type = RecordType::kCompensation;
+      clr.txn_id = plan.txn_id;
+      clr.prev_lsn = chain;
+      clr.undo_next_lsn = next_after;
+      clr.undo_skip = 0;
+      LOGLOG_RETURN_IF_ERROR(
+          InverseRegistry::Global().BuildInverse(fwd.op, &clr.op));
+      ++stats->logical_inverses;
+      LOGLOG_RETURN_IF_ERROR(
+          ApplyClr(cm, log, std::move(clr), io_budget, stats, &chain));
+      continue;
+    }
+
+    // Physical compensation: one CLR per write, last write first, so a
+    // crash between CLRs re-enters exactly at (this record, undo_skip).
+    if (fwd.images.size() != fwd.op.writes.size() ||
+        skip > fwd.images.size()) {
+      return Status::Corruption("undo images inconsistent with writeset");
+    }
+    for (size_t n = fwd.op.writes.size(), j = n - skip; j > 0; --j) {
+      const size_t w = j - 1;
+      LOGLOG_RETURN_IF_ERROR(faults->MaybeFail(fault::kTxnRollbackCrash));
+      LogRecord clr;
+      clr.type = RecordType::kCompensation;
+      clr.txn_id = plan.txn_id;
+      clr.prev_lsn = chain;
+      clr.undo_next_lsn = w > 0 ? fwd.lsn : next_after;
+      clr.undo_skip = w > 0 ? n - w : 0;
+      const UndoImage& img = fwd.images[w];
+      clr.op = img.exists
+                   ? MakePhysicalWrite(fwd.op.writes[w], Slice(img.value))
+                   : MakeDelete(fwd.op.writes[w]);
+      ++stats->image_restores;
+      LOGLOG_RETURN_IF_ERROR(
+          ApplyClr(cm, log, std::move(clr), io_budget, stats, &chain));
+    }
+    skip = 0;
+  }
+
+  LogRecord abort_rec;
+  abort_rec.type = RecordType::kTxnAbort;
+  abort_rec.txn_id = plan.txn_id;
+  abort_rec.prev_lsn = chain;
+  log->Append(std::move(abort_rec));
+  ++stats->txns_rolled_back;
+  return Status::OK();
+}
+
+}  // namespace loglog

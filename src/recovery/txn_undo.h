@@ -1,0 +1,77 @@
+#ifndef LOGLOG_RECOVERY_TXN_UNDO_H_
+#define LOGLOG_RECOVERY_TXN_UNDO_H_
+
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "fault/fault_injector.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+/// One forward in-transaction operation awaiting undo: the logged record's
+/// LSN, its operation, and its before-images (empty when the op's FuncId
+/// had an exact registered logical inverse — see ops/inverse_registry.h).
+struct TxnChainRecord {
+  Lsn lsn = kInvalidLsn;
+  OperationDesc op;
+  std::vector<UndoImage> images;
+};
+
+/// Everything needed to roll one transaction back. Built from the
+/// in-memory undo stack at runtime (TxnManager::Rollback) or from stashed
+/// log records for a loser after a crash (RecoveryDriver) — both feed the
+/// same RollbackTxn, which is what makes rollback crash-consistent: a
+/// crash mid-rollback just re-derives a shorter plan from the log.
+struct TxnRollbackPlan {
+  uint64_t txn_id = 0;
+  /// Backchain head: LSN of the transaction's latest record (CLRs
+  /// included) — the prev_lsn of the next record appended.
+  Lsn last_lsn = kInvalidLsn;
+  /// Forward operations in ascending LSN order (the full chain; already
+  /// compensated ones are skipped via resume_lsn).
+  std::vector<TxnChainRecord> forward;
+  /// Where to resume: kMaxLsn = nothing compensated yet, undo from the
+  /// top; kInvalidLsn = every operation compensated, only the kTxnAbort
+  /// record is missing; otherwise the LSN of the next forward record to
+  /// undo (the last stable CLR's undo_next_lsn).
+  Lsn resume_lsn = kMaxLsn;
+  /// Writes of the resume record already compensated, counted from the
+  /// last write backwards (the last stable CLR's undo_skip).
+  uint64_t resume_skip = 0;
+};
+
+/// Rollback counters (shared by runtime aborts and the loser pass).
+struct TxnUndoStats {
+  uint64_t txns_rolled_back = 0;
+  uint64_t clrs_logged = 0;
+  uint64_t compensation_bytes = 0;
+  uint64_t logical_inverses = 0;  // CLRs carrying a registered inverse
+  uint64_t image_restores = 0;    // CLRs restoring a before-image
+};
+
+/// \brief Rolls one transaction back: walks the plan's forward chain in
+/// reverse, logging and executing one kCompensation record per undo step
+/// (a registered logical inverse per operation, or one physical restore
+/// per write from the logged before-images), then ends the chain with a
+/// kTxnAbort record.
+///
+/// Each CLR carries (undo_next_lsn, undo_skip), so a crash between any
+/// two steps resumes exactly — effects become stable only under the WAL
+/// protocol, hence nothing is ever compensated twice. Neither CLRs nor
+/// the abort record are forced: re-running a rollback after a crash is
+/// idempotent, so abort durability costs nothing.
+///
+/// Hits fault::kTxnRollbackCrash before every CLR; a kCrashNow fire (or
+/// any I/O failure surviving `io_budget` retries) propagates — the caller
+/// tears down and recovery finishes the rollback.
+Status RollbackTxn(CacheManager* cm, LogManager* log, FaultInjector* faults,
+                   const TxnRollbackPlan& plan, int io_budget,
+                   TxnUndoStats* stats);
+
+}  // namespace loglog
+
+#endif  // LOGLOG_RECOVERY_TXN_UNDO_H_

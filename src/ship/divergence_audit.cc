@@ -28,7 +28,13 @@ Status DivergenceAuditor::Advance(Slice archive, Lsn upto) {
     if (st.IsNotFound()) break;
     if (st.IsCorruption()) break;  // torn archive tail: trust ends here
     LOGLOG_RETURN_IF_ERROR(st);
-    if (rec.type != RecordType::kOperation) continue;
+    // Compensation records are audited like forward operations: the
+    // expected state of a rolled-back region is the history *through*
+    // the rollback, and both sides replay it identically.
+    if (rec.type != RecordType::kOperation &&
+        rec.type != RecordType::kCompensation) {
+      continue;
+    }
     if (rec.lsn <= audited_upto_ || rec.lsn > upto) continue;
     const OperationDesc& op = rec.op;
     if (op.op_class == OpClass::kDelete) {

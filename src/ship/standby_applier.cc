@@ -166,19 +166,31 @@ Status StandbyApplier::ApplyBatch(ShipBatch batch) {
     applied_bytes_ += rec.EncodedSize();
     ++stats_.records_applied;
     records_applied_metric_->Inc();
-    if (rec.type == RecordType::kOperation) {
-      // Keep the primary LSN; the run replays it below.
+    if (rec.type == RecordType::kOperation ||
+        rec.type == RecordType::kCompensation) {
+      // Keep the primary LSN; the run replays it below. Compensation
+      // records replay like any operation — the standby repeats the
+      // primary's history straight through rollbacks, so compensated
+      // regions converge byte-identically.
       log_->AppendReplicated(rec);
       run.push_back(std::move(rec));
       continue;
     }
     // Control record: finish the run before it, then honor it. Control
     // records are processed, not appended — the standby's own FlushAll /
-    // checkpoint bookkeeping regenerates whatever it needs.
+    // checkpoint bookkeeping regenerates whatever it needs. Transaction
+    // markers are the exception: they carry no data effect but must land
+    // on the standby's log, or a promoted standby's recovery could not
+    // re-derive the primary's transaction table (and would either miss a
+    // loser or roll back a committed transaction).
     LOGLOG_RETURN_IF_ERROR(ApplyOps(std::move(run)));
     run.clear();
     if (rec.type == RecordType::kCheckpoint) {
       LOGLOG_RETURN_IF_ERROR(HonorCheckpoint(rec));
+    } else if (rec.type == RecordType::kTxnBegin ||
+               rec.type == RecordType::kTxnCommit ||
+               rec.type == RecordType::kTxnAbort) {
+      log_->AppendReplicated(rec);
     }
     applied_lsn_ = rec.lsn;
     log_->SetNextLsn(applied_lsn_ + 1);

@@ -41,7 +41,12 @@ Status ReferenceExecutor::ReplayLog(Slice log_bytes) {
     Status st = ReadFramedRecord(&log_bytes, &rec);
     if (st.IsNotFound()) break;
     LOGLOG_RETURN_IF_ERROR(st);
-    if (rec.type != RecordType::kOperation) continue;
+    // Compensation records are history like any other operation: the
+    // reference replays straight through rollbacks.
+    if (rec.type != RecordType::kOperation &&
+        rec.type != RecordType::kCompensation) {
+      continue;
+    }
     LOGLOG_RETURN_IF_ERROR(Apply(rec.op));
   }
   return Status::OK();

@@ -45,6 +45,17 @@ std::string LogDumpSummary::ToString() const {
       static_cast<unsigned long long>(flush_txn_bytes),
       static_cast<unsigned long long>(payload_bytes));
   std::string out = buf;
+  if (txn_begins + txn_commits + txn_aborts + compensations > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " txn=%llu/%llu/%llu(%llub) clr=%llu(%llub)",
+                  static_cast<unsigned long long>(txn_begins),
+                  static_cast<unsigned long long>(txn_commits),
+                  static_cast<unsigned long long>(txn_aborts),
+                  static_cast<unsigned long long>(txn_marker_bytes),
+                  static_cast<unsigned long long>(compensations),
+                  static_cast<unsigned long long>(compensation_bytes));
+    out += buf;
+  }
   if (policy_decisions > 0) {
     std::snprintf(buf, sizeof(buf), " policy=%llu(%llub)",
                   static_cast<unsigned long long>(policy_decisions),
@@ -77,6 +88,13 @@ std::string LogDumpSummary::ToJson() const {
   w.Key("flush_txn_bytes").Uint(flush_txn_bytes);
   w.Key("policy_decisions").Uint(policy_decisions);
   w.Key("policy_bytes").Uint(policy_bytes);
+  w.Key("txn_begins").Uint(txn_begins);
+  w.Key("txn_commits").Uint(txn_commits);
+  w.Key("txn_aborts").Uint(txn_aborts);
+  w.Key("txn_abort_rate_pct").Double(abort_rate_pct());
+  w.Key("txn_marker_bytes").Uint(txn_marker_bytes);
+  w.Key("compensations").Uint(compensations);
+  w.Key("compensation_bytes").Uint(compensation_bytes);
   w.Key("payload_bytes").Uint(payload_bytes);
   w.Key("class_mix");
   w.BeginObject();
@@ -125,6 +143,28 @@ std::string LogDumpSummary::ClassMixToString() const {
     std::snprintf(buf, sizeof(buf), "  %-13s %8llu  %10llub  %5.1f%%\n",
                   "policy", static_cast<unsigned long long>(policy_decisions),
                   static_cast<unsigned long long>(policy_bytes), pct);
+    out += buf;
+  }
+  if (compensations > 0) {
+    const double pct = payload_bytes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(compensation_bytes) /
+                                 static_cast<double>(payload_bytes);
+    std::snprintf(buf, sizeof(buf), "  %-13s %8llu  %10llub  %5.1f%%\n",
+                  "compensation",
+                  static_cast<unsigned long long>(compensations),
+                  static_cast<unsigned long long>(compensation_bytes), pct);
+    out += buf;
+  }
+  if (txn_begins + txn_commits + txn_aborts > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "transactions: begun=%llu committed=%llu aborted=%llu "
+                  "abort_rate=%.1f%% marker_bytes=%llu\n",
+                  static_cast<unsigned long long>(txn_begins),
+                  static_cast<unsigned long long>(txn_commits),
+                  static_cast<unsigned long long>(txn_aborts),
+                  abort_rate_pct(),
+                  static_cast<unsigned long long>(txn_marker_bytes));
     out += buf;
   }
   return out;
@@ -189,6 +229,22 @@ Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
       case RecordType::kPolicyDecision:
         ++summary->policy_decisions;
         summary->policy_bytes += encoded;
+        break;
+      case RecordType::kTxnBegin:
+        ++summary->txn_begins;
+        summary->txn_marker_bytes += encoded;
+        break;
+      case RecordType::kTxnCommit:
+        ++summary->txn_commits;
+        summary->txn_marker_bytes += encoded;
+        break;
+      case RecordType::kTxnAbort:
+        ++summary->txn_aborts;
+        summary->txn_marker_bytes += encoded;
+        break;
+      case RecordType::kCompensation:
+        ++summary->compensations;
+        summary->compensation_bytes += encoded;
         break;
     }
     summary->payload_bytes += encoded;

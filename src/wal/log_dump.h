@@ -37,6 +37,15 @@ struct LogDumpSummary {
   /// kPolicyDecision control records and their payload bytes.
   uint64_t policy_decisions = 0;
   uint64_t policy_bytes = 0;
+  /// Transaction markers (begin/commit/abort) and their payload bytes.
+  uint64_t txn_begins = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+  uint64_t txn_marker_bytes = 0;
+  /// kCompensation (logical UNDO) records and their payload bytes — the
+  /// log volume rollback pays.
+  uint64_t compensations = 0;
+  uint64_t compensation_bytes = 0;
   bool torn_tail = false;
   /// LSN of the last fully-valid record before the tear (0 when the tear
   /// precedes any valid record; meaningless unless torn_tail).
@@ -47,7 +56,17 @@ struct LogDumpSummary {
 
   uint64_t total() const {
     return operations + checkpoints + installs + flush_txn_begins +
-           flush_txn_commits + policy_decisions;
+           flush_txn_commits + policy_decisions + txn_begins + txn_commits +
+           txn_aborts + compensations;
+  }
+
+  /// Aborted fraction of resolved transactions, in percent (0 when no
+  /// transaction ever resolved).
+  double abort_rate_pct() const {
+    const uint64_t resolved = txn_commits + txn_aborts;
+    return resolved == 0 ? 0.0
+                         : 100.0 * static_cast<double>(txn_aborts) /
+                               static_cast<double>(resolved);
   }
 
   /// Display name of an OpClass slot ("physical", "physiological", ...).

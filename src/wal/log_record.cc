@@ -34,6 +34,35 @@ Status GetInstallEntries(Slice* src, std::vector<InstallEntry>* out) {
   return Status::OK();
 }
 
+void PutUndoImages(std::vector<uint8_t>* dst,
+                   const std::vector<UndoImage>& images) {
+  PutVarint64(dst, images.size());
+  for (const UndoImage& img : images) {
+    dst->push_back(img.exists ? 1 : 0);
+    PutLengthPrefixed(dst, Slice(img.value));
+  }
+}
+
+Status GetUndoImages(Slice* src, std::vector<UndoImage>* out) {
+  uint64_t n;
+  LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &n));
+  // At least two bytes per image (exists flag + length varint).
+  if (n > src->size()) return Status::Corruption("undo image count too large");
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    UndoImage img;
+    if (src->empty()) return Status::Corruption("truncated undo image");
+    img.exists = (*src)[0] != 0;
+    src->RemovePrefix(1);
+    Slice value;
+    LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(src, &value));
+    img.value = value.ToBytes();
+    out->push_back(std::move(img));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
@@ -41,6 +70,27 @@ void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
   PutVarint64(dst, lsn);
   switch (type) {
     case RecordType::kOperation:
+      op.EncodeTo(dst);
+      // The transactional trailer exists only inside a transaction, so
+      // non-transactional operation records stay byte-identical to the
+      // pre-transaction format (old logs decode unchanged).
+      if (txn_id != 0) {
+        PutVarint64(dst, txn_id);
+        PutVarint64(dst, prev_lsn);
+        PutUndoImages(dst, undo_images);
+      }
+      break;
+    case RecordType::kTxnBegin:
+    case RecordType::kTxnCommit:
+    case RecordType::kTxnAbort:
+      PutVarint64(dst, txn_id);
+      PutVarint64(dst, prev_lsn);
+      break;
+    case RecordType::kCompensation:
+      PutVarint64(dst, txn_id);
+      PutVarint64(dst, prev_lsn);
+      PutVarint64(dst, undo_next_lsn);
+      PutVarint64(dst, undo_skip);
       op.EncodeTo(dst);
       break;
     case RecordType::kCheckpoint:
@@ -50,6 +100,12 @@ void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
         PutVarint64(dst, e.rsi);
         dst->push_back(e.dead ? 1 : 0);
       }
+      // Txn-id high-water mark (master-record style): truncation discards
+      // the txn records that analysis would otherwise derive it from, so
+      // the checkpoint must carry it or a post-truncation crash would
+      // re-issue ids of completed transactions. Trailing and omitted when
+      // zero, so pre-transaction checkpoints stay byte-identical.
+      if (txn_id != 0) PutVarint64(dst, txn_id);
       break;
     case RecordType::kInstall:
       PutInstallEntries(dst, installed_vars);
@@ -83,13 +139,42 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
   uint8_t type_byte = (*src)[0];
   src->RemovePrefix(1);
   if (type_byte < 1 ||
-      type_byte > static_cast<uint8_t>(RecordType::kPolicyDecision)) {
+      type_byte > static_cast<uint8_t>(RecordType::kCompensation)) {
     return Status::Corruption("bad record type");
   }
   out->type = static_cast<RecordType>(type_byte);
   LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->lsn));
   switch (out->type) {
     case RecordType::kOperation:
+      LOGLOG_RETURN_IF_ERROR(OperationDesc::DecodeFrom(src, &out->op));
+      // Remaining bytes are the transactional trailer (framing hands the
+      // decoder exactly one payload, so presence is unambiguous).
+      if (!src->empty()) {
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->txn_id));
+        if (out->txn_id == 0) {
+          return Status::Corruption("txn trailer with zero txn id");
+        }
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->prev_lsn));
+        LOGLOG_RETURN_IF_ERROR(GetUndoImages(src, &out->undo_images));
+        if (!out->undo_images.empty() &&
+            out->undo_images.size() != out->op.writes.size()) {
+          return Status::Corruption("undo image count != write count");
+        }
+      }
+      break;
+    case RecordType::kTxnBegin:
+    case RecordType::kTxnCommit:
+    case RecordType::kTxnAbort:
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->txn_id));
+      if (out->txn_id == 0) return Status::Corruption("zero txn id");
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->prev_lsn));
+      break;
+    case RecordType::kCompensation:
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->txn_id));
+      if (out->txn_id == 0) return Status::Corruption("zero txn id");
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->prev_lsn));
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->undo_next_lsn));
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->undo_skip));
       LOGLOG_RETURN_IF_ERROR(OperationDesc::DecodeFrom(src, &out->op));
       break;
     case RecordType::kCheckpoint: {
@@ -106,6 +191,14 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
         e.dead = (*src)[0] != 0;
         src->RemovePrefix(1);
         out->dot.push_back(e);
+      }
+      // Optional trailing txn-id high-water mark (absent on logs written
+      // before transactions existed).
+      if (!src->empty()) {
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->txn_id));
+        if (out->txn_id == 0) {
+          return Status::Corruption("zero checkpoint txn watermark");
+        }
       }
       break;
     }
@@ -166,9 +259,32 @@ std::string LogRecord::DebugString() const {
   switch (type) {
     case RecordType::kOperation:
       out += "op " + op.DebugString();
+      if (txn_id != 0) {
+        out += " txn=" + std::to_string(txn_id) +
+               " prev=" + std::to_string(prev_lsn) +
+               " images=" + std::to_string(undo_images.size());
+      }
+      break;
+    case RecordType::kTxnBegin:
+      out += "txn-begin txn=" + std::to_string(txn_id);
+      break;
+    case RecordType::kTxnCommit:
+      out += "txn-commit txn=" + std::to_string(txn_id) +
+             " prev=" + std::to_string(prev_lsn);
+      break;
+    case RecordType::kTxnAbort:
+      out += "txn-abort txn=" + std::to_string(txn_id) +
+             " prev=" + std::to_string(prev_lsn);
+      break;
+    case RecordType::kCompensation:
+      out += "clr " + op.DebugString() + " txn=" + std::to_string(txn_id) +
+             " prev=" + std::to_string(prev_lsn) +
+             " undo-next=" + std::to_string(undo_next_lsn) +
+             " skip=" + std::to_string(undo_skip);
       break;
     case RecordType::kCheckpoint:
       out += "checkpoint dot=" + std::to_string(dot.size());
+      if (txn_id != 0) out += " txn-max=" + std::to_string(txn_id);
       break;
     case RecordType::kInstall:
       out += "install vars=" + std::to_string(installed_vars.size()) +

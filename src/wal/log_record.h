@@ -36,6 +36,23 @@ enum class RecordType : uint8_t {
   /// ignores it; analysis rebuilds the class mix from the last decision
   /// per object so recovery reseeds the policy it crashed with.
   kPolicyDecision = 6,
+  /// User-transaction begin (src/engine/txn_manager.h). Anchors the
+  /// per-transaction prev-LSN backchain; a txn with a begin but no
+  /// commit/abort at crash is a loser and is rolled back by recovery.
+  kTxnBegin = 7,
+  /// User-transaction commit. Forced before Commit() returns — the
+  /// durability point of the transaction.
+  kTxnCommit = 8,
+  /// User-transaction rollback complete (the ARIES "end" of an aborted
+  /// txn). Never forced: re-running an already-finished rollback is
+  /// idempotent, so abort durability is free.
+  kTxnAbort = 9,
+  /// Compensation log record (CLR): one logged+executed inverse step of a
+  /// rollback. Carries the inverse as an ordinary OperationDesc so REDO
+  /// repeats history through rollbacks, plus undo_next_lsn/undo_skip so a
+  /// crash mid-rollback resumes exactly after the last stable CLR. CLRs
+  /// are never themselves undone.
+  kCompensation = 10,
 };
 
 /// One dirty-object-table entry in a checkpoint record.
@@ -64,13 +81,47 @@ struct FlushValue {
   bool erase = false;
 };
 
+/// Before-image of one write slot of an in-transaction operation, logged
+/// when the op has no registered logical inverse (then compensation must
+/// restore physically — including the adaptive policy's W_P promotions).
+struct UndoImage {
+  /// False when the object did not exist before the op (undo deletes it).
+  bool exists = false;
+  std::vector<uint8_t> value;
+};
+
 /// \brief A single log record (tagged union over RecordType).
 struct LogRecord {
   RecordType type = RecordType::kOperation;
   Lsn lsn = kInvalidLsn;
 
-  // kOperation
+  // kOperation and kCompensation
   OperationDesc op;
+
+  // Transaction header: set on kTxnBegin/kTxnCommit/kTxnAbort/
+  // kCompensation and on kOperation records executed inside a
+  // transaction. txn_id == 0 means non-transactional; such kOperation
+  // records encode byte-identically to the pre-transaction format.
+  // On kCheckpoint it is not a transaction but the id high-water mark
+  // at checkpoint time (0 if no transaction ever ran), so id
+  // allocation stays monotone after truncation discards txn records.
+  uint64_t txn_id = 0;
+  /// LSN of this transaction's previous record (kInvalidLsn at the head
+  /// of the backchain, i.e. on kTxnBegin).
+  Lsn prev_lsn = kInvalidLsn;
+
+  // kCompensation: rollback cursor. undo_next_lsn is the next forward
+  // record to undo once this CLR is stable (kInvalidLsn when rollback is
+  // done bar the kTxnAbort); undo_skip counts how many of that record's
+  // writes (from the last one backwards) are already compensated, so
+  // multi-write operations roll back one write per CLR, restartably.
+  Lsn undo_next_lsn = kInvalidLsn;
+  uint64_t undo_skip = 0;
+
+  // kOperation in-txn: captured before-images, parallel to op.writes
+  // (empty when the op's FuncId has a registered logical inverse and
+  // images are unnecessary).
+  std::vector<UndoImage> undo_images;
 
   // kCheckpoint
   std::vector<DotEntry> dot;

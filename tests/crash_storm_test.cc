@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "sim/abort_storm.h"
 #include "sim/crash_storm.h"
 #include "sim/failover_storm.h"
 
@@ -129,6 +130,89 @@ TEST_P(CrashStormTest, SurvivesTheStorm) {
 INSTANTIATE_TEST_SUITE_P(Storm, CrashStormTest,
                          testing::ValuesIn(kConfigs),
                          [](const testing::TestParamInfo<StormConfig>& i) {
+                           return std::string(i.param.name);
+                         });
+
+struct AbortStormConfig {
+  const char* name;
+  uint64_t seed;
+  /// Interleaving degree (transactions open at once).
+  int max_txns;
+  int abort_inject_percent;
+  int explicit_abort_percent;
+  int rollback_crash_percent;
+  int commit_torn_percent;
+};
+
+// The (interleaving, injected-abort, crash-point) matrix: each axis gets
+// a config that leans on it hard, plus one with everything at once. Every
+// iteration of every config ends in a crash, a recovery, the
+// repeat-history verification and the committed-only serial oracle.
+constexpr AbortStormConfig kAbortConfigs[] = {
+    // Aborts and rollbacks but no crash faults: compensation itself.
+    {"CleanAborts", 3001, 3, 60, 40, 0, 0},
+    // Crash at a random depth of (almost) every rollback, runtime or
+    // recovery loser pass; resumed rollback must not double-compensate.
+    {"RollbackCrashes", 3002, 4, 60, 30, 100, 0},
+    // Commit records appended but never forced: the torn-commit window.
+    {"TornCommits", 3003, 4, 40, 10, 0, 100},
+    // Wide interleaving drives strict-2PL conflict aborts.
+    {"WideInterleave", 3004, 8, 30, 25, 25, 15},
+    // Everything at once.
+    {"FullStorm", 3005, 6, 60, 25, 50, 35},
+};
+
+class AbortStormTest : public testing::TestWithParam<AbortStormConfig> {};
+
+TEST_P(AbortStormTest, EquivalentToSerialOracle) {
+  const AbortStormConfig& cfg = GetParam();
+  AbortStormOptions options;
+  // Purge aggressively so installs land inside transactional bursts (the
+  // storm forces native-atomic installation; see AbortStormOptions).
+  options.engine.purge_threshold_ops = 12;
+  options.seed = cfg.seed;
+  options.iterations = g_storm_iters;
+  options.max_txns = cfg.max_txns;
+  options.abort_inject_percent = cfg.abort_inject_percent;
+  options.explicit_abort_percent = cfg.explicit_abort_percent;
+  options.rollback_crash_percent = cfg.rollback_crash_percent;
+  options.commit_torn_percent = cfg.commit_torn_percent;
+
+  AbortStormStats stats;
+  Status st = RunAbortStorm(options, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString() << "\n  " << stats.ToString();
+  std::printf("[ STORM    ] Abort/%s: %s\n", cfg.name,
+              stats.ToString().c_str());
+  EXPECT_EQ(stats.iterations, static_cast<uint64_t>(g_storm_iters));
+  // Both verifications ran after every recovery.
+  EXPECT_EQ(stats.verify_passes, stats.iterations);
+  EXPECT_EQ(stats.oracle_passes, stats.iterations);
+  EXPECT_GE(stats.crashes, stats.iterations);
+  EXPECT_GE(stats.recoveries, stats.iterations);
+  EXPECT_GT(stats.txns_begun, 0u);
+  if (g_storm_iters >= 10) {
+    // At scale the mix must actually bite: commits, rollbacks, and
+    // losers for the recovery pass.
+    EXPECT_GT(stats.txns_committed, 0u);
+    EXPECT_GT(stats.txns_rolled_back, 0u);
+    EXPECT_GT(stats.clrs_logged, 0u);
+    EXPECT_GT(stats.loser_txns, 0u);
+    if (cfg.rollback_crash_percent >= 100) {
+      EXPECT_GT(stats.rollback_crashes, 0u);
+    }
+    if (cfg.commit_torn_percent >= 100) {
+      EXPECT_GT(stats.torn_commits, 0u);
+    }
+    if (options.standby_audit_every > 0 &&
+        g_storm_iters >= options.standby_audit_every) {
+      EXPECT_GT(stats.standby_audits, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Storm, AbortStormTest,
+                         testing::ValuesIn(kAbortConfigs),
+                         [](const testing::TestParamInfo<AbortStormConfig>& i) {
                            return std::string(i.param.name);
                          });
 

@@ -1,12 +1,64 @@
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
 #include "common/random.h"
 #include "domains/btree/btree_page.h"
 #include "ops/op_builder.h"
+#include "recovery/txn_undo.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
 #include "wal/log_record.h"
 
 namespace loglog {
 namespace {
+
+// One of each transactional record form (and a checkpoint carrying the
+// txn-id watermark), for the fuzz rounds below.
+std::vector<LogRecord> TxnRecordCorpus() {
+  std::vector<LogRecord> recs;
+  LogRecord begin;
+  begin.type = RecordType::kTxnBegin;
+  begin.lsn = 10;
+  begin.txn_id = 3;
+  begin.prev_lsn = kInvalidLsn;
+  recs.push_back(begin);
+  LogRecord op;
+  op.type = RecordType::kOperation;
+  op.lsn = 11;
+  op.txn_id = 3;
+  op.prev_lsn = 10;
+  op.op = MakePhysicalWrite(5, "payload");
+  op.undo_images.push_back({true, {'o', 'l', 'd'}});
+  recs.push_back(op);
+  LogRecord clr;
+  clr.type = RecordType::kCompensation;
+  clr.lsn = 12;
+  clr.txn_id = 3;
+  clr.prev_lsn = 11;
+  clr.undo_next_lsn = 10;
+  clr.undo_skip = 0;
+  clr.op = MakePhysicalWrite(5, "old");
+  recs.push_back(clr);
+  LogRecord abort;
+  abort.type = RecordType::kTxnAbort;
+  abort.lsn = 13;
+  abort.txn_id = 3;
+  abort.prev_lsn = 12;
+  recs.push_back(abort);
+  LogRecord commit;
+  commit.type = RecordType::kTxnCommit;
+  commit.lsn = 14;
+  commit.txn_id = 4;
+  commit.prev_lsn = 9;
+  recs.push_back(commit);
+  LogRecord ckpt;
+  ckpt.type = RecordType::kCheckpoint;
+  ckpt.lsn = 15;
+  ckpt.txn_id = 4;  // the id high-water mark, not a transaction
+  ckpt.dot.push_back({7, 11, false});
+  recs.push_back(ckpt);
+  return recs;
+}
 
 // Robustness: decoders must reject arbitrary and mutated bytes with a
 // Status, never crash or accept trailing garbage. (Recovery reads these
@@ -82,6 +134,81 @@ TEST_P(DecodeFuzzTest, TruncationsOfValidEncodingsFail) {
       }
     }
   }
+}
+
+TEST_P(DecodeFuzzTest, TxnRecordMutationsAreRejected) {
+  // Single-byte flips over framed transactional records (begin, in-txn
+  // operation with before-image trailer, compensation, abort, commit,
+  // watermark checkpoint) must always fail the frame CRC — a scribbled
+  // backchain or undo-next LSN can never decode as a different record.
+  Random rng(GetParam() * 17 + 1);
+  for (const LogRecord& rec : TxnRecordCorpus()) {
+    std::vector<uint8_t> framed;
+    FrameRecord(rec, &framed);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint8_t> mutated = framed;
+      size_t pos = rng.Uniform(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+      Slice s(mutated);
+      LogRecord out;
+      EXPECT_TRUE(ReadFramedRecord(&s, &out).IsCorruption())
+          << "type " << static_cast<int>(rec.type) << " pos " << pos;
+    }
+  }
+}
+
+TEST(DecodeTxnTest, TxnRecordTruncationsFail) {
+  // Every strict prefix of a framed transactional record is an
+  // incomplete frame; none may decode successfully.
+  for (const LogRecord& rec : TxnRecordCorpus()) {
+    std::vector<uint8_t> framed;
+    FrameRecord(rec, &framed);
+    for (size_t keep = 0; keep < framed.size(); ++keep) {
+      std::vector<uint8_t> cut(framed.begin(), framed.begin() + keep);
+      Slice s(cut);
+      LogRecord out;
+      EXPECT_FALSE(ReadFramedRecord(&s, &out).ok())
+          << "type " << static_cast<int>(rec.type) << " keep " << keep;
+    }
+  }
+}
+
+TEST(DecodeTxnTest, ZeroTxnIdPayloadsRejected) {
+  // txn_id == 0 marks a record non-transactional, so a marker or CLR
+  // carrying it is contradictory and must be rejected at decode.
+  for (RecordType type : {RecordType::kTxnBegin, RecordType::kTxnCommit,
+                          RecordType::kTxnAbort, RecordType::kCompensation}) {
+    std::vector<uint8_t> payload;
+    payload.push_back(static_cast<uint8_t>(type));
+    PutVarint64(&payload, /*lsn=*/20);
+    PutVarint64(&payload, /*txn_id=*/0);
+    PutVarint64(&payload, /*prev_lsn=*/19);
+    Slice s(payload);
+    LogRecord out;
+    EXPECT_TRUE(LogRecord::DecodeFrom(&s, &out).IsCorruption())
+        << static_cast<int>(type);
+  }
+}
+
+TEST(DecodeTxnTest, CorruptBackchainLsnIsRejectedByRollback) {
+  // A compensation record whose undo-next LSN points off the
+  // transaction's backchain (decode-valid bytes, corrupted meaning) must
+  // stop the rollback with Corruption, not silently skip or re-undo.
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  CacheManager cm(&disk, &log, GraphKind::kRefined,
+                  FlushPolicy::kNativeAtomic, /*log_installs=*/true);
+  FaultInjector faults;
+  TxnRollbackPlan plan;
+  plan.txn_id = 9;
+  plan.last_lsn = 33;
+  plan.forward.push_back(
+      {/*lsn=*/30, MakePhysicalWrite(1, "x"), {{true, {'o'}}}});
+  plan.resume_lsn = 500;  // not the LSN of any forward record
+  TxnUndoStats stats;
+  Status st = RollbackTxn(&cm, &log, &faults, plan, /*io_budget=*/1, &stats);
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_EQ(stats.clrs_logged, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzzTest, testing::Values(1, 2, 3));

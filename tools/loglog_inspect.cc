@@ -14,6 +14,10 @@
 //
 // Flags:
 //   --demo          populate a fresh disk with the mixed workload
+//   --txns N        (with --demo) append N multi-op transactions, every
+//                   third rolled back — the dump then shows begin/commit/
+//                   abort markers, compensation records, and the abort
+//                   rate (default 6, 0 disables)
 //   --crash         (with --demo) stop without flushing: recovery has work
 //   --save FILE     save the disk image (then continue inspecting)
 //   --json          emit one JSON document instead of text
@@ -42,6 +46,7 @@
 #include <vector>
 
 #include "engine/recovery_engine.h"
+#include "engine/txn_manager.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -67,6 +72,7 @@ struct InspectOptions {
   int threads = 4;
   uint64_t seed = 321;
   uint64_t ops = 400;
+  uint64_t txns = 6;
   std::string save_path;
   std::string trace_path;
   std::string image_path;
@@ -76,7 +82,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [IMAGE] [--demo] [--ship-status] [--crash] "
                "[--save FILE] [--json] [--trace FILE] [--threads N] "
-               "[--no-recover] [--seed N] [--ops N] [--quiet] "
+               "[--no-recover] [--seed N] [--ops N] [--txns N] [--quiet] "
                "[--class-mix]\n",
                argv0);
   return 2;
@@ -118,6 +124,9 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
     } else if (arg == "--ops") {
       if (!next_value(&value)) return false;
       out->ops = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--txns") {
+      if (!next_value(&value)) return false;
+      out->txns = std::strtoull(value.c_str(), nullptr, 10);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -167,6 +176,21 @@ Status RunDemo(const InspectOptions& opts, SimulatedDisk* disk) {
   for (uint64_t i = 0; i < opts.ops; ++i) {
     Status st = engine->Execute(workload.Next());
     if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  // A transactional slice on top of the plain workload: every third
+  // transaction rolls back, so the dump shows all four transaction
+  // record types and a nonzero abort rate.
+  if (opts.txns > 0) {
+    TxnManager tm(engine.get());
+    for (uint64_t t = 0; t < opts.txns; ++t) {
+      TxnId id;
+      LOGLOG_RETURN_IF_ERROR(tm.Begin(&id));
+      for (int j = 0; j < 3; ++j) {
+        Status st = tm.Execute(id, workload.Next());
+        if (!st.ok() && !st.IsNotFound()) return st;
+      }
+      LOGLOG_RETURN_IF_ERROR(t % 3 == 2 ? tm.Rollback(id) : tm.Commit(id));
+    }
   }
   if (!opts.crash) {
     LOGLOG_RETURN_IF_ERROR(engine->FlushAll());
