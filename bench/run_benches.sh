@@ -31,6 +31,14 @@
 # mixed-workload throughput curve as the abort rate climbs (see
 # EXPERIMENTS.md E17). Named like the others (`recovery` -> `txn`).
 #
+# BENCH_hot_path.json holds the WAL hot-path series (bench_hot_path):
+# appends/sec for the old whole-record Append pipeline vs the zero-copy
+# reserve+fill path (single- and multi-producer, small and KB-sized
+# payloads) with the speedup per shape, CRC32C MB/s per kernel with the
+# fast-vs-scalar ratio, and the per-commit force latency with async
+# completions overlapped vs synchronous forces (see EXPERIMENTS.md E18).
+# Named like the others (`recovery` -> `hot_path`).
+#
 # Every bench binary failure aborts the run with a pointed message, and
 # each emitted JSON file is validated before anything is merged — a
 # crashed or truncated benchmark can't silently produce an empty report.
@@ -65,10 +73,12 @@ if [[ "$OUT" == *recovery* ]]; then
   REPL_OUT="${OUT/recovery/replication}"
   ADAPT_OUT="${OUT/recovery/adaptive}"
   TXN_OUT="${OUT/recovery/txn}"
+  HOT_OUT="${OUT/recovery/hot_path}"
 else
   REPL_OUT="$OUT.replication.json"
   ADAPT_OUT="$OUT.adaptive.json"
   TXN_OUT="$OUT.txn.json"
+  HOT_OUT="$OUT.hot_path.json"
 fi
 
 TMP=$(mktemp -d)
@@ -126,6 +136,7 @@ run_bench bench_logging_cost "$TMP/force_policy.json" \
 run_bench bench_replication "$TMP/replication.json"
 run_bench bench_adaptive_logging "$TMP/adaptive_logging.json"
 run_bench bench_txn "$TMP/txn.json"
+run_bench bench_hot_path "$TMP/hot_path.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
@@ -441,3 +452,108 @@ for row in commit + rollback + mix:
     print("  ", row)
 PYEOF
 validate_json "$TXN_OUT" "txn merge"
+
+python3 - "$TMP/hot_path.json" "$HOT_OUT" <<'PYEOF'
+import json
+import sys
+
+hot_path, out_path = sys.argv[1:3]
+hot = json.load(open(hot_path))
+
+
+def argmap(run_name):
+    return dict(
+        kv.split(":") for kv in run_name.split("/") if kv.count(":") == 1
+    )
+
+
+# Appends/sec per (payload, producers) shape: the old whole-record
+# Append pipeline vs the zero-copy reserve+fill path, with the speedup.
+rates = {}
+for b in hot["benchmarks"]:
+    name = b["run_name"]
+    if "Append" not in name:
+        continue
+    parts = argmap(name)
+    which = "reserve_fill" if "ReserveFill" in name else "legacy"
+    key = (int(parts["valbytes"]), int(parts.get("threads", 1)))
+    rates.setdefault(key, {})[which] = b["items_per_second"]
+
+appends = []
+for (valbytes, threads), by_path in sorted(rates.items()):
+    row = {"valbytes": valbytes, "threads": threads}
+    if "legacy" in by_path:
+        row["legacy_appends_per_s"] = round(by_path["legacy"])
+    if "reserve_fill" in by_path:
+        row["reserve_fill_appends_per_s"] = round(by_path["reserve_fill"])
+    if "legacy" in by_path and "reserve_fill" in by_path:
+        row["speedup"] = round(by_path["reserve_fill"] / by_path["legacy"], 2)
+    appends.append(row)
+
+# CRC32C throughput per kernel; the ratio the WAL actually sees is the
+# dispatched fast kernel over the seed's byte-at-a-time table.
+crc_rates = {}
+crc = []
+for b in hot["benchmarks"]:
+    name = b["run_name"]
+    if "Crc32c" not in name:
+        continue
+    kernel = name.split("/")[0].replace("BM_Crc32c", "").lower()
+    length = int(name.split("/")[1])
+    mb_s = b["bytes_per_second"] / 1e6
+    crc_rates.setdefault(length, {})[kernel] = mb_s
+    row = {"kernel": kernel, "len": length, "mb_per_s": round(mb_s, 1)}
+    if b.get("label"):
+        row["dispatched_to"] = b["label"]
+    crc.append(row)
+crc_summary = {}
+for length, by_kernel in sorted(crc_rates.items()):
+    if "scalar" in by_kernel and "fast" in by_kernel:
+        crc_summary[f"fast_vs_scalar_len{length}"] = round(
+            by_kernel["fast"] / by_kernel["scalar"], 2
+        )
+
+# Per-commit force latency on a slow device: synchronous forces pay the
+# device latency serially; async completions overlap the waits.
+force_times = {}
+force = []
+for b in hot["benchmarks"]:
+    name = b["run_name"]
+    if "ForceCommit" not in name:
+        continue
+    parts = argmap(name)
+    mode = "async" if int(parts["async"]) else "sync"
+    per_commit_us = b["real_time"] / b["txns_per_batch"]
+    force_times[mode] = per_commit_us
+    force.append(
+        {
+            "mode": mode,
+            "batch_us": round(b["real_time"], 1),
+            "commit_latency_us": round(per_commit_us, 2),
+            "txns_per_batch": int(b["txns_per_batch"]),
+        }
+    )
+force_summary = {}
+if "sync" in force_times and "async" in force_times:
+    force_summary["overlap_speedup"] = round(
+        force_times["sync"] / force_times["async"], 2
+    )
+
+merged = {
+    "context": hot.get("context", {}),
+    "append_throughput": appends,
+    "crc32c_throughput": crc,
+    "crc32c_summary": crc_summary,
+    "force_overlap_latency": force,
+    "force_overlap_summary": force_summary,
+    "raw": {"hot_path": hot["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in appends + crc + force:
+    print("  ", row)
+print("  ", {**crc_summary, **force_summary})
+PYEOF
+validate_json "$HOT_OUT" "hot_path merge"

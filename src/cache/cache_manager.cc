@@ -45,6 +45,8 @@ CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
       reg.GetCounter(metric::kCmIdentityBudgetRequests);
   metrics_.budget_identity_drops =
       reg.GetCounter(metric::kCmIdentityBudgetDrops);
+  metrics_.graph_batches = reg.GetCounter(metric::kCmGraphBatches);
+  metrics_.graph_batched_ops = reg.GetCounter(metric::kCmGraphBatchedOps);
   metrics_.flush_set_size = reg.GetHistogram(metric::kCmFlushSetSize);
   if (flush_policy_ == FlushPolicy::kIdentityWrites &&
       graph_kind == GraphKind::kW) {
@@ -145,8 +147,26 @@ Status CacheManager::ApplyResults(const OperationDesc& op, Lsn lsn,
       hot_.insert(op.writes[i]);
     }
   }
-  graph_->AddOperation(PendingOp::FromDesc(lsn, op));
+  if (graph_batching_) {
+    // rW maintenance (union-find merges, edge insertion, SCC collapse)
+    // is amortized across a batch: insertions queue here and drain in
+    // LSN order the moment anything reads the graph, so observable state
+    // never differs from per-append insertion.
+    pending_graph_ops_.push_back(PendingOp::FromDesc(lsn, op));
+  } else {
+    graph_->AddOperation(PendingOp::FromDesc(lsn, op));
+  }
   return Status::OK();
+}
+
+void CacheManager::DrainGraphBatch() const {
+  if (pending_graph_ops_.empty()) return;
+  for (const PendingOp& op : pending_graph_ops_) {
+    graph_->AddOperation(op);
+  }
+  metrics_.graph_batches->Inc();
+  metrics_.graph_batched_ops->Inc(pending_graph_ops_.size());
+  pending_graph_ops_.clear();
 }
 
 ObjectId CacheManager::LargestVarsObject(NodeId v) const {
@@ -166,6 +186,10 @@ ObjectId CacheManager::LargestVarsObject(NodeId v) const {
 }
 
 Status CacheManager::InjectIdentityWrite(ObjectId id) {
+  // The injected write must be visible to the caller's next graph read
+  // (flush loops re-choose the minimal node after every injection), so
+  // it bypasses the batch — after draining, to keep LSN order.
+  DrainGraphBatch();
   CachedObject* obj = table_.Find(id);
   if (obj == nullptr) {
     return Status::FailedPrecondition("identity write of uncached object");
@@ -200,6 +224,7 @@ void CacheManager::MarkHot(ObjectId id, bool hot) {
 }
 
 Status CacheManager::PurgeOne(bool allow_hot_flush) {
+  DrainGraphBatch();
   if (graph_->empty()) return Status::NotFound("nothing to install");
   ++stats_.purges;
   metrics_.purges->Inc();
@@ -520,7 +545,8 @@ Status CacheManager::InstallHotNodesByLogging() {
 
 Status CacheManager::EnforceRecoveryBudget(uint64_t budget_ops,
                                            size_t identity_cap) {
-  if (graph_->op_count() <= budget_ops) return Status::OK();
+  if (uninstalled_ops() <= budget_ops) return Status::OK();
+  DrainGraphBatch();
   TraceSpan span("cm.enforce_budget", "cache");
   span.AddArg("backlog", static_cast<uint64_t>(graph_->op_count()));
   // Flush policies with native multi-object atomicity drain the backlog
@@ -621,6 +647,7 @@ Status CacheManager::EnforceRecoveryBudget(uint64_t budget_ops,
 }
 
 Status CacheManager::Checkpoint(Lsn truncate_floor, uint64_t txn_watermark) {
+  DrainGraphBatch();
   // Advance hot objects' rSIs first: their operations install via
   // logging so the checkpoint can truncate past them without a flush
   // (Section 4: "merely install operations on them via logging, without
@@ -659,6 +686,7 @@ void CacheManager::EvictTo(size_t capacity) {
 }
 
 Status CacheManager::CheckInvariants() {
+  DrainGraphBatch();
   LOGLOG_RETURN_IF_ERROR(graph_->CheckInvariants());
   Status out = Status::OK();
   table_.ForEach([&](ObjectId id, const CachedObject& obj) {

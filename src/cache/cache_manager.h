@@ -143,10 +143,31 @@ class CacheManager {
 
   ObjectTable& table() { return table_; }
   const ObjectTable& table() const { return table_; }
-  WriteGraph& graph() { return *graph_; }
-  const WriteGraph& graph() const { return *graph_; }
+  /// The rW write graph. Accessing it drains the pending batch first so
+  /// callers always observe the graph as if maintenance were per-append.
+  WriteGraph& graph() {
+    DrainGraphBatch();
+    return *graph_;
+  }
+  const WriteGraph& graph() const {
+    DrainGraphBatch();
+    return *graph_;
+  }
   const CacheStats& stats() const { return stats_; }
-  size_t uninstalled_ops() const { return graph_->op_count(); }
+  size_t uninstalled_ops() const {
+    return graph_->op_count() + pending_graph_ops_.size();
+  }
+
+  /// Batched rW-graph maintenance: when enabled (the default),
+  /// ApplyResults queues graph insertions and the union-find/SCC work is
+  /// amortized across a batch, drained in LSN order before any graph
+  /// read. Observable graph state is identical to per-append insertion —
+  /// the drain happens before anything can look.
+  void set_graph_batching(bool enabled) {
+    if (!enabled) DrainGraphBatch();
+    graph_batching_ = enabled;
+  }
+  bool graph_batching() const { return graph_batching_; }
 
   /// Structural audit for tests: object-table/graph rSI agreement plus
   /// write-graph invariants.
@@ -185,6 +206,11 @@ class CacheManager {
   /// Picks the vars object of `v` to keep (not identity-write): the one
   /// with the largest cached value, maximizing saved log volume.
   ObjectId LargestVarsObject(NodeId v) const;
+  /// Flushes the pending graph batch into the write graph in LSN order.
+  /// Const because reads trigger it (the graph lives behind a pointer,
+  /// and the batch is declared mutable): logically the graph already
+  /// contains these operations.
+  void DrainGraphBatch() const;
 
   /// Global-registry twins of the hot CacheStats counters (fetched once
   /// in the constructor; incremented beside the struct fields so metrics
@@ -201,6 +227,8 @@ class CacheManager {
     Counter* budget_installs;
     Counter* budget_identity_requests;
     Counter* budget_identity_drops;
+    Counter* graph_batches;
+    Counter* graph_batched_ops;
     HistogramMetric* flush_set_size;
   };
 
@@ -216,6 +244,10 @@ class CacheManager {
   std::set<ObjectId> hot_;
   std::set<ObjectId> auto_hot_;
   uint64_t auto_hot_threshold_ = 0;
+  /// Graph insertions not yet applied, in LSN order (mutable: reads
+  /// drain; see DrainGraphBatch).
+  mutable std::vector<PendingOp> pending_graph_ops_;
+  bool graph_batching_ = true;
 };
 
 }  // namespace loglog

@@ -103,6 +103,21 @@ Status GetLengthPrefixed(Slice* src, Slice* value) {
   return Status::OK();
 }
 
+uint8_t* EncodeVarint64(uint8_t* dst, uint64_t v) {
+  while (v >= 0x80) {
+    *dst++ = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *dst++ = static_cast<uint8_t>(v);
+  return dst;
+}
+
+uint8_t* EncodeLengthPrefixed(uint8_t* dst, Slice value) {
+  dst = EncodeVarint64(dst, value.size());
+  if (!value.empty()) std::memcpy(dst, value.data(), value.size());
+  return dst + value.size();
+}
+
 size_t VarintLength(uint64_t v) {
   size_t len = 1;
   while (v >= 0x80) {

@@ -35,6 +35,12 @@ size_t VarintLength(uint64_t v);
 /// Encodes v into buf (must have >= 4/8 bytes); for in-place page fields.
 void EncodeFixed32(uint8_t* buf, uint32_t v);
 void EncodeFixed64(uint8_t* buf, uint64_t v);
+
+/// Raw-buffer varint / length-prefixed encoders for the zero-copy WAL
+/// append path: the caller reserves an exactly-sized span (via
+/// VarintLength et al.) and these fill it, returning the advanced cursor.
+uint8_t* EncodeVarint64(uint8_t* dst, uint64_t v);
+uint8_t* EncodeLengthPrefixed(uint8_t* dst, Slice value);
 uint32_t DecodeFixed32(const uint8_t* buf);
 uint64_t DecodeFixed64(const uint8_t* buf);
 

@@ -1,6 +1,17 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define LOGLOG_CRC32_X86 1
+#include <nmmintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define LOGLOG_CRC32_ARM 1
+#include <arm_acle.h>
+#endif
 
 namespace loglog {
 
@@ -9,32 +20,166 @@ namespace {
 // CRC-32C (Castagnoli) polynomial, reflected form.
 constexpr uint32_t kPoly = 0x82f63b78u;
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// table[0] is the classic one-byte table; table[k] advances a byte that
+// sits k positions deeper in the 8-byte word the slice-by-8 loop folds
+// per iteration.
+std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int k = 0; k < 8; ++k) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (int t = 1; t < 8; ++t) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables[t][i] =
+          (tables[t - 1][i] >> 8) ^ tables[0][tables[t - 1][i] & 0xff];
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = MakeTable();
-  return table;
+const std::array<std::array<uint32_t, 256>, 8>& Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = MakeTables();
+  return tables;
+}
+
+#if defined(LOGLOG_CRC32_X86)
+bool DetectX86Crc() { return __builtin_cpu_supports("sse4.2"); }
+
+__attribute__((target("sse4.2"))) uint32_t HardwareKernelX86(uint32_t crc,
+                                                            const uint8_t* p,
+                                                            size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+#endif  // LOGLOG_CRC32_X86
+
+#if defined(LOGLOG_CRC32_ARM)
+uint32_t HardwareKernelArm(uint32_t crc, const uint8_t* p, size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = __crc32cb(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+#endif  // LOGLOG_CRC32_ARM
+
+bool HardwareDetected() {
+#if defined(LOGLOG_CRC32_X86)
+  static const bool available = DetectX86Crc();
+  return available;
+#elif defined(LOGLOG_CRC32_ARM)
+  return true;
+#else
+  return false;
+#endif
 }
 
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, Slice data) {
-  const auto& table = Table();
+uint32_t Crc32cExtendScalar(uint32_t crc, Slice data) {
+  const auto& table = Tables()[0];
   crc = ~crc;
   for (size_t i = 0; i < data.size(); ++i) {
     crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+uint32_t Crc32cExtendSliceBy8(uint32_t crc, Slice data) {
+  const auto& t = Tables();
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+#endif  // little-endian word fold
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cExtendHardware(uint32_t crc, Slice data) {
+#if defined(LOGLOG_CRC32_X86)
+  return HardwareKernelX86(crc, data.data(), data.size());
+#elif defined(LOGLOG_CRC32_ARM)
+  return HardwareKernelArm(crc, data.data(), data.size());
+#else
+  return Crc32cExtendSliceBy8(crc, data);
+#endif
+}
+
+bool Crc32cHardwareAvailable() { return HardwareDetected(); }
+
+Crc32cKernel Crc32cActiveKernel() {
+  return HardwareDetected() ? Crc32cKernel::kHardware : Crc32cKernel::kSliceBy8;
+}
+
+const char* Crc32cKernelName(Crc32cKernel kernel) {
+  switch (kernel) {
+    case Crc32cKernel::kScalar:
+      return "scalar";
+    case Crc32cKernel::kSliceBy8:
+      return "slice_by_8";
+    case Crc32cKernel::kHardware:
+      return "hardware";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32cExtend(uint32_t crc, Slice data) {
+  if (HardwareDetected()) {
+    return Crc32cExtendHardware(crc, data);
+  }
+  return Crc32cExtendSliceBy8(crc, data);
 }
 
 uint32_t Crc32c(Slice data) { return Crc32cExtend(0, data); }

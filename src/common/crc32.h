@@ -7,14 +7,44 @@
 
 namespace loglog {
 
-/// CRC-32C (Castagnoli) over a byte range; software table implementation.
-/// Used to checksum log records so recovery can distinguish a torn final
-/// record from genuine corruption mid-log.
+/// CRC-32C (Castagnoli) over a byte range. Used to checksum log records
+/// so recovery can distinguish a torn final record from genuine
+/// corruption mid-log, and to frame replication batches.
+///
+/// Crc32c / Crc32cExtend dispatch at runtime to the fastest kernel the
+/// machine supports: the SSE4.2 (x86) or ARMv8-CRC instruction path when
+/// present, else the slice-by-8 software kernel. All kernels compute the
+/// same function as the original one-table scalar code (the cross-check
+/// is enforced by tests/crc32_test.cc), so log images stay byte-identical
+/// across machines and across this change.
 uint32_t Crc32c(Slice data);
 
 /// Extends a running CRC with more data: Crc32c(a+b) ==
 /// Crc32cExtend(Crc32c(a), b).
 uint32_t Crc32cExtend(uint32_t crc, Slice data);
+
+/// Which implementation the dispatched entry points use on this machine.
+enum class Crc32cKernel : uint8_t {
+  kScalar,    // original single-table, byte-at-a-time
+  kSliceBy8,  // 8-table software kernel, 8 bytes per step
+  kHardware,  // SSE4.2 CRC32 / ARMv8 CRC instructions
+};
+
+const char* Crc32cKernelName(Crc32cKernel kernel);
+
+/// The kernel Crc32c/Crc32cExtend currently dispatch to.
+Crc32cKernel Crc32cActiveKernel();
+
+/// True when the hardware instruction path is usable on this machine.
+bool Crc32cHardwareAvailable();
+
+/// Direct kernel entry points, bypassing dispatch. For the cross-check
+/// tests and the CRC throughput benchmark only; production code uses the
+/// dispatched Crc32c/Crc32cExtend.
+uint32_t Crc32cExtendScalar(uint32_t crc, Slice data);
+uint32_t Crc32cExtendSliceBy8(uint32_t crc, Slice data);
+/// Precondition: Crc32cHardwareAvailable().
+uint32_t Crc32cExtendHardware(uint32_t crc, Slice data);
 
 }  // namespace loglog
 

@@ -133,13 +133,12 @@ Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
     }
   }
 
-  LogRecord rec;
-  rec.type = RecordType::kOperation;
-  rec.op = op;
   std::vector<UndoImage> images;
+  uint64_t txn_id = 0;
+  Lsn prev_lsn = kInvalidLsn;
   if (in_txn) {
-    rec.txn_id = txn_scope_->txn_id;
-    rec.prev_lsn = txn_scope_->last_lsn;
+    txn_id = txn_scope_->txn_id;
+    prev_lsn = txn_scope_->last_lsn;
     // No exact logical inverse: log before-images so compensation can
     // restore physically. (This is where a policy-promoted W_P write
     // pays its compensation insurance — kFuncSetValue has no inverse.)
@@ -149,11 +148,12 @@ Status RecoveryEngine::ExecuteInternal(const OperationDesc& op, Lsn* lsn) {
         images[i].exists = old_exists[i];
         images[i].value = std::move(old_values[i]);
       }
-      rec.undo_images = images;
     }
   }
-  stats_.op_log_bytes += rec.EncodedSize();
-  Lsn assigned = log_->Append(std::move(rec));
+  size_t payload_size = 0;
+  Lsn assigned =
+      log_->AppendOperation(op, txn_id, prev_lsn, images, &payload_size);
+  stats_.op_log_bytes += payload_size;
   if (lsn != nullptr) *lsn = assigned;
   if (in_txn) {
     txn_scope_->last_lsn = assigned;
@@ -222,13 +222,12 @@ Status RecoveryEngine::ExecuteAdaptive(const OperationDesc& op, Lsn* lsn) {
 
   if (!promote) {
     // W_L: the operation record itself, precomputed results applied.
-    LogRecord rec;
-    rec.type = RecordType::kOperation;
-    rec.op = op;
     std::vector<UndoImage> images;
+    uint64_t txn_id = 0;
+    Lsn prev_lsn = kInvalidLsn;
     if (txn_scope_ != nullptr) {
-      rec.txn_id = txn_scope_->txn_id;
-      rec.prev_lsn = txn_scope_->last_lsn;
+      txn_id = txn_scope_->txn_id;
+      prev_lsn = txn_scope_->last_lsn;
       if (!InverseRegistry::Global().Invertible(op, old_exists,
                                                 old_values)) {
         images.resize(op.writes.size());
@@ -236,11 +235,12 @@ Status RecoveryEngine::ExecuteAdaptive(const OperationDesc& op, Lsn* lsn) {
           images[i].exists = old_exists[i];
           images[i].value = old_values[i];
         }
-        rec.undo_images = images;
       }
     }
-    stats_.op_log_bytes += rec.EncodedSize();
-    Lsn assigned = log_->Append(std::move(rec));
+    size_t payload_size = 0;
+    Lsn assigned =
+        log_->AppendOperation(op, txn_id, prev_lsn, images, &payload_size);
+    stats_.op_log_bytes += payload_size;
     if (lsn != nullptr) *lsn = assigned;
     if (txn_scope_ != nullptr) {
       txn_scope_->last_lsn = assigned;

@@ -16,10 +16,8 @@ TxnManager::~TxnManager() {
 
 Status TxnManager::Begin(TxnId* id) {
   TxnId tid = engine_->AllocateTxnId();
-  LogRecord rec;
-  rec.type = RecordType::kTxnBegin;
-  rec.txn_id = tid;
-  Lsn begin_lsn = engine_->log().Append(std::move(rec));
+  Lsn begin_lsn = engine_->log().AppendTxnMarker(RecordType::kTxnBegin, tid,
+                                                 kInvalidLsn);
   Txn& t = txns_[tid];
   t.begin_lsn = begin_lsn;
   t.last_lsn = begin_lsn;
@@ -65,11 +63,8 @@ Status TxnManager::Commit(TxnId id) {
   }
   Txn& t = it->second;
 
-  LogRecord rec;
-  rec.type = RecordType::kTxnCommit;
-  rec.txn_id = id;
-  rec.prev_lsn = t.last_lsn;
-  Lsn commit_lsn = engine_->log().Append(std::move(rec));
+  Lsn commit_lsn = engine_->log().AppendTxnMarker(RecordType::kTxnCommit, id,
+                                                  t.last_lsn);
   t.last_lsn = commit_lsn;
 
   // The torn-commit window: the record exists but is volatile. A fire

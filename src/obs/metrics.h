@@ -34,6 +34,16 @@ inline constexpr std::string_view kWalForceNoops = "wal.force.noops";
 inline constexpr std::string_view kWalRecordsCoalesced =
     "wal.force.records_coalesced";
 inline constexpr std::string_view kWalAppendRecords = "wal.append.records";
+inline constexpr std::string_view kWalAppendBytes = "wal.append.bytes";
+/// Heap allocations charged to the append path (arena growth). Steady
+/// state on the reserve+fill path is zero per record, which
+/// wal_hot_path_test asserts.
+inline constexpr std::string_view kWalAppendAllocs = "wal.append.allocs";
+/// Async completion model: forces submitted to the device queue, and the
+/// time a durability point actually blocked reaping completions (the
+/// part of force latency that submit/reap overlap did not hide).
+inline constexpr std::string_view kWalForceSubmits = "wal.force.submits";
+inline constexpr std::string_view kWalForceWaitUs = "wal.force.wait_us";
 // Cache manager (src/cache/cache_manager.cc).
 inline constexpr std::string_view kCmPurges = "cm.purge.calls";
 inline constexpr std::string_view kCmNodesInstalled = "cm.install.nodes";
@@ -49,6 +59,10 @@ inline constexpr std::string_view kCmIdentityBudgetRequests =
     "cm.identity.budget_requests";
 inline constexpr std::string_view kCmIdentityBudgetDrops =
     "cm.identity.budget_drops";
+/// Batched rW-graph maintenance: drains of the pending-op batch into the
+/// write graph and the ops they carried (ops/batch = amortization win).
+inline constexpr std::string_view kCmGraphBatches = "cm.graph.batches";
+inline constexpr std::string_view kCmGraphBatchedOps = "cm.graph.batched_ops";
 // Adaptive logging policy (src/adapt/adaptive_policy.cc). Promotions
 // move an object toward value-carrying classes (W_P / W_PL), demotions
 // back to W_L; restored counts classes reseeded from analysis.

@@ -24,9 +24,16 @@ std::vector<ObjectId> OperationDesc::NotExposed() const {
 }
 
 size_t OperationDesc::EncodedSize() const {
-  std::vector<uint8_t> buf;
-  EncodeTo(&buf);
-  return buf.size();
+  // Computed arithmetically (no scratch encode): the reserve+fill append
+  // path sizes its reservation with this, so it must match EncodeTo
+  // byte-for-byte (asserted by ops_test).
+  size_t size = 1 + VarintLength(func);
+  size += VarintLength(writes.size());
+  for (ObjectId id : writes) size += VarintLength(id);
+  size += VarintLength(reads.size());
+  for (ObjectId id : reads) size += VarintLength(id);
+  size += VarintLength(params.size()) + params.size();
+  return size;
 }
 
 void OperationDesc::EncodeTo(std::vector<uint8_t>* dst) const {
@@ -37,6 +44,16 @@ void OperationDesc::EncodeTo(std::vector<uint8_t>* dst) const {
   PutVarint64(dst, reads.size());
   for (ObjectId id : reads) PutVarint64(dst, id);
   PutLengthPrefixed(dst, Slice(params));
+}
+
+uint8_t* OperationDesc::EncodeToBuf(uint8_t* dst) const {
+  *dst++ = static_cast<uint8_t>(op_class);
+  dst = EncodeVarint64(dst, func);
+  dst = EncodeVarint64(dst, writes.size());
+  for (ObjectId id : writes) dst = EncodeVarint64(dst, id);
+  dst = EncodeVarint64(dst, reads.size());
+  for (ObjectId id : reads) dst = EncodeVarint64(dst, id);
+  return EncodeLengthPrefixed(dst, Slice(params));
 }
 
 Status OperationDesc::DecodeFrom(Slice* src, OperationDesc* out) {

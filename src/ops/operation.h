@@ -83,9 +83,14 @@ struct OperationDesc {
   }
 
   /// Serialized size in bytes == the logging cost of this operation.
+  /// Exact (arithmetic, no scratch encode), so the zero-copy append path
+  /// can reserve precisely this many bytes and fill with EncodeToBuf.
   size_t EncodedSize() const;
 
   void EncodeTo(std::vector<uint8_t>* dst) const;
+  /// Encodes into a raw buffer of at least EncodedSize() bytes; returns
+  /// the advanced cursor. Byte-identical to EncodeTo.
+  uint8_t* EncodeToBuf(uint8_t* dst) const;
   static Status DecodeFrom(Slice* src, OperationDesc* out);
 
   /// Validates structural invariants (non-empty distinct writeset, ...).

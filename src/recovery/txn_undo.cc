@@ -13,11 +13,10 @@ namespace {
 // append the record, apply the results — the same order as a forward
 // execution, so the WAL invariant (no stable effect without a stable
 // record) holds for compensation too.
-Status ApplyClr(CacheManager* cm, LogManager* log, LogRecord rec,
-                int io_budget, TxnUndoStats* stats, Lsn* out_lsn) {
-  // By value: `rec` is consumed by the Append below, but the results are
-  // applied (and the writeset consulted) after the record is gone.
-  const OperationDesc op = rec.op;
+Status ApplyClr(CacheManager* cm, LogManager* log, const OperationDesc& op,
+                uint64_t txn_id, Lsn prev_lsn, Lsn undo_next_lsn,
+                uint64_t undo_skip, int io_budget, TxnUndoStats* stats,
+                Lsn* out_lsn) {
   std::vector<ObjectValue> new_values;
   if (op.op_class != OpClass::kDelete) {
     std::vector<ObjectValue> read_values;
@@ -40,8 +39,10 @@ Status ApplyClr(CacheManager* cm, LogManager* log, LogRecord rec,
     return Status::Corruption("compensation deletes nonexistent object");
   }
   ++stats->clrs_logged;
-  stats->compensation_bytes += rec.EncodedSize();
-  Lsn assigned = log->Append(std::move(rec));
+  size_t payload_size = 0;
+  Lsn assigned = log->AppendCompensation(op, txn_id, prev_lsn, undo_next_lsn,
+                                         undo_skip, &payload_size);
+  stats->compensation_bytes += payload_size;
   if (out_lsn != nullptr) *out_lsn = assigned;
   return cm->ApplyResults(op, assigned, std::move(new_values));
 }
@@ -89,17 +90,13 @@ Status RollbackTxn(CacheManager* cm, LogManager* log, FaultInjector* faults,
         return Status::Corruption("undo skip on a single-step record");
       }
       LOGLOG_RETURN_IF_ERROR(faults->MaybeFail(fault::kTxnRollbackCrash));
-      LogRecord clr;
-      clr.type = RecordType::kCompensation;
-      clr.txn_id = plan.txn_id;
-      clr.prev_lsn = chain;
-      clr.undo_next_lsn = next_after;
-      clr.undo_skip = 0;
+      OperationDesc inverse;
       LOGLOG_RETURN_IF_ERROR(
-          InverseRegistry::Global().BuildInverse(fwd.op, &clr.op));
+          InverseRegistry::Global().BuildInverse(fwd.op, &inverse));
       ++stats->logical_inverses;
-      LOGLOG_RETURN_IF_ERROR(
-          ApplyClr(cm, log, std::move(clr), io_budget, stats, &chain));
+      LOGLOG_RETURN_IF_ERROR(ApplyClr(cm, log, inverse, plan.txn_id, chain,
+                                      next_after, /*undo_skip=*/0, io_budget,
+                                      stats, &chain));
       continue;
     }
 
@@ -112,28 +109,20 @@ Status RollbackTxn(CacheManager* cm, LogManager* log, FaultInjector* faults,
     for (size_t n = fwd.op.writes.size(), j = n - skip; j > 0; --j) {
       const size_t w = j - 1;
       LOGLOG_RETURN_IF_ERROR(faults->MaybeFail(fault::kTxnRollbackCrash));
-      LogRecord clr;
-      clr.type = RecordType::kCompensation;
-      clr.txn_id = plan.txn_id;
-      clr.prev_lsn = chain;
-      clr.undo_next_lsn = w > 0 ? fwd.lsn : next_after;
-      clr.undo_skip = w > 0 ? n - w : 0;
       const UndoImage& img = fwd.images[w];
-      clr.op = img.exists
-                   ? MakePhysicalWrite(fwd.op.writes[w], Slice(img.value))
-                   : MakeDelete(fwd.op.writes[w]);
+      OperationDesc restore =
+          img.exists ? MakePhysicalWrite(fwd.op.writes[w], Slice(img.value))
+                     : MakeDelete(fwd.op.writes[w]);
       ++stats->image_restores;
-      LOGLOG_RETURN_IF_ERROR(
-          ApplyClr(cm, log, std::move(clr), io_budget, stats, &chain));
+      LOGLOG_RETURN_IF_ERROR(ApplyClr(
+          cm, log, restore, plan.txn_id, chain,
+          /*undo_next_lsn=*/w > 0 ? fwd.lsn : next_after,
+          /*undo_skip=*/w > 0 ? n - w : 0, io_budget, stats, &chain));
     }
     skip = 0;
   }
 
-  LogRecord abort_rec;
-  abort_rec.type = RecordType::kTxnAbort;
-  abort_rec.txn_id = plan.txn_id;
-  abort_rec.prev_lsn = chain;
-  log->Append(std::move(abort_rec));
+  log->AppendTxnMarker(RecordType::kTxnAbort, plan.txn_id, chain);
   ++stats->txns_rolled_back;
   return Status::OK();
 }

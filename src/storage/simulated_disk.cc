@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 namespace loglog {
 
 Status StableLogDevice::Append(Slice bytes, uint64_t* offset) {
+  if (append_latency_us_ > 0) {
+    // Synchronous path pays the full device latency inline.
+    std::this_thread::sleep_for(std::chrono::microseconds(append_latency_us_));
+  }
+  return ApplyAppend(bytes, offset);
+}
+
+Status StableLogDevice::ApplyAppend(Slice bytes, uint64_t* offset) {
   FaultFire fire =
       faults_ != nullptr ? faults_->Hit(fault::kLogAppend) : FaultFire{};
   if (fire.action == FaultAction::kTransientIoError ||
@@ -32,10 +41,14 @@ Status StableLogDevice::Append(Slice bytes, uint64_t* offset) {
     std::vector<uint8_t> damaged(bytes.data(), bytes.data() + persist);
     FaultInjector::FlipBit(fire.rng, &damaged);
     bytes_.insert(bytes_.end(), damaged.begin(), damaged.end());
-    archive_.insert(archive_.end(), damaged.begin(), damaged.end());
+    if (archive_enabled_) {
+      archive_.insert(archive_.end(), damaged.begin(), damaged.end());
+    }
   } else {
     bytes_.insert(bytes_.end(), bytes.data(), bytes.data() + persist);
-    archive_.insert(archive_.end(), bytes.data(), bytes.data() + persist);
+    if (archive_enabled_) {
+      archive_.insert(archive_.end(), bytes.data(), bytes.data() + persist);
+    }
   }
   last_append_size_ = persist;
   ++stats_->log_forces;
@@ -46,6 +59,46 @@ Status StableLogDevice::Append(Slice bytes, uint64_t* offset) {
   }
   return Status::OK();
 }
+
+uint64_t StableLogDevice::SubmitAppend(Slice bytes) {
+  StagedAppend staged;
+  staged.ticket = next_ticket_++;
+  // Registered-buffer style: recycle a reaped submission buffer instead
+  // of allocating a fresh one — a multi-megabyte group-commit batch
+  // would otherwise mmap/munmap (and minor-fault) its pages every force.
+  if (!buffer_pool_.empty()) {
+    staged.data = std::move(buffer_pool_.back());
+    buffer_pool_.pop_back();
+  }
+  staged.data.assign(bytes.data(), bytes.data() + bytes.size());
+  staged.ready_at = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(append_latency_us_);
+  staged_.push_back(std::move(staged));
+  return staged_.back().ticket;
+}
+
+Status StableLogDevice::ReapAppend(uint64_t ticket, uint64_t* offset) {
+  assert(!staged_.empty());
+  // Completions apply in submission order; reaping out of order would
+  // reorder an append-only log.
+  assert(staged_.front().ticket == ticket);
+  (void)ticket;
+  StagedAppend& front = staged_.front();
+  // Only the latency not already hidden by work since submit remains.
+  std::this_thread::sleep_until(front.ready_at);
+  Status st = ApplyAppend(Slice(front.data), offset);
+  if (st.ok() || !st.IsIoError()) {
+    // Success, or torn/crashed (partially applied): the entry is
+    // consumed. Retryable IoErrors leave it staged for the next reap.
+    if (buffer_pool_.size() < kBufferPoolEntries) {
+      buffer_pool_.push_back(std::move(front.data));
+    }
+    staged_.pop_front();
+  }
+  return st;
+}
+
+void StableLogDevice::AbandonStaged() { staged_.clear(); }
 
 void StableLogDevice::TruncatePrefix(uint64_t offset) {
   if (offset <= start_offset_) return;

@@ -1,7 +1,9 @@
 #ifndef LOGLOG_STORAGE_SIMULATED_DISK_H_
 #define LOGLOG_STORAGE_SIMULATED_DISK_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/slice.h"
@@ -33,6 +35,32 @@ class StableLogDevice {
   /// silently corrupt the appended bytes.
   Status Append(Slice bytes, uint64_t* offset = nullptr);
 
+  /// io_uring-style submit/complete queue. SubmitAppend stages a copy of
+  /// the bytes (like an SQE: the device owns them from here; the caller's
+  /// buffer may move) and returns a ticket. NOTHING is stable until
+  /// ReapAppend: fault evaluation and the media effect both happen at
+  /// completion time, so a crash between submit and reap loses the whole
+  /// submission — exactly the volatile-buffer semantics the WAL needs.
+  ///
+  /// Completions must be reaped in submission order (the log is
+  /// append-only). On success the entry is consumed and *offset is the
+  /// first stable byte. A retryable IoError leaves the entry staged so
+  /// the caller can reap again; AbandonStaged drops every staged entry
+  /// when the caller gives up (nothing was applied). A torn/crashed
+  /// append (Aborted) consumes the entry after persisting its torn
+  /// prefix, matching the synchronous Append contract.
+  uint64_t SubmitAppend(Slice bytes);
+  Status ReapAppend(uint64_t ticket, uint64_t* offset = nullptr);
+  void AbandonStaged();
+  size_t staged_appends() const { return staged_.size(); }
+
+  /// Simulated device latency per append: SubmitAppend stamps a
+  /// ready-time and ReapAppend sleeps only the remainder, so work done
+  /// between submit and reap overlaps the "device". The synchronous
+  /// Append pays it in full. 0 (default) disables.
+  void set_append_latency_us(uint64_t us) { append_latency_us_ = us; }
+  uint64_t append_latency_us() const { return append_latency_us_; }
+
   /// Absolute end offset (== total bytes ever appended).
   uint64_t end_offset() const { return start_offset_ + bytes_.size(); }
   /// Absolute offset of the first retained byte.
@@ -58,14 +86,38 @@ class StableLogDevice {
   /// only: the reference executor replays this to compute ground truth.
   Slice ArchiveContents() const { return Slice(archive_); }
 
+  /// Disables the verification archive (default on). Benchmarks that
+  /// never replay against the reference turn it off: the archive is an
+  /// unbounded contiguous vector, and its doubling reallocations would
+  /// otherwise dominate long runs on both sides of any comparison.
+  void set_archive_enabled(bool enabled) { archive_enabled_ = enabled; }
+
   FaultInjector* faults() const { return faults_; }
   IoStats* stats() const { return stats_; }
 
  private:
+  /// Fault evaluation + media effect shared by Append and ReapAppend.
+  Status ApplyAppend(Slice bytes, uint64_t* offset);
+
+  struct StagedAppend {
+    uint64_t ticket;
+    std::vector<uint8_t> data;
+    std::chrono::steady_clock::time_point ready_at;
+  };
+
+  /// Reaped submission buffers kept warm for reuse (registered-buffer
+  /// style); bounded so an unusually large batch cannot pin memory.
+  static constexpr size_t kBufferPoolEntries = 4;
+
   std::vector<uint8_t> bytes_;
   std::vector<uint8_t> archive_;
   uint64_t start_offset_ = 0;
   uint64_t last_append_size_ = 0;
+  std::deque<StagedAppend> staged_;
+  std::vector<std::vector<uint8_t>> buffer_pool_;
+  bool archive_enabled_ = true;
+  uint64_t next_ticket_ = 1;
+  uint64_t append_latency_us_ = 0;
   IoStats* stats_;
   FaultInjector* faults_;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstring>
 
+#include "common/coding.h"
+#include "common/crc32.h"
 #include "common/retry.h"
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
@@ -15,6 +18,10 @@ namespace {
 
 /// Framing overhead per record: fixed32 length + fixed32 CRC32C.
 constexpr size_t kFrameOverhead = 8;
+/// Arena sizing: start warm enough that steady-state appends never
+/// allocate; compact the consumed prefix once it outgrows this.
+constexpr size_t kInitialArenaBytes = 1 << 16;
+constexpr size_t kCompactThresholdBytes = 1 << 18;
 
 const char* PolicyLabel(ForcePolicy policy) {
   switch (policy) {
@@ -54,6 +61,15 @@ LogManager::ForceInstruments& LogManager::instruments() {
 }
 
 LogManager::LogManager(StableLogDevice* device) : device_(device) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  force_calls_ = reg.GetCounter(metric::kWalForceCalls);
+  force_noops_ = reg.GetCounter(metric::kWalForceNoops);
+  force_submits_ = reg.GetCounter(metric::kWalForceSubmits);
+  force_wait_us_ = reg.GetHistogram(metric::kWalForceWaitUs);
+  append_records_ = reg.GetCounter(metric::kWalAppendRecords);
+  append_bytes_ = reg.GetCounter(metric::kWalAppendBytes);
+  append_allocs_ = reg.GetCounter(metric::kWalAppendAllocs);
+  encoded_.resize(kInitialArenaBytes);  // one zero-fill, at construction
   // Index whatever valid records already sit on the device (recovery
   // case): record their offsets for truncation and continue the LSN
   // sequence past them. A torn tail is ignored here; the recovery driver
@@ -67,118 +83,360 @@ LogManager::LogManager(StableLogDevice* device) : device_(device) {
   next_lsn_ = std::max(next_lsn_, cursor.next_lsn());
 }
 
-Lsn LogManager::Append(LogRecord rec) {
-  rec.lsn = next_lsn_++;
-  buffer_.push_back(std::move(rec));
-  if (append_records_ == nullptr) {
-    append_records_ =
-        MetricsRegistry::Global().GetCounter(metric::kWalAppendRecords);
-  }
+void LogManager::EnsureArenaRoomLocked(std::unique_lock<std::mutex>& lock,
+                                       size_t bytes) {
+  if (arena_used_ + bytes <= encoded_.size()) return;
+  // Growing reallocates, which would dangle every outstanding fill span;
+  // wait for fills to drain first (commits are prompt by contract).
+  fill_cv_.wait(lock, [&] { return outstanding_fills_ == 0; });
+  MaybeCompactLocked();
+  if (arena_used_ + bytes <= encoded_.size()) return;
+  size_t want = std::max(encoded_.size() * 2, arena_used_ + bytes);
+  encoded_.resize(std::max(want, kInitialArenaBytes));
+  append_allocs_->Inc();
+}
+
+LogManager::PendingRecord* LogManager::ReserveFrameLocked(
+    std::unique_lock<std::mutex>& lock, RecordType type, Lsn lsn,
+    size_t body_size, uint8_t** body_out, uint8_t** frame_out) {
+  const size_t payload_size = 1 + VarintLength(lsn) + body_size;
+  const size_t framed_size = kFrameOverhead + payload_size;
+  EnsureArenaRoomLocked(lock, framed_size);
+  const size_t offset = arena_used_;
+  arena_used_ += framed_size;  // within capacity: pure bookkeeping
+  uint8_t* frame = encoded_.data() + offset;
+  EncodeFixed32(frame, static_cast<uint32_t>(payload_size));
+  // CRC (frame + 4) is patched at commit, once the body is filled.
+  uint8_t* p = frame + kFrameOverhead;
+  *p++ = static_cast<uint8_t>(type);
+  p = EncodeVarint64(p, lsn);
+  pending_.push_back(PendingRecord{lsn, offset,
+                                   static_cast<uint32_t>(framed_size), false});
   append_records_->Inc();
-  return buffer_.back().lsn;
+  append_bytes_->Inc(framed_size);
+  *body_out = p;
+  *frame_out = frame;
+  return &pending_.back();
+}
+
+void LogManager::OnFilledLocked(std::unique_lock<std::mutex>& lock) {
+  while (fill_watermark_ < pending_.size() &&
+         pending_[fill_watermark_].filled) {
+    unsubmitted_filled_bytes_ += pending_[fill_watermark_].framed_size;
+    ++fill_watermark_;
+  }
+  if (async_submit_bytes_ > 0 && !poisoned_ &&
+      unsubmitted_filled_bytes_ >= async_submit_bytes_ &&
+      fill_watermark_ > submitted_count_) {
+    // Eager submission: stage what has accumulated so the device overlaps
+    // with execution. Errors are not lost — a submit-time fault poisons
+    // or re-arms below, and the next durability point surfaces it.
+    (void)SubmitForceLocked(lock, pending_[fill_watermark_ - 1].lsn);
+  }
+}
+
+void LogManager::AppendEncodedLocked(std::unique_lock<std::mutex>& lock,
+                                     Lsn lsn,
+                                     const std::vector<uint8_t>& payload) {
+  const size_t framed_size = kFrameOverhead + payload.size();
+  EnsureArenaRoomLocked(lock, framed_size);
+  const size_t offset = arena_used_;
+  arena_used_ += framed_size;
+  uint8_t* frame = encoded_.data() + offset;
+  EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
+  EncodeFixed32(frame + 4, Crc32c(Slice(payload)));
+  std::copy(payload.begin(), payload.end(), frame + kFrameOverhead);
+  pending_.push_back(PendingRecord{lsn, offset,
+                                   static_cast<uint32_t>(framed_size), true});
+  append_records_->Inc();
+  append_bytes_->Inc(framed_size);
+  OnFilledLocked(lock);
+  fill_cv_.notify_all();
+}
+
+Lsn LogManager::Append(LogRecord rec) {
+  // Compatibility path: encode once into a reused scratch, then frame
+  // into the arena. Same encoder as the zero-copy path, so the stable
+  // bytes are identical either way.
+  thread_local std::vector<uint8_t> scratch;
+  std::unique_lock<std::mutex> lock(mu_);
+  rec.lsn = next_lsn_++;
+  scratch.clear();
+  rec.EncodeTo(&scratch);
+  AppendEncodedLocked(lock, rec.lsn, scratch);
+  return rec.lsn;
 }
 
 Lsn LogManager::AppendReplicated(LogRecord rec) {
+  thread_local std::vector<uint8_t> scratch;
+  std::unique_lock<std::mutex> lock(mu_);
   assert(rec.lsn != kInvalidLsn);
   assert(rec.lsn >= next_lsn_);
   next_lsn_ = rec.lsn + 1;
-  buffer_.push_back(std::move(rec));
-  if (append_records_ == nullptr) {
-    append_records_ =
-        MetricsRegistry::Global().GetCounter(metric::kWalAppendRecords);
-  }
-  append_records_->Inc();
-  return buffer_.back().lsn;
+  scratch.clear();
+  rec.EncodeTo(&scratch);
+  AppendEncodedLocked(lock, rec.lsn, scratch);
+  return rec.lsn;
 }
 
-Status LogManager::Force(Lsn upto) {
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "log manager poisoned by an earlier torn force; recovery required");
+LogManager::Reservation LogManager::AppendReserve(RecordType type,
+                                                  size_t body_size) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Lsn lsn = next_lsn_++;
+  Reservation r;
+  r.lsn = lsn;
+  r.body_size = body_size;
+  r.payload_size = 1 + VarintLength(lsn) + body_size;
+  r.entry = ReserveFrameLocked(lock, type, lsn, body_size, &r.body, &r.frame);
+  ++outstanding_fills_;
+  return r;
+}
+
+void LogManager::AppendCommit(const Reservation& r) {
+  // Checksum and header patch run outside the lock: the span is
+  // exclusively this fill's until published, and the arena cannot move
+  // while a fill is outstanding.
+  EncodeFixed32(r.frame + 4,
+                Crc32c(Slice(r.frame + kFrameOverhead, r.payload_size)));
+  std::unique_lock<std::mutex> lock(mu_);
+  static_cast<PendingRecord*>(r.entry)->filled = true;
+  --outstanding_fills_;
+  OnFilledLocked(lock);
+  fill_cv_.notify_all();
+}
+
+Lsn LogManager::AppendOperation(const OperationDesc& op, uint64_t txn_id,
+                                Lsn prev_lsn,
+                                const std::vector<UndoImage>& undo_images,
+                                size_t* payload_size) {
+  Reservation r = AppendReserve(
+      RecordType::kOperation,
+      EncodedOperationBodySize(op, txn_id, prev_lsn, undo_images));
+  uint8_t* end = EncodeOperationBody(r.body, op, txn_id, prev_lsn,
+                                     undo_images);
+  assert(end == r.body + r.body_size);
+  (void)end;
+  AppendCommit(r);
+  if (payload_size != nullptr) *payload_size = r.payload_size;
+  return r.lsn;
+}
+
+Lsn LogManager::AppendTxnMarker(RecordType type, uint64_t txn_id,
+                                Lsn prev_lsn, size_t* payload_size) {
+  assert(type == RecordType::kTxnBegin || type == RecordType::kTxnCommit ||
+         type == RecordType::kTxnAbort);
+  Reservation r =
+      AppendReserve(type, EncodedTxnMarkerBodySize(txn_id, prev_lsn));
+  uint8_t* end = EncodeTxnMarkerBody(r.body, txn_id, prev_lsn);
+  assert(end == r.body + r.body_size);
+  (void)end;
+  AppendCommit(r);
+  if (payload_size != nullptr) *payload_size = r.payload_size;
+  return r.lsn;
+}
+
+Lsn LogManager::AppendCompensation(const OperationDesc& op, uint64_t txn_id,
+                                   Lsn prev_lsn, Lsn undo_next_lsn,
+                                   uint64_t undo_skip, size_t* payload_size) {
+  Reservation r = AppendReserve(
+      RecordType::kCompensation,
+      EncodedCompensationBodySize(op, txn_id, prev_lsn, undo_next_lsn,
+                                  undo_skip));
+  uint8_t* end = EncodeCompensationBody(r.body, op, txn_id, prev_lsn,
+                                        undo_next_lsn, undo_skip);
+  assert(end == r.body + r.body_size);
+  (void)end;
+  AppendCommit(r);
+  if (payload_size != nullptr) *payload_size = r.payload_size;
+  return r.lsn;
+}
+
+Status LogManager::SubmitForceLocked(std::unique_lock<std::mutex>& lock,
+                                     Lsn upto) {
+  for (;;) {
+    if (submitted_count_ >= pending_.size() ||
+        pending_[submitted_count_].lsn > upto) {
+      // Everything through upto is stable, staged, or absent.
+      return Status::OK();
+    }
+    if (fill_watermark_ > submitted_count_) break;
+    // The next record this force needs is reserved but not committed;
+    // its filler is running outside the lock. Wait for the commit.
+    fill_cv_.wait(lock);
   }
-  if (force_calls_ == nullptr) {
-    MetricsRegistry& reg = MetricsRegistry::Global();
-    force_calls_ = reg.GetCounter(metric::kWalForceCalls);
-    force_noops_ = reg.GetCounter(metric::kWalForceNoops);
-  }
-  force_calls_->Inc();
-  if (buffer_.empty() || buffer_.front().lsn > upto) {
-    force_noops_->Inc();
-    return Status::OK();
-  }
-  const auto force_start = std::chrono::steady_clock::now();
-  TraceSpan span("wal.force", "wal");
-  // Decide how far this force reaches: at least through `upto`, extended
-  // by the policy to coalesce pending obligations into one append.
+  // Policy walk over the committed, unsubmitted prefix: at least through
+  // `upto`, extended by the policy to coalesce pending obligations into
+  // one device append.
   size_t count = 0;
   size_t batch_bytes = 0;
   uint64_t coalesced = 0;
-  for (const LogRecord& rec : buffer_) {
-    size_t framed = rec.EncodedSize() + kFrameOverhead;
-    if (rec.lsn > upto) {
+  for (size_t i = submitted_count_; i < fill_watermark_; ++i) {
+    const PendingRecord& pr = pending_[i];
+    if (pr.lsn > upto) {
       if (force_policy_ == ForcePolicy::kImmediate) break;
       if (force_policy_ == ForcePolicy::kSizeThreshold &&
-          batch_bytes + framed > group_bytes_) {
+          batch_bytes + pr.framed_size > group_bytes_) {
         break;
       }
       ++coalesced;
     }
-    batch_bytes += framed;
+    batch_bytes += pr.framed_size;
     ++count;
   }
-  // Frame without acknowledging: records stay buffered until the device
-  // confirms the append, so a failed force leaves the WAL obligation
-  // intact (nothing claims to be stable that is not). Offsets go straight
-  // into the index (relative to the batch for now); a failed append rolls
-  // them back below.
-  std::vector<uint8_t> bytes;
-  bytes.reserve(batch_bytes);
-  const size_t index_base = stable_offsets_.size();
-  size_t framed_count = 0;
-  for (const LogRecord& rec : buffer_) {
-    if (framed_count == count) break;
-    stable_offsets_.emplace_back(rec.lsn, bytes.size());
-    FrameRecord(rec, &bytes);
-    ++framed_count;
-  }
-  uint64_t base = 0;
-  Status st = RetryTransientIo(&device_->stats()->io_retries, [&] {
-    if (FaultInjector* inj = device_->faults(); inj != nullptr) {
-      LOGLOG_RETURN_IF_ERROR(inj->MaybeFail(fault::kLogForce));
+  assert(count > 0);
+  // The controller-level force fault fires at submit; the device-level
+  // kLogAppend site fires at completion (reap), like a real command that
+  // can fail either on the way to the device or on the platter.
+  if (FaultInjector* inj = device_->faults(); inj != nullptr) {
+    Status st = RetryTransientIo(&device_->stats()->io_retries, [&] {
+      return inj->MaybeFail(fault::kLogForce);
+    });
+    if (!st.ok()) {
+      if (!st.IsIoError()) poisoned_ = true;
+      return st;
     }
-    return device_->Append(Slice(bytes), &base);
-  });
-  if (!st.ok()) {
-    stable_offsets_.resize(index_base);  // nothing became stable
-    if (!st.IsIoError()) {
-      // Aborted (torn or crashed append): some unknown prefix of the
-      // force is stable. Nothing is acked; the next recovery pass finds
-      // the tear via the framing CRC.
-      poisoned_ = true;
+  }
+  InFlightForce f;
+  f.arena_offset = pending_[submitted_count_].arena_offset;
+  f.bytes = batch_bytes;
+  f.count = count;
+  f.first_lsn = pending_[submitted_count_].lsn;
+  f.last_lsn = pending_[submitted_count_ + count - 1].lsn;
+  f.coalesced = coalesced;
+  f.submit_time = std::chrono::steady_clock::now();
+  f.ticket = device_->SubmitAppend(
+      Slice(encoded_.data() + f.arena_offset, batch_bytes));
+  in_flight_.push_back(f);
+  submitted_count_ += count;
+  unsubmitted_filled_bytes_ -= batch_bytes;
+  force_submits_->Inc();
+  return Status::OK();
+}
+
+Status LogManager::WaitStableLocked(std::unique_lock<std::mutex>& lock,
+                                    Lsn upto) {
+  (void)lock;
+  const auto wait_start = std::chrono::steady_clock::now();
+  bool reaped = false;
+  while (last_stable_lsn_ < upto && !in_flight_.empty() &&
+         in_flight_.front().first_lsn <= upto) {
+    const InFlightForce f = in_flight_.front();
+    uint64_t base = 0;
+    Status st = RetryTransientIo(&device_->stats()->io_retries, [&] {
+      // A retryable failure leaves the entry staged, so the retry is
+      // simply another reap of the same ticket.
+      return device_->ReapAppend(f.ticket, &base);
+    });
+    if (!st.ok()) {
+      // Give up: nothing staged is trustworthy any more. Return every
+      // staged force to the unsubmitted state so a later Force can
+      // re-stage it from the arena (the records were never acked, so the
+      // WAL obligation is intact). A torn/crashed completion (Aborted)
+      // additionally poisons the manager: some unknown prefix became
+      // stable and only recovery can resolve the tail.
+      device_->AbandonStaged();
+      for (const InFlightForce& g : in_flight_) {
+        submitted_count_ -= g.count;
+        unsubmitted_filled_bytes_ += g.bytes;
+      }
+      in_flight_.clear();
+      if (!st.IsIoError()) poisoned_ = true;
+      return st;
     }
-    return st;
+    // Acknowledge the batch: device offsets, stability watermark, drain.
+    for (size_t i = 0; i < f.count; ++i) {
+      const PendingRecord& pr = pending_[i];
+      stable_offsets_.emplace_back(pr.lsn,
+                                   base + (pr.arena_offset - f.arena_offset));
+    }
+    last_stable_lsn_ = std::max(last_stable_lsn_, f.last_lsn);
+    records_coalesced_ += f.coalesced;
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<long>(f.count));
+    submitted_count_ -= f.count;
+    fill_watermark_ -= f.count;
+    arena_consumed_ = f.arena_offset + f.bytes;
+    in_flight_.pop_front();
+    ForceInstruments& ins = instruments();
+    ins.latency_us->Observe(ElapsedUs(f.submit_time));
+    ins.batch_records->Observe(f.count);
+    if (f.coalesced > 0) ins.records_coalesced->Inc(f.coalesced);
+    reaped = true;
+    MaybeCompactLocked();
   }
-  for (size_t i = index_base; i < stable_offsets_.size(); ++i) {
-    stable_offsets_[i].second += base;
+  if (reaped) force_wait_us_->Observe(ElapsedUs(wait_start));
+  return Status::OK();
+}
+
+void LogManager::MaybeCompactLocked() {
+  if (!in_flight_.empty()) return;  // staged ranges reference the arena
+  if (pending_.empty()) {
+    arena_used_ = 0;  // capacity retained: steady state never reallocates
+    arena_consumed_ = 0;
+    return;
   }
-  last_stable_lsn_ = std::max(last_stable_lsn_, stable_offsets_.back().first);
-  records_coalesced_ += coalesced;
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(count));
-  ForceInstruments& ins = instruments();
-  ins.latency_us->Observe(ElapsedUs(force_start));
-  ins.batch_records->Observe(count);
-  if (coalesced > 0) ins.records_coalesced->Inc(coalesced);
-  span.AddArg("records", static_cast<uint64_t>(count));
-  span.AddArg("bytes", static_cast<uint64_t>(batch_bytes));
+  if (outstanding_fills_ != 0) return;  // fill spans would shift
+  if (arena_consumed_ < kCompactThresholdBytes) return;
+  std::memmove(encoded_.data(), encoded_.data() + arena_consumed_,
+               arena_used_ - arena_consumed_);
+  arena_used_ -= arena_consumed_;
+  for (PendingRecord& pr : pending_) pr.arena_offset -= arena_consumed_;
+  arena_consumed_ = 0;
+}
+
+Status LogManager::Force(Lsn upto) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log manager poisoned by an earlier torn force; recovery required");
+  }
+  force_calls_->Inc();
+  if (pending_.empty() || pending_.front().lsn > upto) {
+    force_noops_->Inc();
+    return Status::OK();
+  }
+  TraceSpan span("wal.force", "wal");
+  // Loop: a submit may cover less than upto when later records are still
+  // being filled by another thread; submit again after the reap.
+  do {
+    LOGLOG_RETURN_IF_ERROR(SubmitForceLocked(lock, upto));
+    LOGLOG_RETURN_IF_ERROR(WaitStableLocked(lock, upto));
+  } while (last_stable_lsn_ < upto && !pending_.empty() &&
+           pending_.front().lsn <= upto);
   return Status::OK();
 }
 
 Status LogManager::ForceAll() {
-  if (buffer_.empty()) return Status::OK();
-  return Force(buffer_.back().lsn);
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return Status::OK();
+    target = pending_.back().lsn;
+  }
+  return Force(target);
+}
+
+Status LogManager::SubmitForce(Lsn upto) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log manager poisoned by an earlier torn force; recovery required");
+  }
+  if (pending_.empty() || pending_.front().lsn > upto) return Status::OK();
+  return SubmitForceLocked(lock, upto);
+}
+
+Status LogManager::WaitStable(Lsn upto) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "log manager poisoned by an earlier torn force; recovery required");
+  }
+  return WaitStableLocked(lock, upto);
 }
 
 void LogManager::TruncateBefore(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = std::lower_bound(
       stable_offsets_.begin(), stable_offsets_.end(), lsn,
       [](const std::pair<Lsn, uint64_t>& e, Lsn l) { return e.first < l; });

@@ -254,6 +254,77 @@ size_t LogRecord::EncodedSize() const {
   return buf.size();
 }
 
+namespace {
+
+size_t UndoImagesSize(const std::vector<UndoImage>& images) {
+  size_t size = VarintLength(images.size());
+  for (const UndoImage& img : images) {
+    size += 1 + VarintLength(img.value.size()) + img.value.size();
+  }
+  return size;
+}
+
+uint8_t* EncodeUndoImages(uint8_t* dst, const std::vector<UndoImage>& images) {
+  dst = EncodeVarint64(dst, images.size());
+  for (const UndoImage& img : images) {
+    *dst++ = img.exists ? 1 : 0;
+    dst = EncodeLengthPrefixed(dst, Slice(img.value));
+  }
+  return dst;
+}
+
+}  // namespace
+
+size_t EncodedOperationBodySize(const OperationDesc& op, uint64_t txn_id,
+                                Lsn prev_lsn,
+                                const std::vector<UndoImage>& undo_images) {
+  size_t size = op.EncodedSize();
+  if (txn_id != 0) {
+    size += VarintLength(txn_id) + VarintLength(prev_lsn) +
+            UndoImagesSize(undo_images);
+  }
+  return size;
+}
+
+uint8_t* EncodeOperationBody(uint8_t* dst, const OperationDesc& op,
+                             uint64_t txn_id, Lsn prev_lsn,
+                             const std::vector<UndoImage>& undo_images) {
+  dst = op.EncodeToBuf(dst);
+  if (txn_id != 0) {
+    dst = EncodeVarint64(dst, txn_id);
+    dst = EncodeVarint64(dst, prev_lsn);
+    dst = EncodeUndoImages(dst, undo_images);
+  }
+  return dst;
+}
+
+size_t EncodedTxnMarkerBodySize(uint64_t txn_id, Lsn prev_lsn) {
+  return VarintLength(txn_id) + VarintLength(prev_lsn);
+}
+
+uint8_t* EncodeTxnMarkerBody(uint8_t* dst, uint64_t txn_id, Lsn prev_lsn) {
+  dst = EncodeVarint64(dst, txn_id);
+  return EncodeVarint64(dst, prev_lsn);
+}
+
+size_t EncodedCompensationBodySize(const OperationDesc& op, uint64_t txn_id,
+                                   Lsn prev_lsn, Lsn undo_next_lsn,
+                                   uint64_t undo_skip) {
+  return VarintLength(txn_id) + VarintLength(prev_lsn) +
+         VarintLength(undo_next_lsn) + VarintLength(undo_skip) +
+         op.EncodedSize();
+}
+
+uint8_t* EncodeCompensationBody(uint8_t* dst, const OperationDesc& op,
+                                uint64_t txn_id, Lsn prev_lsn,
+                                Lsn undo_next_lsn, uint64_t undo_skip) {
+  dst = EncodeVarint64(dst, txn_id);
+  dst = EncodeVarint64(dst, prev_lsn);
+  dst = EncodeVarint64(dst, undo_next_lsn);
+  dst = EncodeVarint64(dst, undo_skip);
+  return op.EncodeToBuf(dst);
+}
+
 std::string LogRecord::DebugString() const {
   std::string out = "Rec{lsn=" + std::to_string(lsn) + " type=";
   switch (type) {

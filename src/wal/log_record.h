@@ -159,6 +159,30 @@ struct LogRecord {
   std::string DebugString() const;
 };
 
+/// Exact body sizes and raw-buffer encoders for the hot record shapes,
+/// used by LogManager's reserve+fill append path: the "body" is the
+/// record payload after the type byte and LSN varint (which the manager
+/// writes itself, since it assigns the LSN at reserve time). Each
+/// Encode*Body must produce exactly the bytes LogRecord::EncodeTo emits
+/// for the same fields — byte-identical logs are asserted by
+/// wal_hot_path_test.
+size_t EncodedOperationBodySize(const OperationDesc& op, uint64_t txn_id,
+                                Lsn prev_lsn,
+                                const std::vector<UndoImage>& undo_images);
+uint8_t* EncodeOperationBody(uint8_t* dst, const OperationDesc& op,
+                             uint64_t txn_id, Lsn prev_lsn,
+                             const std::vector<UndoImage>& undo_images);
+
+size_t EncodedTxnMarkerBodySize(uint64_t txn_id, Lsn prev_lsn);
+uint8_t* EncodeTxnMarkerBody(uint8_t* dst, uint64_t txn_id, Lsn prev_lsn);
+
+size_t EncodedCompensationBodySize(const OperationDesc& op, uint64_t txn_id,
+                                   Lsn prev_lsn, Lsn undo_next_lsn,
+                                   uint64_t undo_skip);
+uint8_t* EncodeCompensationBody(uint8_t* dst, const OperationDesc& op,
+                                uint64_t txn_id, Lsn prev_lsn,
+                                Lsn undo_next_lsn, uint64_t undo_skip);
+
 /// Frames a record payload for the device: fixed32 length, fixed32 CRC32C,
 /// payload.
 void FrameRecord(const LogRecord& rec, std::vector<uint8_t>* dst);

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "ops/op_builder.h"
+#include "sim/crash_harness.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+namespace {
+
+Lsn AppendOp(LogManager* log, ObjectId id, Slice value) {
+  return log->AppendOperation(MakePhysicalWrite(id, value), 0, kInvalidLsn,
+                              {});
+}
+
+size_t StableRecordCount(const StableLogDevice& device) {
+  std::vector<LogRecord> records;
+  bool torn = false;
+  Lsn next_lsn = 0;
+  uint64_t valid_end = 0;
+  EXPECT_TRUE(
+      LogManager::ReadStable(device, &records, &torn, &next_lsn, &valid_end)
+          .ok());
+  return records.size();
+}
+
+// Submit/wait split against the blocking Force: same acknowledgement
+// point, same stable bytes.
+TEST(AsyncForceTest, SubmitThenWaitMatchesBlockingForce) {
+  SimulatedDisk sync_disk;
+  SimulatedDisk async_disk;
+  LogManager sync_log(&sync_disk.log());
+  LogManager async_log(&async_disk.log());
+
+  for (int i = 0; i < 5; ++i) {
+    AppendOp(&sync_log, 1, "payload");
+    AppendOp(&async_log, 1, "payload");
+  }
+  ASSERT_TRUE(sync_log.Force(5).ok());
+
+  ASSERT_TRUE(async_log.SubmitForce(5).ok());
+  // Staged, not stable: acknowledgement waits for the reap.
+  EXPECT_EQ(async_log.in_flight_forces(), 1u);
+  EXPECT_EQ(async_log.last_stable_lsn(), 0u);
+  EXPECT_EQ(async_disk.log().staged_appends(), 1u);
+  ASSERT_TRUE(async_log.WaitStable(5).ok());
+  EXPECT_EQ(async_log.in_flight_forces(), 0u);
+  EXPECT_EQ(async_log.last_stable_lsn(), 5u);
+
+  EXPECT_EQ(sync_disk.log().Contents().ToString(),
+            async_disk.log().Contents().ToString());
+}
+
+// set_async_submit: appends stage completions on their own once enough
+// committed bytes accumulate, so the device works while execution
+// continues; the durability point only reaps.
+TEST(AsyncForceTest, AsyncSubmitStagesWhileAppending) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  disk.log().set_append_latency_us(200);
+  log.set_async_submit(1);  // every committed record submits eagerly
+
+  Lsn last = 0;
+  for (int i = 0; i < 8; ++i) {
+    last = AppendOp(&log, 1, "overlapped");
+  }
+  // The appends themselves staged the work — before any Force call.
+  EXPECT_GT(log.in_flight_forces(), 0u);
+  EXPECT_GT(disk.log().staged_appends(), 0u);
+  EXPECT_EQ(disk.stats().log_forces, 0u);
+
+  ASSERT_TRUE(log.WaitStable(last).ok());
+  EXPECT_EQ(log.last_stable_lsn(), last);
+  EXPECT_EQ(log.in_flight_forces(), 0u);
+  EXPECT_EQ(disk.log().staged_appends(), 0u);
+  EXPECT_EQ(StableRecordCount(disk.log()), 8u);
+
+  // A later Force over the already-stable range is a no-op.
+  ASSERT_TRUE(log.Force(last).ok());
+  EXPECT_EQ(disk.stats().log_forces, 8u);
+}
+
+// A transient device error at completion time: the entry stays staged
+// and the reap retries in place; nothing is acknowledged early and
+// nothing is lost.
+TEST(AsyncForceTest, TransientCompletionErrorRetriedInPlace) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  disk.fault_injector().Arm(fault::kLogAppend, FaultSpec::TransientTimes(1));
+
+  Lsn last = 0;
+  for (int i = 0; i < 3; ++i) last = AppendOp(&log, 2, "retry-me");
+  ASSERT_TRUE(log.SubmitForce(last).ok());
+  ASSERT_TRUE(log.WaitStable(last).ok());
+  EXPECT_EQ(log.last_stable_lsn(), last);
+  EXPECT_EQ(StableRecordCount(disk.log()), 3u);
+}
+
+// A transient error at the submit-time fault site (fault::kLogForce)
+// is retried by the submit path itself.
+TEST(AsyncForceTest, TransientSubmitErrorRetried) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  disk.fault_injector().Arm(fault::kLogForce, FaultSpec::TransientTimes(1));
+
+  Lsn last = AppendOp(&log, 3, "submit-retry");
+  ASSERT_TRUE(log.Force(last).ok());
+  EXPECT_EQ(log.last_stable_lsn(), last);
+}
+
+// A torn write surfacing at the completion: Aborted, the manager is
+// poisoned (the stable tail no longer matches its view), and whatever
+// the device kept is a clean prefix recovery can read up to.
+TEST(AsyncForceTest, TornCompletionPoisonsManager) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  disk.fault_injector().Arm(fault::kLogAppend, FaultSpec::TornOnce(99));
+
+  Lsn last = 0;
+  for (int i = 0; i < 4; ++i) last = AppendOp(&log, 4, "doomed-batch");
+  ASSERT_TRUE(log.SubmitForce(last).ok());
+  Status st = log.WaitStable(last);
+  ASSERT_TRUE(st.IsAborted()) << st.ToString();
+  // Poisoned: every further durability request refuses until recovery.
+  EXPECT_FALSE(log.Force(last).ok());
+
+  std::vector<LogRecord> records;
+  bool torn = false;
+  Lsn next_lsn = 0;
+  uint64_t valid_end = 0;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next_lsn,
+                                     &valid_end)
+                  .ok());
+  // Only a strict prefix survived, with dense LSNs from 1.
+  EXPECT_LT(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, static_cast<Lsn>(i + 1));
+  }
+  EXPECT_LE(valid_end, disk.log().end_offset());
+}
+
+// A crash with submissions staged but never reaped: the completion
+// queue is volatile, so the next incarnation must see none of it.
+TEST(AsyncForceTest, StagedSubmissionsDieWithTheManager) {
+  SimulatedDisk disk;
+  {
+    LogManager log(&disk.log());
+    for (int i = 0; i < 4; ++i) AppendOp(&log, 5, "never-reaped");
+    ASSERT_TRUE(log.SubmitForce(4).ok());
+    EXPECT_EQ(disk.log().staged_appends(), 1u);
+    // Crash: the manager (volatile buffer + queue) dies unreaped.
+  }
+  EXPECT_EQ(disk.log().staged_appends(), 0u);
+  EXPECT_EQ(StableRecordCount(disk.log()), 0u);
+
+  // The next incarnation starts clean and its forces are unaffected.
+  LogManager log(&disk.log());
+  Lsn last = AppendOp(&log, 5, "post-crash");
+  ASSERT_TRUE(log.Force(last).ok());
+  EXPECT_EQ(StableRecordCount(disk.log()), 1u);
+}
+
+// The torn-tail matrix re-run with async completions live end to end:
+// eager submission during execution, a crash tearing the final force,
+// and recovery reconstructing a reference-equivalent state.
+enum class AsyncTear { kOneByte, kHeaderBoundary, kFullLastForce };
+
+class AsyncTornTailTest : public testing::TestWithParam<AsyncTear> {};
+
+TEST_P(AsyncTornTailTest, RecoveryHandlesTornAsyncTail) {
+  EngineOptions opts;
+  opts.purge_threshold_ops = 0;
+  CrashHarness harness(opts, 1337);
+  harness.disk().log().set_append_latency_us(50);
+  harness.engine().log().set_async_submit(64);
+
+  ASSERT_TRUE(harness.Execute(MakeCreate(1, "stable-one")).ok());
+  ASSERT_TRUE(harness.Execute(MakeCreate(2, "stable-two")).ok());
+  ASSERT_TRUE(harness.engine().FlushAll().ok());
+
+  ASSERT_TRUE(harness.Execute(MakeAppend(1, "-tail")).ok());
+  ASSERT_TRUE(harness.Execute(MakeCreate(3, "young")).ok());
+  ASSERT_TRUE(harness.engine().log().ForceAll().ok());
+
+  harness.Crash();
+  StableLogDevice& log = harness.disk().log();
+  const uint64_t last = log.last_append_size();
+  ASSERT_GT(last, 8u);
+  switch (GetParam()) {
+    case AsyncTear::kOneByte:
+      log.TearTail(1);
+      break;
+    case AsyncTear::kHeaderBoundary:
+      log.TearTail(last - 8);
+      break;
+    case AsyncTear::kFullLastForce:
+      log.TearTail(last);
+      break;
+  }
+
+  RecoveryStats stats;
+  ASSERT_TRUE(harness.Recover(&stats).ok());
+  ASSERT_TRUE(harness.VerifyAgainstReference().ok());
+  ASSERT_TRUE(harness.engine().cache().CheckInvariants().ok());
+  EXPECT_TRUE(harness.engine().Exists(1));
+  EXPECT_TRUE(harness.engine().Exists(2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTears, AsyncTornTailTest,
+    testing::Values(AsyncTear::kOneByte, AsyncTear::kHeaderBoundary,
+                    AsyncTear::kFullLastForce),
+    [](const testing::TestParamInfo<AsyncTear>& info) {
+      switch (info.param) {
+        case AsyncTear::kOneByte:
+          return "OneByte";
+        case AsyncTear::kHeaderBoundary:
+          return "HeaderBoundary";
+        case AsyncTear::kFullLastForce:
+          return "FullLastForce";
+      }
+      return "Unknown";
+    });
+
+// Concurrent producers on the reserve+fill path racing a forcer thread:
+// every record must land stable exactly once, densely LSN-ordered. This
+// is the TSan target for the whole submit/fill/reap pipeline.
+TEST(AsyncForceTest, ConcurrentAppendsAndForcesAreCoherent) {
+  SimulatedDisk disk;
+  LogManager log(&disk.log());
+  log.set_async_submit(256);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 128;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&log, p] {
+      const std::string payload = "producer-" + std::to_string(p);
+      const OperationDesc op =
+          MakePhysicalWrite(static_cast<ObjectId>(p + 1), Slice(payload));
+      for (int i = 0; i < kPerProducer; ++i) {
+        log.AppendOperation(op, 0, kInvalidLsn, {});
+      }
+    });
+  }
+  std::thread forcer([&log, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      ASSERT_TRUE(log.ForceAll().ok());
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  forcer.join();
+  ASSERT_TRUE(log.ForceAll().ok());
+
+  const Lsn total = static_cast<Lsn>(kProducers * kPerProducer);
+  EXPECT_EQ(log.last_assigned_lsn(), total);
+  EXPECT_EQ(log.last_stable_lsn(), total);
+  EXPECT_EQ(log.volatile_record_count(), 0u);
+
+  std::vector<LogRecord> records;
+  bool torn = false;
+  Lsn next_lsn = 0;
+  uint64_t valid_end = 0;
+  ASSERT_TRUE(LogManager::ReadStable(disk.log(), &records, &torn, &next_lsn,
+                                     &valid_end)
+                  .ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(records.size(), static_cast<size_t>(total));
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, static_cast<Lsn>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace loglog

@@ -1,0 +1,112 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace loglog {
+namespace {
+
+// RFC 3720-style known vectors for CRC-32C, plus empty/zero cases. Every
+// kernel must reproduce these exactly — the log format depends on it.
+TEST(Crc32Test, KnownVectors) {
+  // "123456789" is the classic CRC check string: CRC-32C = 0xe3069283.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32c(Slice(check)), 0xe3069283u);
+  EXPECT_EQ(Crc32c(Slice()), 0u);
+
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(Slice(zeros.data(), zeros.size())), 0x8a9136aau);
+  std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(Crc32c(Slice(ones.data(), ones.size())), 0x62a8ab43u);
+}
+
+TEST(Crc32Test, EveryKernelMatchesKnownVectors) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32cExtendScalar(0, Slice(check)), 0xe3069283u);
+  EXPECT_EQ(Crc32cExtendSliceBy8(0, Slice(check)), 0xe3069283u);
+  if (Crc32cHardwareAvailable()) {
+    EXPECT_EQ(Crc32cExtendHardware(0, Slice(check)), 0xe3069283u);
+  }
+}
+
+// Exhaustive lengths 0..4096 at several buffer offsets: scalar is the
+// reference, slice-by-8 and (when present) the hardware path must agree
+// bit-for-bit. Unaligned starts exercise the head-alignment loops.
+TEST(Crc32Test, KernelsAgreeAllLengthsAndOffsets) {
+  std::mt19937_64 rng(20260808);
+  std::vector<uint8_t> buf(4096 + 16);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng());
+
+  const bool hw = Crc32cHardwareAvailable();
+  for (size_t offset : {0u, 1u, 3u, 7u, 8u, 13u}) {
+    for (size_t len = 0; len <= 4096; ++len) {
+      Slice data(buf.data() + offset, len);
+      uint32_t want = Crc32cExtendScalar(0, data);
+      ASSERT_EQ(Crc32cExtendSliceBy8(0, data), want)
+          << "slice_by_8 mismatch at offset=" << offset << " len=" << len;
+      if (hw) {
+        ASSERT_EQ(Crc32cExtendHardware(0, data), want)
+            << "hardware mismatch at offset=" << offset << " len=" << len;
+      }
+      ASSERT_EQ(Crc32c(data), want)
+          << "dispatch mismatch at offset=" << offset << " len=" << len;
+    }
+  }
+}
+
+// Extend-chaining must equal the one-shot CRC for arbitrary split points,
+// with seeds carried across kernels (a log written on a machine with the
+// hardware path must verify on one without it, and vice versa).
+TEST(Crc32Test, ExtendChainingEquivalence) {
+  std::mt19937_64 rng(77);
+  std::vector<uint8_t> buf(4096);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng());
+
+  const bool hw = Crc32cHardwareAvailable();
+  for (int iter = 0; iter < 200; ++iter) {
+    size_t len = rng() % (buf.size() + 1);
+    Slice whole(buf.data(), len);
+    uint32_t want = Crc32cExtendScalar(0, whole);
+
+    // Random 3-way split, each piece hashed by a randomly chosen kernel.
+    size_t a = len == 0 ? 0 : rng() % (len + 1);
+    size_t b = len == 0 ? 0 : a + rng() % (len - a + 1);
+    uint32_t crc = 0;
+    const Slice parts[3] = {Slice(buf.data(), a), Slice(buf.data() + a, b - a),
+                            Slice(buf.data() + b, len - b)};
+    for (const Slice& part : parts) {
+      switch (rng() % (hw ? 3 : 2)) {
+        case 0:
+          crc = Crc32cExtendScalar(crc, part);
+          break;
+        case 1:
+          crc = Crc32cExtendSliceBy8(crc, part);
+          break;
+        default:
+          crc = Crc32cExtendHardware(crc, part);
+          break;
+      }
+    }
+    ASSERT_EQ(crc, want) << "chained mismatch len=" << len << " a=" << a
+                         << " b=" << b;
+    ASSERT_EQ(Crc32cExtend(0, whole), want);
+  }
+}
+
+TEST(Crc32Test, ActiveKernelIsConsistent) {
+  Crc32cKernel active = Crc32cActiveKernel();
+  if (Crc32cHardwareAvailable()) {
+    EXPECT_EQ(active, Crc32cKernel::kHardware);
+  } else {
+    EXPECT_EQ(active, Crc32cKernel::kSliceBy8);
+  }
+  EXPECT_NE(std::string(Crc32cKernelName(active)), "unknown");
+  EXPECT_NE(std::string(Crc32cKernelName(Crc32cKernel::kScalar)), "unknown");
+}
+
+}  // namespace
+}  // namespace loglog
