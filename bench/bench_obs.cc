@@ -1,0 +1,288 @@
+// E19 (flight recorder & telemetry): what always-on observability costs
+// on the paths that matter, measured four ways.
+//
+//   RecordEvent/threads:N        raw cost of one flight-recorder event —
+//                                the seqlock slot claim plus six relaxed
+//                                stores — alone and with four writers
+//                                lapping each other in one ring;
+//   AppendRecorderOn|Off/...     A/B context: the zero-copy WAL append
+//                                path (reserve+fill, group commit) with
+//                                the global recorder enabled vs
+//                                disabled, as independent runs;
+//   AppendOverheadPaired/...     the acceptance check: the same append
+//                                loop alternating recorder on/off every
+//                                ~2k appends under its own timers, so
+//                                machine drift hits both phases equally
+//                                and the on-off delta isolates the
+//                                recorder. The merge step in
+//                                run_benches.sh reports its
+//                                overhead_pct; the always-on budget is
+//                                < 3%;
+//   BlackBoxEncode               serializing a full ring (capacity
+//                                events + metrics + health) into the
+//                                *.blackbox artifact — the cost of a
+//                                crash-point dump;
+//   PrometheusExport             rendering a live metrics snapshot as
+//                                the text exposition, the per-scrape
+//                                cost of the telemetry exporter.
+//
+// Merged into BENCH_obs.json by bench/run_benches.sh; the CI perf-smoke
+// step runs this binary with --smoke.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+#include "wal/log_manager.h"
+
+namespace loglog {
+namespace {
+
+// Same drain cadence as bench_hot_path: durability stays on the measured
+// path but amortizes over a group-commit batch.
+constexpr int kForceEvery = 4096;
+
+std::string Payload(size_t valbytes, int thread) {
+  return std::string(valbytes, static_cast<char>('a' + (thread % 26)));
+}
+
+SimulatedDisk* g_disk = nullptr;
+LogManager* g_log = nullptr;
+FlightRecorder* g_recorder = nullptr;
+
+// One event, nothing else: the floor under every instrumented path. The
+// multi-writer shape has all threads hammering one ring so the slots
+// lap; correctness under that is the recorder test's job, this is just
+// the contended cost.
+void BM_RecordEvent(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_recorder = new FlightRecorder();
+  }
+  const uint64_t tid = static_cast<uint64_t>(state.thread_index());
+  uint64_t lsn = 0;
+  for (auto _ : state) {
+    g_recorder->Record(FlightEventType::kWalAppend, ++lsn, 64, tid);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    benchmark::DoNotOptimize(g_recorder->total_recorded());
+    delete g_recorder;
+    g_recorder = nullptr;
+  }
+}
+BENCHMARK(BM_RecordEvent)->Threads(1)->Threads(4)->UseRealTime();
+
+// The acceptance pair: bench_hot_path's reserve+fill append loop with
+// the global recorder toggled. The recorder is sampled on this path
+// (one event per 64 appends per thread), so "on" buys the black box for
+// a fraction of even the RecordEvent cost.
+void AppendBench(benchmark::State& state, bool recorder_on) {
+  if (state.thread_index() == 0) {
+    if (recorder_on) {
+      FlightRecorder::Global().Enable();
+    } else {
+      FlightRecorder::Global().Disable();
+    }
+    g_disk = new SimulatedDisk();
+    g_disk->log().set_archive_enabled(false);  // no reference replay here
+    g_log = new LogManager(&g_disk->log());
+    g_log->set_force_policy(ForcePolicy::kGroup);
+  }
+  const OperationDesc op = MakePhysicalWrite(
+      static_cast<ObjectId>(state.thread_index() + 1),
+      Payload(static_cast<size_t>(state.range(0)), state.thread_index()));
+  const std::vector<UndoImage> no_images;
+  int since_force = 0;
+  for (auto _ : state) {
+    Lsn lsn = g_log->AppendOperation(op, 0, kInvalidLsn, no_images);
+    benchmark::DoNotOptimize(lsn);
+    if (++since_force >= kForceEvery) {
+      since_force = 0;
+      benchmark::DoNotOptimize(g_log->ForceAll());
+      g_log->TruncateBefore(g_log->last_stable_lsn());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    benchmark::DoNotOptimize(g_log->ForceAll());
+    delete g_log;
+    delete g_disk;
+    g_log = nullptr;
+    g_disk = nullptr;
+    FlightRecorder::Global().Enable();  // always-on is the resting state
+  }
+}
+
+void BM_AppendRecorderOn(benchmark::State& state) { AppendBench(state, true); }
+void BM_AppendRecorderOff(benchmark::State& state) {
+  AppendBench(state, false);
+}
+BENCHMARK(BM_AppendRecorderOn)
+    ->ArgName("valbytes")
+    ->Arg(64)
+    ->Arg(1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+BENCHMARK(BM_AppendRecorderOff)
+    ->ArgName("valbytes")
+    ->Arg(64)
+    ->Arg(1024)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
+// The acceptance measurement. Independent on/off runs (above) cannot
+// resolve a sub-1% effect on a busy box — run-to-run variance is an
+// order of magnitude larger. Here each iteration times one recorder-on
+// batch and one recorder-off batch back to back with the same clock,
+// alternating which goes first, so slow drift (frequency scaling, a
+// neighbor VM, the force at the batch seam) cancels in the delta. The
+// reported overhead_pct is the paired difference over the whole run.
+void BM_AppendOverheadPaired(benchmark::State& state) {
+  constexpr int kBatch = 2048;
+  SimulatedDisk disk;
+  disk.log().set_archive_enabled(false);
+  LogManager log(&disk.log());
+  log.set_force_policy(ForcePolicy::kGroup);
+  const OperationDesc op = MakePhysicalWrite(
+      1, Payload(static_cast<size_t>(state.range(0)), 0));
+  const std::vector<UndoImage> no_images;
+  auto run_batch = [&](bool enable) {
+    if (enable) {
+      FlightRecorder::Global().Enable();
+    } else {
+      FlightRecorder::Global().Disable();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kBatch; ++i) {
+      Lsn lsn = log.AppendOperation(op, 0, kInvalidLsn, no_images);
+      benchmark::DoNotOptimize(lsn);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+  };
+  // Per-batch timings, reduced by median at the end: a scheduler
+  // interrupt landing in one batch would skew a running total by its
+  // whole duration, but the median batch is an unperturbed one.
+  std::vector<uint64_t> on_batches;
+  std::vector<uint64_t> off_batches;
+  bool on_first = true;
+  for (auto _ : state) {
+    if (on_first) {
+      on_batches.push_back(run_batch(true));
+      off_batches.push_back(run_batch(false));
+    } else {
+      off_batches.push_back(run_batch(false));
+      on_batches.push_back(run_batch(true));
+    }
+    on_first = !on_first;
+    benchmark::DoNotOptimize(log.ForceAll());
+    log.TruncateBefore(log.last_stable_lsn());
+  }
+  FlightRecorder::Global().Enable();  // always-on is the resting state
+  auto median_of = [](std::vector<uint64_t>* v) {
+    std::sort(v->begin(), v->end());
+    return v->empty() ? 0.0 : static_cast<double>((*v)[v->size() / 2]);
+  };
+  const double per_on = median_of(&on_batches) / kBatch;
+  const double per_off = median_of(&off_batches) / kBatch;
+  state.counters["on_ns_per_append"] = benchmark::Counter(per_on);
+  state.counters["off_ns_per_append"] = benchmark::Counter(per_off);
+  state.counters["overhead_pct"] =
+      benchmark::Counter((per_on - per_off) / per_off * 100.0);
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch);
+}
+BENCHMARK(BM_AppendOverheadPaired)
+    ->ArgName("valbytes")
+    ->Arg(64)
+    ->Arg(1024)
+    ->UseRealTime();
+
+// Cutting the artifact itself: a full default-capacity ring serialized
+// with a live metrics snapshot and the health ledger. This is the cost
+// a crash point, fault fire, or Promote pays to leave a black box.
+void BM_BlackBoxEncode(benchmark::State& state) {
+  FlightRecorder recorder;
+  for (uint64_t i = 0; i < FlightRecorder::kDefaultCapacity; ++i) {
+    recorder.Record(FlightEventType::kWalAppend, i + 1, 64, 4096);
+  }
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<uint8_t> out;
+    EncodeBlackBox(recorder, snap, "bench", &out);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["blackbox_bytes"] =
+      benchmark::Counter(static_cast<double>(bytes));
+}
+BENCHMARK(BM_BlackBoxEncode);
+
+// Per-scrape cost of the exporter: snapshot already taken, render the
+// text exposition. Seeded with a spread of instruments so the histogram
+// quantile walks are on the measured path.
+void BM_PrometheusExport(benchmark::State& state) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (int i = 0; i < 16; ++i) {
+    reg.GetCounter("bench.obs.counter" + std::to_string(i))->Inc(i * 7 + 1);
+    reg.GetGauge("bench.obs.gauge" + std::to_string(i))->Set(i - 8);
+    HistogramMetric* h =
+        reg.GetHistogram("bench.obs.hist" + std::to_string(i));
+    for (int v = 0; v < 128; ++v) h->Observe((v * 13 + i) % 257);
+  }
+  MetricsSnapshot snap = reg.Snapshot();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = PrometheusText(snap);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_PrometheusExport);
+
+}  // namespace
+}  // namespace loglog
+
+// Custom main so CI can say `bench_obs --smoke`: the flag becomes a
+// minimum-duration run, everything else passes through to the benchmark
+// library untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (smoke) args.push_back(min_time);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -31,6 +31,13 @@
 # mixed-workload throughput curve as the abort rate climbs (see
 # EXPERIMENTS.md E17). Named like the others (`recovery` -> `txn`).
 #
+# BENCH_obs.json holds the observability-cost series (bench_obs): the
+# raw flight-recorder event cost (single and contended), the acceptance
+# pair — WAL appends/sec with the always-on recorder enabled vs disabled,
+# reduced to overhead_pct per shape against the < 3% budget — plus the
+# black-box encode and Prometheus render costs (see EXPERIMENTS.md E19).
+# Named like the others (`recovery` -> `obs`).
+#
 # BENCH_hot_path.json holds the WAL hot-path series (bench_hot_path):
 # appends/sec for the old whole-record Append pipeline vs the zero-copy
 # reserve+fill path (single- and multi-producer, small and KB-sized
@@ -74,11 +81,13 @@ if [[ "$OUT" == *recovery* ]]; then
   ADAPT_OUT="${OUT/recovery/adaptive}"
   TXN_OUT="${OUT/recovery/txn}"
   HOT_OUT="${OUT/recovery/hot_path}"
+  OBS_OUT="${OUT/recovery/obs}"
 else
   REPL_OUT="$OUT.replication.json"
   ADAPT_OUT="$OUT.adaptive.json"
   TXN_OUT="$OUT.txn.json"
   HOT_OUT="$OUT.hot_path.json"
+  OBS_OUT="$OUT.obs.json"
 fi
 
 TMP=$(mktemp -d)
@@ -137,6 +146,7 @@ run_bench bench_replication "$TMP/replication.json"
 run_bench bench_adaptive_logging "$TMP/adaptive_logging.json"
 run_bench bench_txn "$TMP/txn.json"
 run_bench bench_hot_path "$TMP/hot_path.json"
+run_bench bench_obs "$TMP/obs.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
@@ -557,3 +567,153 @@ for row in appends + crc + force:
 print("  ", {**crc_summary, **force_summary})
 PYEOF
 validate_json "$HOT_OUT" "hot_path merge"
+
+python3 - "$TMP/obs.json" "$OBS_OUT" <<'PYEOF'
+import json
+import sys
+
+obs_path, out_path = sys.argv[1:3]
+obs = json.load(open(obs_path))
+
+
+def argmap(run_name):
+    return dict(
+        kv.split(":") for kv in run_name.split("/") if kv.count(":") == 1
+    )
+
+
+# Repetition-aware views: `runs` holds every measured iteration entry
+# (repetitions included), aggregates are skipped and recomputed here so
+# the script works with or without --benchmark_repetitions.
+runs = [b for b in obs["benchmarks"] if b.get("run_type") != "aggregate"]
+
+
+def median(values):
+    values = sorted(values)
+    return values[len(values) // 2]
+
+
+# Raw flight-recorder event cost, alone and contended (medians across
+# repetitions).
+record_by_threads = {}
+for b in runs:
+    name = b["run_name"]
+    if "RecordEvent" not in name:
+        continue
+    t = int(argmap(name).get("threads", 1))
+    record_by_threads.setdefault(t, []).append(
+        (b["real_time"], b["items_per_second"])
+    )
+record = [
+    {
+        "threads": t,
+        "ns_per_event": round(median([r for r, _ in v]), 2),
+        "events_per_s": round(median([i for _, i in v])),
+    }
+    for t, v in sorted(record_by_threads.items())
+]
+
+# The acceptance measurement: the paired on/off benchmark, whose delta
+# is drift-immune (both phases share each iteration's machine state).
+# Median across repetitions.
+paired_by_size = {}
+for b in runs:
+    name = b["run_name"]
+    if "AppendOverheadPaired" not in name:
+        continue
+    paired_by_size.setdefault(int(argmap(name)["valbytes"]), []).append(
+        (b["on_ns_per_append"], b["off_ns_per_append"], b["overhead_pct"])
+    )
+paired = []
+worst = 0.0
+for valbytes, reps in sorted(paired_by_size.items()):
+    pct = median([p for _, _, p in reps])
+    worst = max(worst, pct)
+    paired.append(
+        {
+            "valbytes": valbytes,
+            "on_ns_per_append": round(median([o for o, _, _ in reps]), 2),
+            "off_ns_per_append": round(median([o for _, o, _ in reps]), 2),
+            "overhead_pct": round(pct, 3),
+        }
+    )
+
+# A/B context: appends/sec with the recorder enabled vs disabled as
+# independent runs, per (payload, producers) shape. Best-of-N throughput
+# on each side — the sampled recorder's true cost is sub-nanosecond per
+# append, far below single-run scheduler noise on a shared box, so these
+# rows bound the effect rather than resolve it (the paired rows above
+# are the acceptance number).
+rates = {}
+for b in runs:
+    name = b["run_name"]
+    if "AppendRecorder" not in name:
+        continue
+    parts = argmap(name)
+    which = "on" if "RecorderOn" in name else "off"
+    key = (int(parts["valbytes"]), int(parts.get("threads", 1)))
+    rates.setdefault(key, {}).setdefault(which, []).append(
+        b["items_per_second"]
+    )
+
+overhead = []
+for (valbytes, threads), by_state in sorted(rates.items()):
+    row = {"valbytes": valbytes, "threads": threads}
+    if "on" in by_state:
+        row["recorder_on_appends_per_s"] = round(max(by_state["on"]))
+    if "off" in by_state:
+        row["recorder_off_appends_per_s"] = round(max(by_state["off"]))
+    if "on" in by_state and "off" in by_state:
+        on, off = max(by_state["on"]), max(by_state["off"])
+        row["ab_delta_pct"] = round((off - on) / off * 100.0, 2)
+    overhead.append(row)
+
+encode = [b for b in runs if "BlackBoxEncode" in b["run_name"]]
+render = [b for b in runs if "PrometheusExport" in b["run_name"]]
+artifact = []
+if encode:
+    artifact.append(
+        {
+            "what": "blackbox_encode",
+            "us_per_dump": round(
+                median([b["real_time"] for b in encode]) / 1e3, 2
+            ),
+            "mb_per_s": round(
+                median([b["bytes_per_second"] for b in encode]) / 1e6, 1
+            ),
+            "blackbox_bytes": int(encode[0].get("blackbox_bytes", 0)),
+        }
+    )
+if render:
+    artifact.append(
+        {
+            "what": "prometheus_render",
+            "us_per_scrape": round(
+                median([b["real_time"] for b in render]) / 1e3, 2
+            ),
+            "mb_per_s": round(
+                median([b["bytes_per_second"] for b in render]) / 1e6, 1
+            ),
+        }
+    )
+
+merged = {
+    "context": obs.get("context", {}),
+    "record_event_cost": record,
+    "append_overhead_paired": paired,
+    "append_overhead_worst_pct": round(worst, 3),
+    "append_overhead_budget_pct": 3.0,
+    "within_budget": worst < 3.0,
+    "append_ab_context": overhead,
+    "artifact_cost": artifact,
+    "raw": {"obs": obs["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in record + paired + overhead + artifact:
+    print("  ", row)
+print("  ", {"worst_overhead_pct": round(worst, 3), "within_budget": worst < 3.0})
+PYEOF
+validate_json "$OBS_OUT" "obs merge"

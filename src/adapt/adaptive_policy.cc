@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -106,6 +107,9 @@ PolicyDecision AdaptiveLogPolicy::Decide(ObjectId id, size_t value_size,
     d.chosen = want;
     d.reason = why;
     d.changed = true;
+    FlightRecorder::Global().Record(
+        FlightEventType::kPolicyFlip, 0, id,
+        (static_cast<uint64_t>(s.cls) << 8) | static_cast<uint64_t>(want));
     s.cls = want;
     s.writes_at_last_change = s.writes;
     ++stats_.decisions;

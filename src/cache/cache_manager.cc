@@ -7,6 +7,8 @@
 #include "fault/fault_injector.h"
 #include "graph/refined_write_graph.h"
 #include "graph/write_graph_w.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "ops/op_builder.h"
 
@@ -666,6 +668,7 @@ Status CacheManager::Checkpoint(Lsn truncate_floor, uint64_t txn_watermark) {
   }
   Lsn ckpt_lsn = log_->Append(std::move(rec));
   LOGLOG_RETURN_IF_ERROR(log_->Force(ckpt_lsn));
+  FlightRecorder::Global().Record(FlightEventType::kCheckpoint, ckpt_lsn);
   // Everything before min(first rSI, the checkpoint itself) is installed
   // in every explanation of the stable state and can be truncated — but
   // never past an active transaction's begin record (truncate_floor): a
@@ -702,6 +705,12 @@ Status CacheManager::CheckInvariants() {
       out = Status::Corruption("rSI later than first uninstalled writer");
     }
   });
+  if (out.ok()) {
+    HealthRegistry::Global().Set(health::kCacheManager, HealthState::kOk);
+  } else {
+    HealthRegistry::Global().Set(health::kCacheManager,
+                                 HealthState::kFailing, out.ToString());
+  }
   return out;
 }
 

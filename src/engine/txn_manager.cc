@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 
 namespace loglog {
 
@@ -91,10 +93,19 @@ Status TxnManager::Rollback(TxnId id) {
   plan.txn_id = id;
   plan.last_lsn = t.last_lsn;
   plan.forward = t.undo;
-  LOGLOG_RETURN_IF_ERROR(RollbackTxn(
+  const uint64_t clrs_before = undo_stats_.clrs_logged;
+  Status undo_st = RollbackTxn(
       &engine_->cache(), &engine_->log(),
       &engine_->disk().fault_injector(), plan,
-      engine_->options().rollback_io_retries, &undo_stats_));
+      engine_->options().rollback_io_retries, &undo_stats_);
+  if (!undo_st.ok()) {
+    HealthRegistry::Global().Set(health::kTxnManager, HealthState::kFailing,
+                                 "rollback failed: " + undo_st.ToString());
+    return undo_st;
+  }
+  FlightRecorder::Global().Record(FlightEventType::kTxnAbort, t.last_lsn,
+                                  id, undo_stats_.clrs_logged - clrs_before);
+  HealthRegistry::Global().Set(health::kTxnManager, HealthState::kOk);
   ++stats_.aborted;
   ReleaseLocks(id, &t);
   txns_.erase(it);

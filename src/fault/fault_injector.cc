@@ -1,5 +1,7 @@
 #include "fault/fault_injector.h"
 
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -109,12 +111,17 @@ FaultFire FaultInjector::Hit(std::string_view site) {
   TraceRecorder::Global().AddInstant(
       "fault.fire", "fault",
       {{"site", std::string(site)}, {"action", ActionLabel(out.action)}});
+  FlightRecorder& flight = FlightRecorder::Global();
+  flight.Record(FlightEventType::kFaultFire, 0, flight.Intern(site),
+                static_cast<uint64_t>(out.action));
   // Outside the lock: the callback may inspect the injector (armed(),
   // site_stats()) without deadlocking.
-  if ((out.action == FaultAction::kCrashNow ||
-       out.action == FaultAction::kTornWrite) &&
-      crash_cb_) {
-    crash_cb_(site);
+  if (out.action == FaultAction::kCrashNow ||
+      out.action == FaultAction::kTornWrite) {
+    // A crash-action fire is the black box's reason for existing: cut a
+    // dump *before* the crash callback tears the engine down.
+    BlackBoxAutoDump("fault-" + std::string(site));
+    if (crash_cb_) crash_cb_(site);
   }
   return out;
 }

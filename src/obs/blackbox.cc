@@ -1,0 +1,288 @@
+#include "obs/blackbox.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "obs/health.h"
+#include "obs/json.h"
+
+namespace loglog {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'L', 'B', 'B', '0', '0', '0', '1'};
+
+}  // namespace
+
+std::string BuildInfoJson() {
+  JsonWriter w;
+  w.BeginObject();
+#if defined(__clang__)
+  w.Key("compiler").String("clang " + std::to_string(__clang_major__) + "." +
+                           std::to_string(__clang_minor__));
+#elif defined(__GNUC__)
+  w.Key("compiler").String("gcc " + std::to_string(__GNUC__) + "." +
+                           std::to_string(__GNUC_MINOR__));
+#else
+  w.Key("compiler").String("unknown");
+#endif
+  w.Key("cpp").Uint(static_cast<uint64_t>(__cplusplus));
+#if defined(NDEBUG)
+  w.Key("build").String("release");
+#else
+  w.Key("build").String("debug");
+#endif
+  w.Key("pointer_bits").Uint(sizeof(void*) * 8);
+  w.Key("crc32c_kernel").String(Crc32cKernelName(Crc32cActiveKernel()));
+  w.Key("recorder_capacity")
+      .Uint(static_cast<uint64_t>(FlightRecorder::Global().capacity()));
+  w.EndObject();
+  return w.Take();
+}
+
+void EncodeBlackBox(const FlightRecorder& recorder,
+                    const MetricsSnapshot& metrics, std::string_view reason,
+                    std::vector<uint8_t>* out) {
+  out->clear();
+  out->insert(out->end(), kMagic, kMagic + sizeof(kMagic));
+  PutLengthPrefixed(out, Slice(reason.data(), reason.size()));
+  const std::string build = BuildInfoJson();
+  PutLengthPrefixed(out, Slice(build));
+  PutFixed64(out, recorder.total_recorded());
+  PutFixed64(out, recorder.capacity());
+
+  const std::vector<FlightEventView> events = recorder.Snapshot();
+
+  // Thread name table, restricted to threads the dumped events mention.
+  std::set<uint32_t> tids;
+  for (const FlightEventView& ev : events) tids.insert(ev.tid);
+  std::vector<std::pair<uint32_t, std::string>> named;
+  for (uint32_t tid : tids) {
+    std::string name = ThreadRegistry::Global().NameOf(tid);
+    if (!name.empty()) named.emplace_back(tid, std::move(name));
+  }
+  PutVarint32(out, static_cast<uint32_t>(named.size()));
+  for (const auto& [tid, name] : named) {
+    PutVarint32(out, tid);
+    PutLengthPrefixed(out, Slice(name));
+  }
+
+  const std::vector<std::string> strings = recorder.InternedStrings();
+  PutVarint32(out, static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) PutLengthPrefixed(out, Slice(s));
+
+  PutVarint32(out, static_cast<uint32_t>(events.size()));
+  for (const FlightEventView& ev : events) {
+    PutVarint64(out, ev.seq);
+    PutVarint64(out, ev.ts_us);
+    PutVarint64(out, ev.lsn);
+    PutVarint64(out, ev.a);
+    PutVarint64(out, ev.b);
+    PutVarint32(out, ev.tid);
+    PutVarint32(out, static_cast<uint32_t>(ev.type));
+  }
+
+  PutLengthPrefixed(out, Slice(metrics.ToJson()));
+  PutLengthPrefixed(out, Slice(metrics.ToString()));
+  PutLengthPrefixed(out, Slice(HealthRegistry::Global().ToJson()));
+
+  PutFixed32(out, Crc32c(Slice(out->data(), out->size())));
+}
+
+Status DecodeBlackBox(Slice in, BlackBoxDump* out) {
+  *out = BlackBoxDump{};
+  if (in.size() < sizeof(kMagic) + 4) {
+    return Status::Corruption("black box: truncated header");
+  }
+  if (std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("black box: bad magic");
+  }
+  const Slice body(in.data(), in.size() - 4);
+  const uint32_t stored = DecodeFixed32(in.data() + in.size() - 4);
+  if (Crc32c(body) != stored) {
+    return Status::Corruption("black box: checksum mismatch");
+  }
+  Slice s(in.data() + sizeof(kMagic), in.size() - sizeof(kMagic) - 4);
+
+  Slice field;
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+  out->reason = field.ToString();
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+  out->build_info_json = field.ToString();
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&s, &out->total_recorded));
+  LOGLOG_RETURN_IF_ERROR(GetFixed64(&s, &out->capacity));
+
+  uint32_t n = 0;
+  LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &n));
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t tid = 0;
+    LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &tid));
+    LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+    out->thread_names.emplace_back(tid, field.ToString());
+  }
+
+  LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &n));
+  for (uint32_t i = 0; i < n; ++i) {
+    LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+    out->strings.push_back(field.ToString());
+  }
+
+  LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &n));
+  // The event count is CRC-protected, but bound the reserve anyway so a
+  // colliding corruption cannot ask for gigabytes.
+  if (n > (1u << 24)) {
+    return Status::Corruption("black box: implausible event count");
+  }
+  out->events.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    FlightEventView ev;
+    uint32_t v32 = 0;
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&s, &ev.seq));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&s, &ev.ts_us));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&s, &ev.lsn));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&s, &ev.a));
+    LOGLOG_RETURN_IF_ERROR(GetVarint64(&s, &ev.b));
+    LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &ev.tid));
+    LOGLOG_RETURN_IF_ERROR(GetVarint32(&s, &v32));
+    if (v32 > 0xFFFF) return Status::Corruption("black box: bad event type");
+    ev.type = static_cast<FlightEventType>(v32);
+    out->events.push_back(ev);
+  }
+
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+  out->metrics_json = field.ToString();
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+  out->metrics_text = field.ToString();
+  LOGLOG_RETURN_IF_ERROR(GetLengthPrefixed(&s, &field));
+  out->health_json = field.ToString();
+  if (!s.empty()) {
+    return Status::Corruption("black box: trailing garbage");
+  }
+  return Status::OK();
+}
+
+Status WriteBlackBoxFile(const std::string& path, std::string_view reason) {
+  FlightRecorder& rec = FlightRecorder::Global();
+  rec.Record(FlightEventType::kBlackBoxDump, 0, rec.Intern(reason));
+  std::vector<uint8_t> encoded;
+  EncodeBlackBox(rec, MetricsRegistry::Global().Snapshot(), reason,
+                 &encoded);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open black box file: " + path);
+  }
+  const size_t written = std::fwrite(encoded.data(), 1, encoded.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != encoded.size() || close_rc != 0) {
+    return Status::IoError("short write to black box file: " + path);
+  }
+  return Status::OK();
+}
+
+std::string DescribeFlightEvent(const FlightEventView& ev,
+                                const std::vector<std::string>& strings) {
+  auto interned = [&strings](uint64_t id) -> std::string {
+    if (id == 0 || id > strings.size()) return "#" + std::to_string(id);
+    return strings[id - 1];
+  };
+  const std::string name = FlightEventTypeName(ev.type);
+  switch (ev.type) {
+    case FlightEventType::kWalAppend:
+      return name + " lsn=" + std::to_string(ev.lsn) + " records=" +
+             std::to_string(ev.a) + " bytes=" + std::to_string(ev.b);
+    case FlightEventType::kWalForce:
+      return name + " stable_lsn=" + std::to_string(ev.lsn) + " waited=" +
+             std::to_string(ev.a) + "us batches=" + std::to_string(ev.b);
+    case FlightEventType::kWalPoisoned:
+      return name + " (torn/crashed force; recovery required)";
+    case FlightEventType::kRedoComponent:
+      return name + " min_lsn=" + std::to_string(ev.lsn) + " records=" +
+             std::to_string(ev.a) + " worker=" + std::to_string(ev.b);
+    case FlightEventType::kTxnAbort:
+      return name + " txn=" + std::to_string(ev.a) + " clrs=" +
+             std::to_string(ev.b);
+    case FlightEventType::kFaultFire:
+      return name + " site=" + interned(ev.a) + " action=" +
+             std::to_string(ev.b);
+    case FlightEventType::kPolicyFlip:
+      return name + " object=" + std::to_string(ev.a) + " classes=" +
+             std::to_string(ev.b >> 8) + "->" +
+             std::to_string(ev.b & 0xFF);
+    case FlightEventType::kCrash:
+      return name + (ev.a != 0 ? " (torn tail)" : "");
+    case FlightEventType::kPromote:
+      return name + " applied_lsn=" + std::to_string(ev.lsn) + " rto=" +
+             std::to_string(ev.a) + "us";
+    case FlightEventType::kRecoveryStart:
+      return name;
+    case FlightEventType::kRecoveryDone:
+      return name + " redo_start=" + std::to_string(ev.lsn) + " redone=" +
+             std::to_string(ev.a) + " losers=" + std::to_string(ev.b);
+    case FlightEventType::kCheckpoint:
+      return name + " lsn=" + std::to_string(ev.lsn);
+    case FlightEventType::kHealthChange:
+      return name + " " + interned(ev.a) + "=" +
+             HealthStateName(static_cast<HealthState>(ev.b));
+    case FlightEventType::kBlackBoxDump:
+      return name + " reason=" + interned(ev.a);
+    case FlightEventType::kNone:
+      break;
+  }
+  return name;
+}
+
+namespace {
+
+std::mutex g_sink_mu;
+std::string g_sink_dir;
+bool g_sink_env_checked = false;
+int g_sink_max_files = 8;
+int g_sink_files_written = 0;
+
+std::string SanitizeForFilename(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+    if (out.size() >= 48) break;
+  }
+  return out.empty() ? "dump" : out;
+}
+
+}  // namespace
+
+void SetBlackBoxDir(std::string dir, int max_files) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink_dir = std::move(dir);
+  g_sink_env_checked = true;  // explicit config wins over the env
+  if (max_files > 0) g_sink_max_files = max_files;
+  g_sink_files_written = 0;
+}
+
+std::string BlackBoxAutoDump(std::string_view reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mu);
+    if (!g_sink_env_checked) {
+      g_sink_env_checked = true;
+      if (const char* env = std::getenv("LOGLOG_BLACKBOX_DIR")) {
+        g_sink_dir = env;
+      }
+    }
+    if (g_sink_dir.empty()) return "";
+    if (g_sink_files_written >= g_sink_max_files) return "";
+    ++g_sink_files_written;
+    path = g_sink_dir + "/" + SanitizeForFilename(reason) + "-" +
+           std::to_string(g_sink_files_written) + ".blackbox";
+  }
+  if (!WriteBlackBoxFile(path, reason).ok()) return "";
+  return path;
+}
+
+}  // namespace loglog

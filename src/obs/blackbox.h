@@ -1,0 +1,101 @@
+#ifndef LOGLOG_OBS_BLACKBOX_H_
+#define LOGLOG_OBS_BLACKBOX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace loglog {
+
+/// \brief The `*.blackbox` postmortem artifact: a decoded dump of the
+/// flight-recorder ring plus a metrics snapshot, the health ledger, and
+/// build/config info.
+///
+/// On-disk format (`LLBB0001`, little-endian, CRC32C-sealed like the disk
+/// image format):
+///
+///   magic[8] "LLBB0001"
+///   reason            (length-prefixed)
+///   build_info_json   (length-prefixed)
+///   fixed64           total events ever recorded
+///   fixed64           ring capacity
+///   varint32 n_threads, then per thread: varint32 tid + name (lp)
+///   varint32 n_strings (intern table; id = index + 1), each lp
+///   varint32 n_events, each: varint64 seq, ts_us, lsn, a, b;
+///            varint32 tid, type
+///   metrics_json      (length-prefixed)
+///   metrics_text      (length-prefixed; human rendering with quantiles)
+///   health_json       (length-prefixed)
+///   fixed32           CRC32C of everything above
+///
+/// Decode fails with Status::Corruption on a bad magic, truncation, or a
+/// checksum mismatch — never by crashing (decode-fuzzed in tests).
+struct BlackBoxDump {
+  std::string reason;
+  std::string build_info_json;
+  uint64_t total_recorded = 0;
+  uint64_t capacity = 0;
+  /// Names of the threads referenced by the dumped events.
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  /// Intern table (fault sites, subsystems); id i refers to strings[i-1].
+  std::vector<std::string> strings;
+  std::vector<FlightEventView> events;
+  std::string metrics_json;
+  std::string metrics_text;
+  std::string health_json;
+
+  /// Events the ring dropped (overwritten before this dump).
+  uint64_t dropped() const {
+    return total_recorded > events.size() ? total_recorded - events.size()
+                                          : 0;
+  }
+};
+
+/// Compiler/config provenance embedded in every dump (compiler, C++
+/// standard, build flavor, CRC kernel, recorder capacity).
+std::string BuildInfoJson();
+
+/// Serializes `recorder`'s current ring with the given metrics snapshot
+/// and the global health ledger.
+void EncodeBlackBox(const FlightRecorder& recorder,
+                    const MetricsSnapshot& metrics, std::string_view reason,
+                    std::vector<uint8_t>* out);
+
+Status DecodeBlackBox(Slice in, BlackBoxDump* out);
+
+/// Cuts a dump of the global recorder + registry + health ledger and
+/// writes it to `path`. Records a kBlackBoxDump flight event first, so
+/// the dump itself appears at the end of its own timeline.
+Status WriteBlackBoxFile(const std::string& path, std::string_view reason);
+
+/// One human line for an event ("wal.force lsn=812 waited 93us", ...),
+/// resolving interned ids against `strings`.
+std::string DescribeFlightEvent(const FlightEventView& ev,
+                                const std::vector<std::string>& strings);
+
+/// \name Automatic crash-point sink
+/// Crash-simulation points, crash-action fault fires and Promote call
+/// BlackBoxAutoDump(); it is a no-op until a directory is configured
+/// (explicitly or via $LOGLOG_BLACKBOX_DIR), and caps the files written
+/// per process so a storm cannot flood the disk.
+///@{
+
+/// "" disables. `max_files` bounds dumps written per process (<=0 keeps
+/// the previous bound).
+void SetBlackBoxDir(std::string dir, int max_files = 0);
+
+/// The path written, or "" when disabled, over the cap, or failed.
+std::string BlackBoxAutoDump(std::string_view reason);
+
+///@}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_BLACKBOX_H_

@@ -1,0 +1,182 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace loglog {
+
+namespace {
+
+thread_local uint32_t tls_tid = UINT32_MAX;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ThreadRegistry& ThreadRegistry::Global() {
+  static ThreadRegistry* instance = new ThreadRegistry();
+  return *instance;
+}
+
+uint32_t ThreadRegistry::CurrentTid() {
+  if (tls_tid == UINT32_MAX) {
+    tls_tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_tid;
+}
+
+void ThreadRegistry::SetCurrentName(std::string name) {
+  const uint32_t tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (name.empty()) {
+    names_.erase(tid);
+    return;
+  }
+  if (names_.size() >= kMaxStoredNames && !names_.contains(tid)) return;
+  names_[tid] = std::move(name);
+}
+
+std::string ThreadRegistry::NameOf(uint32_t tid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = names_.find(tid);
+  return it == names_.end() ? std::string() : it->second;
+}
+
+std::vector<std::pair<uint32_t, std::string>> ThreadRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {names_.begin(), names_.end()};
+}
+
+ScopedThreadName::ScopedThreadName(std::string name) {
+  ThreadRegistry& reg = ThreadRegistry::Global();
+  tid_ = reg.CurrentTid();
+  previous_ = reg.NameOf(tid_);
+  reg.SetCurrentName(std::move(name));
+}
+
+ScopedThreadName::~ScopedThreadName() {
+  // Restore the previous label only when the thread had one: a worker's
+  // first name stays sticky so its events remain readable after it exits.
+  if (!previous_.empty()) {
+    ThreadRegistry::Global().SetCurrentName(std::move(previous_));
+  }
+}
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kNone:
+      return "none";
+    case FlightEventType::kWalAppend:
+      return "wal.append";
+    case FlightEventType::kWalForce:
+      return "wal.force";
+    case FlightEventType::kWalPoisoned:
+      return "wal.poisoned";
+    case FlightEventType::kRedoComponent:
+      return "redo.component";
+    case FlightEventType::kTxnAbort:
+      return "txn.abort";
+    case FlightEventType::kFaultFire:
+      return "fault.fire";
+    case FlightEventType::kPolicyFlip:
+      return "policy.flip";
+    case FlightEventType::kCrash:
+      return "crash";
+    case FlightEventType::kPromote:
+      return "promote";
+    case FlightEventType::kRecoveryStart:
+      return "recovery.start";
+    case FlightEventType::kRecoveryDone:
+      return "recovery.done";
+    case FlightEventType::kCheckpoint:
+      return "checkpoint";
+    case FlightEventType::kHealthChange:
+      return "health.change";
+    case FlightEventType::kBlackBoxDump:
+      return "blackbox.dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      slots_(RoundUpPow2(std::max<size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::Record(FlightEventType type, uint64_t lsn, uint64_t a,
+                            uint64_t b) {
+  if (!enabled()) return;
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[seq & mask_];
+  // Per-slot seqlock: zero the tag so a concurrent reader discards the
+  // slot, fill, then publish 1 + seq. Two writers a full lap apart can
+  // land on the same slot; every field is atomic, so the worst case is
+  // one mixed slot whose tag check makes the reader drop it.
+  s.tag.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.ts_us.store(NowUs(), std::memory_order_relaxed);
+  s.lsn.store(lsn, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  const uint64_t tid =
+      std::min<uint64_t>(ThreadRegistry::Global().CurrentTid(), 0xFFFF);
+  s.meta.store((tid << 16) | static_cast<uint64_t>(type),
+               std::memory_order_relaxed);
+  s.tag.store(seq + 1, std::memory_order_release);
+}
+
+uint32_t FlightRecorder::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto it = intern_ids_.find(s);
+  if (it != intern_ids_.end()) return it->second;
+  interned_.emplace_back(s);
+  const uint32_t id = static_cast<uint32_t>(interned_.size());
+  intern_ids_.emplace(std::string(s), id);
+  return id;
+}
+
+std::vector<std::string> FlightRecorder::InternedStrings() const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return interned_;
+}
+
+std::vector<FlightEventView> FlightRecorder::Snapshot() const {
+  std::vector<FlightEventView> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    const uint64_t tag1 = s.tag.load(std::memory_order_acquire);
+    if (tag1 == 0) continue;
+    FlightEventView ev;
+    ev.ts_us = s.ts_us.load(std::memory_order_relaxed);
+    ev.lsn = s.lsn.load(std::memory_order_relaxed);
+    ev.a = s.a.load(std::memory_order_relaxed);
+    ev.b = s.b.load(std::memory_order_relaxed);
+    const uint64_t meta = s.meta.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.tag.load(std::memory_order_relaxed) != tag1) continue;  // torn
+    ev.seq = tag1 - 1;
+    ev.tid = static_cast<uint32_t>(meta >> 16);
+    ev.type = static_cast<FlightEventType>(meta & 0xFFFF);
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEventView& x, const FlightEventView& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& s : slots_) s.tag.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace loglog

@@ -1,0 +1,205 @@
+#ifndef LOGLOG_OBS_FLIGHT_RECORDER_H_
+#define LOGLOG_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace loglog {
+
+/// \brief Process-wide registry of dense thread ids and human names.
+///
+/// Every thread that touches the flight recorder (or a trace span) gets a
+/// small dense id on first use, cached thread-locally, so recording a
+/// thread id costs one TLS read. Names are optional and sticky: a redo
+/// worker that calls SetCurrentName("redo-worker-0") keeps that label in
+/// black-box dumps and Perfetto exports even after the thread exits (ids
+/// are never reused, so a dead worker's events stay correctly labeled).
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& Global();
+
+  /// Dense id of the calling thread (registered on first call).
+  uint32_t CurrentTid();
+
+  /// Names (or renames) the calling thread. Bounded: past kMaxStoredNames
+  /// live entries new names are dropped and the thread renders as "t<id>".
+  void SetCurrentName(std::string name);
+
+  /// "" when the thread never named itself (render as "t<id>").
+  std::string NameOf(uint32_t tid) const;
+
+  /// Copy of every (tid, name) pair currently stored.
+  std::vector<std::pair<uint32_t, std::string>> Names() const;
+
+  static constexpr size_t kMaxStoredNames = 1u << 15;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<uint32_t> next_tid_{0};
+  std::map<uint32_t, std::string> names_;
+};
+
+/// RAII thread label: names the calling thread for the scope's duration
+/// and restores the previous name (if any) on exit. Used by the redo
+/// worker pool, the log shipper's poll loop, and the standby applier so
+/// recorder events and trace spans carry readable thread names.
+class ScopedThreadName {
+ public:
+  explicit ScopedThreadName(std::string name);
+  ~ScopedThreadName();
+  ScopedThreadName(const ScopedThreadName&) = delete;
+  ScopedThreadName& operator=(const ScopedThreadName&) = delete;
+
+ private:
+  uint32_t tid_;
+  std::string previous_;
+};
+
+/// Compact binary event kinds the flight recorder understands. The
+/// payload fields (lsn, a, b) are per-type; DescribeFlightEvent in
+/// obs/blackbox.h renders them for humans.
+enum class FlightEventType : uint16_t {
+  kNone = 0,
+  /// Sampled WAL append batch: lsn = last appended, a = records since the
+  /// previous sample on this thread, b = framed bytes in that window.
+  kWalAppend = 1,
+  /// A durability point reaped completions: lsn = stable watermark,
+  /// a = blocked micros, b = batches reaped.
+  kWalForce = 2,
+  /// The log manager poisoned itself (torn/crashed force).
+  kWalPoisoned = 3,
+  /// One redo component replayed: lsn = component min LSN, a = records,
+  /// b = worker index.
+  kRedoComponent = 4,
+  /// Transaction rolled back: a = txn id, b = CLRs logged.
+  kTxnAbort = 5,
+  /// Fault site fired: a = interned site name, b = action enum.
+  kFaultFire = 6,
+  /// Adaptive policy reclassified an object: a = object id,
+  /// b = (old_class << 8) | new_class.
+  kPolicyFlip = 7,
+  /// Simulated crash point: a = 1 when the final force was torn.
+  kCrash = 8,
+  /// Standby promoted: lsn = applied watermark, a = RTO micros.
+  kPromote = 9,
+  /// Recovery began: lsn = redo start (0 until analysis).
+  kRecoveryStart = 10,
+  /// Recovery finished: lsn = redo start, a = ops redone, b = losers.
+  kRecoveryDone = 11,
+  /// Checkpoint logged: lsn = checkpoint LSN.
+  kCheckpoint = 12,
+  /// Subsystem health transition: a = interned subsystem, b = new state.
+  kHealthChange = 13,
+  /// A black-box dump was cut: a = interned reason.
+  kBlackBoxDump = 14,
+};
+
+/// Stable name for an event type ("wal.append", "fault.fire", ...).
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One decoded (snapshot/black-box) flight event.
+struct FlightEventView {
+  uint64_t seq = 0;    // global sequence number (0-based)
+  uint64_t ts_us = 0;  // micros since the recorder epoch
+  uint64_t lsn = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t tid = 0;
+  FlightEventType type = FlightEventType::kNone;
+};
+
+/// \brief Always-on lock-free ring buffer of the last N binary events —
+/// the black box the post-crash artifacts are cut from.
+///
+/// Writers claim a slot with one relaxed fetch_add and publish it with a
+/// per-slot seqlock (zero tag while filling, seq+1 when complete); every
+/// field is an atomic, so concurrent writers that lap each other and a
+/// reader that snapshots mid-write are race-free — the reader simply
+/// discards slots whose tag changed under it. Cost per event is ~6 relaxed
+/// stores plus one steady_clock read; the WAL append path amortizes even
+/// that by sampling (see log_manager.cc). Snapshot() and the black-box
+/// encoder read the ring without stopping writers.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  /// `capacity` is rounded up to a power of two.
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder. Enabled (always-on) by default.
+  static FlightRecorder& Global();
+
+  void Record(FlightEventType type, uint64_t lsn = 0, uint64_t a = 0,
+              uint64_t b = 0);
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Micros since the recorder's construction (monotonic clock).
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Events ever recorded (including the ones the ring has overwritten).
+  uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Interns a small string (fault site, subsystem name) and returns its
+  /// 1-based id for use in an event payload; 0 means "none". Takes a
+  /// mutex — for rare events only, never the append path.
+  uint32_t Intern(std::string_view s);
+  /// The intern table; index i holds the string with id i + 1.
+  std::vector<std::string> InternedStrings() const;
+
+  /// Coherent copy of the ring, oldest first. Slots being overwritten
+  /// concurrently are skipped (they reappear, newer, in the next
+  /// snapshot); the result is therefore complete up to in-flight writes.
+  std::vector<FlightEventView> Snapshot() const;
+
+  /// Test helper: drops every event and the sequence counter. Not safe
+  /// against concurrent writers.
+  void Clear();
+
+ private:
+  struct Slot {
+    /// 0 = empty or mid-write; otherwise 1 + the event's sequence number.
+    std::atomic<uint64_t> tag{0};
+    std::atomic<uint64_t> ts_us{0};
+    std::atomic<uint64_t> lsn{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    /// (tid << 16) | event type.
+    std::atomic<uint64_t> meta{0};
+  };
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> head_{0};
+  std::vector<Slot> slots_;  // size is a power of two
+  size_t mask_;
+
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> interned_;
+  std::map<std::string, uint32_t, std::less<>> intern_ids_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,99 @@
+#include "obs/health.h"
+
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+
+namespace loglog {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailing:
+      return "failing";
+  }
+  return "unknown";
+}
+
+HealthRegistry& HealthRegistry::Global() {
+  static HealthRegistry* instance = new HealthRegistry();
+  return *instance;
+}
+
+void HealthRegistry::Set(std::string_view subsystem, HealthState state,
+                         std::string_view detail) {
+  bool changed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(subsystem);
+    if (it == entries_.end()) {
+      it = entries_.emplace(std::string(subsystem), Entry{}).first;
+      changed = state != HealthState::kOk;
+      if (changed) ++it->second.transitions;
+    } else if (it->second.state != state) {
+      changed = true;
+      ++it->second.transitions;
+    }
+    it->second.state = state;
+    it->second.detail = std::string(detail);
+  }
+  if (changed) {
+    FlightRecorder& rec = FlightRecorder::Global();
+    rec.Record(FlightEventType::kHealthChange, 0, rec.Intern(subsystem),
+               static_cast<uint64_t>(state));
+  }
+}
+
+HealthState HealthRegistry::Get(std::string_view subsystem) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(subsystem);
+  return it == entries_.end() ? HealthState::kOk : it->second.state;
+}
+
+HealthState HealthRegistry::Worst() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthState worst = HealthState::kOk;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.state > worst) worst = entry.state;
+  }
+  return worst;
+}
+
+std::map<std::string, HealthRegistry::Entry> HealthRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::string HealthRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, entry] : Snapshot()) {
+    w.Key(name).BeginObject();
+    w.Key("state").String(HealthStateName(entry.state));
+    if (!entry.detail.empty()) w.Key("detail").String(entry.detail);
+    w.Key("transitions").Uint(entry.transitions);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::string HealthRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, entry] : Snapshot()) {
+    out += "  " + name + ": " + HealthStateName(entry.state);
+    if (!entry.detail.empty()) out += " (" + entry.detail + ")";
+    out += " [" + std::to_string(entry.transitions) + " transitions]\n";
+  }
+  return out;
+}
+
+void HealthRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace loglog

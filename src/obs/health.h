@@ -1,0 +1,79 @@
+#ifndef LOGLOG_OBS_HEALTH_H_
+#define LOGLOG_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace loglog {
+
+/// Canonical subsystem names health is reported under, so instruments,
+/// the storm harnesses and `loglog_inspect` agree on spelling.
+namespace health {
+inline constexpr std::string_view kWalDevice = "wal.device";
+inline constexpr std::string_view kCacheManager = "cache.manager";
+inline constexpr std::string_view kReplicationChannel = "ship.channel";
+inline constexpr std::string_view kTxnManager = "txn.manager";
+inline constexpr std::string_view kRecovery = "recovery";
+}  // namespace health
+
+enum class HealthState : uint8_t { kOk = 0, kDegraded = 1, kFailing = 2 };
+
+const char* HealthStateName(HealthState state);
+
+/// \brief Process-wide ok/degraded/failing ledger, one entry per
+/// subsystem (WAL device, cache manager, replication channel, txn
+/// manager, recovery).
+///
+/// Instruments call Set() at state-change points — a poisoned log manager
+/// reports failing, a standby NAK reports degraded, a clean recovery
+/// reports ok — and Set() is cheap to call repeatedly: only actual
+/// transitions count (and emit a kHealthChange flight event). The storm
+/// harnesses assert Worst() != kFailing after every verified iteration,
+/// and the telemetry exporter publishes the states as gauges.
+class HealthRegistry {
+ public:
+  struct Entry {
+    HealthState state = HealthState::kOk;
+    std::string detail;
+    /// State transitions observed (a flapping subsystem shows up here
+    /// even when the final state is ok).
+    uint64_t transitions = 0;
+  };
+
+  static HealthRegistry& Global();
+
+  /// Records `subsystem` as being in `state`. Unchanged states update the
+  /// detail only; transitions bump the change counter and land a
+  /// kHealthChange event in the flight recorder.
+  void Set(std::string_view subsystem, HealthState state,
+           std::string_view detail = "");
+
+  /// kOk for subsystems that never reported.
+  HealthState Get(std::string_view subsystem) const;
+
+  /// The worst state any subsystem currently reports (kOk when empty).
+  HealthState Worst() const;
+
+  std::map<std::string, Entry> Snapshot() const;
+
+  /// {"wal.device":{"state":"ok","detail":"...","transitions":N},...}
+  std::string ToJson() const;
+
+  /// One "subsystem: state (detail)" line per entry.
+  std::string ToString() const;
+
+  /// Forgets every entry (storm harnesses start from a clean slate so a
+  /// previous run's terminal state cannot leak into their assertions).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_HEALTH_H_

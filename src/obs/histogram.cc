@@ -21,10 +21,11 @@ uint64_t Histogram::Percentile(double q) const {
 std::string Histogram::ToString() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
-                "n=%llu mean=%.2f max=%llu p50=%llu p99=%llu",
+                "n=%llu mean=%.2f max=%llu p50=%llu p90=%llu p99=%llu",
                 static_cast<unsigned long long>(n_), mean(),
                 static_cast<unsigned long long>(max_),
                 static_cast<unsigned long long>(Percentile(0.5)),
+                static_cast<unsigned long long>(Percentile(0.9)),
                 static_cast<unsigned long long>(Percentile(0.99)));
   return buf;
 }

@@ -81,6 +81,22 @@ inline constexpr std::string_view kRecoveryOpsSkipped =
 inline constexpr std::string_view kRecoveryOpsVoided = "recovery.ops.voided";
 inline constexpr std::string_view kRecoveryComponents =
     "recovery.redo.components";
+// Live recovery progress gauges (reset at the start of every recovery;
+// fed by the analysis scan and, during parallel redo, by each worker).
+// On a clean full redo records_total == records_done, and on a redo with
+// nothing installed records_redone == records_total.
+inline constexpr std::string_view kRecoveryProgressRecordsTotal =
+    "recovery.progress.records_total";
+inline constexpr std::string_view kRecoveryProgressRecordsDone =
+    "recovery.progress.records_done";
+inline constexpr std::string_view kRecoveryProgressRecordsRedone =
+    "recovery.progress.records_redone";
+inline constexpr std::string_view kRecoveryProgressComponentsTotal =
+    "recovery.progress.components_total";
+inline constexpr std::string_view kRecoveryProgressComponentsDone =
+    "recovery.progress.components_done";
+inline constexpr std::string_view kRecoveryProgressBytes =
+    "recovery.progress.bytes";
 inline constexpr std::string_view kMediaRecoveries = "media.recoveries";
 inline constexpr std::string_view kMediaRepairs = "media.repairs";
 // Faults (src/fault/fault_injector.cc).

@@ -1,0 +1,192 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/json.h"
+
+namespace loglog {
+
+namespace {
+
+/// Splits a snapshot key `name{k1=v1,k2=v2}` into its name and rendered
+/// Prometheus label block (`{k1="v1",k2="v2"}`, or "" when unlabeled).
+void SplitFullName(const std::string& full, std::string* name,
+                   std::string* labels) {
+  const size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    *name = full;
+    labels->clear();
+    return;
+  }
+  *name = full.substr(0, brace);
+  labels->assign("{");
+  // full ends with '}'; walk k=v pairs separated by ','.
+  size_t pos = brace + 1;
+  bool first = true;
+  while (pos < full.size() && full[pos] != '}') {
+    const size_t eq = full.find('=', pos);
+    size_t end = full.find(',', pos);
+    if (end == std::string::npos || end > full.size() - 1) {
+      end = full.size() - 1;  // the closing '}'
+    }
+    if (eq == std::string::npos || eq > end) break;
+    if (!first) labels->push_back(',');
+    first = false;
+    labels->append(full.substr(pos, eq - pos));
+    labels->append("=\"");
+    labels->append(full.substr(eq + 1, end - eq - 1));
+    labels->push_back('"');
+    pos = end + (full[end] == ',' ? 1 : 0);
+    if (full[end] == '}') break;
+  }
+  labels->push_back('}');
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "loglog_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// `{quantile="0.5"}` merged with an existing label block.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+void AppendHistogramJson(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->Key("n").Uint(h.count());
+  w->Key("mean").Double(h.mean());
+  w->Key("max").Uint(h.max());
+  w->Key("p50").Uint(h.Percentile(0.5));
+  w->Key("p90").Uint(h.Percentile(0.9));
+  w->Key("p99").Uint(h.Percentile(0.99));
+  w->EndObject();
+}
+
+Status AppendLine(const std::string& path, const std::string& line) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const size_t n = std::fwrite(line.data(), 1, line.size(), f);
+  const bool nl = std::fputc('\n', f) != EOF;
+  const int rc = std::fclose(f);
+  if (n != line.size() || !nl || rc != 0) {
+    return Status::IoError("short append to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReplaceFile(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + tmp);
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const int rc = std::fclose(f);
+  if (n != body.size() || rc != 0) {
+    return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string name, labels;
+  char buf[64];
+  for (const auto& [full, value] : snap.counters) {
+    SplitFullName(full, &name, &labels);
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [full, value] : snap.gauges) {
+    SplitFullName(full, &name, &labels);
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [full, hist] : snap.histograms) {
+    SplitFullName(full, &name, &labels);
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " summary\n";
+    const struct {
+      const char* q;
+      double v;
+    } quantiles[] = {{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}};
+    for (const auto& q : quantiles) {
+      out += prom + WithLabel(labels, std::string("quantile=\"") + q.q +
+                                          "\"") +
+             " " + std::to_string(hist.Percentile(q.v)) + "\n";
+    }
+    out += prom + "_count" + labels + " " + std::to_string(hist.count()) +
+           "\n";
+    out += prom + "_sum" + labels + " " + std::to_string(hist.sum()) + "\n";
+  }
+  out += "# TYPE loglog_health_state gauge\n";
+  for (const auto& [subsystem, entry] : HealthRegistry::Global().Snapshot()) {
+    std::snprintf(buf, sizeof(buf), "%d", static_cast<int>(entry.state));
+    out += "loglog_health_state{subsystem=\"" + subsystem + "\"} " + buf +
+           "\n";
+  }
+  return out;
+}
+
+std::string TelemetrySampleJson(const MetricsSnapshot& snap,
+                                uint64_t ts_us) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts_us").Uint(ts_us);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snap.counters) w.Key(name).Uint(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snap.histograms) {
+    w.Key(name);
+    AppendHistogramJson(&w, hist);
+  }
+  w.EndObject();
+  w.Key("health").BeginObject();
+  for (const auto& [subsystem, entry] : HealthRegistry::Global().Snapshot()) {
+    w.Key(subsystem).String(HealthStateName(entry.state));
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+TelemetryExporter::TelemetryExporter(Options options)
+    : options_(std::move(options)) {}
+
+Status TelemetryExporter::Sample() {
+  MetricsRegistry& reg =
+      options_.registry != nullptr ? *options_.registry
+                                   : MetricsRegistry::Global();
+  const MetricsSnapshot snap = reg.Snapshot();
+  const uint64_t ts_us = FlightRecorder::Global().NowUs();
+  if (!options_.jsonl_path.empty()) {
+    LOGLOG_RETURN_IF_ERROR(
+        AppendLine(options_.jsonl_path, TelemetrySampleJson(snap, ts_us)));
+  }
+  if (!options_.prom_path.empty()) {
+    LOGLOG_RETURN_IF_ERROR(
+        ReplaceFile(options_.prom_path, PrometheusText(snap)));
+  }
+  ++samples_;
+  return Status::OK();
+}
+
+}  // namespace loglog

@@ -1,0 +1,57 @@
+#ifndef LOGLOG_OBS_TELEMETRY_H_
+#define LOGLOG_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace loglog {
+
+/// \brief Renders a metrics snapshot in the Prometheus text exposition
+/// format (version 0.0.4).
+///
+/// Metric names gain a `loglog_` prefix and dots become underscores
+/// (`wal.appends` -> `loglog_wal_appends`); labels survive as
+/// `{k="v",...}`. Histograms are exposed as summaries: `quantile="0.5"`,
+/// `"0.9"`, `"0.99"` series plus `_count` and `_sum`. Health states are
+/// appended as `loglog_health_state{subsystem="..."} 0|1|2` gauges.
+std::string PrometheusText(const MetricsSnapshot& snap);
+
+/// One JSON object (no trailing newline) holding `ts_us`, counters,
+/// gauges, histogram summaries and health states — the JSONL time-series
+/// record the exporter appends per sample.
+std::string TelemetrySampleJson(const MetricsSnapshot& snap, uint64_t ts_us);
+
+/// \brief Periodic metrics publisher for benches and storm harnesses.
+///
+/// Each Sample() appends one JSONL record to `jsonl_path` (append-only,
+/// crash-tolerant time series) and atomically rewrites `prom_path` with
+/// the current Prometheus exposition. Either path may be empty to skip
+/// that output. Not a server: callers decide the cadence (per storm
+/// iteration, per bench phase).
+class TelemetryExporter {
+ public:
+  struct Options {
+    std::string jsonl_path;
+    std::string prom_path;
+    /// Snapshot source; the global registry when null.
+    MetricsRegistry* registry = nullptr;
+  };
+
+  explicit TelemetryExporter(Options options);
+
+  /// Takes one snapshot and publishes it to the configured outputs.
+  Status Sample();
+
+  uint64_t samples_taken() const { return samples_; }
+
+ private:
+  Options options_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_OBS_TELEMETRY_H_

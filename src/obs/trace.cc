@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
+#include <unordered_map>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace loglog {
@@ -10,13 +13,6 @@ namespace loglog {
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* instance = new TraceRecorder();
   return *instance;
-}
-
-uint32_t TraceRecorder::TidOfCurrentThread() {
-  auto [it, inserted] =
-      tids_.try_emplace(std::this_thread::get_id(),
-                        static_cast<uint32_t>(tids_.size()));
-  return it->second;
 }
 
 void TraceRecorder::AddComplete(std::string_view name, std::string_view cat,
@@ -32,8 +28,8 @@ void TraceRecorder::AddComplete(std::string_view name, std::string_view cat,
   ev.ts_us = start_us;
   ev.dur_us = dur_us;
   ev.args = std::move(args);
+  ev.tid = ThreadRegistry::Global().CurrentTid();
   std::lock_guard<std::mutex> lock(mu_);
-  ev.tid = TidOfCurrentThread();
   events_.push_back(std::move(ev));
 }
 
@@ -46,8 +42,8 @@ void TraceRecorder::AddInstant(std::string_view name, std::string_view cat,
   ev.phase = TraceEvent::Phase::kInstant;
   ev.ts_us = NowUs();
   ev.args = std::move(args);
+  ev.tid = ThreadRegistry::Global().CurrentTid();
   std::lock_guard<std::mutex> lock(mu_);
-  ev.tid = TidOfCurrentThread();
   events_.push_back(std::move(ev));
 }
 
@@ -64,7 +60,6 @@ size_t TraceRecorder::size() const {
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
-  tids_.clear();
 }
 
 std::string TraceRecorder::ToChromeJson() const {
@@ -78,6 +73,21 @@ std::string TraceRecorder::ToChromeJson() const {
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents").BeginArray();
+  // Perfetto labels tracks from "M"-phase thread_name metadata; emit one
+  // for every referenced thread the registry has a name for.
+  std::set<uint32_t> tids;
+  for (const TraceEvent& ev : events) tids.insert(ev.tid);
+  for (uint32_t tid : tids) {
+    const std::string name = ThreadRegistry::Global().NameOf(tid);
+    if (name.empty()) continue;
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Uint(1);
+    w.Key("tid").Uint(tid);
+    w.Key("args").BeginObject().Key("name").String(name).EndObject();
+    w.EndObject();
+  }
   for (const TraceEvent& ev : events) {
     w.BeginObject();
     w.Key("name").String(ev.name);

@@ -7,8 +7,6 @@
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -32,7 +30,8 @@ struct TraceEvent {
   uint64_t ts_us = 0;
   /// Span duration in microseconds (kComplete only).
   uint64_t dur_us = 0;
-  /// Dense per-recorder thread id (0 for the first thread seen).
+  /// Process-wide dense thread id (ThreadRegistry::CurrentTid()), shared
+  /// with the flight recorder so both timelines name threads identically.
   uint32_t tid = 0;
   TraceArgs args;
 };
@@ -88,20 +87,19 @@ class TraceRecorder {
   void Clear();
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace
-  /// JSON document.
+  /// JSON document. Threads named in the ThreadRegistry ("redo-worker-2",
+  /// "log-shipper", ...) get "M"-phase thread_name metadata events so
+  /// Perfetto labels their tracks.
   std::string ToChromeJson() const;
 
   /// Writes ToChromeJson() to `path` (overwriting).
   Status WriteChromeJson(const std::string& path) const;
 
  private:
-  uint32_t TidOfCurrentThread();  // caller holds mu_
-
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-  std::unordered_map<std::thread::id, uint32_t> tids_;
 };
 
 /// \brief RAII span: records one complete event on the recorder that was

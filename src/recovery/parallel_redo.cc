@@ -8,6 +8,7 @@
 
 #include "common/retry.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ops/function_registry.h"
@@ -116,6 +117,31 @@ class ComponentView final : public VsiView {
   std::unordered_map<ObjectId, Entry> entries_;
 };
 
+/// Cached progress-gauge pointers: workers update these live so a poller
+/// watching recovery.progress.* sees per-record advance, not one jump at
+/// the merge. Registry pointers are stable, so the static is safe.
+struct ProgressGauges {
+  Gauge* done;
+  Gauge* redone;
+  Gauge* bytes;
+  Gauge* components_total;
+  Gauge* components_done;
+};
+
+ProgressGauges& Progress() {
+  static ProgressGauges g{
+      MetricsRegistry::Global().GetGauge(
+          metric::kRecoveryProgressRecordsDone),
+      MetricsRegistry::Global().GetGauge(
+          metric::kRecoveryProgressRecordsRedone),
+      MetricsRegistry::Global().GetGauge(metric::kRecoveryProgressBytes),
+      MetricsRegistry::Global().GetGauge(
+          metric::kRecoveryProgressComponentsTotal),
+      MetricsRegistry::Global().GetGauge(
+          metric::kRecoveryProgressComponentsDone)};
+  return g;
+}
+
 /// A redone operation's captured results, applied to the cache manager in
 /// global LSN order after the workers join.
 struct AppliedOp {
@@ -148,19 +174,24 @@ Status ReplayOp(RedoTestKind redo_test, const AnalysisResult& analysis,
                 WorkerLocal* local) {
   const OperationDesc& op = rec->op;
   const Lsn lsn = rec->lsn;
+  ProgressGauges& progress = Progress();
   RedoDecision decision = TestRedo(redo_test, op, lsn, analysis, *view);
   if (decision == RedoDecision::kSkipInstalled) {
     ++local->counters.ops_skipped_installed;
+    progress.done->Add(1);
     return Status::OK();
   }
   if (decision == RedoDecision::kSkipUnexposed) {
     ++local->counters.ops_skipped_unexposed;
+    progress.done->Add(1);
     return Status::OK();
   }
   if (op.op_class == OpClass::kDelete) {
     for (ObjectId x : op.writes) view->ApplyDelete(x, lsn);
     local->applied.push_back({lsn, rec, {}});
     ++local->counters.ops_redone;
+    progress.done->Add(1);
+    progress.redone->Add(1);
     return Status::OK();
   }
   std::vector<ObjectValue> read_values;
@@ -170,12 +201,14 @@ Status ReplayOp(RedoTestKind redo_test, const AnalysisResult& analysis,
       // The read object is newer than this operation: installed in every
       // explanation; re-execution would be erroneous.
       ++local->counters.ops_voided;
+      progress.done->Add(1);
       return Status::OK();
     }
     ObjectValue v;
     Status st = view->Get(r, &v);
     if (st.IsNotFound()) {
       ++local->counters.ops_voided;  // input no longer exists
+      progress.done->Add(1);
       return Status::OK();
     }
     LOGLOG_RETURN_IF_ERROR(st);
@@ -191,14 +224,20 @@ Status ReplayOp(RedoTestKind redo_test, const AnalysisResult& analysis,
     // Case (c) of Section 5: execution against inapplicable state raised
     // an error — void the replay.
     ++local->counters.ops_voided;
+    progress.done->Add(1);
     return Status::OK();
   }
+  uint64_t bytes = 0;
   for (size_t i = 0; i < op.writes.size(); ++i) {
-    local->counters.redo_value_bytes += write_values[i].size();
+    bytes += write_values[i].size();
     view->ApplyWrite(op.writes[i], write_values[i], lsn);
   }
+  local->counters.redo_value_bytes += bytes;
   local->applied.push_back({lsn, rec, std::move(write_values)});
   ++local->counters.ops_redone;
+  progress.done->Add(1);
+  progress.redone->Add(1);
+  progress.bytes->Add(static_cast<int64_t>(bytes));
   if (op.op_class == OpClass::kLogical) ++local->counters.expensive_redos;
   return Status::OK();
 }
@@ -275,6 +314,8 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
   MetricsRegistry::Global()
       .GetCounter(metric::kRecoveryComponents)
       ->Inc(result->components);
+  Progress().components_total->Add(
+      static_cast<int64_t>(components.size()));
   partition_span.AddArg("records", static_cast<uint64_t>(work.size()));
   partition_span.AddArg("components",
                         static_cast<uint64_t>(components.size()));
@@ -297,6 +338,8 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
   StableStore* store = &disk->store();
 
   auto run_worker = [&](WorkerLocal* local, size_t worker_index) {
+    ScopedThreadName worker_name("redo-worker-" +
+                                 std::to_string(worker_index));
     TraceSpan worker_span("redo.worker", "recovery",
                           {{"worker", std::to_string(worker_index)}});
     uint64_t claimed = 0;
@@ -327,6 +370,9 @@ Status ParallelRedo(SimulatedDisk* disk, CacheManager* cm,
         abort.store(true, std::memory_order_relaxed);
         break;
       }
+      FlightRecorder::Global().Record(FlightEventType::kRedoComponent,
+                                      min_lsn, comp.size(), worker_index);
+      Progress().components_done->Add(1);
     }
     worker_span.AddArg("components", claimed);
   };

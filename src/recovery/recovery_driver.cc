@@ -9,6 +9,8 @@
 #include "adapt/adaptive_policy.h"
 #include "backup/media_recovery.h"
 #include "common/retry.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -163,6 +165,15 @@ Status RedoApplyOperation(CacheManager* cm, const OperationDesc& op,
 Status RecoveryDriver::Run(RecoveryStats* stats) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   reg.GetCounter(metric::kRecoveryRuns)->Inc();
+  // Fresh progress gauges per run: a dashboard polling mid-recovery sees
+  // this run's advance, not a residue of the previous one.
+  reg.GetGauge(metric::kRecoveryProgressRecordsTotal)->Set(0);
+  reg.GetGauge(metric::kRecoveryProgressRecordsDone)->Set(0);
+  reg.GetGauge(metric::kRecoveryProgressRecordsRedone)->Set(0);
+  reg.GetGauge(metric::kRecoveryProgressComponentsTotal)->Set(0);
+  reg.GetGauge(metric::kRecoveryProgressComponentsDone)->Set(0);
+  reg.GetGauge(metric::kRecoveryProgressBytes)->Set(0);
+  FlightRecorder::Global().Record(FlightEventType::kRecoveryStart);
   const auto run_start = std::chrono::steady_clock::now();
   Status st;
   {
@@ -188,6 +199,21 @@ Status RecoveryDriver::Run(RecoveryStats* stats) {
   }
   if (stats->media_repairs > 0) {
     reg.GetCounter(metric::kMediaRepairs)->Inc(stats->media_repairs);
+  }
+  FlightRecorder::Global().Record(
+      FlightEventType::kRecoveryDone,
+      stats->redo_start == kInvalidLsn ? 0 : stats->redo_start,
+      stats->ops_redone, stats->loser_txns);
+  if (st.ok()) {
+    HealthRegistry::Global().Set(health::kRecovery, HealthState::kOk);
+    // A completed recovery re-establishes trust in the device the redo
+    // pass just read, and its loser pass finished any rollback a crash
+    // fault cut short — both subsystems start the new epoch clean.
+    HealthRegistry::Global().Set(health::kWalDevice, HealthState::kOk);
+    HealthRegistry::Global().Set(health::kTxnManager, HealthState::kOk);
+  } else {
+    HealthRegistry::Global().Set(health::kRecovery, HealthState::kFailing,
+                                 st.ToString());
   }
   return st;
 }
@@ -297,6 +323,17 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
   const bool parallel = redo_threads_ > 1;
   TraceSpan redo_span("recovery.redo", "recovery",
                       {{"mode", parallel ? "parallel" : "serial"}});
+  // Live progress: total grows with the scan, done/redone/bytes advance
+  // per decision (here in serial mode, from the workers in parallel).
+  MetricsRegistry& progress_reg = MetricsRegistry::Global();
+  Gauge* progress_total =
+      progress_reg.GetGauge(metric::kRecoveryProgressRecordsTotal);
+  Gauge* progress_done =
+      progress_reg.GetGauge(metric::kRecoveryProgressRecordsDone);
+  Gauge* progress_redone =
+      progress_reg.GetGauge(metric::kRecoveryProgressRecordsRedone);
+  Gauge* progress_bytes =
+      progress_reg.GetGauge(metric::kRecoveryProgressBytes);
   std::vector<LogRecord> parallel_work;
   LogCursor cursor(disk_->log());
   LogRecord rec;
@@ -316,6 +353,7 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
         if (rec.lsn < start) break;
         ++stats->records_scanned;
         ++stats->ops_considered;
+        progress_total->Add(1);
         if (rec.type == RecordType::kCompensation) {
           ++stats->compensations_redone;
         }
@@ -327,19 +365,26 @@ Status RecoveryDriver::RunPhases(RecoveryStats* stats) {
             TestRedo(redo_test_, rec.op, rec.lsn, analysis, *cm_);
         if (decision == RedoDecision::kSkipInstalled) {
           ++stats->ops_skipped_installed;
+          progress_done->Add(1);
           break;
         }
         if (decision == RedoDecision::kSkipUnexposed) {
           ++stats->ops_skipped_unexposed;
+          progress_done->Add(1);
           break;
         }
         bool voided = false;
+        const uint64_t bytes_before = stats->redo_value_bytes;
         LOGLOG_RETURN_IF_ERROR(RedoApplyOperation(
             cm_, rec.op, rec.lsn, &voided, &stats->redo_value_bytes));
+        progress_done->Add(1);
+        progress_bytes->Add(
+            static_cast<int64_t>(stats->redo_value_bytes - bytes_before));
         if (voided) {
           ++stats->ops_voided;
         } else {
           ++stats->ops_redone;
+          progress_redone->Add(1);
           if (rec.op.op_class == OpClass::kLogical) {
             ++stats->expensive_redos;
           }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "wal/log_cursor.h"
 
@@ -90,6 +91,7 @@ void LogShipper::UpdateLagGauges() {
 }
 
 Status LogShipper::Poll() {
+  ScopedThreadName thread_name("log-shipper");
   ++stats_.polls;
   DrainAcks();
   Slice archive = log_->ArchiveContents();

@@ -3,6 +3,9 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "recovery/parallel_redo.h"
 #include "recovery/recovery_driver.h"
@@ -200,6 +203,7 @@ Status StandbyApplier::ApplyBatch(ShipBatch batch) {
 }
 
 Status StandbyApplier::Pump() {
+  ScopedThreadName thread_name("standby-applier");
   if (promoted_) {
     return Status::FailedPrecondition("standby: already promoted");
   }
@@ -209,6 +213,9 @@ Status StandbyApplier::Pump() {
     if (!decode.ok()) {
       ++stats_.frames_corrupt;
       frames_corrupt_metric_->Inc();
+      HealthRegistry::Global().Set(health::kReplicationChannel,
+                                   HealthState::kDegraded,
+                                   "corrupt ship frame; resyncing");
       Ack(/*resync=*/true);
       continue;
     }
@@ -222,6 +229,9 @@ Status StandbyApplier::Pump() {
       // A frame ahead of this one was dropped: NAK back to the watermark.
       ++stats_.batches_gap;
       batches_gap_metric_->Inc();
+      HealthRegistry::Global().Set(health::kReplicationChannel,
+                                   HealthState::kDegraded,
+                                   "batch gap; NAK to watermark");
       Ack(/*resync=*/true);
       continue;
     }
@@ -232,6 +242,8 @@ Status StandbyApplier::Pump() {
     LOGLOG_RETURN_IF_ERROR(ApplyBatch(std::move(batch)));
     ++stats_.batches_applied;
     apply_latency_hist_->Observe(ElapsedUs(apply_start));
+    HealthRegistry::Global().Set(health::kReplicationChannel,
+                                 HealthState::kOk);
     Ack(/*resync=*/false);
   }
   return Status::OK();
@@ -271,6 +283,9 @@ Status StandbyApplier::Promote(const EngineOptions& engine_options,
   promote_rto_hist_->Observe(out->rto_us);
   promotions_metric_->Inc();
   promoted_ = true;
+  FlightRecorder::Global().Record(FlightEventType::kPromote, applied_lsn_,
+                                  out->rto_us);
+  BlackBoxAutoDump("promote");
   return Status::OK();
 }
 

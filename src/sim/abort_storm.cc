@@ -8,8 +8,10 @@
 #include "common/random.h"
 #include "engine/txn_manager.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
 #include "ship/divergence_audit.h"
 #include "ship/log_shipper.h"
+#include "sim/storm_observability.h"
 #include "ship/replication_channel.h"
 #include "ship/standby_applier.h"
 #include "sim/crash_harness.h"
@@ -317,11 +319,10 @@ Status RunStandbyAuditRound(CrashHarness* harness, MixedWorkload* workload,
   return Status::OK();
 }
 
-}  // namespace
-
-Status RunAbortStorm(const AbortStormOptions& options,
-                     AbortStormStats* stats) {
+Status RunAbortStormInner(const AbortStormOptions& options,
+                          AbortStormStats* stats, StormObservability* obs) {
   *stats = AbortStormStats{};
+  ScopedThreadName thread_name("abort-storm-driver");
   EngineOptions engine_options = options.engine;
   // See AbortStormOptions::engine: identity-write installs log cache
   // values that may embed uncommitted effects, which repeat-history
@@ -409,8 +410,23 @@ Status RunAbortStorm(const AbortStormOptions& options,
     LOGLOG_RETURN_IF_ERROR(VerifyCommittedOracle(harness.disk()));
     ++stats->oracle_passes;
     LOGLOG_RETURN_IF_ERROR(harness.engine().cache().CheckInvariants());
+    if (options.assert_health) {
+      LOGLOG_RETURN_IF_ERROR(obs->CheckHealth("abort", stats->iterations));
+    }
+    if (!options.telemetry_jsonl.empty()) {
+      LOGLOG_RETURN_IF_ERROR(obs->SampleIteration());
+    }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunAbortStorm(const AbortStormOptions& options,
+                     AbortStormStats* stats) {
+  StormObservability obs(options.telemetry_jsonl, options.blackbox_dir);
+  return obs.Finish(RunAbortStormInner(options, stats, &obs), "abort",
+                    options.blackbox_on_failure);
 }
 
 }  // namespace loglog

@@ -59,6 +59,15 @@ struct AbortStormOptions {
   /// Arm randomized faults each iteration. Off: aborts and crashes only
   /// come from explicit rollbacks and the end-of-burst crash.
   bool faults = true;
+  /// Append one telemetry JSONL record per iteration ("" = off).
+  std::string telemetry_jsonl;
+  /// Directory for automatic black-box dumps at crash points ("" = off).
+  std::string blackbox_dir;
+  /// On any storm failure, write a black box here ("" = off).
+  std::string blackbox_on_failure;
+  /// Fail the storm if any subsystem still reports failing after a
+  /// verified iteration.
+  bool assert_health = true;
 };
 
 /// What happened across a storm (all counters cumulative).

@@ -1,5 +1,8 @@
 #include "sim/crash_harness.h"
 
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
+
 namespace loglog {
 
 CrashHarness::CrashHarness(const EngineOptions& options, uint64_t seed)
@@ -36,6 +39,9 @@ void CrashHarness::Crash(bool tear_tail) {
   if (can_tear) {
     can_tear = engine_->log().ForceAll().ok();
   }
+  FlightRecorder::Global().Record(FlightEventType::kCrash, 0,
+                                  can_tear ? 1 : 0);
+  BlackBoxAutoDump(can_tear ? "crash-torn" : "crash");
   disk_->store().set_write_validator(nullptr);  // engine is going away
   engine_.reset();  // cache, write graph and volatile log buffer die
   if (can_tear) {

@@ -4,7 +4,12 @@
 
 #include "common/random.h"
 #include "fault/fault_injector.h"
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
+#include "obs/telemetry.h"
 #include "sim/crash_harness.h"
+#include "sim/storm_observability.h"
 
 namespace loglog {
 
@@ -90,9 +95,12 @@ void ArmRandomFault(FaultInjector* inj, Random* rng) {
 
 }  // namespace
 
-Status RunCrashStorm(const CrashStormOptions& options,
-                     CrashStormStats* stats) {
+namespace {
+
+Status RunCrashStormInner(const CrashStormOptions& options,
+                          CrashStormStats* stats, StormObservability* obs) {
   *stats = CrashStormStats{};
+  ScopedThreadName thread_name("crash-storm-driver");
   CrashHarness harness(options.engine, options.seed);
   Random rng(options.seed * 0x9e3779b97f4a7c15 + 1);
   MixedWorkloadOptions wl_opts = options.workload;
@@ -192,8 +200,23 @@ Status RunCrashStorm(const CrashStormOptions& options,
     LOGLOG_RETURN_IF_ERROR(harness.VerifyAgainstReference());
     LOGLOG_RETURN_IF_ERROR(harness.engine().cache().CheckInvariants());
     ++stats->verify_passes;
+    if (options.assert_health) {
+      LOGLOG_RETURN_IF_ERROR(obs->CheckHealth("crash", stats->iterations));
+    }
+    if (!options.telemetry_jsonl.empty()) {
+      LOGLOG_RETURN_IF_ERROR(obs->SampleIteration());
+    }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunCrashStorm(const CrashStormOptions& options,
+                     CrashStormStats* stats) {
+  StormObservability obs(options.telemetry_jsonl, options.blackbox_dir);
+  return obs.Finish(RunCrashStormInner(options, stats, &obs), "crash",
+                    options.blackbox_on_failure);
 }
 
 }  // namespace loglog

@@ -30,6 +30,17 @@ struct CrashStormOptions {
   int checkpoint_every = 4;
   /// Arm randomized faults each iteration. Off: pure crash storm.
   bool faults = true;
+  /// Append one telemetry JSONL record per iteration ("" = off).
+  std::string telemetry_jsonl;
+  /// Directory for automatic black-box dumps at crash points and fault
+  /// fires ("" = off).
+  std::string blackbox_dir;
+  /// On any storm failure, write a black box here ("" = off) so the
+  /// failing iteration's last events and metrics survive the process.
+  std::string blackbox_on_failure;
+  /// Fail the storm if any subsystem still reports failing after a
+  /// verified iteration.
+  bool assert_health = true;
 };
 
 /// What happened across a storm (all counters cumulative).

@@ -7,9 +7,11 @@
 #include "backup/backup_manager.h"
 #include "common/random.h"
 #include "engine/recovery_engine.h"
+#include "obs/flight_recorder.h"
 #include "ship/divergence_audit.h"
 #include "ship/log_shipper.h"
 #include "ship/replication_channel.h"
+#include "sim/storm_observability.h"
 #include "storage/simulated_disk.h"
 
 namespace loglog {
@@ -77,9 +79,13 @@ std::string FailoverStormStats::ToString() const {
          " rto_us_max=" + std::to_string(rto_us_max);
 }
 
-Status RunFailoverStorm(const FailoverStormOptions& options,
-                        FailoverStormStats* stats) {
+namespace {
+
+Status RunFailoverStormInner(const FailoverStormOptions& options,
+                             FailoverStormStats* stats,
+                             StormObservability* obs) {
   *stats = FailoverStormStats{};
+  ScopedThreadName thread_name("failover-storm-driver");
   Random rng(options.seed);
   MixedWorkload workload(options.workload);
 
@@ -195,8 +201,23 @@ Status RunFailoverStorm(const FailoverStormOptions& options,
     disk = std::move(promo.disk);
     engine = std::move(promo.engine);
     ++stats->rounds;
+    if (options.assert_health) {
+      LOGLOG_RETURN_IF_ERROR(obs->CheckHealth("failover", stats->rounds));
+    }
+    if (!options.telemetry_jsonl.empty()) {
+      LOGLOG_RETURN_IF_ERROR(obs->SampleIteration());
+    }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status RunFailoverStorm(const FailoverStormOptions& options,
+                        FailoverStormStats* stats) {
+  StormObservability obs(options.telemetry_jsonl, options.blackbox_dir);
+  return obs.Finish(RunFailoverStormInner(options, stats, &obs), "failover",
+                    options.blackbox_on_failure);
 }
 
 }  // namespace loglog

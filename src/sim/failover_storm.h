@@ -35,6 +35,15 @@ struct FailoverStormOptions {
   /// Bound on the quiesce drain (poll/pump iterations) before the round
   /// is declared stuck.
   int drain_limit = 256;
+  /// Append one telemetry JSONL record per round ("" = off).
+  std::string telemetry_jsonl;
+  /// Directory for automatic black-box dumps at promotions ("" = off).
+  std::string blackbox_dir;
+  /// On any storm failure, write a black box here ("" = off).
+  std::string blackbox_on_failure;
+  /// Fail the storm if any subsystem still reports failing after an
+  /// audited round.
+  bool assert_health = true;
 };
 
 /// What happened across a failover storm (all counters cumulative).

@@ -1,0 +1,41 @@
+#include "sim/storm_observability.h"
+
+#include "obs/blackbox.h"
+#include "obs/health.h"
+
+namespace loglog {
+
+StormObservability::StormObservability(const std::string& telemetry_jsonl,
+                                       const std::string& blackbox_dir)
+    : exporter_(TelemetryExporter::Options{telemetry_jsonl, ""}) {
+  // A previous run's terminal state (e.g. a deliberately poisoned WAL)
+  // must not leak into this storm's assertions.
+  HealthRegistry::Global().Reset();
+  if (!blackbox_dir.empty()) SetBlackBoxDir(blackbox_dir);
+}
+
+Status StormObservability::SampleIteration() { return exporter_.Sample(); }
+
+Status StormObservability::CheckHealth(std::string_view storm,
+                                       uint64_t iteration) const {
+  if (HealthRegistry::Global().Worst() != HealthState::kFailing) {
+    return Status::OK();
+  }
+  return Status::Corruption(
+      std::string(storm) + " storm: subsystem failing after verified "
+      "iteration " + std::to_string(iteration) + ":\n" +
+      HealthRegistry::Global().ToString());
+}
+
+Status StormObservability::Finish(Status result, std::string_view storm,
+                                  const std::string& blackbox_on_failure) {
+  if (!result.ok() && !blackbox_on_failure.empty()) {
+    // Best-effort: the storm's own error is the one worth surfacing.
+    (void)WriteBlackBoxFile(
+        blackbox_on_failure,
+        std::string(storm) + " storm failure: " + result.ToString());
+  }
+  return result;
+}
+
+}  // namespace loglog

@@ -1,0 +1,47 @@
+#ifndef LOGLOG_SIM_STORM_OBSERVABILITY_H_
+#define LOGLOG_SIM_STORM_OBSERVABILITY_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/telemetry.h"
+
+namespace loglog {
+
+/// \brief The observability harness every storm (crash, abort, failover)
+/// wraps around its iteration loop.
+///
+/// Construction starts the storm from a clean slate (health ledger reset,
+/// auto-dump sink pointed at `blackbox_dir`); each verified iteration
+/// calls SampleIteration() to append one telemetry record and
+/// CheckHealth() to fail the storm if any subsystem is still reporting
+/// failing; and Finish() wraps the storm's result, cutting a
+/// `blackbox_on_failure` dump when the result is an error.
+class StormObservability {
+ public:
+  /// Either path may be "" to disable that output.
+  StormObservability(const std::string& telemetry_jsonl,
+                     const std::string& blackbox_dir);
+
+  /// One telemetry JSONL record (no-op without a configured path).
+  Status SampleIteration();
+
+  /// After a verified iteration every subsystem must have recovered:
+  /// anything still failing means the verify passed against a system
+  /// that believes itself broken — surface it as a storm failure.
+  Status CheckHealth(std::string_view storm, uint64_t iteration) const;
+
+  /// Passes `result` through; on error, writes a black box (ring +
+  /// metrics + health at the moment of failure) to `blackbox_on_failure`
+  /// if one is configured.
+  Status Finish(Status result, std::string_view storm,
+                const std::string& blackbox_on_failure);
+
+ private:
+  TelemetryExporter exporter_;
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_SIM_STORM_OBSERVABILITY_H_

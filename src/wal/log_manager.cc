@@ -9,6 +9,8 @@
 #include "common/crc32.h"
 #include "common/retry.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "wal/log_cursor.h"
 
@@ -22,6 +24,23 @@ constexpr size_t kFrameOverhead = 8;
 /// allocate; compact the consumed prefix once it outgrows this.
 constexpr size_t kInitialArenaBytes = 1 << 16;
 constexpr size_t kCompactThresholdBytes = 1 << 18;
+
+/// Per-thread sampling keeps the always-on flight recorder off the append
+/// hot path: one kWalAppend event every kFlightSampleEvery appends,
+/// carrying the record and byte counts accumulated since the last sample.
+constexpr uint32_t kFlightSampleEvery = 64;
+
+void RecordAppendSampled(Lsn lsn, size_t framed_size) {
+  thread_local uint32_t pending_records = 0;
+  thread_local uint64_t pending_bytes = 0;
+  ++pending_records;
+  pending_bytes += framed_size;
+  if (pending_records < kFlightSampleEvery) return;
+  FlightRecorder::Global().Record(FlightEventType::kWalAppend, lsn,
+                                  pending_records, pending_bytes);
+  pending_records = 0;
+  pending_bytes = 0;
+}
 
 const char* PolicyLabel(ForcePolicy policy) {
   switch (policy) {
@@ -164,6 +183,8 @@ Lsn LogManager::Append(LogRecord rec) {
   scratch.clear();
   rec.EncodeTo(&scratch);
   AppendEncodedLocked(lock, rec.lsn, scratch);
+  lock.unlock();
+  RecordAppendSampled(rec.lsn, kFrameOverhead + scratch.size());
   return rec.lsn;
 }
 
@@ -176,6 +197,8 @@ Lsn LogManager::AppendReplicated(LogRecord rec) {
   scratch.clear();
   rec.EncodeTo(&scratch);
   AppendEncodedLocked(lock, rec.lsn, scratch);
+  lock.unlock();
+  RecordAppendSampled(rec.lsn, kFrameOverhead + scratch.size());
   return rec.lsn;
 }
 
@@ -203,6 +226,8 @@ void LogManager::AppendCommit(const Reservation& r) {
   --outstanding_fills_;
   OnFilledLocked(lock);
   fill_cv_.notify_all();
+  lock.unlock();
+  RecordAppendSampled(r.lsn, kFrameOverhead + r.payload_size);
 }
 
 Lsn LogManager::AppendOperation(const OperationDesc& op, uint64_t txn_id,
@@ -292,7 +317,14 @@ Status LogManager::SubmitForceLocked(std::unique_lock<std::mutex>& lock,
       return inj->MaybeFail(fault::kLogForce);
     });
     if (!st.ok()) {
-      if (!st.IsIoError()) poisoned_ = true;
+      if (!st.IsIoError()) {
+        poisoned_ = true;
+        FlightRecorder::Global().Record(FlightEventType::kWalPoisoned,
+                                        last_stable_lsn_);
+        HealthRegistry::Global().Set(health::kWalDevice,
+                                     HealthState::kFailing,
+                                     "force submit poisoned the log");
+      }
       return st;
     }
   }
@@ -318,6 +350,7 @@ Status LogManager::WaitStableLocked(std::unique_lock<std::mutex>& lock,
   (void)lock;
   const auto wait_start = std::chrono::steady_clock::now();
   bool reaped = false;
+  uint64_t batches = 0;
   while (last_stable_lsn_ < upto && !in_flight_.empty() &&
          in_flight_.front().first_lsn <= upto) {
     const InFlightForce f = in_flight_.front();
@@ -340,7 +373,14 @@ Status LogManager::WaitStableLocked(std::unique_lock<std::mutex>& lock,
         unsubmitted_filled_bytes_ += g.bytes;
       }
       in_flight_.clear();
-      if (!st.IsIoError()) poisoned_ = true;
+      if (!st.IsIoError()) {
+        poisoned_ = true;
+        FlightRecorder::Global().Record(FlightEventType::kWalPoisoned,
+                                        last_stable_lsn_);
+        HealthRegistry::Global().Set(health::kWalDevice,
+                                     HealthState::kFailing,
+                                     "torn or crashed force completion");
+      }
       return st;
     }
     // Acknowledge the batch: device offsets, stability watermark, drain.
@@ -362,9 +402,16 @@ Status LogManager::WaitStableLocked(std::unique_lock<std::mutex>& lock,
     ins.batch_records->Observe(f.count);
     if (f.coalesced > 0) ins.records_coalesced->Inc(f.coalesced);
     reaped = true;
+    ++batches;
     MaybeCompactLocked();
   }
-  if (reaped) force_wait_us_->Observe(ElapsedUs(wait_start));
+  if (reaped) {
+    const uint64_t waited = ElapsedUs(wait_start);
+    force_wait_us_->Observe(waited);
+    FlightRecorder::Global().Record(FlightEventType::kWalForce,
+                                    last_stable_lsn_, waited, batches);
+    HealthRegistry::Global().Set(health::kWalDevice, HealthState::kOk);
+  }
   return Status::OK();
 }
 

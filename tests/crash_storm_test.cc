@@ -23,6 +23,20 @@ namespace {
 
 int g_storm_iters = 25;
 
+// Where failing configs leave their black box. CI points this at the
+// artifact directory via LOGLOG_STORM_ARTIFACTS so a red storm uploads
+// its flight-recorder tail; locally it lands in the gtest temp dir.
+std::string StormArtifactPath(const std::string& config_name) {
+  std::string dir;
+  if (const char* env = std::getenv("LOGLOG_STORM_ARTIFACTS")) {
+    dir = env;
+  } else {
+    dir = testing::TempDir();
+  }
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + "storm-" + config_name + ".blackbox";
+}
+
 struct StormConfig {
   const char* name;
   LoggingMode logging;
@@ -106,6 +120,7 @@ TEST_P(CrashStormTest, SurvivesTheStorm) {
   }
   options.seed = cfg.seed;
   options.iterations = g_storm_iters;
+  options.blackbox_on_failure = StormArtifactPath(cfg.name);
 
   CrashStormStats stats;
   Status st = RunCrashStorm(options, &stats);
@@ -177,6 +192,8 @@ TEST_P(AbortStormTest, EquivalentToSerialOracle) {
   options.explicit_abort_percent = cfg.explicit_abort_percent;
   options.rollback_crash_percent = cfg.rollback_crash_percent;
   options.commit_torn_percent = cfg.commit_torn_percent;
+  options.blackbox_on_failure =
+      StormArtifactPath(std::string("abort-") + cfg.name);
 
   AbortStormStats stats;
   Status st = RunAbortStorm(options, &stats);
@@ -230,6 +247,7 @@ TEST(FailoverStormTest, SurvivesFailoverRounds) {
   options.standby.parallel_apply_threshold = 24;
   options.seed = 2026;
   options.rounds = std::clamp(g_storm_iters / 5, 2, 64);
+  options.blackbox_on_failure = StormArtifactPath("failover");
 
   FailoverStormStats stats;
   Status st = RunFailoverStorm(options, &stats);

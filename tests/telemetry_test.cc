@@ -1,0 +1,228 @@
+// Telemetry exporter, Prometheus rendering, the health ledger, and the
+// recovery progress gauges — including the acceptance property that a
+// clean full redo finishes with records_total == records_done ==
+// records_redone exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/recovery_engine.h"
+#include "obs/health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "ops/op_builder.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  if (f != nullptr) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+TEST(PrometheusTextTest, RendersCountersGaugesAndSummaries) {
+  MetricsRegistry reg;
+  reg.GetCounter("wal.appends", {{"policy", "group"}})->Inc(42);
+  reg.GetGauge("ship.lag_records")->Set(-3);
+  HistogramMetric* h = reg.GetHistogram("wal.force.wait_us");
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  HealthRegistry::Global().Reset();
+  HealthRegistry::Global().Set(health::kWalDevice, HealthState::kDegraded,
+                               "unit test");
+  const std::string text = PrometheusText(reg.Snapshot());
+  HealthRegistry::Global().Reset();
+
+  // Names gain the loglog_ prefix and dots become underscores; labels
+  // survive as a {k="v"} block.
+  EXPECT_NE(text.find("loglog_wal_appends{policy=\"group\"} 42"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("loglog_ship_lag_records -3"), std::string::npos);
+  // Histograms render as summaries: three quantile series + count + sum.
+  EXPECT_NE(text.find("loglog_wal_force_wait_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("loglog_wal_force_wait_us{quantile=\"0.9\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("loglog_wal_force_wait_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("loglog_wal_force_wait_us_count 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("loglog_wal_force_wait_us_sum 5050"),
+            std::string::npos);
+  // The health ledger is appended as a gauge per subsystem.
+  EXPECT_NE(text.find("loglog_health_state{subsystem=\"wal.device\"} 1"),
+            std::string::npos)
+      << text;
+  // Every sample line ends in a value; no raw dots leak into names.
+  for (const std::string& line : Lines(text)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    EXPECT_EQ(line.rfind("loglog_", 0), 0u) << line;
+    EXPECT_EQ(line.substr(0, line.find('{')).find('.'), std::string::npos)
+        << line;
+  }
+}
+
+TEST(TelemetryTest, SampleJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("redo.ops")->Inc(7);
+  reg.GetHistogram("redo.batch_us")->Observe(12);
+  const std::string json = TelemetrySampleJson(reg.Snapshot(), 123456);
+  ASSERT_TRUE(JsonSyntaxCheck(Slice(json)).ok()) << json;
+  EXPECT_NE(json.find("\"ts_us\""), std::string::npos);
+  EXPECT_NE(json.find("redo.ops"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos)
+      << "JSONL records must be single-line";
+}
+
+TEST(TelemetryTest, ExporterAppendsJsonlAndRewritesProm) {
+  const std::string jsonl = testing::TempDir() + "/telemetry_test.jsonl";
+  const std::string prom = testing::TempDir() + "/telemetry_test.prom";
+  std::remove(jsonl.c_str());
+  MetricsRegistry reg;
+  reg.GetCounter("obs.test.counter")->Inc(1);
+  TelemetryExporter exporter({jsonl, prom, &reg});
+  ASSERT_TRUE(exporter.Sample().ok());
+  reg.GetCounter("obs.test.counter")->Inc(1);
+  ASSERT_TRUE(exporter.Sample().ok());
+  EXPECT_EQ(exporter.samples_taken(), 2u);
+
+  // The JSONL file is append-only: one well-formed record per sample.
+  std::vector<std::string> lines = Lines(ReadFileOrDie(jsonl));
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonSyntaxCheck(Slice(line)).ok()) << line;
+  }
+  EXPECT_NE(lines[0].find("\"obs.test.counter\":1"), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("\"obs.test.counter\":2"), std::string::npos)
+      << lines[1];
+
+  // The prom file is rewritten, not appended: the counter appears once,
+  // with its latest value.
+  const std::string exposition = ReadFileOrDie(prom);
+  const std::string sample_line = "loglog_obs_test_counter 2";
+  const size_t first = exposition.find(sample_line);
+  ASSERT_NE(first, std::string::npos) << exposition;
+  EXPECT_EQ(exposition.find(sample_line, first + 1), std::string::npos);
+  EXPECT_EQ(exposition.find("loglog_obs_test_counter 1"), std::string::npos);
+
+  std::remove(jsonl.c_str());
+  std::remove(prom.c_str());
+}
+
+TEST(HealthRegistryTest, TracksTransitionsAndWorstState) {
+  HealthRegistry& reg = HealthRegistry::Global();
+  reg.Reset();
+  EXPECT_EQ(reg.Worst(), HealthState::kOk);
+  EXPECT_EQ(reg.Get(health::kWalDevice), HealthState::kOk)
+      << "unreported subsystems default to ok";
+
+  reg.Set(health::kWalDevice, HealthState::kOk, "fresh");
+  reg.Set(health::kReplicationChannel, HealthState::kDegraded, "nak");
+  EXPECT_EQ(reg.Worst(), HealthState::kDegraded);
+  reg.Set(health::kWalDevice, HealthState::kFailing, "poisoned");
+  EXPECT_EQ(reg.Worst(), HealthState::kFailing);
+  EXPECT_EQ(reg.Get(health::kWalDevice), HealthState::kFailing);
+
+  // Repeating a state only refreshes the detail; transitions count real
+  // changes (ok -> failing -> ok = 2 after the initial report).
+  reg.Set(health::kWalDevice, HealthState::kFailing, "still poisoned");
+  reg.Set(health::kWalDevice, HealthState::kOk, "recovered");
+  auto snapshot = reg.Snapshot();
+  const auto& wal = snapshot.at(std::string(health::kWalDevice));
+  EXPECT_EQ(wal.state, HealthState::kOk);
+  EXPECT_EQ(wal.detail, "recovered");
+  EXPECT_EQ(wal.transitions, 2u);
+  EXPECT_EQ(reg.Worst(), HealthState::kDegraded) << "ship channel still nak";
+
+  ASSERT_TRUE(JsonSyntaxCheck(Slice(reg.ToJson())).ok());
+  EXPECT_NE(reg.ToJson().find("\"ship.channel\""), std::string::npos);
+  EXPECT_NE(reg.ToString().find("wal.device: ok (recovered)"),
+            std::string::npos)
+      << reg.ToString();
+
+  reg.Reset();
+  EXPECT_EQ(reg.Worst(), HealthState::kOk);
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST(HealthRegistryTest, StateNamesAreStable) {
+  EXPECT_STREQ(HealthStateName(HealthState::kOk), "ok");
+  EXPECT_STREQ(HealthStateName(HealthState::kDegraded), "degraded");
+  EXPECT_STREQ(HealthStateName(HealthState::kFailing), "failing");
+}
+
+// The acceptance property for the progress probes: a clean full redo
+// (every logged op is durable, nothing installed) ends with the gauges
+// reading exactly records_total == records_done == records_redone == N.
+void RunProgressGaugeCheck(int redo_threads) {
+  constexpr int kOps = 30;  // below purge_threshold_ops: nothing installs
+  SimulatedDisk disk;
+  {
+    RecoveryEngine engine(EngineOptions{}, &disk);
+    for (int i = 1; i <= kOps; ++i) {
+      ASSERT_TRUE(
+          engine.Execute(MakeCreate(static_cast<ObjectId>(i), "v")).ok());
+    }
+    ASSERT_TRUE(engine.log().ForceAll().ok());
+    // Drop the engine without flushing: the stable store saw nothing.
+  }
+  EngineOptions opts;
+  opts.recovery.redo_threads = redo_threads;
+  RecoveryEngine engine(opts, &disk);
+  RecoveryStats stats;
+  ASSERT_TRUE(engine.Recover(&stats).ok());
+  EXPECT_EQ(stats.ops_considered, static_cast<uint64_t>(kOps));
+  EXPECT_EQ(stats.ops_redone, static_cast<uint64_t>(kOps));
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const int64_t total =
+      reg.GetGauge(metric::kRecoveryProgressRecordsTotal)->value();
+  const int64_t done =
+      reg.GetGauge(metric::kRecoveryProgressRecordsDone)->value();
+  const int64_t redone =
+      reg.GetGauge(metric::kRecoveryProgressRecordsRedone)->value();
+  EXPECT_EQ(total, kOps);
+  EXPECT_EQ(done, kOps);
+  EXPECT_EQ(redone, kOps);
+  EXPECT_GT(reg.GetGauge(metric::kRecoveryProgressBytes)->value(), 0);
+  // And recovery reported itself healthy.
+  EXPECT_EQ(HealthRegistry::Global().Get(health::kRecovery),
+            HealthState::kOk);
+}
+
+TEST(ProgressGaugeTest, CleanFullRedoIsExactSerial) {
+  RunProgressGaugeCheck(1);
+}
+
+TEST(ProgressGaugeTest, CleanFullRedoIsExactParallel) {
+  RunProgressGaugeCheck(4);
+}
+
+}  // namespace
+}  // namespace loglog

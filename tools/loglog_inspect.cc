@@ -34,6 +34,15 @@
 //                   primary durable LSN vs standby applied LSN with the
 //                   current lag (records/bytes/LSN) from the ship.*
 //                   metrics snapshot; honors --seed/--ops/--threads/--json
+//   --blackbox FILE read a *.blackbox postmortem artifact (standalone):
+//                   build/config provenance, the flight-recorder tail as
+//                   a merged human timeline with thread names, and the
+//                   embedded metrics + health snapshot; honors --json,
+//                   --quiet drops the per-event listing
+//   --blackbox-out FILE   cut a black box of this process after the run
+//   --telemetry-out FILE  append one telemetry JSONL sample after the run
+//   --prom-out FILE       write the Prometheus text exposition after the
+//                         run (both exporter flags feed CI artifacts)
 
 #include <algorithm>
 #include <cstdint>
@@ -47,8 +56,11 @@
 
 #include "engine/recovery_engine.h"
 #include "engine/txn_manager.h"
+#include "obs/blackbox.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "ship/log_shipper.h"
 #include "ship/replication_channel.h"
@@ -76,14 +88,20 @@ struct InspectOptions {
   std::string save_path;
   std::string trace_path;
   std::string image_path;
+  std::string blackbox_path;
+  std::string blackbox_out;
+  std::string telemetry_out;
+  std::string prom_out;
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [IMAGE] [--demo] [--ship-status] [--crash] "
+               "usage: %s [IMAGE] [--demo] [--ship-status] "
+               "[--blackbox FILE] [--crash] "
                "[--save FILE] [--json] [--trace FILE] [--threads N] "
                "[--no-recover] [--seed N] [--ops N] [--txns N] [--quiet] "
-               "[--class-mix]\n",
+               "[--class-mix] [--blackbox-out FILE] [--telemetry-out FILE] "
+               "[--prom-out FILE]\n",
                argv0);
   return 2;
 }
@@ -115,6 +133,14 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
       if (!next_value(&out->save_path)) return false;
     } else if (arg == "--trace") {
       if (!next_value(&out->trace_path)) return false;
+    } else if (arg == "--blackbox") {
+      if (!next_value(&out->blackbox_path)) return false;
+    } else if (arg == "--blackbox-out") {
+      if (!next_value(&out->blackbox_out)) return false;
+    } else if (arg == "--telemetry-out") {
+      if (!next_value(&out->telemetry_out)) return false;
+    } else if (arg == "--prom-out") {
+      if (!next_value(&out->prom_out)) return false;
     } else if (arg == "--threads") {
       if (!next_value(&value)) return false;
       out->threads = std::atoi(value.c_str());
@@ -136,6 +162,13 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
       std::fprintf(stderr, "extra positional argument: %s\n", arg.c_str());
       return false;
     }
+  }
+  if (!out->blackbox_path.empty()) {
+    if (out->demo || out->ship_status || !out->image_path.empty()) {
+      std::fprintf(stderr, "--blackbox is standalone (no --demo/IMAGE)\n");
+      return false;
+    }
+    return true;
   }
   if (out->ship_status) {
     if (out->demo || !out->image_path.empty()) {
@@ -201,7 +234,9 @@ Status RunDemo(const InspectOptions& opts, SimulatedDisk* disk) {
 }
 
 /// Renders the recorded spans as an indented per-thread tree with
-/// durations — the text-mode recovery timeline.
+/// durations — the text-mode recovery timeline. Threads that named
+/// themselves (redo workers, the shipper, the standby applier) show that
+/// name next to the id.
 void PrintTimeline(const std::vector<TraceEvent>& events, FILE* out) {
   std::map<uint32_t, std::vector<const TraceEvent*>> by_tid;
   for (const TraceEvent& ev : events) by_tid[ev.tid].push_back(&ev);
@@ -211,7 +246,12 @@ void PrintTimeline(const std::vector<TraceEvent>& events, FILE* out) {
                        if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
                        return a->dur_us > b->dur_us;
                      });
-    std::fprintf(out, "  thread %u:\n", tid);
+    const std::string name = ThreadRegistry::Global().NameOf(tid);
+    if (name.empty()) {
+      std::fprintf(out, "  thread %u:\n", tid);
+    } else {
+      std::fprintf(out, "  thread %u (%s):\n", tid, name.c_str());
+    }
     std::vector<const TraceEvent*> open;
     for (const TraceEvent* ev : evs) {
       while (!open.empty() &&
@@ -237,6 +277,97 @@ void PrintTimeline(const std::vector<TraceEvent>& events, FILE* out) {
       }
     }
   }
+}
+
+/// Reads a `*.blackbox` postmortem artifact and renders it: provenance,
+/// the flight-recorder tail as one merged timeline (oldest first, thread
+/// names resolved from the dump's own table), and the metrics + health
+/// snapshot frozen at dump time. Decode failures (truncation, bit rot)
+/// report the corruption instead of crashing.
+int RunBlackBox(const InspectOptions& opts) {
+  std::string bytes;
+  FILE* f = std::fopen(opts.blackbox_path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "open black box: %s\n", opts.blackbox_path.c_str());
+    return 1;
+  }
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+
+  BlackBoxDump dump;
+  Status st = DecodeBlackBox(Slice(bytes), &dump);
+  if (!st.ok()) {
+    std::fprintf(stderr, "decode black box: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::map<uint32_t, std::string> threads(dump.thread_names.begin(),
+                                          dump.thread_names.end());
+  auto thread_label = [&threads](uint32_t tid) {
+    auto it = threads.find(tid);
+    return it != threads.end() && !it->second.empty()
+               ? it->second
+               : "t" + std::to_string(tid);
+  };
+
+  if (opts.json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("reason").String(dump.reason);
+    w.Key("build_info").Raw(dump.build_info_json);
+    w.Key("total_recorded").Uint(dump.total_recorded);
+    w.Key("capacity").Uint(dump.capacity);
+    w.Key("dropped").Uint(dump.dropped());
+    w.Key("threads").BeginObject();
+    for (const auto& [tid, name] : dump.thread_names) {
+      w.Key(std::to_string(tid)).String(name);
+    }
+    w.EndObject();
+    w.Key("events").BeginArray();
+    for (const FlightEventView& ev : dump.events) {
+      w.BeginObject();
+      w.Key("seq").Uint(ev.seq);
+      w.Key("ts_us").Uint(ev.ts_us);
+      w.Key("type").String(FlightEventTypeName(ev.type));
+      w.Key("tid").Uint(ev.tid);
+      w.Key("thread").String(thread_label(ev.tid));
+      w.Key("lsn").Uint(ev.lsn);
+      w.Key("a").Uint(ev.a);
+      w.Key("b").Uint(ev.b);
+      w.Key("text").String(DescribeFlightEvent(ev, dump.strings));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics").Raw(dump.metrics_json);
+    w.Key("health").Raw(dump.health_json);
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+    return 0;
+  }
+
+  std::printf("black box: %s\n", opts.blackbox_path.c_str());
+  std::printf("  reason: %s\n", dump.reason.c_str());
+  std::printf("  build:  %s\n", dump.build_info_json.c_str());
+  std::printf("  events: %llu recorded, %zu in ring (capacity %llu, "
+              "%llu overwritten)\n",
+              static_cast<unsigned long long>(dump.total_recorded),
+              dump.events.size(),
+              static_cast<unsigned long long>(dump.capacity),
+              static_cast<unsigned long long>(dump.dropped()));
+  if (!opts.quiet) {
+    std::printf("flight timeline (oldest first):\n");
+    for (const FlightEventView& ev : dump.events) {
+      std::printf("  %8llu +%-10llu [%-18s] %s\n",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<unsigned long long>(ev.ts_us),
+                  thread_label(ev.tid).c_str(),
+                  DescribeFlightEvent(ev, dump.strings).c_str());
+    }
+  }
+  std::printf("metrics at dump:\n%s", dump.metrics_text.c_str());
+  std::printf("health at dump: %s\n", dump.health_json.c_str());
+  return 0;
 }
 
 /// Two-node replication demo: a primary streams the mixed workload to a
@@ -438,6 +569,32 @@ int Run(const InspectOptions& opts) {
     }
   }
 
+  // CI-artifact exports of the state this run just produced.
+  if (!opts.telemetry_out.empty() || !opts.prom_out.empty()) {
+    TelemetryExporter exporter({opts.telemetry_out, opts.prom_out, nullptr});
+    st = exporter.Sample();
+    if (!st.ok()) {
+      std::fprintf(stderr, "export telemetry: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!opts.json) {
+      std::printf("wrote telemetry sample: %s\n",
+                  (opts.telemetry_out.empty() ? opts.prom_out
+                                              : opts.telemetry_out)
+                      .c_str());
+    }
+  }
+  if (!opts.blackbox_out.empty()) {
+    st = WriteBlackBoxFile(opts.blackbox_out, "inspect");
+    if (!st.ok()) {
+      std::fprintf(stderr, "write black box: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (!opts.json) {
+      std::printf("wrote black box: %s\n", opts.blackbox_out.c_str());
+    }
+  }
+
   if (opts.json) {
     JsonWriter w;
     w.BeginObject();
@@ -478,6 +635,7 @@ int Run(const InspectOptions& opts) {
 int main(int argc, char** argv) {
   loglog::InspectOptions opts;
   if (!loglog::ParseArgs(argc, argv, &opts)) return loglog::Usage(argv[0]);
+  if (!opts.blackbox_path.empty()) return loglog::RunBlackBox(opts);
   if (opts.ship_status) return loglog::RunShipStatus(opts);
   return loglog::Run(opts);
 }
