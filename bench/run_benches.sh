@@ -46,6 +46,15 @@
 # completions overlapped vs synchronous forces (see EXPERIMENTS.md E18).
 # Named like the others (`recovery` -> `hot_path`).
 #
+# BENCH_logstore.json holds the log-as-database series (bench_logstore):
+# write throughput per backend with the kLogStore-vs-kDualWrite speedup
+# under the device cost model (acceptance: >= 1.5x), per-read cost by
+# source (cache hit, hot log, cold tier), and the space-amplification
+# curve vs compaction cadence with the steady-cadence < 2x check, plus
+# the `loglog_inspect --logstore-stats` snapshot (index, two-tier
+# footprint, compactor totals — see EXPERIMENTS.md E20). Named like the
+# others (`recovery` -> `logstore`).
+#
 # Every bench binary failure aborts the run with a pointed message, and
 # each emitted JSON file is validated before anything is merged — a
 # crashed or truncated benchmark can't silently produce an empty report.
@@ -82,12 +91,14 @@ if [[ "$OUT" == *recovery* ]]; then
   TXN_OUT="${OUT/recovery/txn}"
   HOT_OUT="${OUT/recovery/hot_path}"
   OBS_OUT="${OUT/recovery/obs}"
+  LOGSTORE_OUT="${OUT/recovery/logstore}"
 else
   REPL_OUT="$OUT.replication.json"
   ADAPT_OUT="$OUT.adaptive.json"
   TXN_OUT="$OUT.txn.json"
   HOT_OUT="$OUT.hot_path.json"
   OBS_OUT="$OUT.obs.json"
+  LOGSTORE_OUT="$OUT.logstore.json"
 fi
 
 TMP=$(mktemp -d)
@@ -147,6 +158,7 @@ run_bench bench_adaptive_logging "$TMP/adaptive_logging.json"
 run_bench bench_txn "$TMP/txn.json"
 run_bench bench_hot_path "$TMP/hot_path.json"
 run_bench bench_obs "$TMP/obs.json"
+run_bench bench_logstore "$TMP/logstore.json"
 
 # Crash a demo workload and dry-run its recovery under tracing: the
 # inspect document carries the log/recovery summaries, the recovery-only
@@ -166,6 +178,15 @@ if ! "$BUILD_DIR"/tools/loglog_inspect --ship-status --json \
   exit 1
 fi
 validate_json "$TMP/ship_status.json" "loglog_inspect --ship-status"
+
+# Log-as-database demo: the object index, two-tier footprint and
+# compactor totals, embedded in the logstore document.
+if ! "$BUILD_DIR"/tools/loglog_inspect --logstore-stats --json \
+    > "$TMP/logstore_stats.json"; then
+  echo "error: loglog_inspect --logstore-stats failed; aborting" >&2
+  exit 1
+fi
+validate_json "$TMP/logstore_stats.json" "loglog_inspect --logstore-stats"
 
 python3 - "$TMP/parallel_recovery.json" "$TMP/force_policy.json" \
   "$TMP/inspect.json" "$OUT" <<'PYEOF'
@@ -717,3 +738,105 @@ for row in record + paired + overhead + artifact:
 print("  ", {"worst_overhead_pct": round(worst, 3), "within_budget": worst < 3.0})
 PYEOF
 validate_json "$OBS_OUT" "obs merge"
+
+python3 - "$TMP/logstore.json" "$TMP/logstore_stats.json" \
+  "$LOGSTORE_OUT" <<'PYEOF'
+import json
+import sys
+
+ls_path, stats_path, out_path = sys.argv[1:4]
+ls = json.load(open(ls_path))
+stats = json.load(open(stats_path))
+
+
+def argmap(run_name):
+    return dict(
+        kv.split(":") for kv in run_name.split("/") if kv.count(":") == 1
+    )
+
+
+# Write throughput per backend, paired into a speedup per device model.
+rates = {}
+for b in ls["benchmarks"]:
+    if "WriteThroughput" not in b["run_name"]:
+        continue
+    parts = argmap(b["run_name"])
+    which = "logstore" if int(parts["logstore"]) else "dual_write"
+    rates.setdefault(int(parts["io"]), {})[which] = b["items_per_second"]
+
+writes = []
+device_speedup = None
+for io, by_backend in sorted(rates.items()):
+    row = {"cost_model": "device" if io else "cpu-only"}
+    for which, rate in sorted(by_backend.items()):
+        row[f"{which}_ops_per_s"] = round(rate)
+    if "logstore" in by_backend and "dual_write" in by_backend:
+        row["speedup"] = round(
+            by_backend["logstore"] / by_backend["dual_write"], 2
+        )
+        if io:
+            device_speedup = row["speedup"]
+    writes.append(row)
+
+# Per-read cost by source (latency from the batched read rate).
+reads = []
+for b in ls["benchmarks"]:
+    if "BM_LogstoreRead" not in b["run_name"]:
+        continue
+    reads.append(
+        {
+            "source": b.get("label", b["run_name"]),
+            "ns_per_read": round(1e9 / b["items_per_second"], 1),
+            "reads_per_s": round(b["items_per_second"]),
+        }
+    )
+
+# Space amplification vs compaction cadence (retention-GC archive).
+space = []
+steady_amp = None
+for b in ls["benchmarks"]:
+    if "SpaceAmp" not in b["run_name"]:
+        continue
+    cadence = int(argmap(b["run_name"])["cadence"])
+    row = {
+        "cadence_ops": cadence,
+        "space_amp": round(b["space_amp"], 2),
+        "hot_kb": round(b["hot_kb"], 1),
+        "cold_kb": round(b["cold_kb"], 1),
+        "live_kb": round(b["live_kb"], 1),
+        "reclaimed_kb": round(b["reclaimed_kb"], 1),
+        "compaction_runs": int(b["compaction_runs"]),
+        "ops_per_s": round(b["items_per_second"]),
+    }
+    space.append(row)
+    if cadence and (steady_amp is None or b["space_amp"] < steady_amp):
+        steady_amp = b["space_amp"]
+
+summary = {}
+if device_speedup is not None:
+    summary["logstore_write_speedup_device"] = device_speedup
+    summary["write_speedup_target"] = 1.5
+    summary["write_speedup_met"] = device_speedup >= 1.5
+if steady_amp is not None:
+    summary["steady_compaction_space_amp"] = round(steady_amp, 2)
+    summary["space_amp_budget"] = 2.0
+    summary["space_amp_met"] = steady_amp < 2.0
+
+merged = {
+    "context": ls.get("context", {}),
+    "write_throughput": writes,
+    "read_cost": reads,
+    "space_amplification": space,
+    "summary": summary,
+    "logstore_status_snapshot": stats,
+    "raw": {"logstore": ls["benchmarks"]},
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for row in writes + reads + space:
+    print("  ", row)
+print("  ", summary)
+PYEOF
+validate_json "$LOGSTORE_OUT" "logstore merge"

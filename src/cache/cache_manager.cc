@@ -7,6 +7,7 @@
 #include "fault/fault_injector.h"
 #include "graph/refined_write_graph.h"
 #include "graph/write_graph_w.h"
+#include "logstore/logstore.h"
 #include "obs/flight_recorder.h"
 #include "obs/health.h"
 #include "obs/trace.h"
@@ -27,12 +28,13 @@ std::unique_ptr<WriteGraph> MakeGraph(GraphKind kind) {
 
 CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
                            GraphKind graph_kind, FlushPolicy flush_policy,
-                           bool log_installs)
+                           bool log_installs, StorageBackend backend)
     : disk_(disk),
       log_(log),
       graph_(MakeGraph(graph_kind)),
       flush_policy_(flush_policy),
-      log_installs_(log_installs) {
+      log_installs_(log_installs),
+      backend_(backend) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   metrics_.purges = reg.GetCounter(metric::kCmPurges);
   metrics_.nodes_installed = reg.GetCounter(metric::kCmNodesInstalled);
@@ -50,6 +52,9 @@ CacheManager::CacheManager(SimulatedDisk* disk, LogManager* log,
   metrics_.graph_batches = reg.GetCounter(metric::kCmGraphBatches);
   metrics_.graph_batched_ops = reg.GetCounter(metric::kCmGraphBatchedOps);
   metrics_.flush_set_size = reg.GetHistogram(metric::kCmFlushSetSize);
+  metrics_.logstore_reads_log = reg.GetCounter(metric::kLogstoreReadsLog);
+  metrics_.logstore_index_ckpts =
+      reg.GetCounter(metric::kLogstoreIndexCheckpoints);
   if (flush_policy_ == FlushPolicy::kIdentityWrites &&
       graph_kind == GraphKind::kW) {
     // Identity writes cannot break W's flush sets apart: a blind write
@@ -91,6 +96,12 @@ Status CacheManager::GetValue(ObjectId id, ObjectValue* out,
     *out = obj->value;
     return Status::OK();
   }
+  if (backend_ == StorageBackend::kLogStore) {
+    CachedObject* faulted = nullptr;
+    LOGLOG_RETURN_IF_ERROR(FaultInFromLog(id, io_budget, &faulted));
+    *out = faulted->value;
+    return Status::OK();
+  }
   StoredObject stored;
   LOGLOG_RETURN_IF_ERROR(RetryTransientIo(
       io_budget, &disk_->stats().io_retries,
@@ -106,15 +117,57 @@ Status CacheManager::GetValue(ObjectId id, ObjectValue* out,
   return Status::OK();
 }
 
+Status CacheManager::FaultInFromLog(ObjectId id, int io_budget,
+                                    CachedObject** out) {
+  IndexCheckpointEntry entry;
+  if (!index_.Lookup(id, &entry)) {
+    // The index maps every existing object; a miss IS nonexistence (the
+    // StableStore is never consulted under kLogStore).
+    return Status::NotFound("object not in log index");
+  }
+  std::vector<uint8_t> frame;
+  LOGLOG_RETURN_IF_ERROR(RetryTransientIo(
+      io_budget, &disk_->stats().io_retries, [&] {
+        return disk_->log().ReadStable(entry.offset, entry.size, &frame);
+      }));
+  Slice cursor(frame);
+  LogRecord rec;
+  LOGLOG_RETURN_IF_ERROR(ReadFramedRecord(&cursor, &rec));
+  if (rec.lsn != entry.lsn || !IsFullImageOp(rec.op) ||
+      rec.op.op_class == OpClass::kDelete || rec.op.writes.size() != 1 ||
+      rec.op.writes[0] != id) {
+    return Status::Corruption("log index entry points at a non-image record");
+  }
+  metrics_.logstore_reads_log->Inc();
+  CachedObject& obj = table_.GetOrCreate(id);
+  obj.value = std::move(rec.op.params);
+  obj.vsi = entry.lsn;
+  obj.rsi = kInvalidLsn;
+  obj.dirty = false;
+  obj.exists = true;
+  obj.last_access = ++access_clock_;
+  obj.last_full_image = true;
+  *out = &obj;
+  return Status::OK();
+}
+
 bool CacheManager::ObjectExists(ObjectId id) {
   const CachedObject* obj = table_.Find(id);
   if (obj != nullptr) return obj->exists;
+  if (backend_ == StorageBackend::kLogStore) {
+    IndexCheckpointEntry entry;
+    return index_.Lookup(id, &entry);
+  }
   return disk_->store().Exists(id);
 }
 
 Lsn CacheManager::CurrentVsi(ObjectId id) const {
   const CachedObject* obj = table_.Find(id);
   if (obj != nullptr) return obj->vsi;
+  if (backend_ == StorageBackend::kLogStore) {
+    IndexCheckpointEntry entry;
+    return index_.Lookup(id, &entry) ? entry.lsn : kInvalidLsn;
+  }
   return disk_->store().StableVsi(id);
 }
 
@@ -142,6 +195,7 @@ Status CacheManager::ApplyResults(const OperationDesc& op, Lsn lsn,
     if (obj.rsi == kInvalidLsn) obj.rsi = lsn;
     obj.dirty = true;
     obj.last_access = ++access_clock_;
+    obj.last_full_image = IsFullImageOp(op);
     ++obj.writes_since_clean;
     if (auto_hot_threshold_ > 0 &&
         obj.writes_since_clean >= auto_hot_threshold_ &&
@@ -210,9 +264,10 @@ Status CacheManager::InjectIdentityWrite(ObjectId id) {
   metrics_.identity_writes->Inc();
   metrics_.identity_bytes->Inc(obj->value.size());
   // Update cache version and graph exactly like a normal blind write; the
-  // value is unchanged.
+  // value is unchanged. W_IP records (and re-deletes) are full images.
   obj->vsi = lsn;
   obj->last_access = ++access_clock_;
+  obj->last_full_image = true;
   graph_->AddOperation(PendingOp::FromDesc(lsn, op));
   return Status::OK();
 }
@@ -272,8 +327,11 @@ Status CacheManager::PurgeOne(bool allow_hot_flush) {
                                   : "only hot flush sets remain");
     }
     const GraphNode* node = graph_->Find(v);
-    if (flush_policy_ != FlushPolicy::kIdentityWrites ||
+    if (backend_ == StorageBackend::kLogStore ||
+        flush_policy_ != FlushPolicy::kIdentityWrites ||
         node->vars.size() <= 1) {
+      // kLogStore installs any-sized vars set in one shot: publishing
+      // index entries is inherently multi-object-atomic, so no peeling.
       return InstallNode(v);
     }
     // Keep the largest object (sparing its value from the log),
@@ -305,6 +363,44 @@ Status CacheManager::InstallNode(NodeId v) {
   if (node == nullptr) return Status::NotFound("no such node");
   if (!node->preds.empty()) {
     return Status::FailedPrecondition("node has uninstalled predecessors");
+  }
+  if (backend_ == StorageBackend::kLogStore) {
+    // Installation publishes index entries pointing at each object's
+    // latest record — which must therefore be a full image. Objects whose
+    // last writer was a delta/logical op get a W_IP identity write first
+    // (its record carries the value). Under the refined graph the
+    // injection peels the object into a fresh successor node, which
+    // publishes it on its own install; under W it stays in this node but
+    // now with a servable record. Either way each round strictly shrinks
+    // the set of vars lacking a full image, so the loop terminates.
+    for (int guard = 0; guard < 1 << 20; ++guard) {
+      node = graph_->Find(v);
+      if (node == nullptr) {
+        // Injections merged the node away; its operations install later.
+        return Status::OK();
+      }
+      ObjectId missing = kInvalidObjectId;
+      for (ObjectId x : node->vars) {
+        const CachedObject* obj = table_.Find(x);
+        if (obj == nullptr) {
+          return Status::Corruption("vars object not cached");
+        }
+        if (!obj->last_full_image) {
+          missing = x;
+          break;
+        }
+      }
+      if (missing == kInvalidObjectId) break;
+      LOGLOG_RETURN_IF_ERROR(InjectIdentityWrite(missing));
+      // Injection can add edges or collapse cycles; re-check each round.
+      graph_->Normalize();
+    }
+    node = graph_->Find(v);
+    if (node == nullptr) return Status::OK();
+    if (!node->preds.empty()) {
+      // Peeling added fan-in; this node installs on a later purge.
+      return Status::OK();
+    }
   }
   // WAL: every operation being installed must be stable first — and so
   // must every blind write whose record this installation counts on to
@@ -343,67 +439,73 @@ Status CacheManager::InstallNode(NodeId v) {
   // Flush vars(n) under the configured policy. Transient device errors
   // are retried here (the flush path is where the WAL protocol lets us
   // simply re-issue); anything that survives the retry budget propagates.
+  // Under kLogStore there is no flush at all: the forced records ARE the
+  // stable images, and publishing their index entries (below) is the
+  // installation. That is the backend's write-path win — one log force
+  // replaces per-object stable-store writes.
   auto flush_atomic = [&](const std::vector<ObjectWrite>& ws) {
     return RetryTransientIo(&disk_->stats().io_retries,
                             [&] { return disk_->store().WriteAtomic(ws); });
   };
-  switch (flush_policy_) {
-    case FlushPolicy::kNativeAtomic:
-    case FlushPolicy::kShadow:
-      LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
-      break;
-    case FlushPolicy::kIdentityWrites:
-      // PurgeOne reduced |vars| to at most 1.
-      if (writes.size() > 1) {
-        return Status::FailedPrecondition(
-            "identity-write policy with multi-object flush set");
-      }
-      LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
-      break;
-    case FlushPolicy::kFlushTransaction: {
-      if (writes.size() <= 1) {
+  if (backend_ != StorageBackend::kLogStore) {
+    switch (flush_policy_) {
+      case FlushPolicy::kNativeAtomic:
+      case FlushPolicy::kShadow:
         LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
         break;
-      }
-      // Freeze the set: quiesce, log every value plus a commit record,
-      // force, then overwrite in place (each its own device write).
-      ++disk_->stats().quiesce_events;
-      ++stats_.flush_txns;
-      metrics_.flush_txns->Inc();
-      LogRecord begin;
-      begin.type = RecordType::kFlushTxnBegin;
-      for (const ObjectWrite& w : writes) {
-        FlushValue fv;
-        fv.id = w.id;
-        fv.vsi = w.vsi;
-        fv.erase = w.erase;
-        fv.value = w.value.ToBytes();
-        stats_.flush_txn_bytes_logged += fv.value.size();
-        ++stats_.flush_txn_values_logged;
-        begin.flush_values.push_back(std::move(fv));
-      }
-      Lsn begin_lsn = log_->Append(std::move(begin));
-      LogRecord commit;
-      commit.type = RecordType::kFlushTxnCommit;
-      commit.ref_lsn = begin_lsn;
-      Lsn commit_lsn = log_->Append(std::move(commit));
-      LOGLOG_RETURN_IF_ERROR(log_->Force(commit_lsn));
-      LOGLOG_RETURN_IF_ERROR(
-          disk_->fault_injector().MaybeFail(fault::kCmAfterFlushTxnCommit));
-      bool first = true;
-      for (const ObjectWrite& w : writes) {
-        LOGLOG_RETURN_IF_ERROR(
-            RetryTransientIo(&disk_->stats().io_retries, [&] {
-              return w.erase ? disk_->store().Erase(w.id)
-                             : disk_->store().Write(w.id, w.value, w.vsi);
-            }));
-        if (first) {
-          LOGLOG_RETURN_IF_ERROR(disk_->fault_injector().MaybeFail(
-              fault::kCmAfterFirstFlushTxnWrite));
+      case FlushPolicy::kIdentityWrites:
+        // PurgeOne reduced |vars| to at most 1.
+        if (writes.size() > 1) {
+          return Status::FailedPrecondition(
+              "identity-write policy with multi-object flush set");
         }
-        first = false;
+        LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
+        break;
+      case FlushPolicy::kFlushTransaction: {
+        if (writes.size() <= 1) {
+          LOGLOG_RETURN_IF_ERROR(flush_atomic(writes));
+          break;
+        }
+        // Freeze the set: quiesce, log every value plus a commit record,
+        // force, then overwrite in place (each its own device write).
+        ++disk_->stats().quiesce_events;
+        ++stats_.flush_txns;
+        metrics_.flush_txns->Inc();
+        LogRecord begin;
+        begin.type = RecordType::kFlushTxnBegin;
+        for (const ObjectWrite& w : writes) {
+          FlushValue fv;
+          fv.id = w.id;
+          fv.vsi = w.vsi;
+          fv.erase = w.erase;
+          fv.value = w.value.ToBytes();
+          stats_.flush_txn_bytes_logged += fv.value.size();
+          ++stats_.flush_txn_values_logged;
+          begin.flush_values.push_back(std::move(fv));
+        }
+        Lsn begin_lsn = log_->Append(std::move(begin));
+        LogRecord commit;
+        commit.type = RecordType::kFlushTxnCommit;
+        commit.ref_lsn = begin_lsn;
+        Lsn commit_lsn = log_->Append(std::move(commit));
+        LOGLOG_RETURN_IF_ERROR(log_->Force(commit_lsn));
+        LOGLOG_RETURN_IF_ERROR(
+            disk_->fault_injector().MaybeFail(fault::kCmAfterFlushTxnCommit));
+        bool first = true;
+        for (const ObjectWrite& w : writes) {
+          LOGLOG_RETURN_IF_ERROR(
+              RetryTransientIo(&disk_->stats().io_retries, [&] {
+                return w.erase ? disk_->store().Erase(w.id)
+                               : disk_->store().Write(w.id, w.value, w.vsi);
+              }));
+          if (first) {
+            LOGLOG_RETURN_IF_ERROR(disk_->fault_injector().MaybeFail(
+                fault::kCmAfterFirstFlushTxnWrite));
+          }
+          first = false;
+        }
+        break;
       }
-      break;
     }
   }
 
@@ -426,6 +528,21 @@ Status CacheManager::InstallNode(NodeId v) {
     Lsn rsi = graph_->FirstUninstalledWriter(x);
     obj->rsi = rsi;
     obj->dirty = (rsi != kInvalidLsn);
+    if (backend_ == StorageBackend::kLogStore) {
+      // Installation = index publish: the object's forced full-image
+      // record becomes its stable version. Deletes retire the entry —
+      // an absent id IS nonexistence under kLogStore.
+      if (obj->exists) {
+        uint64_t off = 0;
+        uint64_t sz = 0;
+        if (!log_->StableExtentOf(obj->vsi, &off, &sz)) {
+          return Status::Corruption("installed image has no stable extent");
+        }
+        index_.Publish(x, obj->vsi, off, sz);
+      } else {
+        index_.Erase(x);
+      }
+    }
     if (!obj->dirty) {
       // Flushed clean: the hotness window restarts (auto-hot cools).
       obj->writes_since_clean = 0;
@@ -469,6 +586,18 @@ Status CacheManager::FlushAll() {
   });
   for (ObjectId id : dirty) {
     CachedObject* obj = table_.Find(id);
+    if (backend_ == StorageBackend::kLogStore) {
+      // No uninstalled writers remain (the graph drained above), so the
+      // object publishes directly: its latest record if it is already a
+      // full image, else one W_IP re-log.
+      if (obj->last_full_image) {
+        LOGLOG_RETURN_IF_ERROR(PublishCurrentImage(id, obj));
+      } else {
+        LOGLOG_RETURN_IF_ERROR(RelogAndPublish(id, obj));
+      }
+      if (!obj->exists) table_.Erase(id);
+      continue;
+    }
     LOGLOG_RETURN_IF_ERROR(log_->Force(obj->vsi));
     if (obj->exists) {
       LOGLOG_RETURN_IF_ERROR(
@@ -487,6 +616,141 @@ Status CacheManager::FlushAll() {
       table_.Erase(id);
     }
   }
+  return Status::OK();
+}
+
+Status CacheManager::PublishCurrentImage(ObjectId id, CachedObject* obj) {
+  LOGLOG_RETURN_IF_ERROR(log_->Force(obj->vsi));
+  if (obj->exists) {
+    uint64_t off = 0;
+    uint64_t sz = 0;
+    if (!log_->StableExtentOf(obj->vsi, &off, &sz)) {
+      return Status::Corruption("stable image has no offset entry");
+    }
+    index_.Publish(id, obj->vsi, off, sz);
+  } else {
+    index_.Erase(id);
+  }
+  obj->dirty = false;
+  obj->rsi = kInvalidLsn;
+  obj->writes_since_clean = 0;
+  if (auto_hot_.erase(id) > 0) hot_.erase(id);
+  if (log_installs_) {
+    // Evidence for recovery's faithful index rebuild: an install record
+    // marks this publish so the rebuilt index can re-apply it. Lazily
+    // logged, like node installs — losing it costs extra redo only.
+    LogRecord install;
+    install.type = RecordType::kInstall;
+    install.installed_vars.push_back(InstallEntry{id, kInvalidLsn});
+    log_->Append(std::move(install));
+  }
+  return Status::OK();
+}
+
+Status CacheManager::RelogAndPublish(ObjectId id, CachedObject* obj) {
+  // Only legal for objects with no uninstalled writers: the W_IP goes
+  // straight to the log without entering the write graph, because its
+  // installation (the publish below) is immediate.
+  OperationDesc op = obj->exists ? MakeIdentityWrite(id, Slice(obj->value))
+                                 : MakeDelete(id);
+  LogRecord rec;
+  rec.type = RecordType::kOperation;
+  rec.op = std::move(op);
+  Lsn lsn = log_->Append(std::move(rec));
+  ++stats_.identity_writes;
+  stats_.identity_bytes_logged += obj->value.size();
+  metrics_.identity_writes->Inc();
+  metrics_.identity_bytes->Inc(obj->value.size());
+  obj->vsi = lsn;
+  obj->last_full_image = true;
+  return PublishCurrentImage(id, obj);
+}
+
+Status CacheManager::CompactLogStore(size_t batch, uint64_t* images_moved,
+                                     uint64_t* bytes_moved) {
+  if (images_moved != nullptr) *images_moved = 0;
+  if (bytes_moved != nullptr) *bytes_moved = 0;
+  if (backend_ != StorageBackend::kLogStore || batch == 0) {
+    return Status::OK();
+  }
+  DrainGraphBatch();
+  // Oldest live images first: the minimum-LSN entry is what pins the
+  // truncation point, so moving it is what lets the next checkpoint
+  // reclaim bytes.
+  std::vector<IndexCheckpointEntry> entries = index_.Snapshot();
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexCheckpointEntry& a, const IndexCheckpointEntry& b) {
+              return a.lsn < b.lsn;
+            });
+  struct Moved {
+    ObjectId id;
+    Lsn lsn;
+    uint64_t old_size;
+  };
+  std::vector<Moved> moved;
+  for (const IndexCheckpointEntry& e : entries) {
+    if (moved.size() >= batch) break;
+    CachedObject* obj = table_.Find(e.id);
+    if (obj == nullptr) {
+      CachedObject* faulted = nullptr;
+      Status st = FaultInFromLog(e.id, kMaxIoRetries, &faulted);
+      if (st.IsNotFound()) continue;  // raced with a delete
+      LOGLOG_RETURN_IF_ERROR(st);
+      obj = faulted;
+    }
+    if (obj->dirty || graph_->FirstUninstalledWriter(e.id) != kInvalidLsn) {
+      // A pending writer republishes this object at install time anyway;
+      // re-logging it now would be wasted log volume.
+      continue;
+    }
+    if (graph_->HasUninstalledReader(e.id)) {
+      // rW discipline: a write-after-read must not install before the
+      // reader. The W_IP would publish instantly (bypassing the graph),
+      // handing the object a version newer than the uninstalled reader —
+      // recovery would then void the reader's redo and lose its writes.
+      continue;
+    }
+    if (!obj->exists) {
+      index_.Erase(e.id);
+      continue;
+    }
+    OperationDesc op = MakeIdentityWrite(e.id, Slice(obj->value));
+    LogRecord rec;
+    rec.type = RecordType::kOperation;
+    rec.op = std::move(op);
+    Lsn lsn = log_->Append(std::move(rec));
+    ++stats_.identity_writes;
+    stats_.identity_bytes_logged += obj->value.size();
+    metrics_.identity_writes->Inc();
+    metrics_.identity_bytes->Inc(obj->value.size());
+    obj->vsi = lsn;
+    obj->last_full_image = true;
+    moved.push_back(Moved{e.id, lsn, e.size});
+  }
+  if (moved.empty()) return Status::OK();
+  // One force covers the whole batch (group-commit for compaction), then
+  // every moved image republishes at its forward position.
+  LOGLOG_RETURN_IF_ERROR(log_->Force(moved.back().lsn));
+  uint64_t old_bytes = 0;
+  LogRecord install;
+  install.type = RecordType::kInstall;
+  for (const Moved& m : moved) {
+    uint64_t off = 0;
+    uint64_t sz = 0;
+    if (!log_->StableExtentOf(m.lsn, &off, &sz)) {
+      return Status::Corruption("compacted image has no stable extent");
+    }
+    index_.Publish(m.id, m.lsn, off, sz);
+    install.installed_vars.push_back(InstallEntry{m.id, kInvalidLsn});
+    old_bytes += m.old_size;
+  }
+  if (log_installs_) {
+    // One lazy install record marks the whole batch for recovery's index
+    // rebuild (see PublishCurrentImage).
+    log_->Append(std::move(install));
+  }
+  if (images_moved != nullptr) *images_moved = moved.size();
+  if (bytes_moved != nullptr) *bytes_moved = old_bytes;
   return Status::OK();
 }
 
@@ -658,6 +922,18 @@ Status CacheManager::Checkpoint(Lsn truncate_floor, uint64_t txn_watermark) {
   ++stats_.checkpoints;
   metrics_.checkpoints->Inc();
   TraceSpan span("cm.checkpoint", "cache");
+  // Under kLogStore, persist the object index first so recovery's rebuild
+  // starts from this snapshot instead of scanning the whole retained log.
+  // The record must survive truncation (it is this restart's rebuild
+  // base), so its LSN joins the truncation floor below.
+  Lsn idx_lsn = kMaxLsn;
+  if (backend_ == StorageBackend::kLogStore) {
+    LogRecord idx;
+    idx.type = RecordType::kIndexCheckpoint;
+    idx.index_entries = index_.Snapshot();
+    idx_lsn = log_->Append(std::move(idx));
+    metrics_.logstore_index_ckpts->Inc();
+  }
   LogRecord rec;
   rec.type = RecordType::kCheckpoint;
   rec.dot = table_.DirtySnapshot();
@@ -674,7 +950,22 @@ Status CacheManager::Checkpoint(Lsn truncate_floor, uint64_t txn_watermark) {
   // never past an active transaction's begin record (truncate_floor): a
   // rollback, at runtime or of a loser after a crash, must still find
   // the full backchain on the retained log.
-  log_->TruncateBefore(std::min({min_rsi, ckpt_lsn, truncate_floor}));
+  // Under kLogStore the floor deliberately ignores LogIndex::MinLsn: live
+  // images below the truncation point fall into the device's cold tier
+  // and stay readable there. Compaction, not retention, is what keeps
+  // the hot log short.
+  log_->TruncateBefore(std::min({min_rsi, ckpt_lsn, truncate_floor, idx_lsn}));
+  if (backend_ == StorageBackend::kLogStore && !cold_retention_full_) {
+    // Archive GC (opt-in): cold segments wholly below the oldest live
+    // image hold only dead or rewritten bytes and can be released. The
+    // bound is what compaction advances — without it, one cold object
+    // pins the archive forever.
+    uint64_t min_live = disk_->log().start_offset();
+    for (const IndexCheckpointEntry& e : index_.Snapshot()) {
+      min_live = std::min(min_live, e.offset);
+    }
+    disk_->log().ReclaimColdBelow(min_live);
+  }
   return Status::OK();
 }
 

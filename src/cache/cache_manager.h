@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "graph/write_graph.h"
+#include "logstore/log_index.h"
 #include "ops/operation.h"
 #include "storage/simulated_disk.h"
 #include "wal/log_manager.h"
@@ -55,7 +56,8 @@ struct CacheStats {
 class CacheManager {
  public:
   CacheManager(SimulatedDisk* disk, LogManager* log, GraphKind graph_kind,
-               FlushPolicy flush_policy, bool log_installs);
+               FlushPolicy flush_policy, bool log_installs,
+               StorageBackend backend = StorageBackend::kDualWrite);
 
   CacheManager(const CacheManager&) = delete;
   CacheManager& operator=(const CacheManager&) = delete;
@@ -141,6 +143,31 @@ class CacheManager {
   /// an object be clean before leaving the cache).
   void EvictTo(size_t capacity);
 
+  /// Which durability backend installation targets (fixed at
+  /// construction).
+  StorageBackend backend() const { return backend_; }
+
+  /// The log-as-database object index (meaningful under kLogStore; empty
+  /// under kDualWrite). Recovery rebuilds it through this accessor.
+  LogIndex& log_index() { return index_; }
+  const LogIndex& log_index() const { return index_; }
+
+  /// Log-store compaction: re-logs up to `batch` of the oldest live
+  /// images forward as W_IP identity writes (one force for the batch) and
+  /// republishes their index entries, advancing LogIndex::MinLsn so the
+  /// next checkpoint's truncation reclaims the bytes behind it. Objects
+  /// with uninstalled writers are skipped — installation will republish
+  /// them anyway. `images_moved` / `bytes_moved` (optional) report the
+  /// pass size. No-op (OK) under kDualWrite or with an empty index.
+  Status CompactLogStore(size_t batch, uint64_t* images_moved = nullptr,
+                         uint64_t* bytes_moved = nullptr);
+
+  /// Archive retention policy (kLogStore only; see
+  /// LogStoreOptions::cold_retention_full). With full retention off,
+  /// every checkpoint drops cold segments wholly below the oldest live
+  /// index offset. Default: full retention.
+  void set_cold_retention_full(bool full) { cold_retention_full_ = full; }
+
   ObjectTable& table() { return table_; }
   const ObjectTable& table() const { return table_; }
   /// The rW write graph. Accessing it drains the pending batch first so
@@ -195,6 +222,18 @@ class CacheManager {
  private:
   /// Flushes vars(v) and removes v from the graph; v must be minimal.
   Status InstallNode(NodeId v);
+  /// kLogStore cache-miss path: looks the object up in the index, reads
+  /// its framed record from the log device (hot bytes or cold tier),
+  /// re-decodes the full image and populates the cache clean.
+  Status FaultInFromLog(ObjectId id, int io_budget, CachedObject** out);
+  /// kLogStore publish path for an object with no uninstalled writers:
+  /// appends a W_IP identity write (or a tombstone re-delete), forces it,
+  /// and publishes the resulting stable extent in the index. The object
+  /// comes out clean with vsi = the new record's LSN.
+  Status RelogAndPublish(ObjectId id, CachedObject* obj);
+  /// Publishes `id`'s current cached version in the index from its
+  /// existing stable record (obj->vsi must be stable and a full image).
+  Status PublishCurrentImage(ObjectId id, CachedObject* obj);
   /// Section 4 install-without-flush: installs every minimal hot-only
   /// node by peeling its vars to zero with identity writes (one logged
   /// value per hot object) and installing the empty node. Run by
@@ -230,6 +269,8 @@ class CacheManager {
     Counter* graph_batches;
     Counter* graph_batched_ops;
     HistogramMetric* flush_set_size;
+    Counter* logstore_reads_log;
+    Counter* logstore_index_ckpts;
   };
 
   SimulatedDisk* disk_;
@@ -239,6 +280,9 @@ class CacheManager {
   Instruments metrics_;
   FlushPolicy flush_policy_;
   bool log_installs_;
+  StorageBackend backend_;
+  bool cold_retention_full_ = true;
+  LogIndex index_;
   CacheStats stats_;
   uint64_t access_clock_ = 0;
   std::set<ObjectId> hot_;

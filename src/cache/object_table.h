@@ -30,6 +30,11 @@ struct CachedObject {
   uint64_t last_access = 0;
   /// Writes since the object was last flushed clean (hotness signal).
   uint64_t writes_since_clean = 0;
+  /// The cached version's producing record is a full image (see
+  /// logstore/logstore.h). Under StorageBackend::kLogStore installation
+  /// may only publish index entries for such versions; anything else must
+  /// first be re-logged as a W_IP identity write.
+  bool last_full_image = false;
 };
 
 /// \brief The volatile object table: every object currently cached,

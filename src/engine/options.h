@@ -9,6 +9,31 @@
 
 namespace loglog {
 
+/// Log-as-database (StorageBackend::kLogStore) tuning.
+struct LogStoreOptions {
+  /// Run a compaction pass after this many operations (0 = only explicit
+  /// Compact() calls). Each pass re-logs up to compact_batch_objects of
+  /// the oldest live images forward as W_IP identity records, republishes
+  /// their index entries, and checkpoints so truncation can reclaim the
+  /// bytes behind the new minimum.
+  size_t compact_interval_ops = 0;
+  /// Live images moved per compaction pass. Small batches bound the
+  /// foreground stall a pass can cause; the cadence supplies throughput.
+  size_t compact_batch_objects = 8;
+  /// Append a kIndexCheckpoint record every N operations in addition to
+  /// the one every Checkpoint() takes (0 = checkpoint-only). Bounds the
+  /// analysis-pass index rebuild window.
+  size_t index_checkpoint_interval_ops = 0;
+  /// Keep every spilled cold segment forever (the default: full history
+  /// stays replayable, which crash verification depends on). Turned off,
+  /// each checkpoint garbage-collects cold segments wholly below the
+  /// oldest live index offset — the bound compaction exists to advance.
+  /// Without compaction one cold object pins the entire archive; with a
+  /// steady cadence the footprint stays a small multiple of the live
+  /// bytes (see bench_logstore's space-amplification series).
+  bool cold_retention_full = true;
+};
+
 /// Recovery-pass tuning.
 struct RecoveryOptions {
   /// Worker threads for the partitioned REDO pass. <= 1 keeps the serial
@@ -64,6 +89,13 @@ struct EngineOptions {
   /// choice of W_P / W_PL / W_L driven by an online cost model, plus the
   /// budget-driven W_IP requests above. Off by default.
   AdaptivePolicyOptions adaptive;
+  /// Where installed object state durably lives (src/logstore/). Under
+  /// kLogStore the StableStore sees no object writes: installation is an
+  /// index publish, reads fall through to the log, and the compactor +
+  /// log truncation replace store-side space management.
+  StorageBackend backend = StorageBackend::kDualWrite;
+  /// Log-as-database tuning; only read when backend == kLogStore.
+  LogStoreOptions logstore;
   /// Transient-I/O retry budget on the rollback path (TxnManager and the
   /// recovery loser pass). Tighter than the default kMaxIoRetries budget:
   /// rollback already runs under duress, and a rollback that fails cleanly

@@ -1,6 +1,7 @@
 #include "engine/recovery_engine.h"
 
 #include "engine/txn_manager.h"
+#include "logstore/compactor.h"
 #include "ops/function_registry.h"
 #include "ops/inverse_registry.h"
 #include "ops/op_builder.h"
@@ -10,18 +11,37 @@ namespace loglog {
 RecoveryEngine::RecoveryEngine(const EngineOptions& options,
                                SimulatedDisk* disk)
     : options_(options), disk_(disk) {
+  const bool logstore = options_.backend == StorageBackend::kLogStore;
+  if (logstore) {
+    // The log IS the database: install evidence (kInstall records) is
+    // what recovery's index rebuild keys off, so install logging is not
+    // optional here. And kAlways redo would skip nothing, but its
+    // manifest check consults the store the backend never writes —
+    // force the vSI test, which reads the rebuilt cache state instead.
+    options_.log_installs = true;
+    if (options_.redo_test == RedoTestKind::kAlways) {
+      options_.redo_test = RedoTestKind::kVsi;
+    }
+  }
   log_ = std::make_unique<LogManager>(&disk_->log());
   log_->set_force_policy(options_.wal_force_policy, options_.wal_group_bytes);
   cache_ = std::make_unique<CacheManager>(disk_, log_.get(),
                                           options_.graph_kind,
                                           options_.flush_policy,
-                                          options_.log_installs);
+                                          options_.log_installs,
+                                          options_.backend);
   cache_->set_auto_hot_threshold(options_.auto_hot_write_threshold);
   if (options_.adaptive.enabled) {
     policy_ = std::make_unique<AdaptiveLogPolicy>(options_.adaptive);
   }
+  if (logstore) {
+    compactor_ = std::make_unique<Compactor>(this);
+    cache_->set_cold_retention_full(options_.logstore.cold_retention_full);
+  }
   needs_recovery_ = disk_->log().retained_bytes() > 0;
 }
+
+RecoveryEngine::~RecoveryEngine() = default;
 
 Status RecoveryEngine::Recover(RecoveryStats* stats) {
   RecoveryStats local;
@@ -337,14 +357,36 @@ Status RecoveryEngine::MaybeMaintain() {
       ++ops_since_checkpoint_ >= options_.checkpoint_interval_ops) {
     LOGLOG_RETURN_IF_ERROR(Checkpoint());
   }
+  if (compactor_ != nullptr) {
+    // Log-store maintenance: periodic compaction keeps the live prefix
+    // short, and an index-checkpoint cadence (a full checkpoint — the
+    // kIndexCheckpoint record rides it) bounds recovery's rebuild scan
+    // even when op checkpointing is off.
+    if (options_.logstore.compact_interval_ops > 0 &&
+        ++ops_since_compact_ >= options_.logstore.compact_interval_ops) {
+      ops_since_compact_ = 0;
+      LOGLOG_RETURN_IF_ERROR(Compact());
+    }
+    if (options_.logstore.index_checkpoint_interval_ops > 0 &&
+        ++ops_since_index_ckpt_ >=
+            options_.logstore.index_checkpoint_interval_ops) {
+      LOGLOG_RETURN_IF_ERROR(Checkpoint());
+    }
+  }
   if (options_.cache_capacity_objects > 0) {
     cache_->EvictTo(options_.cache_capacity_objects);
   }
   return Status::OK();
 }
 
+Status RecoveryEngine::Compact() {
+  if (compactor_ == nullptr) return Status::OK();
+  return compactor_->RunOnce(options_.logstore.compact_batch_objects);
+}
+
 Status RecoveryEngine::Checkpoint() {
   ops_since_checkpoint_ = 0;
+  ops_since_index_ckpt_ = 0;
   // Truncation floor: the oldest active transaction's begin record must
   // stay on the log — its rollback (runtime or as a loser) walks the
   // backchain from there.

@@ -16,6 +16,7 @@
 
 namespace loglog {
 
+class Compactor;
 class TxnManager;
 
 /// Per-engine execution counters.
@@ -55,6 +56,7 @@ struct EngineStats {
 class RecoveryEngine {
  public:
   RecoveryEngine(const EngineOptions& options, SimulatedDisk* disk);
+  ~RecoveryEngine();
 
   RecoveryEngine(const RecoveryEngine&) = delete;
   RecoveryEngine& operator=(const RecoveryEngine&) = delete;
@@ -90,6 +92,13 @@ class RecoveryEngine {
   Status FlushAll() { return cache_->FlushAll(); }
   /// Forced checkpoint + log truncation.
   Status Checkpoint();
+  /// One forced log-store compaction pass (no-op under kDualWrite):
+  /// re-logs the oldest live full images at the tail and checkpoints so
+  /// truncation reclaims the vacated prefix. The automatic cadence
+  /// (LogStoreOptions::compact_interval_ops) runs this same pass.
+  Status Compact();
+  /// The background compactor (nullptr under kDualWrite).
+  Compactor* compactor() { return compactor_.get(); }
 
   /// Transaction layer hook (set by the TxnManager constructor; nullptr
   /// without one). Checkpoints ask it for the truncation floor so a live
@@ -145,8 +154,13 @@ class RecoveryEngine {
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<CacheManager> cache_;
   std::unique_ptr<AdaptiveLogPolicy> policy_;
+  /// Log-store background compaction (kLogStore backend only; owned here
+  /// so its cadence shares MaybeMaintain with checkpointing).
+  std::unique_ptr<Compactor> compactor_;
   EngineStats stats_;
   uint64_t ops_since_checkpoint_ = 0;
+  uint64_t ops_since_compact_ = 0;
+  uint64_t ops_since_index_ckpt_ = 0;
   bool recovered_ = false;
   bool needs_recovery_ = false;
   const BackupImage* repair_backup_ = nullptr;

@@ -83,6 +83,11 @@ inline constexpr std::string_view kTxnRollbackCrash = "txn.rollback.crash";
 /// it is forced. A fire crashes with the commit record volatile: the
 /// transaction must come back as a loser and be rolled back.
 inline constexpr std::string_view kTxnCommitTorn = "txn.commit.torn";
+/// ColdTier::Read — log-as-database reads that miss the hot retained log
+/// and fall through to a spilled cold segment. Error actions surface as
+/// clean IoErrors to the read path; kBitFlip corrupts the returned copy
+/// only (the record framing CRC turns it into a Corruption status).
+inline constexpr std::string_view kColdTierRead = "logstore.cold.read";
 }  // namespace fault
 
 /// What happens when an armed site triggers.

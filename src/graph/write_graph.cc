@@ -241,6 +241,11 @@ Lsn WriteGraph::FirstUninstalledWriter(ObjectId id) const {
   return *it->second.writers.begin();
 }
 
+bool WriteGraph::HasUninstalledReader(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it != objects_.end() && !it->second.readers.empty();
+}
+
 std::vector<NodeId> WriteGraph::InstallClosure(NodeId id) {
   Normalize();
   // Gather the node and all transitive predecessors.

@@ -113,6 +113,12 @@ class WriteGraph {
   /// writers install (Section 5).
   Lsn FirstUninstalledWriter(ObjectId id) const;
 
+  /// True while any uninstalled operation has read `id`. A new writer of
+  /// the object must not install ahead of such readers (the rW edge
+  /// discipline); out-of-graph writers — the log-store compactor's W_IP
+  /// rewrites — consult this to stay within it.
+  bool HasUninstalledReader(ObjectId id) const;
+
   /// The node and all its (transitive) predecessors in installation order
   /// (predecessors first) — what must be installed to get `id` flushed.
   std::vector<NodeId> InstallClosure(NodeId id);

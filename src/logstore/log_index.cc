@@ -1,0 +1,82 @@
+#include "logstore/log_index.h"
+
+#include "obs/metrics.h"
+
+namespace loglog {
+
+LogIndex::LogIndex()
+    : publishes_(MetricsRegistry::Global().GetCounter(
+          metric::kLogstoreIndexPublishes)),
+      entries_gauge_(
+          MetricsRegistry::Global().GetGauge(metric::kLogstoreIndexEntries)),
+      live_gauge_(MetricsRegistry::Global().GetGauge(
+          metric::kLogstoreIndexLiveBytes)) {}
+
+void LogIndex::Publish(ObjectId id, Lsn lsn, uint64_t offset, uint64_t size) {
+  IndexCheckpointEntry& e = by_id_[id];
+  live_bytes_ += size - e.size;  // e.size == 0 for a fresh entry
+  e.id = id;
+  e.lsn = lsn;
+  e.offset = offset;
+  e.size = size;
+  publishes_->Inc();
+  RefreshGauges();
+}
+
+void LogIndex::Erase(ObjectId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  live_bytes_ -= it->second.size;
+  by_id_.erase(it);
+  RefreshGauges();
+}
+
+bool LogIndex::Lookup(ObjectId id, IndexCheckpointEntry* entry) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  if (entry != nullptr) *entry = it->second;
+  return true;
+}
+
+const IndexCheckpointEntry* LogIndex::OldestEntry() const {
+  const IndexCheckpointEntry* oldest = nullptr;
+  for (const auto& [id, e] : by_id_) {
+    if (oldest == nullptr || e.lsn < oldest->lsn) oldest = &e;
+  }
+  return oldest;
+}
+
+Lsn LogIndex::MinLsn() const {
+  const IndexCheckpointEntry* oldest = OldestEntry();
+  return oldest != nullptr ? oldest->lsn : kInvalidLsn;
+}
+
+std::vector<IndexCheckpointEntry> LogIndex::Snapshot() const {
+  std::vector<IndexCheckpointEntry> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, e] : by_id_) out.push_back(e);
+  return out;
+}
+
+void LogIndex::Reset(const std::vector<IndexCheckpointEntry>& entries) {
+  by_id_.clear();
+  live_bytes_ = 0;
+  for (const IndexCheckpointEntry& e : entries) {
+    by_id_[e.id] = e;
+    live_bytes_ += e.size;
+  }
+  RefreshGauges();
+}
+
+void LogIndex::Clear() {
+  by_id_.clear();
+  live_bytes_ = 0;
+  RefreshGauges();
+}
+
+void LogIndex::RefreshGauges() {
+  entries_gauge_->Set(static_cast<int64_t>(by_id_.size()));
+  live_gauge_->Set(static_cast<int64_t>(live_bytes_));
+}
+
+}  // namespace loglog

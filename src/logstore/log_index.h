@@ -1,0 +1,82 @@
+#ifndef LOGLOG_LOGSTORE_LOG_INDEX_H_
+#define LOGLOG_LOGSTORE_LOG_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace loglog {
+
+class Counter;
+class Gauge;
+
+/// \brief The log-as-database object index: object id -> location of its
+/// last stable full-image record.
+///
+/// Under StorageBackend::kLogStore this map IS the installed state.
+/// Installation publishes an entry instead of flushing to the
+/// StableStore; a published entry means "the image at (lsn, offset,
+/// size) is stable and current as of lsn", which is exactly the vSI the
+/// redo test needs, so the write-graph machinery collapses to index
+/// maintenance. The index itself is volatile — recovery rebuilds it from
+/// the last kIndexCheckpoint record plus the full-image records after it
+/// (see RecoveryDriver), which bounds restart cost by the checkpoint
+/// interval.
+class LogIndex {
+ public:
+  LogIndex();
+
+  LogIndex(const LogIndex&) = delete;
+  LogIndex& operator=(const LogIndex&) = delete;
+
+  /// Publishes (or republishes) the object's current stable image.
+  /// `size` is the framed record size on the device — the index doubles
+  /// as the live-byte accounting compaction steers by.
+  void Publish(ObjectId id, Lsn lsn, uint64_t offset, uint64_t size);
+
+  /// Removes a deleted object (its tombstone record needs no entry:
+  /// reads of unknown ids are NotFound by definition).
+  void Erase(ObjectId id);
+
+  /// True (and *entry filled) when the object has a published image.
+  bool Lookup(ObjectId id, IndexCheckpointEntry* entry) const;
+
+  /// The entry whose record sits lowest in the log, or nullptr when
+  /// empty. Compaction moves this one first: the minimum entry pins the
+  /// truncation point, so rewriting it forward is what reclaims bytes.
+  const IndexCheckpointEntry* OldestEntry() const;
+
+  /// Smallest LSN any entry points at (kInvalidLsn when empty). The
+  /// log-store truncation floor: bytes below it hold no live image.
+  Lsn MinLsn() const;
+
+  /// Snapshot of every entry in id order — the kIndexCheckpoint payload.
+  std::vector<IndexCheckpointEntry> Snapshot() const;
+
+  /// Replaces the whole index from a checkpoint payload (recovery
+  /// rebuild reset point).
+  void Reset(const std::vector<IndexCheckpointEntry>& entries);
+
+  void Clear();
+
+  size_t size() const { return by_id_.size(); }
+  /// Sum of framed sizes of live images. retained/live is the space-amp
+  /// ratio the compactor drives toward 1.
+  uint64_t live_bytes() const { return live_bytes_; }
+
+ private:
+  void RefreshGauges();
+
+  std::map<ObjectId, IndexCheckpointEntry> by_id_;
+  uint64_t live_bytes_ = 0;
+  Counter* publishes_;     // logstore.index.publishes
+  Gauge* entries_gauge_;   // logstore.index.entries
+  Gauge* live_gauge_;      // logstore.index.live_bytes
+};
+
+}  // namespace loglog
+
+#endif  // LOGLOG_LOGSTORE_LOG_INDEX_H_

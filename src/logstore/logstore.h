@@ -1,0 +1,33 @@
+#ifndef LOGLOG_LOGSTORE_LOGSTORE_H_
+#define LOGLOG_LOGSTORE_LOGSTORE_H_
+
+#include "ops/operation.h"
+
+namespace loglog {
+
+/// \brief True when an operation's log record is, by itself, a decodable
+/// full image of its written object — the records the log-as-database
+/// backend can serve reads from and index.
+///
+/// Exactly the single-object kFuncSetValue families qualify: physical
+/// writes, creates and W_IP identity writes all log `writes[0] := params`,
+/// so the record's params ARE the object value. Deletes qualify as
+/// tombstones (the "image" is nonexistence). Everything else (deltas,
+/// logical transforms, multi-object writesets) depends on prior state and
+/// cannot anchor an index entry.
+///
+/// Shared by the install path (which tracks whether a cached object's
+/// latest writer logged a full image), the read path (which re-decodes the
+/// record), and recovery's index rebuild — one definition, so the three
+/// never disagree on what is servable.
+inline bool IsFullImageOp(const OperationDesc& op) {
+  if (op.op_class == OpClass::kDelete) return true;
+  if (op.writes.size() != 1 || op.func != kFuncSetValue) return false;
+  return op.op_class == OpClass::kPhysical ||
+         op.op_class == OpClass::kCreate ||
+         op.op_class == OpClass::kIdentityWrite;
+}
+
+}  // namespace loglog
+
+#endif  // LOGLOG_LOGSTORE_LOGSTORE_H_

@@ -230,6 +230,9 @@ std::string DescribeFlightEvent(const FlightEventView& ev,
              HealthStateName(static_cast<HealthState>(ev.b));
     case FlightEventType::kBlackBoxDump:
       return name + " reason=" + interned(ev.a);
+    case FlightEventType::kCompaction:
+      return name + " ckpt_lsn=" + std::to_string(ev.lsn) + " moved=" +
+             std::to_string(ev.a) + " bytes=" + std::to_string(ev.b);
     case FlightEventType::kNone:
       break;
   }

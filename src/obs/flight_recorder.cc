@@ -97,6 +97,8 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "health.change";
     case FlightEventType::kBlackBoxDump:
       return "blackbox.dump";
+    case FlightEventType::kCompaction:
+      return "logstore.compaction";
   }
   return "unknown";
 }

@@ -100,6 +100,9 @@ enum class FlightEventType : uint16_t {
   kHealthChange = 13,
   /// A black-box dump was cut: a = interned reason.
   kBlackBoxDump = 14,
+  /// Log-store compaction pass: lsn = checkpoint LSN after the pass,
+  /// a = live images re-logged forward, b = framed bytes moved.
+  kCompaction = 15,
 };
 
 /// Stable name for an event type ("wal.append", "fault.fire", ...).

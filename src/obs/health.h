@@ -17,6 +17,7 @@ inline constexpr std::string_view kCacheManager = "cache.manager";
 inline constexpr std::string_view kReplicationChannel = "ship.channel";
 inline constexpr std::string_view kTxnManager = "txn.manager";
 inline constexpr std::string_view kRecovery = "recovery";
+inline constexpr std::string_view kLogstoreCompactor = "logstore.compactor";
 }  // namespace health
 
 enum class HealthState : uint8_t { kOk = 0, kDegraded = 1, kFailing = 2 };

@@ -130,6 +130,28 @@ inline constexpr std::string_view kShipFramesCorrupt =
 inline constexpr std::string_view kShipPromotions = "ship.promotions";
 inline constexpr std::string_view kShipPromoteRtoUs =
     "ship.promote.rto_us";
+// Log device reclamation (src/storage/simulated_disk.cc): bytes released
+// from the hot retained log by TruncatePrefix (they either spill to the
+// cold tier or, with the archive disabled, are dropped outright).
+inline constexpr std::string_view kLogDeviceReclaimedBytes =
+    "log.device.reclaimed_bytes";
+// Log-as-database backend (src/logstore/). Index size gauges track the
+// published LogIndex; read counters split cache misses by where the
+// image came from; compaction counters bill the forward rewrites.
+inline constexpr std::string_view kLogstoreIndexEntries =
+    "logstore.index.entries";
+inline constexpr std::string_view kLogstoreIndexLiveBytes =
+    "logstore.index.live_bytes";
+inline constexpr std::string_view kLogstoreIndexPublishes =
+    "logstore.index.publishes";
+inline constexpr std::string_view kLogstoreReadsLog = "logstore.reads.log";
+inline constexpr std::string_view kLogstoreReadsCold = "logstore.reads.cold";
+inline constexpr std::string_view kLogstoreCompactionRuns =
+    "logstore.compaction.runs";
+inline constexpr std::string_view kLogstoreCompactionBytesMoved =
+    "logstore.compaction.bytes_moved";
+inline constexpr std::string_view kLogstoreIndexCheckpoints =
+    "logstore.index.checkpoints";
 }  // namespace metric
 
 /// Monotonically increasing counter. Relaxed atomics: counters are

@@ -12,6 +12,8 @@
 
 namespace loglog {
 
+class RecoveryEngine;
+
 /// Outcome of one audit round (all counters cumulative over the compared
 /// store, not over rounds).
 struct DivergenceReport {
@@ -55,6 +57,14 @@ class DivergenceAuditor {
   /// last Advance. Always fills *out; returns Corruption when the report
   /// is not clean, OK otherwise.
   Status Compare(const StableStore& store, DivergenceReport* out) const;
+
+  /// Log-store counterpart of Compare: the kLogStore backend never
+  /// writes the stable store, so the audit diffs the expected state
+  /// against the engine's read path (values and vSIs through the log
+  /// index) and flags index entries with no expected object as extras.
+  /// The engine must be quiesced (recovered + FlushAll) first.
+  Status CompareEngineReads(RecoveryEngine* engine,
+                            DivergenceReport* out) const;
 
   Lsn audited_upto() const { return audited_upto_; }
 

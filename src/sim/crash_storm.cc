@@ -38,9 +38,11 @@ std::string CrashStormStats::ToString() const {
 
 namespace {
 
-/// Arms one randomly chosen fault from the survivable catalogue.
-void ArmRandomFault(FaultInjector* inj, Random* rng) {
-  uint64_t pick = rng->Uniform(10);
+/// Arms one randomly chosen fault from the survivable catalogue. Under
+/// the log-store backend the catalogue grows a cold-tier read fault —
+/// the only read path dual-write never exercises.
+void ArmRandomFault(FaultInjector* inj, Random* rng, bool logstore) {
+  uint64_t pick = rng->Uniform(logstore ? 11 : 10);
   switch (pick) {
     case 0:
       inj->Arm(fault::kCmAfterWalForce,
@@ -90,6 +92,12 @@ void ArmRandomFault(FaultInjector* inj, Random* rng) {
         inj->Arm(fault::kStoreRead, FaultSpec::BitFlipOnce(rng->Next()));
       }
       break;
+    case 10:
+      // Cold-tier segment read stalls: log-index reads below the
+      // truncation point must retry through them.
+      inj->Arm(fault::kColdTierRead,
+               FaultSpec::TransientTimes(1 + rng->Uniform(2)));
+      break;
   }
 }
 
@@ -129,7 +137,8 @@ Status RunCrashStormInner(const CrashStormOptions& options,
     if (options.faults) {
       uint64_t n = rng.Uniform(3);  // 0-2 faults this burst
       for (uint64_t i = 0; i < n; ++i) {
-        ArmRandomFault(&inj, &rng);
+        ArmRandomFault(&inj, &rng,
+                       options.engine.backend == StorageBackend::kLogStore);
       }
       stats->faults_armed += n;
     }

@@ -4,7 +4,16 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace loglog {
+
+StableLogDevice::StableLogDevice(IoStats* stats, FaultInjector* faults)
+    : cold_(faults),
+      stats_(stats),
+      faults_(faults),
+      reclaimed_counter_(MetricsRegistry::Global().GetCounter(
+          metric::kLogDeviceReclaimedBytes)) {}
 
 Status StableLogDevice::Append(Slice bytes, uint64_t* offset) {
   if (append_latency_us_ > 0) {
@@ -41,15 +50,10 @@ Status StableLogDevice::ApplyAppend(Slice bytes, uint64_t* offset) {
     std::vector<uint8_t> damaged(bytes.data(), bytes.data() + persist);
     FaultInjector::FlipBit(fire.rng, &damaged);
     bytes_.insert(bytes_.end(), damaged.begin(), damaged.end());
-    if (archive_enabled_) {
-      archive_.insert(archive_.end(), damaged.begin(), damaged.end());
-    }
   } else {
     bytes_.insert(bytes_.end(), bytes.data(), bytes.data() + persist);
-    if (archive_enabled_) {
-      archive_.insert(archive_.end(), bytes.data(), bytes.data() + persist);
-    }
   }
+  archive_view_valid_ = false;
   last_append_size_ = persist;
   ++stats_->log_forces;
   stats_->log_bytes += persist;
@@ -104,16 +108,72 @@ void StableLogDevice::TruncatePrefix(uint64_t offset) {
   if (offset <= start_offset_) return;
   assert(offset <= end_offset());
   uint64_t drop = offset - start_offset_;
+  if (archive_enabled_) {
+    cold_.Spill(start_offset_,
+                std::vector<uint8_t>(
+                    bytes_.begin(), bytes_.begin() + static_cast<long>(drop)));
+  }
   bytes_.erase(bytes_.begin(), bytes_.begin() + static_cast<long>(drop));
   start_offset_ = offset;
+  reclaimed_bytes_ += drop;
+  reclaimed_counter_->Inc(drop);
+  archive_view_valid_ = false;
+}
+
+uint64_t StableLogDevice::ReclaimColdBelow(uint64_t offset) {
+  uint64_t dropped = cold_.DropThrough(std::min(offset, start_offset_));
+  if (dropped > 0) {
+    reclaimed_bytes_ += dropped;
+    reclaimed_counter_->Inc(dropped);
+    archive_view_valid_ = false;
+  }
+  return dropped;
+}
+
+Status StableLogDevice::ReadStable(uint64_t offset, uint64_t size,
+                                   std::vector<uint8_t>* out) const {
+  if (offset >= start_offset_) {
+    // Hot window: the retained in-memory log, no fault site (same trust
+    // the recovery cursor already extends to Contents()).
+    if (offset + size > end_offset()) {
+      return Status::IoError("stable read past end of log");
+    }
+    const uint64_t within = offset - start_offset_;
+    out->assign(bytes_.begin() + static_cast<long>(within),
+                bytes_.begin() + static_cast<long>(within + size));
+    return Status::OK();
+  }
+  if (offset + size <= start_offset_) return cold_.Read(offset, size, out);
+  // Straddles the truncation horizon: cold prefix, hot remainder.
+  Status st = cold_.Read(offset, start_offset_ - offset, out);
+  if (!st.ok()) return st;
+  const uint64_t hot = offset + size - start_offset_;
+  if (hot > bytes_.size()) {
+    return Status::IoError("stable read past end of log");
+  }
+  out->insert(out->end(), bytes_.begin(),
+              bytes_.begin() + static_cast<long>(hot));
+  return Status::OK();
+}
+
+Slice StableLogDevice::ArchiveContents() const {
+  if (cold_.segment_count() == 0) return Slice(bytes_);
+  if (!archive_view_valid_) {
+    archive_view_.clear();
+    archive_view_.reserve(cold_.total_bytes() + bytes_.size());
+    cold_.AppendContentsTo(&archive_view_);
+    archive_view_.insert(archive_view_.end(), bytes_.begin(), bytes_.end());
+    archive_view_valid_ = true;
+  }
+  return Slice(archive_view_);
 }
 
 void StableLogDevice::TearTail(uint64_t n) {
+  // Torn bytes were never stable; only the hot tail can tear (truncation
+  // forces below the tear point, so cold segments are never affected).
   uint64_t live_drop = std::min<uint64_t>(n, bytes_.size());
   bytes_.resize(bytes_.size() - live_drop);
-  // Torn bytes were never stable; the archive drops them too.
-  uint64_t archive_drop = std::min<uint64_t>(live_drop, archive_.size());
-  archive_.resize(archive_.size() - archive_drop);
+  archive_view_valid_ = false;
 }
 
 }  // namespace loglog

@@ -9,10 +9,13 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "fault/fault_injector.h"
+#include "logstore/cold_tier.h"
 #include "storage/io_stats.h"
 #include "storage/stable_store.h"
 
 namespace loglog {
+
+class Counter;
 
 /// \brief The append-only stable log device.
 ///
@@ -21,8 +24,7 @@ namespace loglog {
 /// and never reused, so log truncation just advances start_offset.
 class StableLogDevice {
  public:
-  StableLogDevice(IoStats* stats, FaultInjector* faults)
-      : stats_(stats), faults_(faults) {}
+  StableLogDevice(IoStats* stats, FaultInjector* faults);
 
   StableLogDevice(const StableLogDevice&) = delete;
   StableLogDevice& operator=(const StableLogDevice&) = delete;
@@ -70,8 +72,43 @@ class StableLogDevice {
   /// View of the retained log [start_offset, end_offset).
   Slice Contents() const { return Slice(bytes_); }
 
-  /// Drops bytes before `offset` (checkpoint-driven truncation).
+  /// Releases the hot bytes before `offset` (checkpoint- or
+  /// compaction-driven truncation). With the archive enabled the dropped
+  /// prefix spills to the cold tier (history survives, reads fall
+  /// through); disabled, it is gone. Either way the hot window shrinks —
+  /// the reclaimed volume is counted in `log.device.reclaimed_bytes`.
   void TruncatePrefix(uint64_t offset);
+
+  /// Total bytes TruncatePrefix has released from the hot window.
+  uint64_t reclaimed_bytes() const { return reclaimed_bytes_; }
+
+  /// Cold-tier garbage collection: drops spilled segments lying wholly
+  /// below `offset` (clamped to start_offset(), so only already-spilled
+  /// bytes are eligible) and counts them into reclaimed_bytes. The
+  /// caller must guarantee no live index entry points below `offset` —
+  /// the log-store checkpoint passes the oldest live image offset, which
+  /// compaction is what advances. Dropped history is gone: full-history
+  /// verification (ArchiveContents replay) no longer covers it, so
+  /// retention-full deployments and the crash harness never call this.
+  /// Returns the bytes released.
+  uint64_t ReclaimColdBelow(uint64_t offset);
+
+  /// Reads `size` bytes of stable history at absolute `offset`: from the
+  /// retained hot window when offset >= start_offset(), else from the
+  /// cold tier (a faulted read — see ColdTier). The log-as-database
+  /// cache-miss path; reads never cross the hot/cold boundary in
+  /// practice because both truncation and index offsets sit on framed
+  /// record boundaries, but a straddling range is still served.
+  Status ReadStable(uint64_t offset, uint64_t size,
+                    std::vector<uint8_t>* out) const;
+
+  const ColdTier& cold_tier() const { return cold_; }
+
+  /// Cold-segment coalescing target (== retention-GC granularity; see
+  /// ColdTier::set_segment_target_bytes).
+  void set_cold_segment_target(size_t bytes) {
+    cold_.set_segment_target_bytes(bytes);
+  }
 
   /// Crash simulation: removes the final `n` bytes, as if the last force
   /// was torn by the crash. Recovery must stop cleanly at the tear.
@@ -84,12 +121,15 @@ class StableLogDevice {
   /// Every byte ever made stable, unaffected by truncation (but trimmed
   /// by TearTail, since torn bytes never count as stable). Verification
   /// only: the reference executor replays this to compute ground truth.
-  Slice ArchiveContents() const { return Slice(archive_); }
+  /// Materialized lazily as cold segments + the hot window; the view is
+  /// cached until the next append/truncate/tear invalidates it.
+  Slice ArchiveContents() const;
 
-  /// Disables the verification archive (default on). Benchmarks that
-  /// never replay against the reference turn it off: the archive is an
-  /// unbounded contiguous vector, and its doubling reallocations would
-  /// otherwise dominate long runs on both sides of any comparison.
+  /// Disables history retention across truncation (default on).
+  /// Benchmarks that never replay against the reference turn it off so
+  /// truncated bytes are dropped instead of spilled — after a disabled
+  /// truncation, ArchiveContents() and cold reads below start_offset()
+  /// no longer cover full history.
   void set_archive_enabled(bool enabled) { archive_enabled_ = enabled; }
 
   FaultInjector* faults() const { return faults_; }
@@ -110,9 +150,14 @@ class StableLogDevice {
   static constexpr size_t kBufferPoolEntries = 4;
 
   std::vector<uint8_t> bytes_;
-  std::vector<uint8_t> archive_;
+  ColdTier cold_;
   uint64_t start_offset_ = 0;
   uint64_t last_append_size_ = 0;
+  uint64_t reclaimed_bytes_ = 0;
+  /// Lazy full-history view backing ArchiveContents() once segments have
+  /// spilled (before that the hot window IS the history).
+  mutable std::vector<uint8_t> archive_view_;
+  mutable bool archive_view_valid_ = false;
   std::deque<StagedAppend> staged_;
   std::vector<std::vector<uint8_t>> buffer_pool_;
   bool archive_enabled_ = true;
@@ -120,6 +165,7 @@ class StableLogDevice {
   uint64_t append_latency_us_ = 0;
   IoStats* stats_;
   FaultInjector* faults_;
+  Counter* reclaimed_counter_;  // log.device.reclaimed_bytes
 };
 
 /// \brief Everything that survives a crash: the stable object store, the

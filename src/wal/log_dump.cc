@@ -62,6 +62,12 @@ std::string LogDumpSummary::ToString() const {
                   static_cast<unsigned long long>(policy_bytes));
     out += buf;
   }
+  if (index_checkpoints > 0) {
+    std::snprintf(buf, sizeof(buf), " index_ckpt=%llu(%llub)",
+                  static_cast<unsigned long long>(index_checkpoints),
+                  static_cast<unsigned long long>(index_checkpoint_bytes));
+    out += buf;
+  }
   if (torn_tail) {
     std::snprintf(buf, sizeof(buf), " torn_tail(after_lsn=%llu offset=%llu)",
                   static_cast<unsigned long long>(torn_tail_lsn),
@@ -95,6 +101,8 @@ std::string LogDumpSummary::ToJson() const {
   w.Key("txn_marker_bytes").Uint(txn_marker_bytes);
   w.Key("compensations").Uint(compensations);
   w.Key("compensation_bytes").Uint(compensation_bytes);
+  w.Key("index_checkpoints").Uint(index_checkpoints);
+  w.Key("index_checkpoint_bytes").Uint(index_checkpoint_bytes);
   w.Key("payload_bytes").Uint(payload_bytes);
   w.Key("class_mix");
   w.BeginObject();
@@ -245,6 +253,10 @@ Status DumpLog(Slice log_bytes, std::string* out, LogDumpSummary* summary) {
       case RecordType::kCompensation:
         ++summary->compensations;
         summary->compensation_bytes += encoded;
+        break;
+      case RecordType::kIndexCheckpoint:
+        ++summary->index_checkpoints;
+        summary->index_checkpoint_bytes += encoded;
         break;
     }
     summary->payload_bytes += encoded;

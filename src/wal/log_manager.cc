@@ -499,6 +499,23 @@ void LogManager::TruncateBefore(Lsn lsn) {
   stable_offsets_.erase(stable_offsets_.begin(), it);
 }
 
+bool LogManager::StableExtentOf(Lsn lsn, uint64_t* offset,
+                                uint64_t* size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      stable_offsets_.begin(), stable_offsets_.end(), lsn,
+      [](const std::pair<Lsn, uint64_t>& e, Lsn l) { return e.first < l; });
+  if (it == stable_offsets_.end() || it->first != lsn) return false;
+  *offset = it->second;
+  auto next = it + 1;
+  // Frames are dense on the device, so the extent runs to the next stable
+  // record (or the device end for the newest one).
+  *size = (next != stable_offsets_.end() ? next->second
+                                         : device_->end_offset()) -
+          it->second;
+  return true;
+}
+
 Status LogManager::ReadStable(const StableLogDevice& device,
                               std::vector<LogRecord>* out, bool* torn,
                               Lsn* next_lsn, uint64_t* valid_end) {

@@ -202,6 +202,15 @@ class LogManager {
   /// operation is at or after it).
   void TruncateBefore(Lsn lsn);
 
+  /// Maps a stable record's LSN to its framed extent on the device:
+  /// *offset is the frame start (absolute device offset), *size the full
+  /// framed size (header + payload). False when `lsn` is not stable or
+  /// its offset entry was already truncated away. The log-as-database
+  /// install path calls this at index-publish time — the entry outlives
+  /// truncation inside the LogIndex, whose reads fall through to the
+  /// cold tier.
+  bool StableExtentOf(Lsn lsn, uint64_t* offset, uint64_t* size) const;
+
   /// Re-seeds the LSN counter after recovery scanned an existing log.
   void SetNextLsn(Lsn next) {
     std::lock_guard<std::mutex> lock(mu_);

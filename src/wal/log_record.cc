@@ -131,6 +131,15 @@ void LogRecord::EncodeTo(std::vector<uint8_t>* dst) const {
       PutVarint64(dst, policy.chain_depth);
       PutVarint64(dst, policy.ewma_size);
       break;
+    case RecordType::kIndexCheckpoint:
+      PutVarint64(dst, index_entries.size());
+      for (const IndexCheckpointEntry& e : index_entries) {
+        PutVarint64(dst, e.id);
+        PutVarint64(dst, e.lsn);
+        PutVarint64(dst, e.offset);
+        PutVarint64(dst, e.size);
+      }
+      break;
   }
 }
 
@@ -139,7 +148,7 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
   uint8_t type_byte = (*src)[0];
   src->RemovePrefix(1);
   if (type_byte < 1 ||
-      type_byte > static_cast<uint8_t>(RecordType::kCompensation)) {
+      type_byte > static_cast<uint8_t>(RecordType::kIndexCheckpoint)) {
     return Status::Corruption("bad record type");
   }
   out->type = static_cast<RecordType>(type_byte);
@@ -242,6 +251,26 @@ Status LogRecord::DecodeFrom(Slice* src, LogRecord* out) {
       src->RemovePrefix(3);
       LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->policy.chain_depth));
       LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &out->policy.ewma_size));
+      break;
+    }
+    case RecordType::kIndexCheckpoint: {
+      uint64_t n;
+      LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &n));
+      // Four varints per entry: at least four bytes each (count bound
+      // guards reserve() against garbage input).
+      if (n > src->size()) {
+        return Status::Corruption("index entry count too large");
+      }
+      out->index_entries.clear();
+      out->index_entries.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        IndexCheckpointEntry e;
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.id));
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.lsn));
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.offset));
+        LOGLOG_RETURN_IF_ERROR(GetVarint64(src, &e.size));
+        out->index_entries.push_back(e);
+      }
       break;
     }
   }
@@ -376,6 +405,9 @@ std::string LogRecord::DebugString() const {
              PolicyReasonName(static_cast<PolicyReason>(policy.reason)) +
              " depth=" + std::to_string(policy.chain_depth) +
              " ewma=" + std::to_string(policy.ewma_size);
+      break;
+    case RecordType::kIndexCheckpoint:
+      out += "index-checkpoint n=" + std::to_string(index_entries.size());
       break;
   }
   out += "}";

@@ -53,6 +53,15 @@ enum class RecordType : uint8_t {
   /// crash mid-rollback resumes exactly after the last stable CLR. CLRs
   /// are never themselves undone.
   kCompensation = 10,
+  /// Log-as-database index checkpoint (src/logstore/): the complete
+  /// LogIndex — object id -> (LSN, device offset, framed size) of the
+  /// last full-image record — frozen at checkpoint time. A control
+  /// record: redo ignores it; the recovery analysis pass resets its
+  /// index rebuild to the last one it sees and overlays later records,
+  /// so restart cost is bounded by the checkpoint interval and index
+  /// entries may point below the truncation horizon (into the cold
+  /// tier).
+  kIndexCheckpoint = 11,
 };
 
 /// One dirty-object-table entry in a checkpoint record.
@@ -71,6 +80,18 @@ struct DotEntry {
 struct InstallEntry {
   ObjectId id = kInvalidObjectId;
   Lsn rsi = kInvalidLsn;
+};
+
+/// One LogIndex entry frozen into a kIndexCheckpoint record: where the
+/// object's last full-image record lives on the log device.
+struct IndexCheckpointEntry {
+  ObjectId id = kInvalidObjectId;
+  /// LSN of the full-image record (also the object's vSI).
+  Lsn lsn = kInvalidLsn;
+  /// Absolute device offset of the framed record.
+  uint64_t offset = 0;
+  /// Framed size (header + payload) of the record.
+  uint64_t size = 0;
 };
 
 /// One object value frozen into a flush-transaction begin record.
@@ -132,6 +153,9 @@ struct LogRecord {
 
   // kFlushTxnBegin
   std::vector<FlushValue> flush_values;
+
+  // kIndexCheckpoint
+  std::vector<IndexCheckpointEntry> index_entries;
 
   // kFlushTxnCommit: lsn of the matching begin record.
   Lsn ref_lsn = kInvalidLsn;

@@ -3,7 +3,7 @@
 //
 //   loglog_storm_test --storm-iters=N     (or env LOGLOG_STORM_ITERS=N)
 //
-// The short default (25 iterations x 8 configurations = 200 randomized
+// The short default (25 iterations x 12 configurations = 300 randomized
 // crash/fault injections) runs as the tier-1 `crash_storm_short` test;
 // `ctest -C soak` runs the long configuration.
 
@@ -52,6 +52,13 @@ struct StormConfig {
   /// proactive W_IP installs, soaked against the same fault mix.
   bool adaptive = false;
   uint64_t budget = 0;
+  /// Storage backend: kLogStore configs serve every post-recovery read
+  /// from the log index (the store stays empty), so the verification
+  /// exercises the rebuild-and-read path instead of the store compare.
+  StorageBackend backend = StorageBackend::kDualWrite;
+  /// Log-store compaction cadence in ops (0 = none): compaction passes
+  /// run inside the fault-armed bursts, racing crashes and torn tails.
+  uint64_t compact_every = 0;
 };
 
 // Two logging modes x all four flush policies, with graph kinds, redo
@@ -93,6 +100,20 @@ constexpr StormConfig kConfigs[] = {
      FlushPolicy::kIdentityWrites, RedoTestKind::kRsiFixpoint, 1010,
      /*redo_threads=*/2, ForcePolicy::kImmediate, /*adaptive=*/true,
      /*budget=*/0},
+    // Log-as-database: no store writes ever; recovery rebuilds the log
+    // index and verification reads everything back through it (including
+    // cold-tier faulted reads once truncation has spilled segments).
+    {"LogStore", LoggingMode::kLogical, GraphKind::kRefined,
+     FlushPolicy::kNativeAtomic, RedoTestKind::kVsi, 1011,
+     /*redo_threads=*/2, ForcePolicy::kImmediate, /*adaptive=*/false,
+     /*budget=*/0, StorageBackend::kLogStore},
+    // Same, with the background compactor racing the crash/fault mix:
+    // W_IP rewrite batches and their index republishes must be crash-
+    // consistent at every interleaving.
+    {"LogStoreCompaction", LoggingMode::kLogical, GraphKind::kW,
+     FlushPolicy::kNativeAtomic, RedoTestKind::kRsiGeneralized, 1012,
+     /*redo_threads=*/1, ForcePolicy::kGroup, /*adaptive=*/false,
+     /*budget=*/0, StorageBackend::kLogStore, /*compact_every=*/24},
 };
 
 class CrashStormTest : public testing::TestWithParam<StormConfig> {};
@@ -109,6 +130,8 @@ TEST_P(CrashStormTest, SurvivesTheStorm) {
   // Purge aggressively so flushes (and their fault sites) happen inside
   // the fault-armed bursts, not only in the post-disarm verification.
   options.engine.purge_threshold_ops = 12;
+  options.engine.backend = cfg.backend;
+  options.engine.logstore.compact_interval_ops = cfg.compact_every;
   if (cfg.adaptive) {
     options.engine.adaptive.enabled = true;
     options.engine.adaptive.hot_interval_writes = 8.0;

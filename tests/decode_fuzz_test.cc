@@ -57,6 +57,18 @@ std::vector<LogRecord> TxnRecordCorpus() {
   ckpt.txn_id = 4;  // the id high-water mark, not a transaction
   ckpt.dot.push_back({7, 11, false});
   recs.push_back(ckpt);
+  // Log-store index checkpoint: object -> (lsn, device extent) entries.
+  // A scribbled offset or size here would send recovery's faulted reads
+  // into the weeds, so decode robustness matters as much as for the
+  // transactional forms.
+  LogRecord idx;
+  idx.type = RecordType::kIndexCheckpoint;
+  idx.lsn = 16;
+  idx.index_entries.push_back({/*id=*/5, /*lsn=*/11, /*offset=*/128,
+                               /*size=*/64});
+  idx.index_entries.push_back({/*id=*/9, /*lsn=*/14, /*offset=*/4096,
+                               /*size=*/257});
+  recs.push_back(idx);
   return recs;
 }
 

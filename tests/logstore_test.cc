@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/recovery_engine.h"
+#include "logstore/compactor.h"
+#include "logstore/logstore.h"
+#include "obs/metrics.h"
+#include "ops/op_builder.h"
+#include "ship/divergence_audit.h"
+#include "storage/simulated_disk.h"
+
+namespace loglog {
+namespace {
+
+// Directed tests for the log-as-database backend: the stable store never
+// sees an object write; installation publishes LogIndex entries pointing
+// at forced full-image records; reads fall through to the log (hot tier)
+// or the cold archive; recovery rebuilds the index from the last
+// kIndexCheckpoint plus install-evidenced full images; the compactor
+// rewrites old live images forward so truncation reclaims real bytes.
+
+ObjectValue Val(const std::string& s) {
+  return ObjectValue(s.begin(), s.end());
+}
+
+EngineOptions LogStoreOpts() {
+  EngineOptions opts;
+  opts.backend = StorageBackend::kLogStore;
+  opts.flush_policy = FlushPolicy::kNativeAtomic;
+  opts.purge_threshold_ops = 0;  // tests purge/flush explicitly
+  return opts;
+}
+
+TEST(LogStoreTest, StoreStaysEmptyAndReadsServeFromLog) {
+  Counter* log_reads =
+      MetricsRegistry::Global().GetCounter(metric::kLogstoreReadsLog);
+  uint64_t reads_before = log_reads->value();
+
+  SimulatedDisk disk;
+  RecoveryEngine engine(LogStoreOpts(), &disk);
+  ASSERT_TRUE(engine.Execute(MakeCreate(1, "alpha")).ok());
+  ASSERT_TRUE(engine.Execute(MakeCreate(2, "beta")).ok());
+  ASSERT_TRUE(engine.Execute(MakePhysicalWrite(1, "alpha-v2")).ok());
+  ASSERT_TRUE(engine.FlushAll().ok());
+
+  // The defining property: installation happened, yet the store is empty.
+  EXPECT_EQ(disk.store().object_count(), 0u);
+  EXPECT_EQ(engine.cache().log_index().size(), 2u);
+
+  // Cache-hit reads first, then evict everything and force the log path.
+  ObjectValue v;
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(v, Val("alpha-v2"));
+  engine.cache().EvictTo(0);
+  ASSERT_TRUE(engine.Read(1, &v).ok());
+  EXPECT_EQ(v, Val("alpha-v2"));
+  ASSERT_TRUE(engine.Read(2, &v).ok());
+  EXPECT_EQ(v, Val("beta"));
+  EXPECT_GE(log_reads->value(), reads_before + 2);
+  EXPECT_FALSE(engine.Exists(99));
+}
+
+TEST(LogStoreTest, RedoTestAlwaysIsForcedToVsi) {
+  // kAlways redo consults the stable store's manifest, which kLogStore
+  // never writes; the engine silently upgrades to the vSI test.
+  EngineOptions opts = LogStoreOpts();
+  opts.redo_test = RedoTestKind::kAlways;
+  opts.log_installs = false;  // also forced: rebuild needs the evidence
+  SimulatedDisk disk;
+  RecoveryEngine engine(opts, &disk);
+  EXPECT_EQ(engine.options().redo_test, RedoTestKind::kVsi);
+  EXPECT_TRUE(engine.options().log_installs);
+}
+
+TEST(LogStoreTest, IndexRebuildAfterCrash) {
+  SimulatedDisk disk;
+  auto engine = std::make_unique<RecoveryEngine>(LogStoreOpts(), &disk);
+  ASSERT_TRUE(engine->Execute(MakeCreate(1, "one")).ok());
+  ASSERT_TRUE(engine->Execute(MakeCreate(2, "two")).ok());
+  // A logical cross-object op: its record is NOT a full image, so
+  // installation must inject a W_IP identity record before publishing.
+  ASSERT_TRUE(engine->Execute(MakeCopy(/*y=*/3, /*x=*/1)).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  // Post-checkpoint tail: an update with install evidence, plus one the
+  // crash will cut off (never forced — recovery must not see it).
+  ASSERT_TRUE(engine->Execute(MakePhysicalWrite(2, "two-v2")).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+  ASSERT_TRUE(engine->Execute(MakePhysicalWrite(1, "lost")).ok());
+
+  engine.reset();  // crash: volatile index, cache and log buffer die
+  engine = std::make_unique<RecoveryEngine>(LogStoreOpts(), &disk);
+  ASSERT_TRUE(engine->Recover().ok());
+
+  EXPECT_EQ(disk.store().object_count(), 0u);
+  ObjectValue v;
+  ASSERT_TRUE(engine->Read(1, &v).ok());
+  EXPECT_EQ(v, Val("one"));
+  ASSERT_TRUE(engine->Read(2, &v).ok());
+  EXPECT_EQ(v, Val("two-v2"));
+  ASSERT_TRUE(engine->Read(3, &v).ok());
+  EXPECT_EQ(v, Val("one"));
+  ASSERT_TRUE(engine->FlushAll().ok());
+  EXPECT_EQ(engine->cache().log_index().size(), 3u);
+}
+
+TEST(LogStoreTest, DeleteRetiresIndexEntry) {
+  SimulatedDisk disk;
+  auto engine = std::make_unique<RecoveryEngine>(LogStoreOpts(), &disk);
+  ASSERT_TRUE(engine->Execute(MakeCreate(7, "doomed")).ok());
+  ASSERT_TRUE(engine->Execute(MakeCreate(8, "keeper")).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+  ASSERT_TRUE(engine->Execute(MakeDelete(7)).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+
+  EXPECT_FALSE(engine->Exists(7));
+  IndexCheckpointEntry entry;
+  EXPECT_FALSE(engine->cache().log_index().Lookup(7, &entry));
+  EXPECT_TRUE(engine->cache().log_index().Lookup(8, &entry));
+
+  engine.reset();
+  engine = std::make_unique<RecoveryEngine>(LogStoreOpts(), &disk);
+  ASSERT_TRUE(engine->Recover().ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+  EXPECT_FALSE(engine->Exists(7));
+  ObjectValue v;
+  ASSERT_TRUE(engine->Read(8, &v).ok());
+  EXPECT_EQ(v, Val("keeper"));
+}
+
+TEST(LogStoreTest, ColdTierServesTruncatedImages) {
+  Counter* cold_reads =
+      MetricsRegistry::Global().GetCounter(metric::kLogstoreReadsCold);
+  uint64_t cold_before = cold_reads->value();
+
+  SimulatedDisk disk;
+  RecoveryEngine engine(LogStoreOpts(), &disk);
+  for (ObjectId id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(
+        engine.Execute(MakeCreate(id, "value-" + std::to_string(id))).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  // The checkpoint truncates up to the checkpoint record itself — the
+  // live images land below the horizon and spill to the cold tier (the
+  // floor deliberately ignores LogIndex::MinLsn; see
+  // CacheManager::Checkpoint).
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  EXPECT_GT(disk.log().cold_tier().total_bytes(), 0u);
+  EXPECT_GT(disk.log().reclaimed_bytes(), 0u);
+
+  engine.cache().EvictTo(0);
+  for (ObjectId id = 1; id <= 8; ++id) {
+    ObjectValue v;
+    ASSERT_TRUE(engine.Read(id, &v).ok()) << id;
+    EXPECT_EQ(v, Val("value-" + std::to_string(id))) << id;
+  }
+  EXPECT_GE(cold_reads->value(), cold_before + 8);
+}
+
+TEST(LogStoreTest, CompactionMovesImagesForwardAndPreservesReads) {
+  SimulatedDisk disk;
+  EngineOptions opts = LogStoreOpts();
+  opts.logstore.compact_batch_objects = 8;
+  RecoveryEngine engine(opts, &disk);
+  for (ObjectId id = 1; id <= 16; ++id) {
+    ASSERT_TRUE(
+        engine.Execute(MakeCreate(id, "img-" + std::to_string(id))).ok());
+  }
+  ASSERT_TRUE(engine.FlushAll().ok());
+  ASSERT_TRUE(engine.Checkpoint().ok());
+  Lsn oldest_before = engine.cache().log_index().MinLsn();
+
+  // Two passes move all 16 live images to the tail; each pass checkpoints
+  // so truncation chases the rewritten minimum.
+  ASSERT_TRUE(engine.Compact().ok());
+  ASSERT_TRUE(engine.Compact().ok());
+  ASSERT_NE(engine.compactor(), nullptr);
+  EXPECT_EQ(engine.compactor()->stats().images_moved, 16u);
+  EXPECT_GT(engine.compactor()->stats().bytes_moved, 0u);
+  EXPECT_GT(engine.cache().log_index().MinLsn(), oldest_before);
+
+  // Read equivalence after compaction, through a cold cache.
+  engine.cache().EvictTo(0);
+  for (ObjectId id = 1; id <= 16; ++id) {
+    ObjectValue v;
+    ASSERT_TRUE(engine.Read(id, &v).ok()) << id;
+    EXPECT_EQ(v, Val("img-" + std::to_string(id))) << id;
+  }
+}
+
+TEST(LogStoreTest, CrashAfterCompactionAuditsCleanly) {
+  SimulatedDisk disk;
+  EngineOptions opts = LogStoreOpts();
+  opts.purge_threshold_ops = 6;  // install mid-stream, storm-style
+  auto engine = std::make_unique<RecoveryEngine>(opts, &disk);
+  for (ObjectId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(
+        engine->Execute(MakeCreate(id, "c-" + std::to_string(id))).ok());
+  }
+  ASSERT_TRUE(engine->Execute(MakeCopy(11, 1)).ok());
+  ASSERT_TRUE(engine->Execute(MakeAppend(2, "-tail")).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  ASSERT_TRUE(engine->Compact().ok());
+  // More work after the compaction pass, some installed, some not.
+  ASSERT_TRUE(engine->Execute(MakePhysicalWrite(3, "late")).ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+
+  engine.reset();  // crash
+  engine = std::make_unique<RecoveryEngine>(opts, &disk);
+  ASSERT_TRUE(engine->Recover().ok());
+  ASSERT_TRUE(engine->FlushAll().ok());
+
+  // The divergence auditor replays the whole archive (cold + hot) and
+  // diffs the engine's read path — values, vSIs and the live id set.
+  DivergenceAuditor auditor;
+  ASSERT_TRUE(
+      auditor.Advance(disk.log().ArchiveContents(), kMaxLsn - 1).ok());
+  DivergenceReport report;
+  Status st = auditor.CompareEngineReads(engine.get(), &report);
+  EXPECT_TRUE(st.ok()) << report.ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(report.objects_compared, report.objects_expected);
+}
+
+TEST(LogStoreTest, CompactionCadenceRunsFromMaintenance) {
+  SimulatedDisk disk;
+  EngineOptions opts = LogStoreOpts();
+  opts.purge_threshold_ops = 8;
+  opts.logstore.compact_interval_ops = 16;
+  opts.logstore.compact_batch_objects = 4;
+  RecoveryEngine engine(opts, &disk);
+  for (int round = 0; round < 8; ++round) {
+    for (ObjectId id = 1; id <= 12; ++id) {
+      ASSERT_TRUE(engine
+                      .Execute(MakePhysicalWrite(
+                          id, "r" + std::to_string(round) + "-" +
+                                  std::to_string(id)))
+                      .ok());
+    }
+  }
+  ASSERT_NE(engine.compactor(), nullptr);
+  EXPECT_GT(engine.compactor()->stats().runs, 0u);
+  for (ObjectId id = 1; id <= 12; ++id) {
+    ObjectValue v;
+    ASSERT_TRUE(engine.Read(id, &v).ok());
+    EXPECT_EQ(v, Val("r7-" + std::to_string(id)));
+  }
+}
+
+TEST(LogStoreTest, ColdRetentionGcReclaimsDeadSegments) {
+  // With cold_retention_full off, each checkpoint drops cold segments
+  // wholly below the oldest live index offset. Compaction is what moves
+  // that bound: the once-written objects get rewritten forward, the
+  // archive prefix behind them becomes droppable, and the total device
+  // footprint stays a small multiple of the live bytes instead of the
+  // whole history.
+  SimulatedDisk disk;
+  disk.log().set_cold_segment_target(1024);
+  EngineOptions opts = LogStoreOpts();
+  opts.logstore.cold_retention_full = false;
+  opts.logstore.compact_batch_objects = 16;
+  RecoveryEngine engine(opts, &disk);
+  for (ObjectId id = 1; id <= 8; ++id) {
+    ASSERT_TRUE(
+        engine.Execute(MakeCreate(id, std::string(64, static_cast<char>('a' + id)))).ok());
+  }
+  for (int round = 0; round < 20; ++round) {
+    // Two hot objects churn; six stay cold until compaction moves them.
+    ASSERT_TRUE(
+        engine.Execute(MakePhysicalWrite(1, std::string(64, 'x'))).ok());
+    ASSERT_TRUE(
+        engine.Execute(MakePhysicalWrite(2, std::string(64, 'y'))).ok());
+    ASSERT_TRUE(engine.FlushAll().ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  uint64_t pinned = disk.log().cold_tier().total_bytes();
+  EXPECT_GT(pinned, 0u);  // the six cold live objects pin the archive
+
+  uint64_t reclaimed_before = disk.log().reclaimed_bytes();
+  ASSERT_TRUE(engine.Compact().ok());  // moves all 8 forward + checkpoints
+  EXPECT_LT(disk.log().cold_tier().total_bytes(), pinned);
+  EXPECT_GT(disk.log().reclaimed_bytes(), reclaimed_before);
+
+  // Reads survive the GC: everything live is at or above the new bound.
+  engine.cache().EvictTo(0);
+  ObjectValue v;
+  for (ObjectId id = 3; id <= 8; ++id) {
+    ASSERT_TRUE(engine.Read(id, &v).ok()) << id;
+    EXPECT_EQ(v, Val(std::string(64, static_cast<char>('a' + id)))) << id;
+  }
+}
+
+TEST(LogStoreTest, FullImagePredicateMatchesBuilders) {
+  EXPECT_TRUE(IsFullImageOp(MakeCreate(1, "x")));
+  EXPECT_TRUE(IsFullImageOp(MakePhysicalWrite(1, "x")));
+  EXPECT_TRUE(IsFullImageOp(MakeIdentityWrite(1, "x")));
+  EXPECT_TRUE(IsFullImageOp(MakeDelete(1)));
+  EXPECT_FALSE(IsFullImageOp(MakeDelta(1, 0, "x")));
+  EXPECT_FALSE(IsFullImageOp(MakeAppend(1, "x")));
+  EXPECT_FALSE(IsFullImageOp(MakeCopy(2, 1)));
+  EXPECT_FALSE(IsFullImageOp(MakeSort(2, 1, 8)));
+}
+
+}  // namespace
+}  // namespace loglog

@@ -87,11 +87,25 @@ TEST(StableLogDeviceTest, AppendTruncateTear) {
   log.TruncatePrefix(10);
   EXPECT_EQ(log.start_offset(), 10u);
   EXPECT_EQ(log.retained_bytes(), 20u);
-  EXPECT_EQ(log.ArchiveContents().size(), 30u);  // archive unaffected
+  EXPECT_EQ(log.reclaimed_bytes(), 10u);  // hot bytes actually released
+  // The truncated prefix spilled cold; full history is still visible.
+  EXPECT_EQ(log.cold_tier().total_bytes(), 10u);
+  EXPECT_EQ(log.ArchiveContents().size(), 30u);
+
+  // Stable reads fall through the truncation horizon to the cold tier.
+  std::vector<uint8_t> cold_read;
+  ASSERT_TRUE(log.ReadStable(0, 10, &cold_read).ok());
+  EXPECT_EQ(cold_read, std::vector<uint8_t>(10, 1));
+  std::vector<uint8_t> straddle;
+  ASSERT_TRUE(log.ReadStable(5, 10, &straddle).ok());
+  std::vector<uint8_t> expect_straddle(5, 1);
+  expect_straddle.insert(expect_straddle.end(), 5, 2);
+  EXPECT_EQ(straddle, expect_straddle);
 
   log.TearTail(5);
   EXPECT_EQ(log.retained_bytes(), 15u);
-  EXPECT_EQ(log.ArchiveContents().size(), 25u);  // archive trimmed too
+  EXPECT_EQ(log.ArchiveContents().size(), 25u);  // hot tail trimmed
+  EXPECT_EQ(log.cold_tier().total_bytes(), 10u);  // cold never tears
 }
 
 TEST(IoStatsTest, DeltaSubtracts) {

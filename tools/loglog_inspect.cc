@@ -34,6 +34,14 @@
 //                   primary durable LSN vs standby applied LSN with the
 //                   current lag (records/bytes/LSN) from the ship.*
 //                   metrics snapshot; honors --seed/--ops/--threads/--json
+//   --logstore-stats  run the mixed workload on a log-as-database engine
+//                   (StorageBackend::kLogStore, background compaction,
+//                   cold-tier GC) and report the object index (entries,
+//                   live bytes), the two-tier footprint (hot window +
+//                   cold segment table), dead bytes and space
+//                   amplification, compactor totals, and the logstore.*
+//                   metrics; honors --seed/--ops/--json/--quiet (drops
+//                   the segment table)
 //   --blackbox FILE read a *.blackbox postmortem artifact (standalone):
 //                   build/config provenance, the flight-recorder tail as
 //                   a merged human timeline with thread names, and the
@@ -56,6 +64,7 @@
 
 #include "engine/recovery_engine.h"
 #include "engine/txn_manager.h"
+#include "logstore/compactor.h"
 #include "obs/blackbox.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
@@ -76,6 +85,7 @@ namespace {
 struct InspectOptions {
   bool demo = false;
   bool ship_status = false;
+  bool logstore_stats = false;
   bool crash = false;
   bool json = false;
   bool recover = true;
@@ -97,7 +107,7 @@ struct InspectOptions {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [IMAGE] [--demo] [--ship-status] "
-               "[--blackbox FILE] [--crash] "
+               "[--logstore-stats] [--blackbox FILE] [--crash] "
                "[--save FILE] [--json] [--trace FILE] [--threads N] "
                "[--no-recover] [--seed N] [--ops N] [--txns N] [--quiet] "
                "[--class-mix] [--blackbox-out FILE] [--telemetry-out FILE] "
@@ -119,6 +129,8 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
       out->demo = true;
     } else if (arg == "--ship-status") {
       out->ship_status = true;
+    } else if (arg == "--logstore-stats") {
+      out->logstore_stats = true;
     } else if (arg == "--crash") {
       out->crash = true;
     } else if (arg == "--json") {
@@ -173,6 +185,14 @@ bool ParseArgs(int argc, char** argv, InspectOptions* out) {
   if (out->ship_status) {
     if (out->demo || !out->image_path.empty()) {
       std::fprintf(stderr, "--ship-status is standalone (no --demo/IMAGE)\n");
+      return false;
+    }
+    return true;
+  }
+  if (out->logstore_stats) {
+    if (out->demo || !out->image_path.empty()) {
+      std::fprintf(stderr,
+                   "--logstore-stats is standalone (no --demo/IMAGE)\n");
       return false;
     }
     return true;
@@ -490,6 +510,141 @@ int RunShipStatus(const InspectOptions& opts) {
   return 0;
 }
 
+/// Log-as-database status demo: the mixed workload on a kLogStore engine
+/// with background compaction on a cadence and cold-tier retention GC,
+/// then the operational numbers an operator would ask for — how big is
+/// the index, where do the bytes live (hot window vs cold segments), how
+/// much of the footprint is dead, and what has the compactor done.
+int RunLogstoreStats(const InspectOptions& opts) {
+  SimulatedDisk disk;
+  // Small cold segments so the table shows the GC granularity at demo
+  // scale.
+  disk.log().set_cold_segment_target(16 * 1024);
+  EngineOptions eo;
+  eo.backend = StorageBackend::kLogStore;
+  eo.purge_threshold_ops = 12;
+  eo.checkpoint_interval_ops = 64;
+  eo.logstore.compact_interval_ops = 24;
+  eo.logstore.compact_batch_objects = 16;
+  eo.logstore.cold_retention_full = false;
+  RecoveryEngine engine(eo, &disk);
+
+  MixedWorkloadOptions wopts;
+  wopts.seed = opts.seed;
+  MixedWorkload workload(wopts);
+  auto fail = [](const char* what, const Status& st) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return 1;
+  };
+  Status st;
+  for (const OperationDesc& op : workload.SetupOps()) {
+    if (!(st = engine.Execute(op)).ok()) return fail("logstore demo", st);
+  }
+  for (uint64_t i = 0; i < opts.ops; ++i) {
+    st = engine.Execute(workload.Next());
+    if (!st.ok() && !st.IsNotFound()) return fail("logstore demo", st);
+  }
+  if (!(st = engine.FlushAll()).ok()) return fail("flush", st);
+  if (!(st = engine.Checkpoint()).ok()) return fail("checkpoint", st);
+
+  const LogIndex& index = engine.cache().log_index();
+  const StableLogDevice& dev = disk.log();
+  const ColdTier& cold = dev.cold_tier();
+  const CompactionStats& comp = engine.compactor()->stats();
+  const uint64_t live = index.live_bytes();
+  const uint64_t footprint = dev.retained_bytes() + cold.total_bytes();
+  const uint64_t dead = footprint > live ? footprint - live : 0;
+  const double amp =
+      live == 0 ? 0.0
+                : static_cast<double>(footprint) / static_cast<double>(live);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+
+  if (opts.json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("index");
+    w.BeginObject();
+    w.Key("entries").Uint(index.size());
+    w.Key("live_bytes").Uint(live);
+    w.Key("min_lsn").Uint(index.MinLsn());
+    w.EndObject();
+    w.Key("footprint");
+    w.BeginObject();
+    w.Key("hot_bytes").Uint(dev.retained_bytes());
+    w.Key("cold_bytes").Uint(cold.total_bytes());
+    w.Key("dead_bytes").Uint(dead);
+    w.Key("space_amp").Double(amp);
+    w.Key("reclaimed_bytes").Uint(dev.reclaimed_bytes());
+    w.EndObject();
+    w.Key("cold_segments").BeginArray();
+    for (const ColdSegment& seg : cold.segments()) {
+      w.BeginObject();
+      w.Key("start_offset").Uint(seg.start_offset);
+      w.Key("end_offset").Uint(seg.end_offset());
+      w.Key("bytes").Uint(seg.bytes.size());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("compactor");
+    w.BeginObject();
+    w.Key("runs").Uint(comp.runs);
+    w.Key("images_moved").Uint(comp.images_moved);
+    w.Key("bytes_moved").Uint(comp.bytes_moved);
+    w.Key("noop_runs").Uint(comp.noop_runs);
+    w.Key("failures").Uint(comp.failures);
+    w.EndObject();
+    w.Key("metrics").Raw(snap.ToJson());
+    w.EndObject();
+    std::printf("%s\n", w.Take().c_str());
+    return 0;
+  }
+
+  std::printf("logstore status (demo workload, %llu ops):\n",
+              static_cast<unsigned long long>(opts.ops));
+  std::printf("  index: %zu entries, %llu live bytes, min lsn %llu\n",
+              index.size(), static_cast<unsigned long long>(live),
+              static_cast<unsigned long long>(index.MinLsn()));
+  std::printf("  footprint: %llu hot + %llu cold = %llu bytes"
+              " (%llu dead, space amp %.2fx)\n",
+              static_cast<unsigned long long>(dev.retained_bytes()),
+              static_cast<unsigned long long>(cold.total_bytes()),
+              static_cast<unsigned long long>(footprint),
+              static_cast<unsigned long long>(dead), amp);
+  std::printf("  reclaimed: %llu bytes (hot truncation + cold GC)\n",
+              static_cast<unsigned long long>(dev.reclaimed_bytes()));
+  if (!opts.quiet) {
+    std::printf("  cold segments (%zu):\n", cold.segment_count());
+    for (const ColdSegment& seg : cold.segments()) {
+      std::printf("    [%10llu, %10llu)  %8zu bytes\n",
+                  static_cast<unsigned long long>(seg.start_offset),
+                  static_cast<unsigned long long>(seg.end_offset()),
+                  seg.bytes.size());
+    }
+  }
+  std::printf("  compactor: %llu runs (%llu no-op, %llu failed),"
+              " %llu images / %llu bytes moved\n",
+              static_cast<unsigned long long>(comp.runs),
+              static_cast<unsigned long long>(comp.noop_runs),
+              static_cast<unsigned long long>(comp.failures),
+              static_cast<unsigned long long>(comp.images_moved),
+              static_cast<unsigned long long>(comp.bytes_moved));
+  std::printf("metrics (logstore.*):\n");
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("logstore.", 0) == 0 ||
+        name == metric::kLogDeviceReclaimedBytes) {
+      std::printf("  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("logstore.", 0) == 0) {
+      std::printf("  %-32s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+  }
+  return 0;
+}
+
 int Run(const InspectOptions& opts) {
   SimulatedDisk disk;
   if (opts.demo) {
@@ -637,5 +792,6 @@ int main(int argc, char** argv) {
   if (!loglog::ParseArgs(argc, argv, &opts)) return loglog::Usage(argv[0]);
   if (!opts.blackbox_path.empty()) return loglog::RunBlackBox(opts);
   if (opts.ship_status) return loglog::RunShipStatus(opts);
+  if (opts.logstore_stats) return loglog::RunLogstoreStats(opts);
   return loglog::Run(opts);
 }
